@@ -1,0 +1,33 @@
+// Shared helpers for the experiment benchmarks (E1..E12).
+//
+// Every benchmark reports model-level quantities (MPC rounds, iterations,
+// peak machine load, progress fractions) as google-benchmark counters, so a
+// run regenerates the experiment's "table": one row per argument point.
+// Wall-clock time is incidental — the paper's claims are about the cost
+// model, not this simulator's speed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "graph/generators.hpp"
+
+namespace dmpc::bench {
+
+/// Deterministic workload seed per (experiment, argument) pair so rows are
+/// reproducible but not identical across sweep points.
+inline std::uint64_t workload_seed(std::uint64_t experiment,
+                                   std::uint64_t arg) {
+  return experiment * 1000003ULL + arg * 10007ULL + 1;
+}
+
+/// The standard sweep graph: G(n, 8n) — dense enough that the sparsification
+/// path engages, sparse enough to sweep n comfortably.
+inline graph::Graph sweep_gnm(std::uint64_t n, std::uint64_t experiment) {
+  return graph::gnm(static_cast<graph::NodeId>(n),
+                    static_cast<graph::EdgeId>(8 * n),
+                    workload_seed(experiment, n));
+}
+
+}  // namespace dmpc::bench

@@ -1,0 +1,73 @@
+// E10 — deterministic vs randomized Luby: same O(log n) iteration shape;
+// determinism costs a constant factor in iterations, never correctness.
+//
+// Rows per n: iterations of randomized Luby (expected-case), our
+// deterministic pipelines, and per-iteration progress comparison.
+#include <benchmark/benchmark.h>
+
+#include "baselines/israeli_itai.hpp"
+#include "baselines/luby_matching.hpp"
+#include "baselines/luby_mis.hpp"
+#include "bench_common.hpp"
+#include "matching/det_matching.hpp"
+#include "mis/det_mis.hpp"
+
+namespace {
+
+void BM_MisDetVsRandom(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/10);
+  std::uint64_t det_iters = 0, luby_iters = 0, luby_pw_iters = 0;
+  for (auto _ : state) {
+    det_iters = dmpc::mis::det_mis(g, dmpc::mis::DetMisConfig{}).iterations;
+    luby_iters = dmpc::baselines::luby_mis(g, 1).iterations;
+    luby_pw_iters = dmpc::baselines::luby_mis_pairwise(g, 1).iterations;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["det_iterations"] = static_cast<double>(det_iters);
+  state.counters["luby_iterations"] = static_cast<double>(luby_iters);
+  state.counters["luby_pairwise_iterations"] =
+      static_cast<double>(luby_pw_iters);
+  state.counters["det_over_luby"] =
+      static_cast<double>(det_iters) /
+      static_cast<double>(std::max<std::uint64_t>(luby_iters, 1));
+}
+
+void BM_MatchingDetVsRandom(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/10);
+  std::uint64_t det_iters = 0, luby_iters = 0, ii_iters = 0;
+  for (auto _ : state) {
+    det_iters = dmpc::matching::det_maximal_matching(
+                    g, dmpc::matching::DetMatchingConfig{})
+                    .iterations;
+    luby_iters = dmpc::baselines::luby_matching(g, 1).iterations;
+    ii_iters = dmpc::baselines::israeli_itai(g, 1).iterations;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["det_iterations"] = static_cast<double>(det_iters);
+  state.counters["luby_iterations"] = static_cast<double>(luby_iters);
+  state.counters["israeli_itai_iterations"] = static_cast<double>(ii_iters);
+  state.counters["det_over_luby"] =
+      static_cast<double>(det_iters) /
+      static_cast<double>(std::max<std::uint64_t>(luby_iters, 1));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MisDetVsRandom)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_MatchingDetVsRandom)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E11 — ablation: why sparsify at all?
+//
+// The paper's motivation for E* (§1.1.1): without sparsification, gathering
+// 2-hop neighborhoods of good nodes needs Theta(Delta^2) words on a machine
+// — beyond S for large Delta. This ablation measures, on dense inputs, the
+// 2-hop footprint of the good set *before* sparsification vs *after*, next
+// to the machine budget S. "without_fits" = 1 would mean sparsification was
+// unnecessary; the sweep shows it 0 while "with_fits" stays 1.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "matching/det_matching.hpp"
+#include "sparsify/edge_sparsifier.hpp"
+#include "sparsify/good_nodes.hpp"
+
+namespace {
+
+using dmpc::graph::EdgeId;
+using dmpc::graph::NodeId;
+
+std::uint64_t max_two_hop_words(const dmpc::graph::Graph& g,
+                                const std::vector<bool>& edge_mask,
+                                const std::vector<bool>& centers) {
+  std::vector<std::vector<EdgeId>> incident(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_mask[e]) continue;
+    incident[g.edge(e).u].push_back(e);
+    incident[g.edge(e).v].push_back(e);
+  }
+  std::uint64_t worst = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!centers[v]) continue;
+    std::uint64_t words = incident[v].size();
+    for (EdgeId e : incident[v]) {
+      words += incident[g.other_endpoint(e, v)].size();
+    }
+    worst = std::max(worst, 2 * words);
+  }
+  return worst;
+}
+
+void BM_SparsifyAblation(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::graph::gnm(
+      static_cast<NodeId>(n), static_cast<EdgeId>(n * n / 16),
+      dmpc::bench::workload_seed(11, n));
+  dmpc::matching::DetMatchingConfig config;
+  const auto cluster_cfg =
+      dmpc::matching::cluster_config_for(config, g.num_nodes(), g.num_edges());
+  const auto params = dmpc::matching::params_for(config, g.num_nodes());
+
+  std::uint64_t without = 0, with = 0;
+  for (auto _ : state) {
+    // Space checks off: we *want* to measure the overflow.
+    auto unchecked_cfg = cluster_cfg;
+    unchecked_cfg.enforce_space = false;
+    dmpc::mpc::Cluster cluster(unchecked_cfg);
+    std::vector<bool> alive(g.num_nodes(), true);
+    const auto good =
+        dmpc::sparsify::select_matching_good_set(cluster, params, g, alive);
+    without = max_two_hop_words(g, good.in_E0, good.in_B);
+    const auto sparse = dmpc::sparsify::sparsify_edges(
+        cluster, params, g, good, config.sparsify);
+    with = max_two_hop_words(g, sparse.in_Estar, good.in_B);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["S_budget"] = static_cast<double>(cluster_cfg.machine_space);
+  state.counters["two_hop_words_without_sparsify"] =
+      static_cast<double>(without);
+  state.counters["two_hop_words_with_sparsify"] = static_cast<double>(with);
+  state.counters["without_fits"] =
+      without <= cluster_cfg.machine_space ? 1.0 : 0.0;
+  state.counters["with_fits"] = with <= cluster_cfg.machine_space ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_SparsifyAblation)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

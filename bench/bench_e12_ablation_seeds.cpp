@@ -1,0 +1,64 @@
+// E12 — ablation: independence degree c and selection batch size.
+//
+// (a) Hash independence c in {2, 4, 8} for the sparsification stages: the
+//     paper needs a sufficiently large constant c for Lemma 9; measured:
+//     seed trials and window escalations per stage.
+// (b) Selection batch (candidates evaluated per O(1)-round block) in
+//     {1, 4, 16, 64}: larger batches buy better committed seeds (higher
+//     per-iteration progress) at the same round cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "matching/det_matching.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+void BM_IndependenceDegree(benchmark::State& state) {
+  const auto c = static_cast<unsigned>(state.range(0));
+  const auto g = dmpc::graph::gnm(1024, 65536,
+                                  dmpc::bench::workload_seed(12, c));
+  dmpc::matching::DetMatchingConfig config;
+  config.sparsify.hash_k = c;
+  dmpc::RunningStats trials, windows;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    const auto result = dmpc::matching::det_maximal_matching(g, config);
+    iterations = result.iterations;
+    for (const auto& r : result.reports) {
+      trials.add(static_cast<double>(r.selection_trials));
+    }
+  }
+  state.counters["hash_k"] = static_cast<double>(c);
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["mean_selection_trials"] = trials.mean();
+}
+
+void BM_SelectionBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::graph::gnm(2048, 16384,
+                                  dmpc::bench::workload_seed(12, 100 + batch));
+  dmpc::matching::DetMatchingConfig config;
+  config.selection_batch = batch;
+  dmpc::RunningStats progress;
+  std::uint64_t iterations = 0, rounds = 0;
+  for (auto _ : state) {
+    const auto result = dmpc::matching::det_maximal_matching(g, config);
+    iterations = result.iterations;
+    rounds = result.metrics.rounds();
+    for (const auto& r : result.reports) progress.add(r.progress_fraction);
+  }
+  state.counters["batch"] = static_cast<double>(batch);
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["mpc_rounds"] = static_cast<double>(rounds);
+  state.counters["mean_progress_frac"] = progress.mean();
+}
+
+}  // namespace
+
+BENCHMARK(BM_IndependenceDegree)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SelectionBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E14 — application-layer quality: the guarantees the downstream reductions
+// inherit from Theorem 1.
+//
+//  - vertex cover: |cover| / (maximum-matching lower bound) <= 2, measured
+//    exactly on bipartite inputs via Hopcroft-Karp;
+//  - matching quality: |maximal| / |maximum| in [0.5, 1];
+//  - (Delta+1)-coloring: colors used vs the Delta+1 palette.
+#include <benchmark/benchmark.h>
+
+#include "apps/reductions.hpp"
+#include "bench_common.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+void BM_VertexCoverQuality(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::graph::random_bipartite(
+      static_cast<dmpc::graph::NodeId>(n / 2),
+      static_cast<dmpc::graph::NodeId>(n - n / 2),
+      static_cast<dmpc::graph::EdgeId>(4 * n),
+      dmpc::bench::workload_seed(14, n));
+  double cover_ratio = 0, matching_ratio = 0;
+  for (auto _ : state) {
+    const auto maximum = dmpc::graph::hopcroft_karp(g);
+    const auto cover = dmpc::apps::vertex_cover_2approx(g);
+    // Koenig: on bipartite graphs min vertex cover == maximum matching.
+    cover_ratio = static_cast<double>(cover.cover_size) /
+                  static_cast<double>(maximum.size);
+    matching_ratio = static_cast<double>(cover.matching_size) /
+                     static_cast<double>(maximum.size);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["cover_over_opt"] = cover_ratio;        // <= 2 guaranteed
+  state.counters["maximal_over_maximum"] = matching_ratio;  // in [0.5, 1]
+}
+
+void BM_ColoringQuality(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const auto g = dmpc::graph::random_regular(
+      512, d, dmpc::bench::workload_seed(14, 100 + d));
+  std::uint32_t used = 0;
+  for (auto _ : state) {
+    used = dmpc::apps::delta_plus_one_coloring(g).colors_used;
+  }
+  state.counters["delta"] = static_cast<double>(g.max_degree());
+  state.counters["palette"] = static_cast<double>(g.max_degree() + 1);
+  state.counters["colors_used"] = static_cast<double>(used);
+}
+
+}  // namespace
+
+BENCHMARK(BM_VertexCoverQuality)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_ColoringQuality)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

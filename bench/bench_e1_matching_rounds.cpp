@@ -1,0 +1,48 @@
+// E1 — Theorem 7: deterministic maximal matching runs in O(log n) MPC
+// rounds with S = O(n^eps).
+//
+// Series: n in {256 .. 8192} on G(n, 8n). Reported per row: measured MPC
+// rounds, outer iterations, and rounds/log2(n) (flat iff the O(log n) shape
+// holds). EXPERIMENTS.md records the paper-vs-measured comparison.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "matching/det_matching.hpp"
+
+namespace {
+
+void BM_DetMatchingRounds(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/1);
+  dmpc::matching::DetMatchingConfig config;
+  std::uint64_t rounds = 0, iterations = 0, peak = 0;
+  for (auto _ : state) {
+    const auto result = dmpc::matching::det_maximal_matching(g, config);
+    rounds = result.metrics.rounds();
+    iterations = result.iterations;
+    peak = result.metrics.peak_machine_load();
+    benchmark::DoNotOptimize(result.matching.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["mpc_rounds"] = static_cast<double>(rounds);
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["rounds_per_log2n"] =
+      static_cast<double>(rounds) / std::log2(static_cast<double>(n));
+  state.counters["peak_load"] = static_cast<double>(peak);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DetMatchingRounds)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

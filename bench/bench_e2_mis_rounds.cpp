@@ -1,0 +1,44 @@
+// E2 — Theorem 14: deterministic MIS runs in O(log n) MPC rounds with
+// S = O(n^eps). Same sweep design as E1.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "mis/det_mis.hpp"
+
+namespace {
+
+void BM_DetMisRounds(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/2);
+  dmpc::mis::DetMisConfig config;
+  std::uint64_t rounds = 0, iterations = 0, peak = 0;
+  for (auto _ : state) {
+    const auto result = dmpc::mis::det_mis(g, config);
+    rounds = result.metrics.rounds();
+    iterations = result.iterations;
+    peak = result.metrics.peak_machine_load();
+    benchmark::DoNotOptimize(result.in_set.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["mpc_rounds"] = static_cast<double>(rounds);
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["rounds_per_log2n"] =
+      static_cast<double>(rounds) / std::log2(static_cast<double>(n));
+  state.counters["peak_load"] = static_cast<double>(peak);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DetMisRounds)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E3 — Lemma 3 / Corollaries 8 & 16: the selected good-node class carries at
+// least a (delta/2)-fraction of all edge endpoints.
+//
+// Rows: four graph families x the two selections (matching-side X/B and
+// MIS-side A/B_i). Reported: b_mass / |E| against the delta/2 bound.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "mpc/cluster.hpp"
+#include "sparsify/good_nodes.hpp"
+
+namespace {
+
+using dmpc::graph::Graph;
+
+Graph family_graph(int family, std::uint64_t scale) {
+  switch (family) {
+    case 0: return dmpc::graph::gnm(scale, 8 * scale, 31);
+    case 1: return dmpc::graph::power_law(scale, 6 * scale, 2.5, 32);
+    case 2:
+      return dmpc::graph::random_bipartite(scale / 2, scale / 2, 6 * scale, 33);
+    default: {
+      const auto side = static_cast<dmpc::graph::NodeId>(
+          std::max<std::uint64_t>(2, static_cast<std::uint64_t>(
+                                         std::sqrt(double(scale)))));
+      return dmpc::graph::grid(side, side);
+    }
+  }
+}
+
+const char* family_name(int family) {
+  switch (family) {
+    case 0: return "gnm";
+    case 1: return "power_law";
+    case 2: return "bipartite";
+    default: return "grid";
+  }
+}
+
+void BM_GoodNodeMass(benchmark::State& state) {
+  const int family = static_cast<int>(state.range(0));
+  const auto g = family_graph(family, 2048);
+  dmpc::sparsify::Params params;
+  params.n = g.num_nodes();
+  params.inv_delta = 8;
+  dmpc::mpc::ClusterConfig cc;
+  cc.machine_space = 1 << 16;
+  cc.num_machines = 1 << 10;
+  double mm_frac = 0, mis_frac = 0;
+  std::uint32_t mm_cls = 0, mis_cls = 0;
+  for (auto _ : state) {
+    dmpc::mpc::Cluster cluster(cc);
+    std::vector<bool> alive(g.num_nodes(), true);
+    const auto mm_good =
+        dmpc::sparsify::select_matching_good_set(cluster, params, g, alive);
+    const auto mis_good =
+        dmpc::sparsify::select_mis_good_set(cluster, params, g, alive);
+    mm_frac = static_cast<double>(mm_good.b_degree_mass) /
+              static_cast<double>(2 * mm_good.alive_edges);
+    mis_frac = static_cast<double>(mis_good.b_degree_mass) /
+               static_cast<double>(2 * mis_good.alive_edges);
+    mm_cls = mm_good.cls;
+    mis_cls = mis_good.cls;
+  }
+  state.SetLabel(family_name(family));
+  state.counters["delta_over_2_bound"] = params.delta() / 2.0;
+  state.counters["matching_B_mass_frac"] = mm_frac;
+  state.counters["mis_B_mass_frac"] = mis_frac;
+  state.counters["matching_class"] = mm_cls;
+  state.counters["mis_class"] = mis_cls;
+}
+
+}  // namespace
+
+BENCHMARK(BM_GoodNodeMass)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Iterations(1);
+
+BENCHMARK_MAIN();

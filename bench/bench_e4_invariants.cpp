@@ -1,0 +1,99 @@
+// E4 — §3.2 / §4.2 sparsification invariants hold after every stage.
+//
+// A dense G(n, m) forces a high degree class (i >= 5) so real stages run.
+// Reported per row: number of stages, final max degree vs the 2 n^{4 delta}
+// cap, and the worst measured invariant ratios across stages:
+//  - degree ratio: max_v d_{E_j}(v) / (n^{-j delta} d_{E_0}(v) + n^{3 delta})
+//    — the paper's Invariant (i) predicts (1 + o(1)).
+//  - xv ratio: min_v |X(v) ∩ E_j| / (n^{-j delta}|X(v)|) — Invariant (ii)
+//    predicts (1 - o(1)).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "mpc/cluster.hpp"
+#include "sparsify/edge_sparsifier.hpp"
+#include "sparsify/good_nodes.hpp"
+#include "sparsify/node_sparsifier.hpp"
+
+namespace {
+
+void BM_EdgeInvariants(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::graph::gnm(static_cast<dmpc::graph::NodeId>(n),
+                                  static_cast<dmpc::graph::EdgeId>(n * n / 16),
+                                  41);
+  dmpc::sparsify::Params params;
+  params.n = g.num_nodes();
+  params.inv_delta = 8;
+  dmpc::mpc::ClusterConfig cc;
+  cc.machine_space = 1 << 16;
+  cc.num_machines = 1 << 10;
+  std::uint64_t stages = 0;
+  double worst_deg_ratio = 0, worst_xv_ratio = 2;
+  std::uint32_t max_degree = 0;
+  for (auto _ : state) {
+    dmpc::mpc::Cluster cluster(cc);
+    std::vector<bool> alive(g.num_nodes(), true);
+    const auto good =
+        dmpc::sparsify::select_matching_good_set(cluster, params, g, alive);
+    const auto sparse = dmpc::sparsify::sparsify_edges(
+        cluster, params, g, good, dmpc::sparsify::SparsifyConfig{});
+    stages = sparse.stages.size();
+    max_degree = sparse.max_degree;
+    for (const auto& r : sparse.stages) {
+      worst_deg_ratio = std::max(worst_deg_ratio, r.invariant_degree_ratio);
+      worst_xv_ratio = std::min(worst_xv_ratio, r.invariant_xv_ratio);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["stages"] = static_cast<double>(stages);
+  state.counters["max_degree_final"] = static_cast<double>(max_degree);
+  state.counters["degree_cap"] = static_cast<double>(params.degree_cap());
+  state.counters["worst_inv_i_ratio"] = worst_deg_ratio;
+  state.counters["worst_inv_ii_ratio"] = worst_xv_ratio;
+}
+
+void BM_NodeInvariants(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::graph::gnm(static_cast<dmpc::graph::NodeId>(n),
+                                  static_cast<dmpc::graph::EdgeId>(n * n / 16),
+                                  42);
+  dmpc::sparsify::Params params;
+  params.n = g.num_nodes();
+  params.inv_delta = 8;
+  dmpc::mpc::ClusterConfig cc;
+  cc.machine_space = 1 << 16;
+  cc.num_machines = 1 << 10;
+  std::uint64_t stages = 0;
+  double worst_deg_ratio = 0, worst_h_ratio = 2;
+  std::uint32_t max_q_degree = 0;
+  for (auto _ : state) {
+    dmpc::mpc::Cluster cluster(cc);
+    std::vector<bool> alive(g.num_nodes(), true);
+    const auto good =
+        dmpc::sparsify::select_mis_good_set(cluster, params, g, alive);
+    const auto sparse = dmpc::sparsify::sparsify_nodes(
+        cluster, params, g, alive, good, dmpc::sparsify::SparsifyConfig{});
+    stages = sparse.stages.size();
+    max_q_degree = sparse.max_q_degree;
+    for (const auto& r : sparse.stages) {
+      worst_deg_ratio = std::max(worst_deg_ratio, r.invariant_degree_ratio);
+      worst_h_ratio = std::min(worst_h_ratio, r.invariant_xv_ratio);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["stages"] = static_cast<double>(stages);
+  state.counters["max_q_degree_final"] = static_cast<double>(max_q_degree);
+  state.counters["degree_cap"] = static_cast<double>(params.degree_cap());
+  state.counters["worst_inv_i_ratio"] = worst_deg_ratio;
+  state.counters["worst_inv_ii_ratio"] = worst_h_ratio;
+}
+
+}  // namespace
+
+BENCHMARK(BM_EdgeInvariants)->Arg(512)->Arg(1024)->Arg(2048)->Iterations(1);
+BENCHMARK(BM_NodeInvariants)->Arg(512)->Arg(1024)->Arg(2048)->Iterations(1);
+
+BENCHMARK_MAIN();

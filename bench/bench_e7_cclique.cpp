@@ -1,0 +1,51 @@
+// E7 — Corollary 2: deterministic MIS in CONGESTED CLIQUE in O(log Delta)
+// rounds, vs the O(log Delta log n) Censor-Hillel-style baseline.
+//
+// Sweep Delta at fixed n; the claim's shape is a ~log n gap between the two
+// series and a log-Delta trend in ours.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cclique/cc_mis.hpp"
+
+namespace {
+
+void BM_CcMisVsBaseline(benchmark::State& state) {
+  const auto degree = static_cast<std::uint32_t>(state.range(0));
+  const std::uint64_t n = 2048;
+  const auto g = dmpc::graph::random_regular(
+      static_cast<dmpc::graph::NodeId>(n), degree,
+      dmpc::bench::workload_seed(7, degree));
+  std::uint64_t ours = 0, baseline = 0, stages = 0;
+  for (auto _ : state) {
+    const auto a = dmpc::cclique::cc_mis(g);
+    const auto b = dmpc::cclique::cc_mis_censor_hillel(g);
+    ours = a.metrics.rounds();
+    baseline = b.metrics.rounds();
+    stages = a.stages;
+  }
+  state.counters["delta"] = static_cast<double>(degree);
+  state.counters["ours_rounds"] = static_cast<double>(ours);
+  state.counters["baseline_rounds"] = static_cast<double>(baseline);
+  state.counters["speedup"] =
+      static_cast<double>(baseline) / static_cast<double>(std::max<std::uint64_t>(ours, 1));
+  state.counters["ours_stages"] = static_cast<double>(stages);
+  state.counters["ours_rounds_per_log2delta"] =
+      static_cast<double>(ours) /
+      std::log2(static_cast<double>(std::max<std::uint32_t>(degree, 2)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_CcMisVsBaseline)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// E8 — space bounds: peak per-machine load stays within S = O(n^eps) and
+// total space within O(m + n^{1+eps}) for eps in {0.3, 0.5, 0.7}.
+//
+// The simulator *enforces* the per-machine bound (a violation throws); this
+// experiment reports the measured peak as a fraction of the budget and how
+// it scales with n, i.e. the claim's "fully scalable" dimension.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "mis/det_mis.hpp"
+
+namespace {
+
+void BM_SpaceScaling(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 10.0;
+  const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/8);
+  dmpc::mis::DetMisConfig config;
+  config.eps = eps;
+  const auto cc =
+      dmpc::mis::cluster_config_for(config, g.num_nodes(), g.num_edges());
+  std::uint64_t peak = 0, comm = 0;
+  for (auto _ : state) {
+    const auto result = dmpc::mis::det_mis(g, config);
+    peak = result.metrics.peak_machine_load();
+    comm = result.metrics.total_communication();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["eps"] = eps;
+  state.counters["S_budget"] = static_cast<double>(cc.machine_space);
+  state.counters["peak_load"] = static_cast<double>(peak);
+  state.counters["peak_over_budget"] =
+      static_cast<double>(peak) / static_cast<double>(cc.machine_space);
+  state.counters["machines"] = static_cast<double>(cc.num_machines);
+  state.counters["total_comm"] = static_cast<double>(comm);
+  // Peak load normalized by n^eps — flat iff the O(n^eps) claim holds.
+  state.counters["peak_over_n_eps"] =
+      static_cast<double>(peak) /
+      std::pow(static_cast<double>(n), eps);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SpaceScaling)
+    ->ArgsProduct({{512, 1024, 2048, 4096}, {3, 5, 7}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

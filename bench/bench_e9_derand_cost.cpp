@@ -1,0 +1,87 @@
+// E9 — §2.4: each derandomization step costs O(1) MPC rounds.
+//
+// Measures the seed-search trial counts inside real pipeline runs: the
+// number of candidate seeds evaluated per sparsification stage and per
+// selection step. The claim's shape: trials are small constants independent
+// of n (each O(1)-round batch evaluates many candidates in parallel).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "matching/det_matching.hpp"
+#include "mis/det_mis.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+void BM_SelectionTrials(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/9);
+  dmpc::RunningStats mm_trials, mis_trials;
+  for (auto _ : state) {
+    const auto mm = dmpc::matching::det_maximal_matching(
+        g, dmpc::matching::DetMatchingConfig{});
+    for (const auto& r : mm.reports) {
+      mm_trials.add(static_cast<double>(r.selection_trials));
+    }
+    const auto mis = dmpc::mis::det_mis(g, dmpc::mis::DetMisConfig{});
+    for (const auto& r : mis.reports) {
+      mis_trials.add(static_cast<double>(r.selection_trials));
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["mm_mean_trials"] = mm_trials.mean();
+  state.counters["mm_max_trials"] = mm_trials.max();
+  state.counters["mis_mean_trials"] = mis_trials.mean();
+  state.counters["mis_max_trials"] = mis_trials.max();
+}
+
+void BM_SparsifyTrials(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  // Dense graph to force stages.
+  const auto g = dmpc::graph::gnm(
+      static_cast<dmpc::graph::NodeId>(n),
+      static_cast<dmpc::graph::EdgeId>(n * n / 16),
+      dmpc::bench::workload_seed(9, n));
+  dmpc::RunningStats trials, windows;
+  for (auto _ : state) {
+    dmpc::mpc::ClusterConfig cc;
+    cc.machine_space = 1 << 16;
+    cc.num_machines = 1 << 10;
+    dmpc::mpc::Cluster cluster(cc);
+    dmpc::sparsify::Params params;
+    params.n = g.num_nodes();
+    params.inv_delta = 8;
+    std::vector<bool> alive(g.num_nodes(), true);
+    const auto good =
+        dmpc::sparsify::select_matching_good_set(cluster, params, g, alive);
+    const auto sparse = dmpc::sparsify::sparsify_edges(
+        cluster, params, g, good, dmpc::sparsify::SparsifyConfig{});
+    for (const auto& r : sparse.stages) {
+      trials.add(static_cast<double>(r.trials));
+      windows.add(r.window_multiplier);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["stage_mean_trials"] =
+      trials.count() ? trials.mean() : 0.0;
+  state.counters["stage_max_trials"] = trials.count() ? trials.max() : 0.0;
+  state.counters["mean_window_multiplier"] =
+      windows.count() ? windows.mean() : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_SelectionTrials)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_SparsifyTrials)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Scenario: conflict-graph scheduling (register-allocation flavored).
+//
+// Virtual registers whose live ranges overlap cannot share a physical
+// register. Repeatedly extracting an MIS of the interference graph peels
+// off one "color class" per round — each class is a set of registers that
+// can share one physical register. Interference graphs are low-degree in
+// practice, so this exercises the §5 O(log Delta + log log n) pipeline.
+//
+//   ./register_allocation [--ranges=5000] [--overlap=6]
+#include <cstdio>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/validate.hpp"
+#include "lowdeg/lowdeg_solver.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+/// Random interval graph with bounded pointwise overlap: each live range is
+/// [start, start + len); two ranges interfere iff they intersect.
+dmpc::graph::Graph interference_graph(std::uint32_t ranges,
+                                      std::uint32_t max_overlap,
+                                      std::uint64_t seed) {
+  dmpc::Rng rng(seed);
+  const std::uint64_t horizon = 16ULL * ranges / max_overlap + 16;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> iv(ranges);
+  for (auto& [s, e] : iv) {
+    s = rng.next_below(horizon);
+    e = s + 1 + rng.next_below(12);
+  }
+  dmpc::graph::GraphBuilder b(ranges);
+  // Sweep-line join: sort by start, connect to active overlapping ranges.
+  std::vector<std::uint32_t> order(ranges);
+  for (std::uint32_t i = 0; i < ranges; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](auto a, auto c) {
+    return iv[a].first < iv[c].first;
+  });
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t idx : order) {
+    std::erase_if(active,
+                  [&](std::uint32_t j) { return iv[j].second <= iv[idx].first; });
+    for (std::uint32_t j : active) b.add_edge(idx, j);
+    active.push_back(idx);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const auto ranges =
+      static_cast<std::uint32_t>(args.get_int("ranges", 5000));
+  const auto overlap =
+      static_cast<std::uint32_t>(args.get_int("overlap", 6));
+
+  auto g = interference_graph(ranges, overlap, 7);
+  std::printf("== register allocation: %u live ranges, %llu conflicts, "
+              "max degree %u ==\n",
+              ranges, static_cast<unsigned long long>(g.num_edges()),
+              g.max_degree());
+
+  // Peel MIS classes until every register is assigned.
+  std::vector<std::uint32_t> reg_of(ranges, UINT32_MAX);
+  std::vector<bool> remaining(ranges, true);
+  std::uint32_t phys = 0;
+  std::uint64_t total_rounds = 0;
+  while (true) {
+    // Build the residual interference graph.
+    dmpc::graph::GraphBuilder b(ranges);
+    bool any = false;
+    for (const auto& e : g.edges()) {
+      if (remaining[e.u] && remaining[e.v]) b.add_edge(e.u, e.v);
+    }
+    for (std::uint32_t v = 0; v < ranges; ++v) any |= remaining[v];
+    if (!any) break;
+    const auto residual = std::move(b).build();
+
+    dmpc::lowdeg::LowDegConfig config;
+    const auto mis = dmpc::lowdeg::lowdeg_mis(residual, config);
+    total_rounds += mis.metrics.rounds();
+    std::uint32_t assigned = 0;
+    for (std::uint32_t v = 0; v < ranges; ++v) {
+      if (remaining[v] && mis.in_set[v]) {
+        reg_of[v] = phys;
+        remaining[v] = false;
+        ++assigned;
+      }
+    }
+    std::printf("physical register r%u <- %u ranges (lowdeg stages=%llu)\n",
+                phys, assigned,
+                static_cast<unsigned long long>(mis.stages));
+    ++phys;
+  }
+
+  // Verify: no interfering pair shares a register.
+  bool ok = true;
+  for (const auto& e : g.edges()) {
+    if (reg_of[e.u] == reg_of[e.v]) ok = false;
+  }
+  std::printf("allocation uses %u physical registers; conflict-free: %s; "
+              "total MPC rounds %llu\n",
+              phys, ok ? "yes" : "NO (bug!)",
+              static_cast<unsigned long long>(total_rounds));
+  return ok ? 0 : 1;
+}

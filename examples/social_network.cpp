@@ -1,0 +1,56 @@
+// Scenario: influence-free seeding on a social network.
+//
+// A power-law "follower" graph models a social network; an MIS is a maximal
+// set of users no two of whom are connected — e.g. a spam-resistant seed set
+// for A/B experiments where adjacent users would contaminate each other.
+// This is the heterogeneous-degree workload that exercises the paper's
+// degree classes C_i: hubs and leaf users land in different classes and the
+// class with the most incident edges drives each iteration.
+//
+//   ./social_network [--n=20000] [--m=80000] [--beta=2.3]
+#include <cstdio>
+
+#include "api/solve.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "mis/det_mis.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const auto n = static_cast<dmpc::graph::NodeId>(args.get_int("n", 20000));
+  const auto m = static_cast<dmpc::graph::EdgeId>(args.get_int("m", 80000));
+  const double beta = args.get_double("beta", 2.3);
+
+  std::printf("== social network seeding: power-law(n=%u, m~%llu, beta=%.1f) ==\n",
+              n, static_cast<unsigned long long>(m), beta);
+  const auto g = dmpc::graph::power_law(n, m, beta, /*seed=*/42);
+  std::printf("graph: %llu edges, max degree %u\n",
+              static_cast<unsigned long long>(g.num_edges()), g.max_degree());
+
+  dmpc::mis::DetMisConfig config;
+  const auto result = dmpc::mis::det_mis(g, config);
+
+  std::size_t seeds = 0;
+  for (bool b : result.in_set) seeds += b;
+  std::printf("seed set: %zu users (maximal independent: %s)\n", seeds,
+              dmpc::graph::is_maximal_independent_set(g, result.in_set)
+                  ? "yes"
+                  : "NO");
+  std::printf("iterations=%llu, MPC rounds=%llu\n",
+              static_cast<unsigned long long>(result.iterations),
+              static_cast<unsigned long long>(result.metrics.rounds()));
+
+  std::printf("\nper-iteration progress (class = degree band chosen by "
+              "Corollary 16):\n");
+  std::printf("%5s %8s %12s %12s %9s\n", "iter", "class", "|E| before",
+              "|E| after", "removed");
+  for (const auto& r : result.reports) {
+    std::printf("%5llu %8u %12llu %12llu %8.1f%%\n",
+                static_cast<unsigned long long>(r.iteration), r.cls,
+                static_cast<unsigned long long>(r.edges_before),
+                static_cast<unsigned long long>(r.edges_after),
+                100.0 * r.progress_fraction);
+  }
+  return 0;
+}

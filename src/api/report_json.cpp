@@ -1,0 +1,73 @@
+#include "api/report_json.hpp"
+
+namespace dmpc {
+
+Json to_json(const mpc::Metrics& metrics) {
+  Json labels = Json::object();
+  for (const auto& [label, rounds] : metrics.rounds_by_label()) {
+    labels.set(label, rounds);
+  }
+  return Json::object()
+      .set("rounds", metrics.rounds())
+      .set("peak_machine_load", metrics.peak_machine_load())
+      .set("total_communication", metrics.total_communication())
+      .set("rounds_by_label", std::move(labels));
+}
+
+Json to_json(const SolveReport& report) {
+  return Json::object()
+      .set("algorithm", report.algorithm_used)
+      .set("iterations", report.iterations)
+      .set("metrics", to_json(report.metrics));
+}
+
+Json to_json(const matching::IterationReport& report) {
+  return Json::object()
+      .set("iteration", report.iteration)
+      .set("class", report.cls)
+      .set("edges_before", report.edges_before)
+      .set("edges_after", report.edges_after)
+      .set("matched_pairs", report.matched_pairs)
+      .set("progress_fraction", report.progress_fraction)
+      .set("selection_trials", report.selection_trials)
+      .set("sparsify_stages", report.sparsify_stages)
+      .set("estar_max_degree", report.estar_max_degree);
+}
+
+Json to_json(const mis::MisIterationReport& report) {
+  return Json::object()
+      .set("iteration", report.iteration)
+      .set("class", report.cls)
+      .set("edges_before", report.edges_before)
+      .set("edges_after", report.edges_after)
+      .set("independent_added", report.independent_added)
+      .set("isolated_added", report.isolated_added)
+      .set("progress_fraction", report.progress_fraction)
+      .set("selection_trials", report.selection_trials)
+      .set("sparsify_stages", report.sparsify_stages)
+      .set("qprime_max_degree", report.qprime_max_degree);
+}
+
+Json to_json(const matching::DetMatchingResult& result) {
+  Json iterations = Json::array();
+  for (const auto& report : result.reports) iterations.push(to_json(report));
+  return Json::object()
+      .set("matching_size", result.matching.size())
+      .set("iterations", result.iterations)
+      .set("metrics", to_json(result.metrics))
+      .set("trace", std::move(iterations));
+}
+
+Json to_json(const mis::DetMisResult& result) {
+  Json iterations = Json::array();
+  for (const auto& report : result.reports) iterations.push(to_json(report));
+  std::uint64_t size = 0;
+  for (bool b : result.in_set) size += b;
+  return Json::object()
+      .set("mis_size", size)
+      .set("iterations", result.iterations)
+      .set("metrics", to_json(result.metrics))
+      .set("trace", std::move(iterations));
+}
+
+}  // namespace dmpc

@@ -1,0 +1,21 @@
+// JSON serialization of run reports, for tooling and experiment pipelines.
+#pragma once
+
+#include "api/solve.hpp"
+#include "matching/det_matching.hpp"
+#include "mis/det_mis.hpp"
+#include "mpc/metrics.hpp"
+#include "support/json.hpp"
+
+namespace dmpc {
+
+Json to_json(const mpc::Metrics& metrics);
+Json to_json(const SolveReport& report);
+Json to_json(const matching::IterationReport& report);
+Json to_json(const mis::MisIterationReport& report);
+
+/// Full run dumps: report + per-iteration traces.
+Json to_json(const matching::DetMatchingResult& result);
+Json to_json(const mis::DetMisResult& result);
+
+}  // namespace dmpc

@@ -1,0 +1,60 @@
+// Public façade: deterministic MIS and maximal matching on the MPC model.
+//
+// This is the API a downstream user consumes. It implements Theorem 1's
+// dispatch: with Delta <= n^{delta} the §5 low-degree pipeline runs in
+// O(log Delta + log log n) rounds; otherwise the §3/§4 sparsification
+// pipeline runs in O(log n) = O(log Delta) rounds. Both are fully
+// deterministic: same graph + same options => identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/metrics.hpp"
+
+namespace dmpc {
+
+enum class Algorithm {
+  kAuto,            ///< Theorem-1 dispatch on Delta vs n^{delta}.
+  kSparsification,  ///< §3/§4 pipeline (any Delta).
+  kLowDegree,       ///< §5 pipeline (requires small Delta).
+};
+
+struct SolveOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+  /// Machine-space exponent: S = Theta(n^eps) words.
+  double eps = 0.5;
+  /// Constant-factor headroom on S (absorbs the paper's O(n^{8 delta})).
+  double space_headroom = 8.0;
+};
+
+struct SolveReport {
+  std::string algorithm_used;     ///< "sparsification" or "lowdeg".
+  std::uint64_t iterations = 0;   ///< Outer iterations / stages.
+  mpc::Metrics metrics;           ///< Rounds, peak load, communication.
+};
+
+struct MisSolution {
+  std::vector<bool> in_set;
+  SolveReport report;
+};
+
+struct MatchingSolution {
+  std::vector<graph::EdgeId> matching;
+  SolveReport report;
+};
+
+/// Deterministic maximal independent set (Theorem 1).
+MisSolution solve_mis(const graph::Graph& g, const SolveOptions& options = {});
+
+/// Deterministic maximal matching (Theorem 1).
+MatchingSolution solve_maximal_matching(const graph::Graph& g,
+                                        const SolveOptions& options = {});
+
+/// The Theorem-1 dispatch predicate: true if the low-degree path applies
+/// (Delta <= n^{delta} with delta = eps/8).
+bool low_degree_regime(const graph::Graph& g, const SolveOptions& options);
+
+}  // namespace dmpc

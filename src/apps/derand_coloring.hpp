@@ -1,0 +1,38 @@
+// Native derandomized (Delta+1)-coloring — the framework applied to a third
+// problem (§6: "our method ... will prove useful for derandomizing many
+// more problems").
+//
+// The randomized template is the classic one-round trial coloring: every
+// uncolored node proposes the color h(v) mod |palette_v| from its remaining
+// palette; a proposal sticks if no uncolored neighbor proposed the same
+// color and no colored neighbor owns it. With pairwise independence a
+// constant fraction of nodes sticks in expectation, so O(log n) rounds
+// finish. Derandomization is exactly the paper's recipe: the per-round seed
+// is committed by the deterministic batched search with the objective
+// "number of nodes that stick" — O(1) MPC rounds per trial round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/metrics.hpp"
+
+namespace dmpc::apps {
+
+struct DerandColoringConfig {
+  std::uint64_t candidates_per_round = 16;  ///< Seeds per committed round.
+  std::uint64_t max_rounds = 100000;
+};
+
+struct DerandColoringResult {
+  std::vector<std::uint32_t> color;  ///< Proper, in [0, Delta+1).
+  std::uint32_t colors_used = 0;
+  std::uint64_t rounds = 0;          ///< Outer trial rounds.
+  mpc::Metrics metrics;
+};
+
+DerandColoringResult derand_coloring(const graph::Graph& g,
+                                     const DerandColoringConfig& config = {});
+
+}  // namespace dmpc::apps

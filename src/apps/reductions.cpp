@@ -1,0 +1,92 @@
+#include "apps/reductions.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/validate.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::apps {
+
+using graph::Graph;
+using graph::NodeId;
+
+VertexCoverResult vertex_cover_2approx(const Graph& g,
+                                       const SolveOptions& options) {
+  VertexCoverResult result;
+  auto matching = solve_maximal_matching(g, options);
+  result.in_cover.assign(g.num_nodes(), false);
+  for (const auto e : matching.matching) {
+    result.in_cover[g.edge(e).u] = true;
+    result.in_cover[g.edge(e).v] = true;
+  }
+  result.matching_size = matching.matching.size();
+  result.cover_size = 2 * result.matching_size;
+  result.report = std::move(matching.report);
+  // Soundness: maximality of the matching means every edge touches a
+  // matched node.
+  for (const auto& e : g.edges()) {
+    DMPC_CHECK_MSG(result.in_cover[e.u] || result.in_cover[e.v],
+                   "vertex cover misses an edge");
+  }
+  return result;
+}
+
+DominatingSetResult dominating_set(const Graph& g,
+                                   const SolveOptions& options) {
+  DominatingSetResult result;
+  auto mis = solve_mis(g, options);
+  result.in_set = std::move(mis.in_set);
+  result.set_size = static_cast<std::uint64_t>(
+      std::count(result.in_set.begin(), result.in_set.end(), true));
+  result.report = std::move(mis.report);
+  return result;
+}
+
+ColoringResult delta_plus_one_coloring(const Graph& g,
+                                       const SolveOptions& options) {
+  ColoringResult result;
+  const std::uint32_t palette = g.max_degree() + 1;
+  result.color.assign(g.num_nodes(), 0);
+  if (g.num_nodes() == 0) return result;
+
+  // Product graph H on n * palette nodes; (v, c) -> v * palette + c.
+  graph::GraphBuilder b(g.num_nodes() * palette);
+  auto id = [palette](NodeId v, std::uint32_t c) { return v * palette + c; };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t c = 0; c < palette; ++c) {
+      for (std::uint32_t c2 = c + 1; c2 < palette; ++c2) {
+        b.add_edge(id(v, c), id(v, c2));
+      }
+    }
+  }
+  for (const auto& e : g.edges()) {
+    for (std::uint32_t c = 0; c < palette; ++c) {
+      b.add_edge(id(e.u, c), id(e.v, c));
+    }
+  }
+  const Graph h = std::move(b).build();
+
+  auto mis = solve_mis(h, options);
+  std::vector<bool> colored(g.num_nodes(), false);
+  std::uint32_t max_color = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t c = 0; c < palette; ++c) {
+      if (mis.in_set[id(v, c)]) {
+        DMPC_CHECK_MSG(!colored[v], "node received two colors");
+        colored[v] = true;
+        result.color[v] = c;
+        max_color = std::max(max_color, c);
+      }
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DMPC_CHECK_MSG(colored[v], "node left uncolored — MIS not maximal?");
+  }
+  DMPC_CHECK(graph::is_proper_coloring(g, result.color));
+  result.colors_used = max_color + 1;
+  result.report = std::move(mis.report);
+  return result;
+}
+
+}  // namespace dmpc::apps

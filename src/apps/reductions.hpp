@@ -1,0 +1,49 @@
+// Classic reductions on top of the deterministic MIS / maximal matching
+// solvers — the downstream problems the paper's introduction motivates
+// (vertex cover, domination, coloring). Everything inherits determinism and
+// the MPC cost model from the underlying Theorem-1 solvers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/solve.hpp"
+#include "graph/graph.hpp"
+
+namespace dmpc::apps {
+
+/// 2-approximate minimum vertex cover: the endpoints of any maximal
+/// matching. |cover| <= 2 OPT since OPT must hit every matching edge.
+struct VertexCoverResult {
+  std::vector<bool> in_cover;
+  std::uint64_t cover_size = 0;
+  std::uint64_t matching_size = 0;  ///< Lower bound on OPT.
+  SolveReport report;
+};
+VertexCoverResult vertex_cover_2approx(const graph::Graph& g,
+                                       const SolveOptions& options = {});
+
+/// Dominating set: every MIS is a dominating set (a non-member that were
+/// undominated could join, contradicting maximality).
+struct DominatingSetResult {
+  std::vector<bool> in_set;
+  std::uint64_t set_size = 0;
+  SolveReport report;
+};
+DominatingSetResult dominating_set(const graph::Graph& g,
+                                   const SolveOptions& options = {});
+
+/// (Delta+1)-coloring via Luby's reduction: build H = G x K_{Delta+1}
+/// (node (v, c); edges (v,c)-(u,c) for {u,v} in E and (v,c)-(v,c') for
+/// c != c') and take an MIS of H. Each node gets at most one color by the
+/// palette clique; maximality forces at least one (a node's <= Delta
+/// neighbors can block at most Delta of the Delta+1 palette entries).
+struct ColoringResult {
+  std::vector<std::uint32_t> color;  ///< In [0, Delta+1).
+  std::uint32_t colors_used = 0;
+  SolveReport report;
+};
+ColoringResult delta_plus_one_coloring(const graph::Graph& g,
+                                       const SolveOptions& options = {});
+
+}  // namespace dmpc::apps

@@ -1,0 +1,33 @@
+#include "baselines/greedy.hpp"
+
+namespace dmpc::baselines {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<bool> greedy_mis(const Graph& g) {
+  std::vector<bool> in_set(g.num_nodes(), false);
+  std::vector<bool> blocked(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (blocked[v]) continue;
+    in_set[v] = true;
+    for (NodeId u : g.neighbors(v)) blocked[u] = true;
+  }
+  return in_set;
+}
+
+std::vector<EdgeId> greedy_matching(const Graph& g) {
+  std::vector<EdgeId> matching;
+  std::vector<bool> used(g.num_nodes(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!used[ed.u] && !used[ed.v]) {
+      matching.push_back(e);
+      used[ed.u] = used[ed.v] = true;
+    }
+  }
+  return matching;
+}
+
+}  // namespace dmpc::baselines

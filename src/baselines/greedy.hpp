@@ -1,0 +1,16 @@
+// Sequential greedy MIS and maximal matching — correctness references.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::baselines {
+
+/// Greedy MIS in node-id order.
+std::vector<bool> greedy_mis(const graph::Graph& g);
+
+/// Greedy maximal matching in edge-id order.
+std::vector<graph::EdgeId> greedy_matching(const graph::Graph& g);
+
+}  // namespace dmpc::baselines

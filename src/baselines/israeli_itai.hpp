@@ -1,0 +1,19 @@
+// Israeli–Itai randomized maximal matching [IPL'86] — the classic two-phase
+// proposal algorithm, included as an independent randomized baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::baselines {
+
+struct IsraeliItaiResult {
+  std::vector<graph::EdgeId> matching;
+  std::uint64_t iterations = 0;
+};
+
+IsraeliItaiResult israeli_itai(const graph::Graph& g, std::uint64_t seed);
+
+}  // namespace dmpc::baselines

@@ -1,0 +1,27 @@
+// The §5.1 randomized algorithm: Luby phases whose priorities are drawn
+// from the small pairwise family H* over a distance-2 coloring, so each
+// phase consumes an O(log Delta)-bit seed instead of O(log n) bits.
+//
+// This is the randomized algorithm the §5 pipeline derandomizes; it serves
+// as the bridge baseline between classic Luby (full randomness) and the
+// deterministic phase compression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::baselines {
+
+struct ColoredLubyResult {
+  std::vector<bool> in_set;
+  std::uint64_t phases = 0;
+  std::uint32_t colors = 0;         ///< Distance-2 palette size used.
+  std::uint64_t seed_bits_per_phase = 0;
+};
+
+/// Randomized MIS with per-phase O(log Delta)-bit seeds (§5.1).
+ColoredLubyResult luby_mis_colored(const graph::Graph& g, std::uint64_t seed);
+
+}  // namespace dmpc::baselines

@@ -1,0 +1,21 @@
+// Luby-style randomized maximal matching: MIS on the line graph, executed
+// directly on G (each edge draws a priority; local-minimum edges join the
+// matching; matched nodes are removed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::baselines {
+
+struct LubyMatchingResult {
+  std::vector<graph::EdgeId> matching;
+  std::uint64_t iterations = 0;
+  std::vector<graph::EdgeId> edges_after;
+};
+
+LubyMatchingResult luby_matching(const graph::Graph& g, std::uint64_t seed);
+
+}  // namespace dmpc::baselines

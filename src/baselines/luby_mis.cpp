@@ -1,0 +1,91 @@
+#include "baselines/luby_mis.hpp"
+
+#include <functional>
+
+#include "hash/kwise.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dmpc::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// One Luby round given per-node priorities: local minima join, winners and
+/// their neighbors die. Returns whether anything changed.
+bool luby_round(const Graph& g, std::vector<bool>& alive,
+                std::vector<bool>& in_set,
+                const std::vector<std::uint64_t>& priority) {
+  std::vector<bool> joins(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!alive[v]) continue;
+    bool is_min = true;
+    for (NodeId u : g.neighbors(v)) {
+      if (!alive[u]) continue;
+      // Ties broken by id so the round is well-defined for any priorities.
+      if (priority[u] < priority[v] ||
+          (priority[u] == priority[v] && u < v)) {
+        is_min = false;
+        break;
+      }
+    }
+    if (is_min) joins[v] = true;
+  }
+  bool changed = false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!joins[v]) continue;
+    changed = true;
+    in_set[v] = true;
+    alive[v] = false;
+    for (NodeId u : g.neighbors(v)) alive[u] = false;
+  }
+  return changed;
+}
+
+LubyMisResult run(const Graph& g,
+                  const std::function<void(std::vector<std::uint64_t>&)>&
+                      draw_priorities) {
+  LubyMisResult result;
+  result.in_set.assign(g.num_nodes(), false);
+  std::vector<bool> alive(g.num_nodes(), true);
+  std::vector<std::uint64_t> priority(g.num_nodes());
+  while (graph::alive_edge_count(g, alive) > 0) {
+    draw_priorities(priority);
+    const bool changed = luby_round(g, alive, result.in_set, priority);
+    DMPC_CHECK_MSG(changed, "Luby round made no progress");
+    ++result.iterations;
+    result.edges_after.push_back(graph::alive_edge_count(g, alive));
+  }
+  // Isolated survivors join the set.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alive[v]) result.in_set[v] = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+LubyMisResult luby_mis(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  return run(g, [&rng](std::vector<std::uint64_t>& priority) {
+    for (auto& p : priority) p = rng.next_u64();
+  });
+}
+
+LubyMisResult luby_mis_pairwise(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t domain =
+      std::max<std::uint64_t>(2, g.num_nodes());
+  // Domain/range n^3 per the paper's convention (§2.3), capped for safety.
+  const std::uint64_t cube =
+      domain < (1u << 21) ? domain * domain * domain : domain;
+  hash::KWiseFamily family(cube, cube, /*k=*/2);
+  return run(g, [&](std::vector<std::uint64_t>& priority) {
+    const auto fn = family.at(rng.next_u64() % family.seed_count());
+    for (NodeId v = 0; v < priority.size(); ++v) priority[v] = fn.raw(v);
+  });
+}
+
+}  // namespace dmpc::baselines

@@ -1,0 +1,31 @@
+// Luby's randomized MIS (paper §2.1, Algorithm 1).
+//
+// Each round every alive node draws a random priority; a node joins the
+// independent set iff its priority beats all alive neighbors; the set and
+// its neighborhood are removed. O(log n) rounds w.h.p. This is the
+// algorithm our deterministic pipeline derandomizes, and the E10 baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::baselines {
+
+struct LubyMisResult {
+  std::vector<bool> in_set;
+  std::uint64_t iterations = 0;
+  /// |E| remaining after each iteration (progress trace for E10).
+  std::vector<graph::EdgeId> edges_after;
+};
+
+/// Full-independence variant: fresh 64-bit priorities each round.
+LubyMisResult luby_mis(const graph::Graph& g, std::uint64_t seed);
+
+/// Pairwise-independence variant: priorities come from a pairwise family,
+/// one fresh seed per round — the version Luby showed suffices (and the
+/// randomness budget our derandomization assumes).
+LubyMisResult luby_mis_pairwise(const graph::Graph& g, std::uint64_t seed);
+
+}  // namespace dmpc::baselines

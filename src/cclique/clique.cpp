@@ -1,0 +1,3 @@
+#include "cclique/clique.hpp"
+
+// Header-only model; this translation unit anchors the module.

@@ -1,0 +1,66 @@
+#include "derand/cond_expect.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dmpc::derand {
+
+FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
+                   const hash::SeedSpace& space, const FixOptions& options) {
+  std::vector<std::uint64_t> prefix;
+  prefix.reserve(space.chunk_count());
+  FixResult result;
+  for (unsigned chunk = 0; chunk < space.chunk_count(); ++chunk) {
+    const std::uint64_t radix = space.radix(chunk);
+    // One chunk: every machine evaluates its conditional term for all
+    // candidates; candidates aggregate in tree passes of width <= S (the
+    // paper chunks the seed so radix = Theta(S); when a chunk's radix
+    // exceeds S, the candidate table is swept in ceil(radix/S) waves), then
+    // the winner is broadcast.
+    const std::uint64_t waves =
+        std::max<std::uint64_t>(1, (radix + cluster.space() - 1) / cluster.space());
+    const std::uint64_t depth =
+        cluster.tree_depth(std::max<std::uint64_t>(objective.term_count(), 2));
+    cluster.metrics().charge_rounds(waves * 2 * depth + 1, options.label);
+    cluster.metrics().add_communication(radix * cluster.machines());
+    cluster.check_load(std::min(radix, cluster.space()),
+                       options.label + ": candidate table");
+
+    double best_value = 0.0;
+    std::uint64_t best_digit = 0;
+    bool have = false;
+    for (std::uint64_t digit = 0; digit < radix; ++digit) {
+      const double value = objective.conditional_expectation(prefix, digit);
+      if (!have || value > best_value) {
+        have = true;
+        best_value = value;
+        best_digit = digit;
+      }
+    }
+    prefix.push_back(best_digit);
+    ++result.chunks;
+  }
+  result.seed = space.compose(prefix);
+  result.value = objective.evaluate(result.seed);
+  DMPC_CHECK_MSG(
+      result.value >= options.guarantee,
+      options.label << ": committed seed achieves " << result.value
+                    << " < guarantee " << options.guarantee
+                    << " — conditional oracle inconsistent with objective");
+  return result;
+}
+
+double ExhaustiveConditional::conditional_expectation(
+    const std::vector<std::uint64_t>& prefix, std::uint64_t candidate) const {
+  const auto fixed = static_cast<unsigned>(prefix.size());
+  DMPC_CHECK(fixed < space_->chunk_count());
+  const std::uint64_t suffixes = space_->suffix_size(fixed + 1);
+  double total = 0.0;
+  for (std::uint64_t s = 0; s < suffixes; ++s) {
+    total += base_->evaluate(space_->assemble(prefix, candidate, s));
+  }
+  return total / static_cast<double>(suffixes);
+}
+
+}  // namespace dmpc::derand

@@ -1,0 +1,40 @@
+// Objective functions for derandomization.
+//
+// Every derandomized step in the paper proves E_h[q(h)] >= Q for an
+// objective q that decomposes into machine-local terms (§2.4: "a sum of
+// functions calculable by individual machines"). The engines in this module
+// find a concrete seed h* with q(h*) meeting a target, charging MPC rounds
+// per the paper's cost model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmpc::derand {
+
+/// A derandomization objective over a seed-indexed family.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Exact value q(h_seed). In the model this is a sum over machine-local
+  /// terms followed by one aggregation; implementations must be pure.
+  virtual double evaluate(std::uint64_t seed) const = 0;
+
+  /// Number of machine-local terms (aggregation size for round charging).
+  virtual std::uint64_t term_count() const = 0;
+};
+
+/// An objective that can additionally report conditional expectations given
+/// a fixed prefix of seed chunks — what the method of conditional
+/// expectations consumes.
+class ConditionalObjective : public Objective {
+ public:
+  /// E[q(h) | first prefix.size() chunks fixed to `prefix`, next chunk fixed
+  /// to `candidate`], expectation over the remaining chunks uniform.
+  virtual double conditional_expectation(
+      const std::vector<std::uint64_t>& prefix,
+      std::uint64_t candidate) const = 0;
+};
+
+}  // namespace dmpc::derand

@@ -1,0 +1,90 @@
+#include "derand/seed_search.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dmpc::derand {
+
+namespace {
+/// Charge one evaluation batch of `k` candidates over `terms` local terms:
+/// local evaluation is free; aggregating k partial sums up a fan-in-S tree
+/// and broadcasting the verdict back is 2 * tree_depth rounds.
+void charge_batch(mpc::Cluster& cluster, std::uint64_t terms, std::uint64_t k,
+                  const std::string& label) {
+  const std::uint64_t depth =
+      cluster.tree_depth(std::max<std::uint64_t>(terms, 2));
+  cluster.metrics().charge_rounds(2 * depth, label);
+  cluster.metrics().add_communication(k * cluster.machines());
+}
+}  // namespace
+
+SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
+                       std::uint64_t seed_count, const SearchOptions& options) {
+  DMPC_CHECK(seed_count >= 1);
+  const std::uint64_t k = std::max<std::uint64_t>(
+      1, std::min(options.candidates_per_batch, cluster.space()));
+  SearchResult result;
+  std::uint64_t next = 0;
+  const std::uint64_t limit = std::min(seed_count, options.max_trials);
+  const std::uint64_t stride = options.seed_stride % seed_count == 0
+                                   ? 1
+                                   : options.seed_stride % seed_count;
+  auto seed_at = [&](std::uint64_t t) {
+    const __uint128_t pos = static_cast<__uint128_t>(t) * stride +
+                            options.seed_base % seed_count;
+    return static_cast<std::uint64_t>(pos % seed_count);
+  };
+  while (next < limit) {
+    const std::uint64_t batch_end = std::min(limit, next + k);
+    charge_batch(cluster, objective.term_count(), batch_end - next,
+                 options.label);
+    ++result.batches;
+    for (std::uint64_t t = next; t < batch_end; ++t) {
+      ++result.trials;
+      const std::uint64_t seed = seed_at(t);
+      const double value = objective.evaluate(seed);
+      if (value >= options.threshold) {
+        result.seed = seed;
+        result.value = value;
+        return result;
+      }
+    }
+    next = batch_end;
+  }
+  DMPC_CHECK_MSG(false, options.label
+                            << ": no seed met threshold " << options.threshold
+                            << " within " << limit
+                            << " candidates — guarantee violated");
+  return result;  // unreachable
+}
+
+SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
+                            std::uint64_t seed_count, std::uint64_t budget,
+                            const std::string& label) {
+  DMPC_CHECK(seed_count >= 1 && budget >= 1);
+  const std::uint64_t limit = std::min(seed_count, budget);
+  const std::uint64_t k =
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(limit, cluster.space()));
+  SearchResult result;
+  bool have = false;
+  std::uint64_t next = 0;
+  while (next < limit) {
+    const std::uint64_t batch_end = std::min(limit, next + k);
+    charge_batch(cluster, objective.term_count(), batch_end - next, label);
+    ++result.batches;
+    for (std::uint64_t seed = next; seed < batch_end; ++seed) {
+      ++result.trials;
+      const double value = objective.evaluate(seed);
+      if (!have || value > result.value) {
+        have = true;
+        result.seed = seed;
+        result.value = value;
+      }
+    }
+    next = batch_end;
+  }
+  return result;
+}
+
+}  // namespace dmpc::derand

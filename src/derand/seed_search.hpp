@@ -1,0 +1,71 @@
+// Guaranteed deterministic seed search.
+//
+// The proofs establish E_h[q(h)] >= Q over the hash family H. By the
+// probabilistic method some h* in H has q(h*) >= Q; moreover, whenever q is
+// bounded above by q_max, reverse Markov gives
+//
+//     Pr_h[q(h) >= t] >= (Q - t) / (q_max - t)   for any t < Q,
+//
+// i.e. a *constant fraction* of seeds meets a constant-factor-weaker
+// threshold. The search enumerates seeds in the family's fixed deterministic
+// order, evaluating K candidates per batch — one batch is O(1) MPC rounds,
+// since each machine evaluates its local term for all K candidates and a
+// single fan-in-S tree aggregates the K sums (K <= S) — and commits to the
+// first candidate reaching the threshold. Termination before the family is
+// exhausted is unconditional when threshold <= Q.
+//
+// This engine is the production path; the textbook prefix-fixing engine
+// (cond_expect.hpp) is the faithful §2.4 implementation used where the
+// conditional expectations are exactly computable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "derand/objective.hpp"
+#include "mpc/cluster.hpp"
+
+namespace dmpc::derand {
+
+struct SearchOptions {
+  /// Commit to the first seed with objective >= threshold.
+  double threshold = 0.0;
+  /// Candidates evaluated per O(1)-round batch (must be <= S; clamped).
+  std::uint64_t candidates_per_batch = 64;
+  /// Hard cap on evaluated seeds; CheckFailure beyond it (a true guarantee
+  /// violation — the family provably contains a good seed).
+  std::uint64_t max_trials = 1 << 20;
+  /// Round-charge label.
+  std::string label = "seed_search";
+  /// Trial t evaluates seed (base + t * stride) mod seed_count. Plain
+  /// counting order (base 0, stride 1) walks polynomials in increasing
+  /// coefficient order, so consecutive derandomization steps that each
+  /// commit "the first good seed" pick highly correlated functions (e.g.
+  /// h(x) = a*x for small a, which all favour small inputs). Callers that
+  /// run many steps (the sparsifier stages) pass a step-dependent base and
+  /// a large odd stride to decorrelate; with stride coprime to the family
+  /// size the enumeration is still a bijection, preserving the exhaustive
+  /// coverage guarantee.
+  std::uint64_t seed_base = 0;
+  std::uint64_t seed_stride = 1;
+};
+
+struct SearchResult {
+  std::uint64_t seed = 0;
+  double value = 0.0;
+  std::uint64_t trials = 0;   ///< Seeds evaluated (including the committed one).
+  std::uint64_t batches = 0;  ///< O(1)-round batches used.
+};
+
+/// Find the first seed (in enumeration order) meeting the threshold.
+SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
+                       std::uint64_t seed_count, const SearchOptions& options);
+
+/// Evaluate the first `budget` seeds and return the best — used when a
+/// threshold is not known a priori (e.g. §5 phase compression picks the
+/// sequence minimizing the residual edge count).
+SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
+                            std::uint64_t seed_count, std::uint64_t budget,
+                            const std::string& label = "seed_search");
+
+}  // namespace dmpc::derand

@@ -1,0 +1,31 @@
+#include "field/modulus.hpp"
+
+namespace dmpc::field {
+
+std::uint64_t Modulus::pow(std::uint64_t base, std::uint64_t exp) const {
+  std::uint64_t result = 1 % p_;
+  base %= p_;
+  while (exp > 0) {
+    if (exp & 1) result = mul(result, base);
+    base = mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t Modulus::inv(std::uint64_t a) const {
+  DMPC_CHECK_MSG(a % p_ != 0, "zero has no inverse");
+  // Fermat: a^(p-2) mod p, valid because all moduli we construct are prime.
+  return pow(a, p_ - 2);
+}
+
+std::uint64_t Modulus::poly_eval(const std::vector<std::uint64_t>& coeffs,
+                                 std::uint64_t x) const {
+  std::uint64_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = add(mul(acc, x), *it % p_);
+  }
+  return acc;
+}
+
+}  // namespace dmpc::field

@@ -1,0 +1,69 @@
+// Arithmetic modulo a (prime) 64-bit modulus.
+//
+// The k-wise independent hash families (src/hash, paper §2.3 / Lemma 6) are
+// degree-(k-1) polynomials over Z_p for a prime p at least as large as the
+// hash domain. All products go through 128-bit intermediates; the Mersenne
+// prime 2^61-1 gets a branch-light reduction fast path since it is the
+// default modulus for the large families H : [n^3] -> [n^3].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmpc::field {
+
+/// The Mersenne prime 2^61 - 1, the default modulus for large hash families.
+inline constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Immutable modulus; all operations are total on inputs already reduced
+/// into [0, p).
+class Modulus {
+ public:
+  explicit Modulus(std::uint64_t p) : p_(p) {
+    DMPC_CHECK_MSG(p >= 2, "modulus must be >= 2");
+    DMPC_CHECK_MSG(p < (1ULL << 62), "modulus must fit 62 bits");
+  }
+
+  std::uint64_t value() const { return p_; }
+
+  std::uint64_t reduce(std::uint64_t x) const { return x % p_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const {
+    std::uint64_t s = a + b;
+    if (s >= p_) s -= p_;
+    return s;
+  }
+
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + p_ - b;
+  }
+
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const {
+    const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+    if (p_ == kMersenne61) {
+      // x mod (2^61-1): fold high bits onto low bits twice.
+      std::uint64_t lo = static_cast<std::uint64_t>(prod) & kMersenne61;
+      std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+      std::uint64_t s = lo + hi;
+      if (s >= kMersenne61) s -= kMersenne61;
+      return s;
+    }
+    return static_cast<std::uint64_t>(prod % p_);
+  }
+
+  std::uint64_t pow(std::uint64_t base, std::uint64_t exp) const;
+
+  /// Multiplicative inverse (p must be prime; a != 0).
+  std::uint64_t inv(std::uint64_t a) const;
+
+  /// Horner evaluation of sum_i coeffs[i] * x^i (coeffs[0] is the constant).
+  std::uint64_t poly_eval(const std::vector<std::uint64_t>& coeffs,
+                          std::uint64_t x) const;
+
+ private:
+  std::uint64_t p_;
+};
+
+}  // namespace dmpc::field

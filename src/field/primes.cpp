@@ -1,0 +1,67 @@
+#include "field/primes.hpp"
+
+#include "field/modulus.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::field {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<__uint128_t>(a) * b % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool miller_rabin(std::uint64_t n, std::uint64_t a) {
+  if (a % n == 0) return true;
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin(n, a)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_at_least(std::uint64_t n) {
+  if (n <= 2) return 2;
+  std::uint64_t candidate = n | 1;  // first odd >= n
+  while (!is_prime(candidate)) {
+    DMPC_CHECK_MSG(candidate < (1ULL << 62) - 2, "prime search out of range");
+    candidate += 2;
+  }
+  return candidate;
+}
+
+}  // namespace dmpc::field

@@ -1,0 +1,17 @@
+// Deterministic 64-bit primality testing and prime search.
+//
+// Hash families need a prime modulus at least as large as their domain;
+// next_prime_at_least supplies it. Miller–Rabin with the fixed witness set
+// {2,3,5,7,11,13,17,19,23,29,31,37} is deterministic for all 64-bit inputs.
+#pragma once
+
+#include <cstdint>
+
+namespace dmpc::field {
+
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n <= 2^62 so the result fits a Modulus).
+std::uint64_t next_prime_at_least(std::uint64_t n);
+
+}  // namespace dmpc::field

@@ -1,0 +1,142 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace dmpc::graph {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.component.assign(g.num_nodes(), kNoNode);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (out.component[start] != kNoNode) continue;
+    const NodeId id = out.count++;
+    out.component[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId u : g.neighbors(v)) {
+        if (out.component[u] == kNoNode) {
+          out.component[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || connected_components(g).count == 1;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  DMPC_CHECK(source < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), UINT32_MAX);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] == UINT32_MAX) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool bipartition(const Graph& g, std::vector<std::uint8_t>* side) {
+  std::vector<std::uint8_t> color(g.num_nodes(), 2);  // 2 = unassigned
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (color[start] != 2) continue;
+    color[start] = 0;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId u : g.neighbors(v)) {
+        if (color[u] == 2) {
+          color[u] = static_cast<std::uint8_t>(1 - color[v]);
+          frontier.push(u);
+        } else if (color[u] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  if (side != nullptr) *side = std::move(color);
+  return true;
+}
+
+MaximumMatching hopcroft_karp(const Graph& g) {
+  std::vector<std::uint8_t> side;
+  DMPC_CHECK_MSG(bipartition(g, &side), "hopcroft_karp requires bipartite");
+
+  MaximumMatching result;
+  result.partner.assign(g.num_nodes(), kNoNode);
+  constexpr std::uint32_t kInf = UINT32_MAX;
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInf);
+
+  // Left side = side 0. BFS layers from free left nodes.
+  auto bfs = [&]() {
+    std::queue<NodeId> frontier;
+    bool found_augmenting = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (side[v] == 0 && result.partner[v] == kNoNode) {
+        dist[v] = 0;
+        frontier.push(v);
+      } else {
+        dist[v] = kInf;
+      }
+    }
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId u : g.neighbors(v)) {
+        // u is on the right; move to its partner (or report augmenting).
+        const NodeId w = result.partner[u];
+        if (w == kNoNode) {
+          found_augmenting = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[v] + 1;
+          frontier.push(w);
+        }
+      }
+    }
+    return found_augmenting;
+  };
+
+  std::function<bool(NodeId)> dfs = [&](NodeId v) {
+    for (NodeId u : g.neighbors(v)) {
+      const NodeId w = result.partner[u];
+      if (w == kNoNode || (dist[w] == dist[v] + 1 && dfs(w))) {
+        result.partner[v] = u;
+        result.partner[u] = v;
+        return true;
+      }
+    }
+    dist[v] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (side[v] == 0 && result.partner[v] == kNoNode && dfs(v)) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dmpc::graph

@@ -1,0 +1,40 @@
+// General-purpose graph algorithms used by tools, examples, and tests:
+// connectivity, BFS distances, and maximum bipartite matching
+// (Hopcroft–Karp) — the latter is the quality reference for the maximal
+// matching solvers (any maximal matching is a 1/2-approximation of
+// maximum, a property the tests verify).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::graph {
+
+/// Connected components: per-node component id in [0, count).
+struct Components {
+  std::vector<NodeId> component;
+  NodeId count = 0;
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// BFS distances from `source`; unreachable nodes get UINT32_MAX.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Bipartition check: 2-coloring by BFS. Returns true and fills `side`
+/// (0/1) if bipartite.
+bool bipartition(const Graph& g, std::vector<std::uint8_t>* side);
+
+/// Maximum matching of a bipartite graph via Hopcroft–Karp. Throws if the
+/// graph is not bipartite. Returns the matched partner of each node
+/// (kNoNode if unmatched).
+struct MaximumMatching {
+  std::vector<NodeId> partner;
+  std::uint64_t size = 0;
+};
+MaximumMatching hopcroft_karp(const Graph& g);
+
+}  // namespace dmpc::graph

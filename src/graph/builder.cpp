@@ -1,0 +1,23 @@
+#include "graph/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace dmpc::graph {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DMPC_CHECK_MSG(u < n_ && v < n_, "endpoint out of range");
+  DMPC_CHECK_MSG(u != v, "self-loop");
+  edges_.push_back({u, v});
+}
+
+bool GraphBuilder::try_add_edge(NodeId u, NodeId v) {
+  if (u >= n_ || v >= n_ || u == v) return false;
+  edges_.push_back({u, v});
+  return true;
+}
+
+Graph GraphBuilder::build() && {
+  return Graph::from_edges(n_, std::move(edges_));
+}
+
+}  // namespace dmpc::graph

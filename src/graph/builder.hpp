@@ -1,0 +1,31 @@
+// Incremental edge-list builder with deduplication.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n) : n_(n) {}
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Adds {u, v}; self-loops are rejected, duplicates collapse at build().
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds the edge only if both endpoints are valid and distinct; returns
+  /// whether it was added. Convenience for randomized generators.
+  bool try_add_edge(NodeId u, NodeId v);
+
+  Graph build() &&;
+
+ private:
+  NodeId n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dmpc::graph

@@ -1,0 +1,60 @@
+// Workload generators.
+//
+// The paper has no datasets; its claims are quantified over all graphs, so
+// the experiment suite sweeps structured and random families that stress the
+// different regimes: dense random (forces the i >= 5 sparsification path),
+// power-law (heterogeneous degree classes C_i), bounded-degree (the §5
+// low-degree path), bipartite/grid/tree (structured adversaries).
+//
+// All generators are deterministic functions of their explicit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::graph {
+
+/// Erdos–Renyi G(n, m): m distinct uniform edges.
+Graph gnm(NodeId n, EdgeId m, std::uint64_t seed);
+
+/// G(n, p) via geometric skipping.
+Graph gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Chung–Lu power-law: expected degree of node v proportional to
+/// (v+1)^{-1/(beta-1)}, scaled so the expected edge count is ~m_target.
+Graph power_law(NodeId n, EdgeId m_target, double beta, std::uint64_t seed);
+
+/// Random graph with (near-)uniform degree d: the permutation-matching
+/// pairing model, with collisions/self-loops dropped (degree <= d, and
+/// >= d - o(d) in expectation).
+Graph random_regular(NodeId n, std::uint32_t d, std::uint64_t seed);
+
+Graph complete(NodeId n);
+Graph complete_bipartite(NodeId left, NodeId right);
+
+/// Random bipartite with m distinct edges between [0,left) and [left,left+right).
+Graph random_bipartite(NodeId left, NodeId right, EdgeId m, std::uint64_t seed);
+
+Graph cycle(NodeId n);
+Graph path(NodeId n);
+
+/// rows x cols 2-D grid.
+Graph grid(NodeId rows, NodeId cols);
+
+/// Uniform random labelled tree (random attachment to an earlier node).
+Graph random_tree(NodeId n, std::uint64_t seed);
+
+Graph star(NodeId leaves);
+
+/// Disjoint union, with the second graph's ids shifted.
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// "Hard" instance for sparsification: a core of `core` high-degree nodes,
+/// each connected to a distinct block of `core_degree` low-degree leaves,
+/// plus a sparse random background. Produces a wide spread of degree
+/// classes C_i.
+Graph lopsided(NodeId core, std::uint32_t core_degree, NodeId background,
+               EdgeId background_edges, std::uint64_t seed);
+
+}  // namespace dmpc::graph

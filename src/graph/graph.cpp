@@ -1,0 +1,111 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dmpc::graph {
+
+Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
+  for (auto& e : edges) {
+    DMPC_CHECK_MSG(e.u != e.v, "self-loops are not supported");
+    DMPC_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.n_ = n;
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  const std::size_t deg_sum = g.offsets_[n];
+  g.adjacency_.resize(deg_sum);
+  g.incident_.resize(deg_sum);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adjacency_[cursor[e.u]] = e.v;
+    g.incident_[cursor[e.u]++] = id;
+    g.adjacency_[cursor[e.v]] = e.u;
+    g.incident_[cursor[e.v]++] = id;
+  }
+  // Canonical edge order already sorts each adjacency row ascending:
+  // edges are sorted by (u, v), so row u receives v's in increasing order,
+  // and row v receives u's in increasing order of u. Verify cheaply once.
+  for (NodeId v = 0; v < n; ++v) {
+    auto nb = g.neighbors(v);
+    DMPC_CHECK(std::is_sorted(nb.begin(), nb.end()));
+    g.max_degree_ = std::max(g.max_degree_, static_cast<std::uint32_t>(nb.size()));
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return find_edge(u, v) != kNoEdge;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_ || u == v) return kNoEdge;
+  auto nb = neighbors(u);
+  auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return kNoEdge;
+  return incident_edges(u)[static_cast<std::size_t>(it - nb.begin())];
+}
+
+NodeId Graph::other_endpoint(EdgeId e, NodeId v) const {
+  const Edge& ed = edges_[e];
+  DMPC_CHECK(ed.u == v || ed.v == v);
+  return ed.u == v ? ed.v : ed.u;
+}
+
+std::vector<std::uint32_t> masked_degrees(const Graph& g,
+                                          const std::vector<bool>& edge_mask) {
+  DMPC_CHECK(edge_mask.size() == g.num_edges());
+  std::vector<std::uint32_t> deg(g.num_nodes(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_mask[e]) continue;
+    ++deg[g.edge(e).u];
+    ++deg[g.edge(e).v];
+  }
+  return deg;
+}
+
+std::vector<std::uint32_t> alive_degrees(const Graph& g,
+                                         const std::vector<bool>& alive) {
+  DMPC_CHECK(alive.size() == g.num_nodes());
+  std::vector<std::uint32_t> deg(g.num_nodes(), 0);
+  for (const Edge& e : g.edges()) {
+    if (alive[e.u] && alive[e.v]) {
+      ++deg[e.u];
+      ++deg[e.v];
+    }
+  }
+  return deg;
+}
+
+EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive) {
+  DMPC_CHECK(alive.size() == g.num_nodes());
+  EdgeId count = 0;
+  for (const Edge& e : g.edges()) {
+    if (alive[e.u] && alive[e.v]) ++count;
+  }
+  return count;
+}
+
+std::uint32_t alive_max_degree(const Graph& g, const std::vector<bool>& alive) {
+  auto deg = alive_degrees(g, alive);
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alive[v]) best = std::max(best, deg[v]);
+  }
+  return best;
+}
+
+}  // namespace dmpc::graph

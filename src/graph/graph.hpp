@@ -1,0 +1,98 @@
+// Immutable undirected graph in CSR form.
+//
+// Nodes are 0..n-1. Edges are stored once in canonical (u < v) order and
+// assigned stable EdgeIds; the adjacency arrays additionally carry, for each
+// (node, neighbor) slot, the EdgeId of the connecting edge, so algorithms
+// that work on edges (matching, line-graph simulation) can translate between
+// the two views in O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dmpc::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+/// Sentinel for "no edge".
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list. Self-loops are rejected; duplicate edges are
+  /// collapsed. Node ids must be < n.
+  static Graph from_edges(NodeId n, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// EdgeIds incident to v, aligned with neighbors(v).
+  std::span<const EdgeId> incident_edges(NodeId v) const {
+    return {incident_.data() + offsets_[v], incident_.data() + offsets_[v + 1]};
+  }
+
+  /// The canonical (u < v) endpoints of an edge.
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// All canonical edges, indexed by EdgeId.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Binary search in the sorted adjacency of u.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// EdgeId of {u, v}, or kNoEdge.
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// The endpoint of e that is not v (v must be an endpoint).
+  NodeId other_endpoint(EdgeId e, NodeId v) const;
+
+ private:
+  NodeId n_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::uint64_t> offsets_;  // n+1
+  std::vector<NodeId> adjacency_;       // 2m
+  std::vector<EdgeId> incident_;        // 2m
+  std::vector<Edge> edges_;             // m, canonical order
+};
+
+/// Degree of every node restricted to edges whose mask bit is set.
+std::vector<std::uint32_t> masked_degrees(const Graph& g,
+                                          const std::vector<bool>& edge_mask);
+
+/// Degree of every node restricted to alive nodes (an edge counts iff both
+/// endpoints are alive).
+std::vector<std::uint32_t> alive_degrees(const Graph& g,
+                                         const std::vector<bool>& alive);
+
+/// Number of edges with both endpoints alive.
+EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive);
+
+/// Maximum alive degree.
+std::uint32_t alive_max_degree(const Graph& g, const std::vector<bool>& alive);
+
+}  // namespace dmpc::graph

@@ -1,0 +1,77 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace dmpc::graph {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats stats;
+  stats.nodes = g.num_nodes();
+  stats.edges = g.num_edges();
+  if (g.num_nodes() == 0) return stats;
+
+  stats.min_degree = UINT32_MAX;
+  std::uint64_t degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.degree(v);
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    degree_sum += d;
+    if (d == 0) ++stats.isolated_nodes;
+  }
+  stats.mean_degree =
+      static_cast<double>(degree_sum) / static_cast<double>(g.num_nodes());
+  if (g.num_nodes() > 1) {
+    stats.density = static_cast<double>(2 * g.num_edges()) /
+                    (static_cast<double>(g.num_nodes()) *
+                     static_cast<double>(g.num_nodes() - 1));
+  }
+  stats.components = connected_components(g).count;
+
+  // Triangles: for each edge (u, v) with u < v, intersect sorted
+  // neighborhoods, counting only w > v to count each triangle once.
+  std::uint64_t wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  for (const Edge& e : g.edges()) {
+    auto a = g.neighbors(e.u);
+    auto b = g.neighbors(e.v);
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+      if (*ia < *ib) {
+        ++ia;
+      } else if (*ib < *ia) {
+        ++ib;
+      } else {
+        if (*ia > e.v) ++stats.triangles;
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  stats.clustering =
+      wedges == 0 ? 0.0
+                  : 3.0 * static_cast<double>(stats.triangles) /
+                        static_cast<double>(wedges);
+  return stats;
+}
+
+std::vector<std::uint64_t> degree_histogram_log2(const Graph& g) {
+  std::vector<std::uint64_t> counts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.degree(v);
+    const std::size_t bucket =
+        d <= 1 ? 0 : static_cast<std::size_t>(floor_log2(d));
+    if (bucket >= counts.size()) counts.resize(bucket + 1, 0);
+    ++counts[bucket];
+  }
+  return counts;
+}
+
+}  // namespace dmpc::graph

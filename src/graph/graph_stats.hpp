@@ -1,0 +1,31 @@
+// Descriptive graph statistics for tools and experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::graph {
+
+struct GraphStats {
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  double density = 0.0;            ///< 2m / (n(n-1)).
+  NodeId isolated_nodes = 0;
+  NodeId components = 0;
+  /// Global clustering coefficient: 3 * triangles / open wedges.
+  double clustering = 0.0;
+  std::uint64_t triangles = 0;
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Degree histogram with log2-spaced buckets: counts[i] = #nodes with
+/// degree in [2^i, 2^{i+1}) (counts[0] also includes degree 0... degree 1).
+std::vector<std::uint64_t> degree_histogram_log2(const Graph& g);
+
+}  // namespace dmpc::graph

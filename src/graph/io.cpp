@@ -1,0 +1,56 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmpc::graph {
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  bool header_seen = false;
+  NodeId n = 0;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> a)) continue;  // blank/comment line
+    DMPC_CHECK_MSG(static_cast<bool>(ls >> b), "malformed edge list line");
+    if (!header_seen) {
+      header_seen = true;
+      // First data line is the "n m" header.
+      DMPC_CHECK_MSG(a > 0 && a < kNoNode, "bad node count in header");
+      n = static_cast<NodeId>(a);
+      edges.reserve(b);
+      continue;
+    }
+    DMPC_CHECK_MSG(a < n && b < n, "edge endpoint out of declared range");
+    edges.push_back({static_cast<NodeId>(a), static_cast<NodeId>(b)});
+  }
+  DMPC_CHECK_MSG(header_seen, "empty edge list input");
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  DMPC_CHECK_MSG(in.good(), "cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  DMPC_CHECK_MSG(out.good(), "cannot open " + path);
+  write_edge_list(g, out);
+}
+
+}  // namespace dmpc::graph

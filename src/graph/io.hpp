@@ -1,0 +1,18 @@
+// Plain-text edge-list IO ("u v" per line, '#' comments, first data line may
+// be "n m" header; ids must be < n).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::graph {
+
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+}  // namespace dmpc::graph

@@ -1,0 +1,85 @@
+#include "graph/validate.hpp"
+
+#include "support/check.hpp"
+
+namespace dmpc::graph {
+
+bool is_independent_set(const Graph& g, const std::vector<bool>& in_set) {
+  DMPC_CHECK(in_set.size() == g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    if (in_set[e.u] && in_set[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<bool>& in_set) {
+  if (!is_independent_set(g, in_set)) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_set[v]) continue;
+    bool dominated = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (in_set[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  std::vector<bool> used(g.num_nodes(), false);
+  for (EdgeId e : matching) {
+    if (e >= g.num_edges()) return false;
+    const Edge& ed = g.edge(e);
+    if (used[ed.u] || used[ed.v]) return false;
+    used[ed.u] = used[ed.v] = true;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  if (!is_matching(g, matching)) return false;
+  const auto covered = matched_nodes(g, matching);
+  for (const Edge& e : g.edges()) {
+    if (!covered[e.u] && !covered[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_proper_coloring(const Graph& g,
+                        const std::vector<std::uint32_t>& color) {
+  DMPC_CHECK(color.size() == g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    if (color[e.u] == color[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_distance2_coloring(const Graph& g,
+                           const std::vector<std::uint32_t>& color) {
+  if (!is_proper_coloring(g, color)) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (color[nb[i]] == color[nb[j]]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<bool> matched_nodes(const Graph& g,
+                                const std::vector<EdgeId>& matching) {
+  std::vector<bool> covered(g.num_nodes(), false);
+  for (EdgeId e : matching) {
+    covered[g.edge(e).u] = true;
+    covered[g.edge(e).v] = true;
+  }
+  return covered;
+}
+
+}  // namespace dmpc::graph

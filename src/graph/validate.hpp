@@ -1,0 +1,34 @@
+// Solution validators — the ground truth every solver is tested against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmpc::graph {
+
+/// No two set members adjacent.
+bool is_independent_set(const Graph& g, const std::vector<bool>& in_set);
+
+/// Independent and maximal: every non-member has a member neighbor.
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& in_set);
+
+/// No two matching edges share an endpoint.
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// Matching and maximal: every edge has a matched endpoint.
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// Proper coloring of G (adjacent nodes differ).
+bool is_proper_coloring(const Graph& g, const std::vector<std::uint32_t>& color);
+
+/// Distance-2 proper coloring (nodes at distance <= 2 differ) — the §5.1
+/// requirement for 2-hop-distinct names.
+bool is_distance2_coloring(const Graph& g,
+                           const std::vector<std::uint32_t>& color);
+
+/// Nodes covered by a matching (either endpoint of a matched edge).
+std::vector<bool> matched_nodes(const Graph& g,
+                                const std::vector<EdgeId>& matching);
+
+}  // namespace dmpc::graph

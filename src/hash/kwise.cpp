@@ -1,0 +1,62 @@
+#include "hash/kwise.hpp"
+
+#include <algorithm>
+
+#include "field/primes.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::hash {
+
+namespace {
+std::uint64_t pick_prime(std::uint64_t domain, std::uint64_t range) {
+  return field::next_prime_at_least(std::max<std::uint64_t>(
+      2, std::max(domain, range)));
+}
+
+/// min(p^k, UINT64_MAX), with exactness flag.
+std::uint64_t capped_pow(std::uint64_t p, unsigned k, bool* exact) {
+  std::uint64_t r = 1;
+  *exact = true;
+  for (unsigned i = 0; i < k; ++i) {
+    if (r > UINT64_MAX / p) {
+      *exact = false;
+      return UINT64_MAX;
+    }
+    r *= p;
+  }
+  return r;
+}
+}  // namespace
+
+KWiseFamily::KWiseFamily(std::uint64_t domain, std::uint64_t range, unsigned k)
+    : KWiseFamily(domain, range, k, pick_prime(domain, range)) {}
+
+KWiseFamily::KWiseFamily(std::uint64_t domain, std::uint64_t range, unsigned k,
+                         std::uint64_t p)
+    : domain_(domain), range_(range), k_(k), mod_(p) {
+  DMPC_CHECK_MSG(k >= 1 && k <= 16, "independence degree out of range");
+  DMPC_CHECK_MSG(range >= 1, "empty hash range");
+  DMPC_CHECK_MSG(p >= domain, "prime must cover the domain");
+  DMPC_CHECK_MSG(p >= range, "prime must cover the range");
+  DMPC_CHECK_MSG(field::is_prime(p), "modulus must be prime");
+  seed_count_ = capped_pow(p, k, &enumerable_);
+}
+
+std::vector<std::uint64_t> KWiseFamily::coefficients(std::uint64_t seed) const {
+  const std::uint64_t p = mod_.value();
+  std::vector<std::uint64_t> coeffs(k_, 0);
+  // Base-p digits of the seed; digit j drives coefficient (j+1) mod k so the
+  // linear term varies fastest (see header comment).
+  for (unsigned j = 0; j < k_; ++j) {
+    const std::uint64_t digit = seed % p;
+    seed /= p;
+    coeffs[(j + 1) % k_] = digit;
+  }
+  return coeffs;
+}
+
+HashFn KWiseFamily::at(std::uint64_t seed) const {
+  return HashFn(mod_, coefficients(seed), range_);
+}
+
+}  // namespace dmpc::hash

@@ -1,0 +1,70 @@
+#include "hash/seed.hpp"
+
+namespace dmpc::hash {
+
+SeedSpace::SeedSpace(std::vector<std::uint64_t> radices)
+    : radices_(std::move(radices)) {
+  DMPC_CHECK_MSG(!radices_.empty(), "seed space needs at least one chunk");
+  strides_.assign(radices_.size(), 1);
+  for (int i = static_cast<int>(radices_.size()) - 2; i >= 0; --i) {
+    DMPC_CHECK(radices_[i + 1] >= 1);
+    DMPC_CHECK_MSG(strides_[i + 1] <= UINT64_MAX / radices_[i + 1],
+                   "seed space exceeds 64 bits");
+    strides_[i] = strides_[i + 1] * radices_[i + 1];
+  }
+  DMPC_CHECK(radices_[0] >= 1);
+  DMPC_CHECK_MSG(strides_[0] <= UINT64_MAX / radices_[0],
+                 "seed space exceeds 64 bits");
+  size_ = strides_[0] * radices_[0];
+}
+
+SeedSpace SeedSpace::uniform(std::uint64_t radix, unsigned chunks) {
+  return SeedSpace(std::vector<std::uint64_t>(chunks, radix));
+}
+
+std::uint64_t SeedSpace::suffix_size(unsigned fixed_chunks) const {
+  DMPC_CHECK(fixed_chunks <= chunk_count());
+  if (fixed_chunks == chunk_count()) return 1;
+  // Remaining chunks are fixed_chunks..end; their joint cardinality is
+  // radices_[fixed_chunks] * (product of radices after fixed_chunks).
+  return radices_[fixed_chunks] * strides_[fixed_chunks];
+}
+
+std::uint64_t SeedSpace::compose(
+    const std::vector<std::uint64_t>& digits) const {
+  DMPC_CHECK(digits.size() == radices_.size());
+  std::uint64_t seed = 0;
+  for (unsigned i = 0; i < digits.size(); ++i) {
+    DMPC_CHECK(digits[i] < radices_[i]);
+    seed += digits[i] * strides_[i];
+  }
+  return seed;
+}
+
+std::vector<std::uint64_t> SeedSpace::decompose(std::uint64_t seed) const {
+  DMPC_CHECK(seed < size_);
+  std::vector<std::uint64_t> digits(radices_.size());
+  for (unsigned i = 0; i < radices_.size(); ++i) {
+    digits[i] = seed / strides_[i];
+    seed %= strides_[i];
+  }
+  return digits;
+}
+
+std::uint64_t SeedSpace::assemble(
+    const std::vector<std::uint64_t>& prefix_digits, std::uint64_t candidate,
+    std::uint64_t suffix_index) const {
+  const auto fixed = static_cast<unsigned>(prefix_digits.size());
+  DMPC_CHECK(fixed < chunk_count());
+  std::uint64_t seed = 0;
+  for (unsigned i = 0; i < fixed; ++i) {
+    DMPC_CHECK(prefix_digits[i] < radices_[i]);
+    seed += prefix_digits[i] * strides_[i];
+  }
+  DMPC_CHECK(candidate < radices_[fixed]);
+  seed += candidate * strides_[fixed];
+  DMPC_CHECK(suffix_index < strides_[fixed]);
+  return seed + suffix_index;
+}
+
+}  // namespace dmpc::hash

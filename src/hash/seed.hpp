@@ -1,0 +1,54 @@
+// Chunked seed spaces for the method of conditional expectations (§2.4).
+//
+// The paper fixes an O(log n)-bit seed by agreeing on Theta(log S)-bit
+// chunks, one chunk per O(1) MPC rounds. We model the seed space as a
+// mixed-radix integer: chunk i ranges over [0, radix_i), and a full seed is
+// the usual positional encoding. For polynomial hash families the natural
+// chunking is one coefficient per chunk (radix p), which matches the paper's
+// chunk size Theta(log S) when p = Theta(S).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmpc::hash {
+
+/// A mixed-radix seed space; chunk 0 is the most significant (fixed first).
+class SeedSpace {
+ public:
+  explicit SeedSpace(std::vector<std::uint64_t> radices);
+
+  /// Uniform chunking: `chunks` chunks of cardinality `radix` each.
+  static SeedSpace uniform(std::uint64_t radix, unsigned chunks);
+
+  unsigned chunk_count() const { return static_cast<unsigned>(radices_.size()); }
+  std::uint64_t radix(unsigned chunk) const { return radices_.at(chunk); }
+
+  /// Total number of seeds (asserts no 64-bit overflow).
+  std::uint64_t size() const { return size_; }
+
+  /// Number of seeds consistent with the first `fixed_chunks` chunks fixed,
+  /// i.e. the size of the suffix space.
+  std::uint64_t suffix_size(unsigned fixed_chunks) const;
+
+  /// Compose a full seed from chunk digits (digits.size() == chunk_count()).
+  std::uint64_t compose(const std::vector<std::uint64_t>& digits) const;
+
+  /// Decompose a seed into chunk digits.
+  std::vector<std::uint64_t> decompose(std::uint64_t seed) const;
+
+  /// The seed obtained from a fixed prefix of digits, a candidate digit for
+  /// the next chunk, and a suffix index enumerating the remaining chunks.
+  std::uint64_t assemble(const std::vector<std::uint64_t>& prefix_digits,
+                         std::uint64_t candidate,
+                         std::uint64_t suffix_index) const;
+
+ private:
+  std::vector<std::uint64_t> radices_;
+  std::vector<std::uint64_t> strides_;  // strides_[i] = prod of radices after i
+  std::uint64_t size_;
+};
+
+}  // namespace dmpc::hash

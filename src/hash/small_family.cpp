@@ -1,0 +1,45 @@
+#include "hash/small_family.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dmpc::hash {
+
+SmallFamily::SmallFamily(std::uint64_t color_count)
+    : colors_(color_count),
+      family_(/*domain=*/color_count, /*range=*/std::max<std::uint64_t>(
+                  2, color_count),
+              /*k=*/2) {
+  DMPC_CHECK_MSG(color_count >= 1, "empty color space");
+}
+
+FunctionSequence::FunctionSequence(const SmallFamily& family, unsigned length,
+                                   std::uint64_t candidate_cap)
+    : family_(&family),
+      length_(length),
+      per_phase_(std::min(family.seed_count(), candidate_cap)),
+      space_(SeedSpace::uniform(per_phase_, length)) {
+  DMPC_CHECK(length >= 1);
+  DMPC_CHECK(candidate_cap >= 1);
+}
+
+std::uint64_t FunctionSequence::phase_seed(std::uint64_t seq,
+                                           unsigned phase) const {
+  DMPC_CHECK(phase < length_);
+  return space_.decompose(seq)[phase];
+}
+
+HashFn FunctionSequence::phase_fn(std::uint64_t seq, unsigned phase) const {
+  return family_->at(phase_seed(seq, phase));
+}
+
+std::uint64_t FunctionSequence::diverse(std::uint64_t t) const {
+  std::vector<std::uint64_t> digits(length_);
+  for (unsigned i = 0; i < length_; ++i) {
+    digits[i] = (t + static_cast<std::uint64_t>(i) * 0x9E3779B1ULL) % per_phase_;
+  }
+  return space_.compose(digits);
+}
+
+}  // namespace dmpc::hash

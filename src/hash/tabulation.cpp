@@ -1,0 +1,17 @@
+#include "hash/tabulation.hpp"
+
+#include "support/rng.hpp"
+
+namespace dmpc::hash {
+
+TabulationFn::TabulationFn(std::uint64_t seed) : seed_(seed) {
+  for (unsigned b = 0; b < kBlocks; ++b) {
+    // One deterministic splitmix stream per (seed, block).
+    std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (b + 1));
+    for (unsigned c = 0; c < kTableSize; ++c) {
+      tables_[b][c] = splitmix64(state);
+    }
+  }
+}
+
+}  // namespace dmpc::hash

@@ -1,0 +1,54 @@
+// Simple tabulation hashing — an alternative seed-indexed family.
+//
+// Keys are split into kBlocks 8-bit characters; each character indexes a
+// table of random words and the results are XORed. Simple tabulation is
+// 3-wise independent (Patrascu–Thorup) and behaves far better than its
+// independence degree suggests (Chernoff-style concentration for many
+// applications), making it a natural ablation partner for the polynomial
+// families: same seed-indexed interface, constant-time evaluation.
+//
+// The "seed" selects the tables: table entries are filled by splitmix64
+// streams keyed on (seed, block, character), so the family is deterministic
+// in the seed and enumerable in the same stride-scrambled way as the
+// polynomial families.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dmpc::hash {
+
+class TabulationFn {
+ public:
+  static constexpr unsigned kBlocks = 8;  // 8 x 8-bit characters
+  static constexpr unsigned kTableSize = 256;
+
+  explicit TabulationFn(std::uint64_t seed);
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    std::uint64_t h = 0;
+    for (unsigned b = 0; b < kBlocks; ++b) {
+      h ^= tables_[b][(x >> (8 * b)) & 0xFF];
+    }
+    return h;
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::array<std::array<std::uint64_t, kTableSize>, kBlocks> tables_;
+};
+
+/// Family adaptor mirroring KWiseFamily's shape (3-wise independent).
+class TabulationFamily {
+ public:
+  TabulationFamily() = default;
+
+  /// Effectively unbounded seed space.
+  std::uint64_t seed_count() const { return UINT64_MAX; }
+
+  TabulationFn at(std::uint64_t seed) const { return TabulationFn(seed); }
+};
+
+}  // namespace dmpc::hash

@@ -1,0 +1,119 @@
+#include "lowdeg/lowdeg_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/transforms.hpp"
+#include "graph/validate.hpp"
+#include "lowdeg/neighborhoods.hpp"
+#include "support/check.hpp"
+#include "support/logging.hpp"
+#include "support/math.hpp"
+
+namespace dmpc::lowdeg {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+std::uint32_t phases_for(const LowDegConfig& config, std::uint64_t space,
+                         std::uint32_t max_degree) {
+  // Largest l with 4 * Delta^{2l+1} <= space.
+  const double log_d =
+      std::log(static_cast<double>(std::max<std::uint32_t>(max_degree, 2)));
+  const double budget =
+      std::log(std::max<double>(static_cast<double>(space) / 4.0, 4.0));
+  const auto l =
+      static_cast<std::uint32_t>(std::floor((budget - log_d) / (2.0 * log_d)));
+  return std::clamp<std::uint32_t>(l, 1, config.max_phases);
+}
+
+mpc::ClusterConfig cluster_config_for(const LowDegConfig& config,
+                                      std::uint64_t n, std::uint64_t m,
+                                      std::uint32_t max_degree) {
+  mpc::ClusterConfig cc;
+  const auto d = static_cast<std::uint64_t>(std::max<std::uint32_t>(max_degree, 1));
+  cc.machine_space = std::max<std::uint64_t>(
+      std::max<std::uint64_t>(64, 4 * d * d * d),
+      static_cast<std::uint64_t>(
+          config.space_headroom *
+          std::pow(static_cast<double>(std::max<std::uint64_t>(n, 2)),
+                   config.eps)));
+  const auto total = static_cast<std::uint64_t>(
+      config.total_space_factor * static_cast<double>(m + n + 2));
+  cc.num_machines = ceil_div(total, cc.machine_space) + 1;
+  return cc;
+}
+
+LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
+  mpc::Cluster cluster(cluster_config_for(config, g.num_nodes(),
+                                          g.num_edges(), g.max_degree()));
+  return lowdeg_mis(cluster, g, config);
+}
+
+LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
+                           const LowDegConfig& config) {
+  LowDegMisResult result;
+  result.in_set.assign(g.num_nodes(), false);
+  if (g.num_nodes() == 0) return result;
+  std::vector<bool> alive(g.num_nodes(), true);
+
+  if (g.num_edges() == 0) {
+    result.in_set.assign(g.num_nodes(), true);
+    result.metrics = cluster.metrics();
+    return result;
+  }
+
+  // --- Preprocessing (§5.2.2): coloring + family + ball gathering. ---
+  const auto coloring = distance2_coloring(cluster, g);
+  result.colors = coloring.num_colors;
+  hash::SmallFamily family(std::max<std::uint32_t>(coloring.num_colors, 2));
+
+  const std::uint32_t l = phases_for(config, cluster.space(), g.max_degree());
+  result.phases_per_stage = l;
+  hash::FunctionSequence sequence(family, l, config.per_phase_cap);
+
+  gather_neighborhoods(cluster, g, alive, /*radius=*/2 * l);
+
+  // --- Stages. ---
+  while (graph::alive_edge_count(g, alive) > 0) {
+    DMPC_CHECK_MSG(result.stages < config.max_stages, "stage cap exceeded");
+    const auto outcome = run_stage(cluster, g, alive, coloring.color, sequence,
+                                   config.sequence_budget);
+    for (NodeId v : outcome.independent) result.in_set[v] = true;
+    ++result.stages;
+    DMPC_DEBUG("lowdeg stage " << result.stages << ": |E| "
+                               << outcome.edges_before << " -> "
+                               << outcome.edges_after);
+    result.outcomes.push_back(outcome);
+  }
+  // Alive survivors are isolated; they join the MIS.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alive[v]) result.in_set[v] = true;
+  }
+
+  DMPC_CHECK_MSG(graph::is_maximal_independent_set(g, result.in_set),
+                 "lowdeg_mis produced a non-maximal independent set");
+  result.metrics = cluster.metrics();
+  return result;
+}
+
+LowDegMatchingResult lowdeg_matching(const Graph& g,
+                                     const LowDegConfig& config) {
+  LowDegMatchingResult result;
+  if (g.num_edges() == 0) return result;
+  const Graph lg = graph::line_graph(g);
+  // Line-graph construction is local to 1-hop neighborhoods: one exchange.
+  mpc::Cluster cluster(cluster_config_for(config, lg.num_nodes(),
+                                          lg.num_edges(), lg.max_degree()));
+  cluster.metrics().charge_rounds(1, "lowdeg/line_graph");
+  result.line_mis = lowdeg_mis(cluster, lg, config);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (result.line_mis.in_set[e]) result.matching.push_back(e);
+  }
+  DMPC_CHECK_MSG(graph::is_maximal_matching(g, result.matching),
+                 "lowdeg_matching produced a non-maximal matching");
+  return result;
+}
+
+}  // namespace dmpc::lowdeg

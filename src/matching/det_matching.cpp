@@ -1,0 +1,280 @@
+#include "matching/det_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "derand/cond_expect.hpp"
+#include "derand/seed_search.hpp"
+#include "graph/validate.hpp"
+#include "hash/kwise.hpp"
+#include "mpc/distribution.hpp"
+#include "sparsify/good_nodes.hpp"
+#include "support/check.hpp"
+#include "support/logging.hpp"
+#include "support/math.hpp"
+
+namespace dmpc::matching {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// The Lemma-13 selection objective. For hash seed s, every E* edge gets
+/// priority z_e = h_s(e); E_h = edges that are local minima among their E*
+/// neighbors (ties by id) — always a matching. Value = sum of alive-degrees
+/// of B-nodes covered by E_h.
+class SelectionObjective final : public derand::Objective {
+ public:
+  SelectionObjective(const Graph& g, const hash::KWiseFamily& family,
+                     const std::vector<EdgeId>& estar_edges,
+                     const std::vector<std::vector<EdgeId>>& estar_incident,
+                     const std::vector<bool>& in_B,
+                     const std::vector<std::uint32_t>& alive_degree)
+      : g_(&g),
+        family_(&family),
+        estar_edges_(&estar_edges),
+        estar_incident_(&estar_incident),
+        in_B_(&in_B),
+        alive_degree_(&alive_degree) {}
+
+  /// The committed matching for a seed (used after the search picks one).
+  std::vector<EdgeId> matching_for(std::uint64_t seed) const {
+    const auto fn = family_->at(seed);
+    std::vector<EdgeId> matched;
+    for (EdgeId e : *estar_edges_) {
+      if (is_local_min(fn, e)) matched.push_back(e);
+    }
+    return matched;
+  }
+
+  double evaluate(std::uint64_t seed) const override {
+    const auto fn = family_->at(seed);
+    double q = 0.0;
+    std::vector<bool> covered(g_->num_nodes(), false);
+    for (EdgeId e : *estar_edges_) {
+      if (!is_local_min(fn, e)) continue;
+      covered[g_->edge(e).u] = true;
+      covered[g_->edge(e).v] = true;
+    }
+    for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+      if ((*in_B_)[v] && covered[v]) {
+        q += static_cast<double>((*alive_degree_)[v]);
+      }
+    }
+    return q;
+  }
+
+  std::uint64_t term_count() const override { return estar_edges_->size(); }
+
+ private:
+  bool is_local_min(const hash::HashFn& fn, EdgeId e) const {
+    const std::uint64_t ze = fn.raw(e);
+    const auto beats = [&](EdgeId f) {
+      const std::uint64_t zf = fn.raw(f);
+      return zf < ze || (zf == ze && f < e);
+    };
+    for (NodeId endpoint : {g_->edge(e).u, g_->edge(e).v}) {
+      for (EdgeId f : (*estar_incident_)[endpoint]) {
+        if (f != e && beats(f)) return false;
+      }
+    }
+    return true;
+  }
+
+  const Graph* g_;
+  const hash::KWiseFamily* family_;
+  const std::vector<EdgeId>* estar_edges_;
+  const std::vector<std::vector<EdgeId>>* estar_incident_;
+  const std::vector<bool>* in_B_;
+  const std::vector<std::uint32_t>* alive_degree_;
+};
+
+/// Batched best-of search with threshold halving (header comment in
+/// det_matching.hpp explains the finite-n rationale).
+derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
+                                           const SelectionObjective& objective,
+                                           std::uint64_t seed_count,
+                                           double threshold, std::uint64_t salt,
+                                           const DetMatchingConfig& config) {
+  derand::SearchResult best;
+  bool have = false;
+  std::uint64_t evaluated = 0;
+  double t = threshold;
+  // Decorrelate committed priority functions across iterations: trial k of
+  // iteration `salt` evaluates a stride-scrambled walk over the family
+  // (same rationale as derand::SearchOptions::seed_stride).
+  auto seed_at = [&](std::uint64_t k) {
+    const __uint128_t pos =
+        static_cast<__uint128_t>(k) * 0xBF58476D1CE4E5B9ULL +
+        salt * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::uint64_t>(pos % seed_count);
+  };
+  while (true) {
+    const std::uint64_t budget =
+        std::min<std::uint64_t>(config.selection_batch, seed_count - evaluated);
+    DMPC_CHECK_MSG(budget > 0, "selection seed space exhausted");
+    const std::uint64_t depth = cluster.tree_depth(
+        std::max<std::uint64_t>(objective.term_count(), 2));
+    cluster.metrics().charge_rounds(2 * depth, "matching/selection");
+    cluster.metrics().add_communication(budget * cluster.machines());
+    for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
+      const std::uint64_t seed = seed_at(k);
+      const double value = objective.evaluate(seed);
+      if (!have || value > best.value) {
+        have = true;
+        best.seed = seed;
+        best.value = value;
+      }
+    }
+    evaluated += budget;
+    best.trials = evaluated;
+    if (have && best.value >= t) return best;
+    if (evaluated % config.trials_per_threshold == 0) t /= 2.0;
+  }
+}
+
+}  // namespace
+
+sparsify::Params params_for(const DetMatchingConfig& config, std::uint64_t n) {
+  sparsify::Params params;
+  params.n = std::max<std::uint64_t>(n, 2);
+  params.inv_delta =
+      config.inv_delta != 0
+          ? config.inv_delta
+          : std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(std::lround(8.0 / config.eps)));
+  return params;
+}
+
+mpc::ClusterConfig cluster_config_for(const DetMatchingConfig& config,
+                                      std::uint64_t n, std::uint64_t m) {
+  mpc::ClusterConfig cc;
+  cc.machine_space = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(
+              config.space_headroom *
+              std::pow(static_cast<double>(std::max<std::uint64_t>(n, 2)),
+                       config.eps)));
+  const auto total = static_cast<std::uint64_t>(
+      config.total_space_factor * static_cast<double>(m + n + 2));
+  cc.num_machines = ceil_div(total, cc.machine_space) + 1;
+  return cc;
+}
+
+DetMatchingResult det_maximal_matching(const Graph& g,
+                                       const DetMatchingConfig& config) {
+  mpc::Cluster cluster(
+      cluster_config_for(config, g.num_nodes(), g.num_edges()));
+  return det_maximal_matching(cluster, g, config);
+}
+
+DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
+                                       const DetMatchingConfig& config) {
+  const sparsify::Params params = params_for(config, g.num_nodes());
+  DetMatchingResult result;
+  std::vector<bool> alive(g.num_nodes(), true);
+
+  while (graph::alive_edge_count(g, alive) > 0) {
+    DMPC_CHECK_MSG(result.iterations < config.max_iterations,
+                   "matching iteration cap exceeded");
+    ++result.iterations;
+    IterationReport report;
+    report.iteration = result.iterations;
+
+    // 1. Good nodes (Corollary 8).
+    const auto good =
+        sparsify::select_matching_good_set(cluster, params, g, alive);
+    report.cls = good.cls;
+    report.edges_before = good.alive_edges;
+
+    // 2. Sparsify E_0 -> E* (§3.2).
+    const auto sparse =
+        sparsify::sparsify_edges(cluster, params, g, good, config.sparsify);
+    report.sparsify_stages = sparse.stages.size();
+    report.estar_max_degree = sparse.max_degree;
+
+    // 3. Gather 2-hop neighborhoods of B-nodes in E* (space check, §3.3).
+    std::vector<EdgeId> estar_edges;
+    std::vector<std::vector<EdgeId>> estar_incident(g.num_nodes());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!sparse.in_Estar[e]) continue;
+      estar_edges.push_back(e);
+      estar_incident[g.edge(e).u].push_back(e);
+      estar_incident[g.edge(e).v].push_back(e);
+    }
+    {
+      std::vector<std::uint64_t> two_hop(g.num_nodes(), 0);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!good.in_B[v]) continue;
+        std::uint64_t words = estar_incident[v].size();
+        for (EdgeId e : estar_incident[v]) {
+          words += estar_incident[g.other_endpoint(e, v)].size();
+        }
+        two_hop[v] = 2 * words;  // 2 words per edge record
+      }
+      mpc::charge_two_hop_gather(cluster, two_hop, good.in_B,
+                                 "matching/gather2hop");
+    }
+
+    // 4-5. Derandomized Lemma-13 selection.
+    const auto alive_degree = graph::alive_degrees(g, alive);
+    const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_edges());
+    hash::KWiseFamily family(domain, domain, /*k=*/2);
+    SelectionObjective objective(g, family, estar_edges, estar_incident,
+                                 good.in_B, alive_degree);
+    const double threshold =
+        config.threshold_factor * static_cast<double>(good.b_degree_mass);
+    derand::SearchResult committed;
+    if (config.selection_mode == SelectionMode::kConditionalExpectation) {
+      // The textbook §2.4 path: fix the two coefficients of the pairwise
+      // seed chunk by chunk with exact conditional expectations. The oracle
+      // enumerates suffixes, so keep the family small.
+      DMPC_CHECK_MSG(family.seed_count() <= (1ULL << 22),
+                     "conditional-expectation selection needs a small "
+                     "instance (family of <= 2^22 seeds)");
+      const hash::SeedSpace space({family.p(), family.p()});
+      derand::ExhaustiveConditional conditional(objective, space);
+      derand::FixOptions fix_options;
+      fix_options.guarantee = 0.0;
+      fix_options.label = "matching/selection_ce";
+      const auto fixed =
+          derand::fix_seed(cluster, conditional, space, fix_options);
+      committed.seed = fixed.seed;
+      committed.value = fixed.value;
+      committed.trials = space.size();
+    } else {
+      committed = select_with_threshold(cluster, objective,
+                                        family.seed_count(), threshold,
+                                        result.iterations, config);
+    }
+    report.selection_trials = committed.trials;
+
+    const auto matched = objective.matching_for(committed.seed);
+    DMPC_CHECK_MSG(!matched.empty(), "empty committed matching");
+    report.matched_pairs = matched.size();
+    for (EdgeId e : matched) {
+      result.matching.push_back(e);
+      alive[g.edge(e).u] = false;
+      alive[g.edge(e).v] = false;
+    }
+
+    report.edges_after = graph::alive_edge_count(g, alive);
+    report.progress_fraction =
+        static_cast<double>(report.edges_before - report.edges_after) /
+        static_cast<double>(report.edges_before);
+    DMPC_DEBUG("matching iter " << report.iteration << ": |E| "
+                                << report.edges_before << " -> "
+                                << report.edges_after << " (class "
+                                << report.cls << ", " << report.matched_pairs
+                                << " pairs)");
+    result.reports.push_back(report);
+  }
+
+  DMPC_CHECK_MSG(graph::is_maximal_matching(g, result.matching),
+                 "det_maximal_matching produced a non-maximal matching");
+  result.metrics = cluster.metrics();
+  return result;
+}
+
+}  // namespace dmpc::matching

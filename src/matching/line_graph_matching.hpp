@@ -1,0 +1,24 @@
+// Maximal matching as MIS on the line graph (paper §2.1: "a maximal
+// matching in G is an MIS in the line graph of G").
+//
+// This is the cross-validation path for the general pipeline: it runs the
+// §4 deterministic MIS machinery on L(G) and maps the independent set back
+// to edges. The direct §3 pipeline is the primary implementation (it avoids
+// materializing L(G), whose size is sum_v d(v)^2 / 2); this path exists to
+// check the two against each other and to mirror the reduction §5 uses.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "mis/det_mis.hpp"
+
+namespace dmpc::matching {
+
+struct LineGraphMatchingResult {
+  std::vector<graph::EdgeId> matching;
+  mis::DetMisResult line_mis;  ///< The underlying run on L(G).
+};
+
+LineGraphMatchingResult det_matching_via_line_graph(
+    const graph::Graph& g, const mis::DetMisConfig& config = {});
+
+}  // namespace dmpc::matching

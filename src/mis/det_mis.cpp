@@ -1,0 +1,294 @@
+#include "mis/det_mis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "derand/cond_expect.hpp"
+#include "derand/seed_search.hpp"
+#include "graph/validate.hpp"
+#include "hash/kwise.hpp"
+#include "mpc/distribution.hpp"
+#include "sparsify/good_nodes.hpp"
+#include "sparsify/node_sparsifier.hpp"
+#include "support/check.hpp"
+#include "support/logging.hpp"
+#include "support/math.hpp"
+
+namespace dmpc::mis {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Lemma-21 selection objective. For seed s: z_v = h_s(v) for v in Q';
+/// I_h = local minima within the induced subgraph on Q' (ties by id).
+/// Value = sum of alive-degrees of B-nodes whose N_v window meets I_h.
+class MisSelectionObjective final : public derand::Objective {
+ public:
+  MisSelectionObjective(const Graph& g, const hash::KWiseFamily& family,
+                        const std::vector<NodeId>& q_nodes,
+                        const std::vector<std::vector<NodeId>>& q_adj,
+                        const std::vector<std::vector<NodeId>>& nv,
+                        const std::vector<NodeId>& b_nodes,
+                        const std::vector<std::uint32_t>& alive_degree)
+      : g_(&g),
+        family_(&family),
+        q_nodes_(&q_nodes),
+        q_adj_(&q_adj),
+        nv_(&nv),
+        b_nodes_(&b_nodes),
+        alive_degree_(&alive_degree) {}
+
+  std::vector<NodeId> independent_set_for(std::uint64_t seed) const {
+    const auto fn = family_->at(seed);
+    std::vector<NodeId> set;
+    for (NodeId v : *q_nodes_) {
+      if (is_local_min(fn, v)) set.push_back(v);
+    }
+    return set;
+  }
+
+  double evaluate(std::uint64_t seed) const override {
+    const auto fn = family_->at(seed);
+    std::vector<bool> in_ih(g_->num_nodes(), false);
+    for (NodeId v : *q_nodes_) {
+      if (is_local_min(fn, v)) in_ih[v] = true;
+    }
+    double q = 0.0;
+    for (NodeId v : *b_nodes_) {
+      for (NodeId u : (*nv_)[v]) {
+        if (in_ih[u]) {
+          q += static_cast<double>((*alive_degree_)[v]);
+          break;
+        }
+      }
+    }
+    return q;
+  }
+
+  std::uint64_t term_count() const override { return b_nodes_->size(); }
+
+ private:
+  bool is_local_min(const hash::HashFn& fn, NodeId v) const {
+    const std::uint64_t zv = fn.raw(v);
+    for (NodeId u : (*q_adj_)[v]) {
+      const std::uint64_t zu = fn.raw(u);
+      if (zu < zv || (zu == zv && u < v)) return false;
+    }
+    return true;
+  }
+
+  const Graph* g_;
+  const hash::KWiseFamily* family_;
+  const std::vector<NodeId>* q_nodes_;
+  const std::vector<std::vector<NodeId>>* q_adj_;
+  const std::vector<std::vector<NodeId>>* nv_;
+  const std::vector<NodeId>* b_nodes_;
+  const std::vector<std::uint32_t>* alive_degree_;
+};
+
+derand::SearchResult select_with_threshold(
+    mpc::Cluster& cluster, const MisSelectionObjective& objective,
+    std::uint64_t seed_count, double threshold, std::uint64_t salt,
+    const DetMisConfig& config) {
+  derand::SearchResult best;
+  bool have = false;
+  std::uint64_t evaluated = 0;
+  double t = threshold;
+  // Stride-scrambled deterministic enumeration; see the matching pipeline.
+  auto seed_at = [&](std::uint64_t k) {
+    const __uint128_t pos =
+        static_cast<__uint128_t>(k) * 0xBF58476D1CE4E5B9ULL +
+        salt * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::uint64_t>(pos % seed_count);
+  };
+  while (true) {
+    const std::uint64_t budget =
+        std::min<std::uint64_t>(config.selection_batch, seed_count - evaluated);
+    DMPC_CHECK_MSG(budget > 0,
+                   "MIS selection seed space exhausted — guarantee violated");
+    const std::uint64_t depth = cluster.tree_depth(
+        std::max<std::uint64_t>(objective.term_count(), 2));
+    cluster.metrics().charge_rounds(2 * depth, "mis/selection");
+    cluster.metrics().add_communication(budget * cluster.machines());
+    for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
+      const std::uint64_t seed = seed_at(k);
+      const double value = objective.evaluate(seed);
+      if (!have || value > best.value) {
+        have = true;
+        best.seed = seed;
+        best.value = value;
+      }
+    }
+    evaluated += budget;
+    best.trials = evaluated;
+    if (have && best.value >= t && best.value > 0) return best;
+    if (evaluated % config.trials_per_threshold == 0) t /= 2.0;
+  }
+}
+
+}  // namespace
+
+sparsify::Params params_for(const DetMisConfig& config, std::uint64_t n) {
+  sparsify::Params params;
+  params.n = std::max<std::uint64_t>(n, 2);
+  params.inv_delta =
+      config.inv_delta != 0
+          ? config.inv_delta
+          : std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(std::lround(8.0 / config.eps)));
+  return params;
+}
+
+mpc::ClusterConfig cluster_config_for(const DetMisConfig& config,
+                                      std::uint64_t n, std::uint64_t m) {
+  mpc::ClusterConfig cc;
+  cc.machine_space = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(
+              config.space_headroom *
+              std::pow(static_cast<double>(std::max<std::uint64_t>(n, 2)),
+                       config.eps)));
+  const auto total = static_cast<std::uint64_t>(
+      config.total_space_factor * static_cast<double>(m + n + 2));
+  cc.num_machines = ceil_div(total, cc.machine_space) + 1;
+  return cc;
+}
+
+DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
+  mpc::Cluster cluster(
+      cluster_config_for(config, g.num_nodes(), g.num_edges()));
+  return det_mis(cluster, g, config);
+}
+
+DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
+                     const DetMisConfig& config) {
+  const sparsify::Params params = params_for(config, g.num_nodes());
+  DetMisResult result;
+  result.in_set.assign(g.num_nodes(), false);
+  std::vector<bool> alive(g.num_nodes(), true);
+
+  auto absorb_isolated = [&]() {
+    const auto deg = graph::alive_degrees(g, alive);
+    std::uint64_t added = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (alive[v] && deg[v] == 0) {
+        result.in_set[v] = true;
+        alive[v] = false;
+        ++added;
+      }
+    }
+    return added;
+  };
+
+  while (graph::alive_edge_count(g, alive) > 0) {
+    DMPC_CHECK_MSG(result.iterations < config.max_iterations,
+                   "MIS iteration cap exceeded");
+    ++result.iterations;
+    MisIterationReport report;
+    report.iteration = result.iterations;
+    report.isolated_added = absorb_isolated();
+
+    // 2. Good nodes (Corollary 16).
+    const auto good = sparsify::select_mis_good_set(cluster, params, g, alive);
+    report.cls = good.cls;
+    report.edges_before = good.alive_edges;
+
+    // 3. Sparsify Q_0 -> Q' (§4.2).
+    const auto sparse = sparsify::sparsify_nodes(cluster, params, g, alive,
+                                                 good, config.sparsify);
+    report.sparsify_stages = sparse.stages.size();
+    report.qprime_max_degree = sparse.max_q_degree;
+
+    // 4. Build Q' structures and the N_v windows; charge the gather.
+    std::vector<NodeId> q_nodes;
+    std::vector<std::vector<NodeId>> q_adj(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!alive[v] || !sparse.in_Qprime[v]) continue;
+      q_nodes.push_back(v);
+      for (NodeId u : g.neighbors(v)) {
+        if (alive[u] && sparse.in_Qprime[u]) q_adj[v].push_back(u);
+      }
+    }
+    const auto alive_degree = graph::alive_degrees(g, alive);
+    std::vector<NodeId> b_nodes;
+    std::vector<std::vector<NodeId>> nv(g.num_nodes());
+    {
+      const std::uint64_t window = params.group_size();
+      std::vector<std::uint64_t> two_hop(g.num_nodes(), 0);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!alive[v] || !good.in_B[v]) continue;
+        b_nodes.push_back(v);
+        for (NodeId u : g.neighbors(v)) {
+          if (!alive[u] || !sparse.in_Qprime[u]) continue;
+          nv[v].push_back(u);
+          if (nv[v].size() >= window) break;  // arbitrary n^{4 delta} subset
+        }
+        std::uint64_t words = nv[v].size();
+        for (NodeId u : nv[v]) words += q_adj[u].size();
+        two_hop[v] = words;
+      }
+      mpc::charge_two_hop_gather(cluster, two_hop, good.in_B, "mis/gather");
+    }
+
+    // 5-6. Derandomized Lemma-21 selection.
+    const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_nodes());
+    hash::KWiseFamily family(domain, domain, /*k=*/2);
+    MisSelectionObjective objective(g, family, q_nodes, q_adj, nv, b_nodes,
+                                    alive_degree);
+    const double threshold = config.threshold_factor * params.delta() *
+                             static_cast<double>(good.b_degree_mass);
+    derand::SearchResult committed;
+    if (config.selection_mode ==
+        matching::SelectionMode::kConditionalExpectation) {
+      // Textbook §2.4 path — see matching/det_matching.cpp.
+      DMPC_CHECK_MSG(family.seed_count() <= (1ULL << 22),
+                     "conditional-expectation selection needs a small "
+                     "instance (family of <= 2^22 seeds)");
+      const hash::SeedSpace space({family.p(), family.p()});
+      derand::ExhaustiveConditional conditional(objective, space);
+      derand::FixOptions fix_options;
+      fix_options.guarantee = 0.0;
+      fix_options.label = "mis/selection_ce";
+      const auto fixed =
+          derand::fix_seed(cluster, conditional, space, fix_options);
+      committed.seed = fixed.seed;
+      committed.value = fixed.value;
+      committed.trials = space.size();
+    } else {
+      committed = select_with_threshold(cluster, objective,
+                                        family.seed_count(), threshold,
+                                        result.iterations, config);
+    }
+    report.selection_trials = committed.trials;
+
+    const auto independent = objective.independent_set_for(committed.seed);
+    DMPC_CHECK_MSG(!independent.empty(), "empty committed independent set");
+    report.independent_added = independent.size();
+    for (NodeId v : independent) {
+      DMPC_CHECK(alive[v]);
+      result.in_set[v] = true;
+      alive[v] = false;
+      for (NodeId u : g.neighbors(v)) alive[u] = false;
+    }
+
+    report.edges_after = graph::alive_edge_count(g, alive);
+    report.progress_fraction =
+        static_cast<double>(report.edges_before - report.edges_after) /
+        static_cast<double>(report.edges_before);
+    DMPC_DEBUG("mis iter " << report.iteration << ": |E| "
+                           << report.edges_before << " -> "
+                           << report.edges_after << " (class " << report.cls
+                           << ", +" << report.independent_added << " nodes)");
+    result.reports.push_back(report);
+  }
+  absorb_isolated();
+
+  DMPC_CHECK_MSG(graph::is_maximal_independent_set(g, result.in_set),
+                 "det_mis produced a non-maximal independent set");
+  result.metrics = cluster.metrics();
+  return result;
+}
+
+}  // namespace dmpc::mis

@@ -1,0 +1,92 @@
+#include "mpc/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace dmpc::mpc {
+
+ClusterConfig ClusterConfig::for_input(std::uint64_t n, double eps,
+                                       std::uint64_t total_words,
+                                       std::uint64_t min_space) {
+  DMPC_CHECK(eps > 0.0 && eps <= 1.0);
+  ClusterConfig config;
+  config.machine_space = std::max(min_space, ipow_real(std::max<std::uint64_t>(n, 2), eps));
+  config.num_machines =
+      ceil_div(std::max<std::uint64_t>(total_words, 1), config.machine_space) + 1;
+  return config;
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  DMPC_CHECK_MSG(config_.machine_space >= 2, "machine space must be >= 2");
+  if (config_.num_machines == 0) config_.num_machines = 1;
+}
+
+std::uint64_t Cluster::tree_depth(std::uint64_t items) const {
+  if (items <= 1) return 1;
+  const double depth = std::log(static_cast<double>(items)) /
+                       std::log(static_cast<double>(config_.machine_space));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(depth)));
+}
+
+void Cluster::check_load(std::uint64_t words, const std::string& what) {
+  metrics_.observe_load(words);
+  if (config_.enforce_space) {
+    DMPC_CHECK_MSG(words <= config_.machine_space,
+                   what << ": machine load " << words << " exceeds S="
+                        << config_.machine_space);
+  }
+}
+
+void Cluster::load(std::vector<std::vector<Word>> inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    check_load(inputs[i].size(), "load: machine " + std::to_string(i));
+  }
+  locals_ = std::move(inputs);
+}
+
+const std::vector<Word>& Cluster::local(std::uint64_t machine) const {
+  DMPC_CHECK(machine < locals_.size());
+  return locals_[machine];
+}
+
+void Cluster::step(const std::function<void(MachineContext&)>& compute,
+                   const std::string& label) {
+  const std::uint64_t m = locals_.size();
+  std::vector<std::vector<Message>> outboxes(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    MachineContext ctx(i, &locals_[i], &outboxes[i]);
+    compute(ctx);
+  }
+  // Route with capacity accounting.
+  std::vector<std::uint64_t> recv_volume(m, 0);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t sent = 0;
+    for (const Message& msg : outboxes[i]) {
+      DMPC_CHECK_MSG(msg.to < m, "message to nonexistent machine");
+      sent += msg.payload.size();
+      recv_volume[msg.to] += msg.payload.size();
+    }
+    check_load(sent, label + ": send volume of machine " + std::to_string(i));
+    metrics_.add_communication(sent);
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    check_load(recv_volume[i],
+               label + ": receive volume of machine " + std::to_string(i));
+  }
+  // Deliver: received words are appended to local storage in sender order.
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (Message& msg : outboxes[i]) {
+      auto& dst = locals_[msg.to];
+      dst.insert(dst.end(), msg.payload.begin(), msg.payload.end());
+    }
+  }
+  for (std::uint64_t i = 0; i < m; ++i) {
+    check_load(locals_[i].size(),
+               label + ": local storage of machine " + std::to_string(i));
+  }
+  metrics_.charge_rounds(1, label);
+}
+
+}  // namespace dmpc::mpc

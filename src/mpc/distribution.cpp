@@ -1,0 +1,54 @@
+#include "mpc/distribution.hpp"
+
+#include "mpc/primitives.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::mpc {
+
+std::vector<GroupMachine> build_machine_groups(
+    Cluster& cluster, const std::vector<std::uint64_t>& counts_per_owner,
+    std::uint64_t group_size, std::uint64_t arity, const std::string& label) {
+  DMPC_CHECK(group_size >= 1);
+  cluster.check_load(group_size * arity, label + ": group machine");
+  std::vector<GroupMachine> machines;
+  std::uint64_t total_items = 0;
+  for (std::uint64_t owner = 0; owner < counts_per_owner.size(); ++owner) {
+    const std::uint64_t count = counts_per_owner[owner];
+    total_items += count;
+    std::uint64_t begin = 0;
+    // Full machines first, then one remainder machine (possibly empty ->
+    // omitted), matching the paper's "all but at most one" phrasing.
+    while (begin + group_size <= count) {
+      machines.push_back({owner, begin, begin + group_size});
+      begin += group_size;
+    }
+    if (begin < count) machines.push_back({owner, begin, count});
+  }
+  // Distributing items to their group machines is one sort by
+  // (owner, position) over the item records.
+  const std::uint64_t rounds = sort_round_cost(cluster, total_items);
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(total_items * arity);
+  return machines;
+}
+
+void charge_two_hop_gather(Cluster& cluster,
+                           const std::vector<std::uint64_t>& two_hop_words,
+                           const std::vector<bool>& centers,
+                           const std::string& label) {
+  DMPC_CHECK(two_hop_words.size() == centers.size());
+  std::uint64_t total = 0;
+  for (std::size_t v = 0; v < centers.size(); ++v) {
+    if (!centers[v]) continue;
+    cluster.check_load(two_hop_words[v],
+                       label + ": 2-hop neighborhood of node " + std::to_string(v));
+    total += two_hop_words[v];
+  }
+  // Sort edges to collect 1-hop lists, then one request + one response
+  // exchange for the second hop (§2.2).
+  const std::uint64_t rounds = sort_round_cost(cluster, std::max<std::uint64_t>(total, 2)) + 2;
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(total);
+}
+
+}  // namespace dmpc::mpc

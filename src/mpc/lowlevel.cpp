@@ -1,0 +1,449 @@
+#include "mpc/lowlevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace dmpc::mpc::lowlevel {
+
+namespace {
+
+std::uint64_t block_size(const Cluster& cluster) {
+  // Even so that two-word records (the sort's tagged keys) never straddle a
+  // block boundary.
+  return std::max<std::uint64_t>(2, (cluster.space() / 4) & ~std::uint64_t{1});
+}
+
+}  // namespace
+
+std::uint64_t machines_for(const Cluster& cluster, std::uint64_t items) {
+  return std::max<std::uint64_t>(1, ceil_div(items, block_size(cluster)));
+}
+
+void load_blocks(Cluster& cluster, const std::vector<Word>& items) {
+  const std::uint64_t b = block_size(cluster);
+  const std::uint64_t m = machines_for(cluster, items.size());
+  std::vector<std::vector<Word>> blocks(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t begin = i * b;
+    const std::uint64_t end = std::min<std::uint64_t>(items.size(), begin + b);
+    if (begin < end) {
+      blocks[i].assign(items.begin() + begin, items.begin() + end);
+    }
+  }
+  cluster.load(std::move(blocks));
+}
+
+std::vector<Word> collect_blocks(const Cluster& cluster, std::uint64_t items) {
+  std::vector<Word> out;
+  out.reserve(items);
+  for (std::uint64_t i = 0; i < cluster.low_level_machines(); ++i) {
+    const auto& local = cluster.local(i);
+    out.insert(out.end(), local.begin(), local.end());
+  }
+  DMPC_CHECK(out.size() == items);
+  return out;
+}
+
+std::vector<Word> prefix_sum(Cluster& cluster,
+                             const std::vector<Word>& items) {
+  if (items.empty()) return {};
+  load_blocks(cluster, items);
+  const std::uint64_t m = cluster.low_level_machines();
+  const std::uint64_t f = std::max<std::uint64_t>(2, cluster.space() / 4);
+
+  // Level sizes of the aggregation tree.
+  std::vector<std::uint64_t> level_size{m};
+  while (level_size.back() > 1) {
+    level_size.push_back(ceil_div(level_size.back(), f));
+  }
+  const auto levels = static_cast<std::uint64_t>(level_size.size());
+
+  // Storage discipline: a machine permanently keeps its block plus ONE word
+  // per level it participates in (its own subtree sum); the f child sums a
+  // parent aggregates are scratch, dropped in the same step. During the
+  // down-sweep children re-send their sums, so peak storage is
+  // block + levels + f + 1 = O(S) regardless of tree depth. All positions
+  // below are orchestrator bookkeeping; the values only move via step().
+  std::vector<std::uint64_t> block_len(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    block_len[i] = cluster.local(i).size();
+  }
+  // own_pos[l][id]: position of machine id's level-l subtree sum.
+  // recv_pos[id]: position where the child sums id received in the most
+  // recent up-sweep delivery start.
+  std::vector<std::vector<std::uint64_t>> own_pos(
+      levels, std::vector<std::uint64_t>(m, 0));
+  std::vector<std::uint64_t> recv_pos(m, 0);
+
+  // --- Up-sweep. ---
+  for (std::uint64_t l = 0; l + 1 < levels; ++l) {
+    // Post-compute size of this round's parents (every parent is also a
+    // sender this round, so it sheds last round's scratch and appends its
+    // own level-l sum): that is where the new child sums will land.
+    std::vector<std::uint64_t> landing(level_size[l + 1]);
+    for (std::uint64_t p = 0; p < level_size[l + 1]; ++p) {
+      landing[p] = (l == 0 ? block_len[p] : recv_pos[p]) + 1;
+    }
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const std::uint64_t id = ctx.id();
+          if (id >= level_size[l]) return;
+          Word sum = 0;
+          if (l == 0) {
+            for (std::uint64_t i = 0; i < block_len[id]; ++i) {
+              sum += ctx.local()[i];
+            }
+          } else {
+            // Child sums received last round: aggregate, then drop.
+            for (std::uint64_t i = recv_pos[id]; i < ctx.local().size();
+                 ++i) {
+              sum += ctx.local()[i];
+            }
+            ctx.local().resize(recv_pos[id]);
+          }
+          own_pos[l][id] = ctx.local().size();
+          ctx.local().push_back(sum);
+          ctx.send(id / f, {sum});
+        },
+        "lowlevel/prefix_up");
+    for (std::uint64_t p = 0; p < level_size[l + 1]; ++p) {
+      recv_pos[p] = landing[p];
+    }
+  }
+
+  // --- Down-sweep: two steps per level (children re-send their sums, the
+  // parent replies with exclusive bases). base_pos = where a machine's
+  // received base sits.
+  std::vector<std::uint64_t> base_pos(m, static_cast<std::uint64_t>(-1));
+  for (std::uint64_t l = levels; l-- > 1;) {
+    // Step A: level l-1 machines re-send their own level-(l-1) sums.
+    std::vector<std::uint64_t> resend_pos(level_size[l], 0);
+    for (std::uint64_t p = 0; p < level_size[l]; ++p) {
+      resend_pos[p] = cluster.local(p).size();
+    }
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const std::uint64_t id = ctx.id();
+          if (id >= level_size[l - 1]) return;
+          ctx.send(id / f, {ctx.local()[own_pos[l - 1][id]]});
+        },
+        "lowlevel/prefix_down_gather");
+    // Step B: parents compute and send each child its exclusive base, then
+    // drop the scratch.
+    std::vector<std::uint64_t> landing(level_size[l - 1]);
+    for (std::uint64_t c = 0; c < level_size[l - 1]; ++c) {
+      // Parents shed their resend scratch in this step before delivery.
+      landing[c] =
+          c < level_size[l] ? resend_pos[c] : cluster.local(c).size();
+    }
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const std::uint64_t id = ctx.id();
+          if (id >= level_size[l]) return;
+          Word base = 0;
+          if (base_pos[id] != static_cast<std::uint64_t>(-1)) {
+            base = ctx.local()[base_pos[id]];
+          }
+          const std::uint64_t off = resend_pos[id];
+          std::vector<Word> sums(ctx.local().begin() + off,
+                                 ctx.local().end());
+          ctx.local().resize(off);
+          for (std::uint64_t i = 0; i < sums.size(); ++i) {
+            ctx.send(id * f + i, {base});
+            base += sums[i];
+          }
+        },
+        "lowlevel/prefix_down_scatter");
+    for (std::uint64_t c = 0; c < level_size[l - 1]; ++c) {
+      base_pos[c] = landing[c];
+    }
+  }
+
+  // --- Local pass: rewrite blocks to exclusive prefixes. ---
+  cluster.step(
+      [&](MachineContext& ctx) {
+        const std::uint64_t id = ctx.id();
+        Word acc = 0;
+        if (m > 1) {
+          DMPC_CHECK(base_pos[id] != static_cast<std::uint64_t>(-1));
+          acc = ctx.local()[base_pos[id]];
+        }
+        for (std::uint64_t i = 0; i < block_len[id]; ++i) {
+          const Word value = ctx.local()[i];
+          ctx.local()[i] = acc;
+          acc += value;
+        }
+        ctx.local().resize(block_len[id]);  // drop scratch
+      },
+      "lowlevel/prefix_local");
+
+  return collect_blocks(cluster, items.size());
+}
+
+namespace {
+
+struct Range {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t size() const { return hi - lo; }
+};
+
+// Sort keys are (value, tag) pairs, encoded as two consecutive words in
+// machine storage and in messages. The tag (original position) makes every
+// key distinct, so splitters partition duplicate-heavy inputs into balanced
+// buckets — the classic sample-sort fix.
+struct Key {
+  Word value = 0;
+  Word tag = 0;
+  friend bool operator<(const Key& a, const Key& b) {
+    return a.value != b.value ? a.value < b.value : a.tag < b.tag;
+  }
+};
+
+std::vector<Key> decode_keys(const std::vector<Word>& words) {
+  DMPC_CHECK(words.size() % 2 == 0);
+  std::vector<Key> keys(words.size() / 2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = {words[2 * i], words[2 * i + 1]};
+  }
+  return keys;
+}
+
+std::vector<Word> encode_keys(const std::vector<Key>& keys) {
+  std::vector<Word> words;
+  words.reserve(2 * keys.size());
+  for (const Key& k : keys) {
+    words.push_back(k.value);
+    words.push_back(k.tag);
+  }
+  return words;
+}
+
+}  // namespace
+
+std::vector<Word> sort(Cluster& cluster, std::vector<Word> items) {
+  if (items.empty()) return {};
+  // Load tagged pairs: two words per item.
+  {
+    std::vector<Key> keys(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      keys[i] = {items[i], static_cast<Word>(i)};
+    }
+    load_blocks(cluster, encode_keys(keys));
+  }
+  const std::uint64_t m = cluster.low_level_machines();
+  const std::uint64_t s = cluster.space();
+  // Single-level splitter gather: the coordinator holds its own block
+  // (S/4 words) plus one two-word sample from every machine.
+  DMPC_CHECK_MSG(block_size(cluster) + 2 * m <= s,
+                 "lowlevel sort needs block + 2M <= S (single-level "
+                 "splitter gather); fewer items or a larger S required");
+  const std::uint64_t f = std::max<std::uint64_t>(2, isqrt(s) / 2);
+
+  // Initial local sort (compute-only round).
+  cluster.step(
+      [](MachineContext& ctx) {
+        auto keys = decode_keys(ctx.local());
+        std::sort(keys.begin(), keys.end());
+        ctx.local() = encode_keys(keys);
+      },
+      "lowlevel/sort_local");
+
+  std::vector<Range> ranges{{0, m}};
+  while (std::any_of(ranges.begin(), ranges.end(),
+                     [](const Range& r) { return r.size() > 1; })) {
+    std::vector<const Range*> range_of(m, nullptr);
+    for (const Range& r : ranges) {
+      for (std::uint64_t i = r.lo; i < r.hi; ++i) range_of[i] = &r;
+    }
+    auto samples_for = [&](const Range& r) {
+      // Budget: the coordinator's own (possibly skew-inflated) data plus
+      // all samples must stay within S, so cap sample volume at S/4.
+      return std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(f, s / (8 * r.size())));
+    };
+    auto buckets_of = [&](const Range& r) {
+      // Bucket count is limited by the splitter sample size: with t total
+      // samples, only ~t/8 quantiles are estimated well enough to keep the
+      // routing balanced within the receive budget (skew showed up as
+      // router capacity violations otherwise).
+      const std::uint64_t total_samples = samples_for(r) * r.size();
+      const std::uint64_t b = std::min<std::uint64_t>(
+          std::min<std::uint64_t>(f, r.size()),
+          std::max<std::uint64_t>(2, total_samples / 8));
+      std::vector<Range> subs;
+      const std::uint64_t base = r.size() / b, extra = r.size() % b;
+      std::uint64_t lo = r.lo;
+      for (std::uint64_t i = 0; i < b; ++i) {
+        const std::uint64_t width = base + (i < extra ? 1 : 0);
+        subs.push_back({lo, lo + width});
+        lo += width;
+      }
+      return subs;
+    };
+
+    // --- Step 1: machines send evenly spaced key samples to their range
+    // coordinator (2 words per sample). ---
+    std::vector<std::uint64_t> coord_base(m, 0);
+    for (const Range& r : ranges) coord_base[r.lo] = cluster.local(r.lo).size();
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const Range& r = *range_of[ctx.id()];
+          if (r.size() <= 1) return;
+          const auto keys = decode_keys(ctx.local());
+          const std::uint64_t k = samples_for(r);
+          const std::uint64_t b = std::min<std::uint64_t>(f, r.size());
+          // Stripe the sampled quantiles across machines: with few samples
+          // per machine, sampling everyone's *median* concentrates (block
+          // medians of iid data cluster at the global median, so the
+          // extreme buckets would absorb most of the data); machine id
+          // instead contributes its ((id + j) mod b)-th b-quantile, so the
+          // gathered set approximates all global quantiles.
+          std::vector<Key> sample;
+          for (std::uint64_t j = 0; j < k && !keys.empty(); ++j) {
+            const std::uint64_t stripe =
+                (ctx.id() + j * std::max<std::uint64_t>(1, b / k)) % b;
+            const std::uint64_t pos =
+                (stripe * keys.size() + keys.size() / 2) / b;
+            sample.push_back(keys[std::min<std::uint64_t>(pos, keys.size() - 1)]);
+          }
+          if (!sample.empty()) ctx.send(r.lo, encode_keys(sample));
+        },
+        "lowlevel/sort_sample");
+
+    // --- Step 2: coordinators pick b-1 splitters, send to bucket leaders.
+    std::vector<std::uint64_t> splitter_base(m, 0);
+    for (const Range& r : ranges) {
+      if (r.size() <= 1) continue;
+      for (const Range& sub : buckets_of(r)) {
+        splitter_base[sub.lo] = cluster.local(sub.lo).size();
+      }
+    }
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const Range& r = *range_of[ctx.id()];
+          if (r.size() <= 1 || ctx.id() != r.lo) return;
+          auto& local = ctx.local();
+          auto sample = decode_keys(std::vector<Word>(
+              local.begin() + coord_base[ctx.id()], local.end()));
+          local.resize(coord_base[ctx.id()]);
+          std::sort(sample.begin(), sample.end());
+          const auto subs = buckets_of(r);
+          std::vector<Key> splitters;
+          for (std::uint64_t i = 1; i < subs.size(); ++i) {
+            splitters.push_back(
+                sample.empty() ? Key{}
+                               : sample[(i * sample.size()) / subs.size()]);
+          }
+          for (const Range& sub : subs) {
+            ctx.send(sub.lo, encode_keys(splitters));
+          }
+        },
+        "lowlevel/sort_splitters");
+    // Coordinators dropped their sample scratch inside the step, so their
+    // splitters landed at coord_base, not at the pre-step length.
+    for (const Range& r : ranges) {
+      if (r.size() > 1) splitter_base[r.lo] = coord_base[r.lo];
+    }
+
+    // --- Step 3: bucket leaders relay splitters to bucket members. ---
+    std::vector<std::uint64_t> member_base(m, 0);
+    for (const Range& r : ranges) {
+      if (r.size() <= 1) continue;
+      for (const Range& sub : buckets_of(r)) {
+        for (std::uint64_t i = sub.lo + 1; i < sub.hi; ++i) {
+          member_base[i] = cluster.local(i).size();
+        }
+      }
+    }
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const Range& r = *range_of[ctx.id()];
+          if (r.size() <= 1) return;
+          for (const Range& sub : buckets_of(r)) {
+            if (ctx.id() != sub.lo) continue;
+            const std::vector<Word> splitters(
+                ctx.local().begin() + splitter_base[ctx.id()],
+                ctx.local().end());
+            for (std::uint64_t i = sub.lo + 1; i < sub.hi; ++i) {
+              ctx.send(i, splitters);
+            }
+          }
+        },
+        "lowlevel/sort_relay");
+    for (const Range& r : ranges) {
+      if (r.size() <= 1) continue;
+      for (const Range& sub : buckets_of(r)) {
+        member_base[sub.lo] = splitter_base[sub.lo];
+      }
+    }
+
+    // --- Step 4: route keys to buckets, round-robin within each bucket. ---
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const Range& r = *range_of[ctx.id()];
+          if (r.size() <= 1) return;
+          auto& local = ctx.local();
+          const auto splitters = decode_keys(std::vector<Word>(
+              local.begin() + member_base[ctx.id()], local.end()));
+          const auto keys = decode_keys(std::vector<Word>(
+              local.begin(), local.begin() + member_base[ctx.id()]));
+          local.clear();
+          const auto subs = buckets_of(r);
+          std::vector<std::vector<Key>> bucket_keys(subs.size());
+          for (const Key& key : keys) {
+            const auto it =
+                std::upper_bound(splitters.begin(), splitters.end(), key);
+            bucket_keys[static_cast<std::size_t>(it - splitters.begin())]
+                .push_back(key);
+          }
+          for (std::size_t bi = 0; bi < subs.size(); ++bi) {
+            const Range& sub = subs[bi];
+            auto& bucket = bucket_keys[bi];
+            const std::uint64_t width = sub.size();
+            for (std::uint64_t j = 0; j < width; ++j) {
+              const std::uint64_t begin = j * bucket.size() / width;
+              const std::uint64_t end = (j + 1) * bucket.size() / width;
+              if (begin == end) continue;
+              ctx.send(sub.lo + (ctx.id() + j) % width,
+                       encode_keys({bucket.begin() + begin,
+                                    bucket.begin() + end}));
+            }
+          }
+        },
+        "lowlevel/sort_route");
+    // Re-sort received keys (compute-only round).
+    cluster.step(
+        [&](MachineContext& ctx) {
+          const Range& r = *range_of[ctx.id()];
+          if (r.size() <= 1) return;
+          auto keys = decode_keys(ctx.local());
+          std::sort(keys.begin(), keys.end());
+          ctx.local() = encode_keys(keys);
+        },
+        "lowlevel/sort_resort");
+
+    std::vector<Range> next;
+    for (const Range& r : ranges) {
+      if (r.size() <= 1) {
+        next.push_back(r);
+      } else {
+        for (const Range& sub : buckets_of(r)) next.push_back(sub);
+      }
+    }
+    ranges = std::move(next);
+  }
+
+  const auto words = collect_blocks(cluster, 2 * items.size());
+  const auto keys = decode_keys(words);
+  std::vector<Word> out;
+  out.reserve(items.size());
+  for (const Key& k : keys) out.push_back(k.value);
+  DMPC_CHECK(std::is_sorted(out.begin(), out.end()));
+  return out;
+}
+
+}  // namespace dmpc::mpc::lowlevel

@@ -1,0 +1,44 @@
+// Genuine message-passing implementations of the Lemma-4 primitives.
+//
+// The primitive layer (mpc/primitives.hpp) executes centrally and charges
+// the model cost; this module implements prefix sums and sorting as real
+// distributed algorithms over Cluster's low-level step() interface — every
+// word moves through the router, which enforces the per-machine send,
+// receive, and storage capacities. Tests cross-check the two layers: the
+// low-level round counts realize the tree-depth charges the primitive layer
+// claims (Goodrich–Sitchinava–Zhang, paper Lemma 4).
+//
+// Layout convention: items are distributed in consecutive blocks of
+// `block_size = S/4` words (leaving room for in-flight messages within the
+// S budget).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/cluster.hpp"
+
+namespace dmpc::mpc::lowlevel {
+
+/// Machines needed to hold `items` words in S/4-blocks.
+std::uint64_t machines_for(const Cluster& cluster, std::uint64_t items);
+
+/// Distribute items into blocks: machine i holds items [i*b, (i+1)*b).
+/// Resets the cluster's low-level storage.
+void load_blocks(Cluster& cluster, const std::vector<Word>& items);
+
+/// Collect the blocks back into one vector (orchestrator-side; free).
+std::vector<Word> collect_blocks(const Cluster& cluster, std::uint64_t items);
+
+/// Exclusive prefix sums via a fan-in-f aggregation tree (up-sweep +
+/// down-sweep), f = max(2, S/4). Returns the result; every cross-machine
+/// word goes through step().
+std::vector<Word> prefix_sum(Cluster& cluster, const std::vector<Word>& items);
+
+/// Distributed sample sort: local sort, splitter selection on a coordinator,
+/// splitter broadcast via relay, one all-to-all routing round with
+/// round-robin balancing inside each bucket, then recursion within buckets.
+/// Requires machines_for(items) <= S (single-level splitter gather).
+std::vector<Word> sort(Cluster& cluster, std::vector<Word> items);
+
+}  // namespace dmpc::mpc::lowlevel

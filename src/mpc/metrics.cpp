@@ -1,0 +1,34 @@
+#include "mpc/metrics.hpp"
+
+#include <algorithm>
+
+namespace dmpc::mpc {
+
+void Metrics::charge_rounds(std::uint64_t r, const std::string& label) {
+  rounds_ += r;
+  by_label_[label] += r;
+}
+
+void Metrics::observe_load(std::uint64_t words) {
+  peak_load_ = std::max(peak_load_, words);
+}
+
+void Metrics::add_communication(std::uint64_t words) {
+  communication_ += words;
+}
+
+void Metrics::reset() {
+  rounds_ = 0;
+  peak_load_ = 0;
+  communication_ = 0;
+  by_label_.clear();
+}
+
+void Metrics::merge(const Metrics& other) {
+  rounds_ += other.rounds_;
+  peak_load_ = std::max(peak_load_, other.peak_load_);
+  communication_ += other.communication_;
+  for (const auto& [label, r] : other.by_label_) by_label_[label] += r;
+}
+
+}  // namespace dmpc::mpc

@@ -1,0 +1,45 @@
+// Execution metrics for the MPC cost model.
+//
+// The theorems under reproduction bound exactly three quantities: the number
+// of synchronous rounds, the peak per-machine space (S words), and the total
+// space/communication. Every simulator primitive charges these here, and the
+// benchmarks report them — this is the measured side of EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dmpc::mpc {
+
+class Metrics {
+ public:
+  /// Charge `r` synchronous rounds attributed to `label`.
+  void charge_rounds(std::uint64_t r, const std::string& label);
+
+  /// Record that some machine held `words` words at some instant.
+  void observe_load(std::uint64_t words);
+
+  /// Record `words` words of cross-machine traffic.
+  void add_communication(std::uint64_t words);
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t peak_machine_load() const { return peak_load_; }
+  std::uint64_t total_communication() const { return communication_; }
+  const std::map<std::string, std::uint64_t>& rounds_by_label() const {
+    return by_label_;
+  }
+
+  void reset();
+
+  /// Merge another metrics object into this one (for sub-phases).
+  void merge(const Metrics& other);
+
+ private:
+  std::uint64_t rounds_ = 0;
+  std::uint64_t peak_load_ = 0;
+  std::uint64_t communication_ = 0;
+  std::map<std::string, std::uint64_t> by_label_;
+};
+
+}  // namespace dmpc::mpc

@@ -1,0 +1,106 @@
+#include "mpc/primitives.hpp"
+
+#include "support/math.hpp"
+
+namespace dmpc::mpc {
+
+void check_blocked_layout(Cluster& cluster, std::uint64_t records,
+                          std::uint64_t arity, const std::string& what) {
+  if (records == 0) return;
+  const std::uint64_t per_machine =
+      ceil_div(records, cluster.machines()) * arity;
+  cluster.check_load(per_machine, what + ": block layout");
+}
+
+std::uint64_t sort_round_cost(const Cluster& cluster, std::uint64_t records) {
+  // Goodrich's BSP sorting simulated in MapReduce: O(log_S N) communication
+  // rounds; we charge two tree traversals (sample/split + route).
+  return 2 * cluster.tree_depth(std::max<std::uint64_t>(records, 2));
+}
+
+std::uint64_t scan_round_cost(const Cluster& cluster, std::uint64_t records) {
+  // Up-sweep + down-sweep of the fan-in-S tree.
+  return 2 * cluster.tree_depth(std::max<std::uint64_t>(records, 2));
+}
+
+std::vector<std::uint64_t> prefix_sum_exclusive(
+    Cluster& cluster, std::span<const std::uint64_t> values,
+    const std::string& label) {
+  check_blocked_layout(cluster, values.size(), 1, label);
+  std::vector<std::uint64_t> out(values.size(), 0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = acc;
+    acc += values[i];
+  }
+  const std::uint64_t rounds = scan_round_cost(cluster, values.size());
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(cluster.tree_depth(values.size()) *
+                                      cluster.machines());
+  return out;
+}
+
+std::uint64_t reduce_sum(Cluster& cluster,
+                         std::span<const std::uint64_t> values,
+                         const std::string& label) {
+  check_blocked_layout(cluster, values.size(), 1, label);
+  const std::uint64_t rounds =
+      cluster.tree_depth(std::max<std::uint64_t>(values.size(), 2));
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(rounds * cluster.machines());
+  return std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+}
+
+std::uint64_t reduce_max(Cluster& cluster,
+                         std::span<const std::uint64_t> values,
+                         const std::string& label) {
+  check_blocked_layout(cluster, values.size(), 1, label);
+  const std::uint64_t rounds =
+      cluster.tree_depth(std::max<std::uint64_t>(values.size(), 2));
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(rounds * cluster.machines());
+  std::uint64_t best = 0;
+  for (std::uint64_t v : values) best = std::max(best, v);
+  return best;
+}
+
+double reduce_sum_double(Cluster& cluster, std::span<const double> values,
+                         const std::string& label) {
+  check_blocked_layout(cluster, values.size(), 1, label);
+  const std::uint64_t rounds =
+      cluster.tree_depth(std::max<std::uint64_t>(values.size(), 2));
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(rounds * cluster.machines());
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+void broadcast(Cluster& cluster, std::uint64_t words,
+               const std::string& label) {
+  cluster.check_load(words, label);
+  const std::uint64_t rounds = cluster.tree_depth(cluster.machines());
+  cluster.metrics().charge_rounds(rounds, label);
+  cluster.metrics().add_communication(words * cluster.machines());
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> group_sum(
+    Cluster& cluster,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs,
+    const std::string& label) {
+  dsort(cluster, pairs,
+        [](const auto& a, const auto& b) { return a.first < b.first; }, label);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& [key, value] : pairs) {
+    if (!out.empty() && out.back().first == key) {
+      out.back().second += value;
+    } else {
+      out.emplace_back(key, value);
+    }
+  }
+  const std::uint64_t rounds = scan_round_cost(cluster, pairs.size());
+  cluster.metrics().charge_rounds(rounds, label);
+  return out;
+}
+
+}  // namespace dmpc::mpc

@@ -1,0 +1,18 @@
+#include "sparsify/degree_classes.hpp"
+
+namespace dmpc::sparsify {
+
+DegreeClasses classify(const Params& params,
+                       const std::vector<std::uint32_t>& degrees) {
+  DegreeClasses out;
+  out.class_of.resize(degrees.size());
+  out.degree_mass.assign(params.inv_delta + 1, 0);
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    const std::uint32_t i = params.class_of_degree(degrees[v]);
+    out.class_of[v] = i;
+    if (i > 0) out.degree_mass[i] += degrees[v];
+  }
+  return out;
+}
+
+}  // namespace dmpc::sparsify

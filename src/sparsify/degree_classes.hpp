@@ -1,0 +1,23 @@
+// Degree classes C_i (§3, §4): nodes bucketed by degree into 1/delta
+// geometric bands so that nodes within one band behave alike under
+// n^{-delta}-rate sub-sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparsify/params.hpp"
+
+namespace dmpc::sparsify {
+
+struct DegreeClasses {
+  /// Per-node class index in [1, 1/delta]; 0 for degree-0 nodes.
+  std::vector<std::uint32_t> class_of;
+  /// Per-class total degree mass sum_{v in C_i} d(v) (index 0 unused).
+  std::vector<std::uint64_t> degree_mass;
+};
+
+DegreeClasses classify(const Params& params,
+                       const std::vector<std::uint32_t>& degrees);
+
+}  // namespace dmpc::sparsify

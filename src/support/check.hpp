@@ -1,0 +1,46 @@
+// Runtime checking macros.
+//
+// The simulator and the derandomized algorithms enforce their guarantees
+// (space bounds, sparsification invariants, progress thresholds) with
+// DMPC_CHECK, which is active in all build types: a violated guarantee is a
+// bug in the reproduction, not a recoverable condition, and the tests rely
+// on these throwing.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmpc {
+
+/// Thrown when an internal invariant or a model constraint is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DMPC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace dmpc
+
+#define DMPC_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) ::dmpc::detail::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DMPC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::dmpc::detail::check_fail(#cond, __FILE__, __LINE__, os_.str());   \
+    }                                                                     \
+  } while (0)

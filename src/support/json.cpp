@@ -1,0 +1,112 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace dmpc {
+
+Json& Json::set(const std::string& key, Json value) {
+  DMPC_CHECK_MSG(is_object(), "Json::set on non-object");
+  auto& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  DMPC_CHECK_MSG(is_array(), "Json::push on non-array");
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_newline_indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    *out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    *out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    DMPC_CHECK_MSG(std::isfinite(*d), "non-finite number in Json");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", *d);
+    *out += buf;
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    *out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    append_escaped(out, *s);
+  } else if (const auto* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    for (std::size_t idx = 0; idx < a->size(); ++idx) {
+      if (idx > 0) out->push_back(',');
+      append_newline_indent(out, indent, depth + 1);
+      (*a)[idx].dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out->push_back(']');
+  } else if (const auto* o = std::get_if<Object>(&value_)) {
+    if (o->empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    for (std::size_t idx = 0; idx < o->size(); ++idx) {
+      if (idx > 0) out->push_back(',');
+      append_newline_indent(out, indent, depth + 1);
+      append_escaped(out, (*o)[idx].first);
+      *out += indent > 0 ? ": " : ":";
+      (*o)[idx].second.dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out->push_back('}');
+  }
+}
+
+}  // namespace dmpc

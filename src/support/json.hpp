@@ -1,0 +1,56 @@
+// Minimal JSON value + serializer for run reports and tooling output.
+// Deliberately small: objects preserve insertion order, numbers are stored
+// as double or int64, no parsing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dmpc {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(std::uint32_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  /// Object field (creates/overwrites); asserts this is an object.
+  Json& set(const std::string& key, Json value);
+
+  /// Array append; asserts this is an array.
+  Json& push(Json value);
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Serialize; indent > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace dmpc

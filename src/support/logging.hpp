@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself is quiet by default; algorithms log per-iteration
+// progress at Debug level so experiments can be traced without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dmpc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace dmpc
+
+#define DMPC_LOG(level, expr)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::dmpc::log_level())) { \
+      std::ostringstream os_;                                       \
+      os_ << expr;                                                  \
+      ::dmpc::detail::log_emit(level, os_.str());                   \
+    }                                                               \
+  } while (0)
+
+#define DMPC_DEBUG(expr) DMPC_LOG(::dmpc::LogLevel::kDebug, expr)
+#define DMPC_INFO(expr) DMPC_LOG(::dmpc::LogLevel::kInfo, expr)
+#define DMPC_WARN(expr) DMPC_LOG(::dmpc::LogLevel::kWarn, expr)
+#define DMPC_ERROR(expr) DMPC_LOG(::dmpc::LogLevel::kError, expr)

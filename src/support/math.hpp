@@ -1,0 +1,64 @@
+// Small integer-math helpers used throughout the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dmpc {
+
+/// floor(log2(x)) for x >= 1.
+inline int floor_log2(std::uint64_t x) {
+  DMPC_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+inline int ceil_log2(std::uint64_t x) {
+  DMPC_CHECK(x >= 1);
+  return x == 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  DMPC_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Integer power with overflow check (caps at max, asserting no wrap).
+inline std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  while (exp-- > 0) {
+    DMPC_CHECK_MSG(base == 0 || r <= UINT64_MAX / (base == 0 ? 1 : base),
+                   "ipow overflow");
+    r *= base;
+  }
+  return r;
+}
+
+/// floor(n^p) for real exponent p in (0, 1]; used for space bounds n^eps.
+inline std::uint64_t ipow_real(std::uint64_t n, double p) {
+  DMPC_CHECK(p > 0.0 && p <= 8.0);
+  double v = std::pow(static_cast<double>(n), p);
+  DMPC_CHECK(v < 1.8e19);
+  return static_cast<std::uint64_t>(v);
+}
+
+/// floor(sqrt(x)), exact for all 64-bit inputs.
+inline std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+/// Round x up to the next power of two (x >= 1).
+inline std::uint64_t next_pow2(std::uint64_t x) {
+  DMPC_CHECK(x >= 1);
+  return std::bit_ceil(x);
+}
+
+}  // namespace dmpc

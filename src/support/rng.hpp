@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// Randomness in this codebase is used ONLY for (a) the randomized baseline
+// algorithms (Luby, Israeli–Itai) and (b) workload generation. The
+// deterministic algorithms never draw random bits; their "hash values" come
+// from seed-indexed k-wise independent families (src/hash). A fixed-seed
+// xoshiro generator keeps every experiment reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmpc {
+
+/// splitmix64: used to expand a user seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p).
+  bool next_bool(double p);
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  // Standard UniformRandomBitGenerator interface, so Rng works with <random>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dmpc

@@ -1,0 +1,56 @@
+// Summary statistics used by benchmarks and experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmpc {
+
+/// Streaming accumulator for min/max/mean/variance of a numeric series.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  ///< Population variance.
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0, max_ = 0, sum_ = 0, sum_sq_ = 0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order stats).
+double percentile(std::vector<double> values, double p);
+
+/// Simple fixed-width histogram over [lo, hi] with `bins` buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Least-squares fit y = a + b*x; used to verify O(log n) round scaling.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r_squared = 0;
+};
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace dmpc

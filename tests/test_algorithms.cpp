@@ -1,0 +1,113 @@
+// Tests for graph algorithms (components, BFS, bipartition, Hopcroft–Karp)
+// and graph statistics.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::graph {
+namespace {
+
+TEST(Components, CountsAndLabels) {
+  const Graph g = disjoint_union(cycle(5), path(4));
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 2u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(comps.component[v], 0u);
+  for (NodeId v = 5; v < 9; ++v) EXPECT_EQ(comps.component[v], 1u);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(cycle(5)));
+  EXPECT_TRUE(is_connected(Graph::from_edges(1, {})));
+}
+
+TEST(Components, IsolatedNodesAreSingletons) {
+  const Graph g = Graph::from_edges(4, {{0, 1}});
+  EXPECT_EQ(connected_components(g).count, 3u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+  const Graph disconnected = Graph::from_edges(3, {{0, 1}});
+  const auto d2 = bfs_distances(disconnected, 0);
+  EXPECT_EQ(d2[2], UINT32_MAX);
+}
+
+TEST(Bipartition, DetectsOddCycles) {
+  std::vector<std::uint8_t> side;
+  EXPECT_TRUE(bipartition(cycle(6), &side));
+  EXPECT_FALSE(bipartition(cycle(5), nullptr));
+  EXPECT_TRUE(bipartition(random_tree(50, 1), &side));
+  EXPECT_TRUE(bipartition(complete_bipartite(4, 5), &side));
+  // Side assignment is a proper 2-coloring.
+  const Graph g = grid(5, 7);
+  ASSERT_TRUE(bipartition(g, &side));
+  for (const Edge& e : g.edges()) EXPECT_NE(side[e.u], side[e.v]);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  const Graph g = complete_bipartite(8, 8);
+  EXPECT_EQ(hopcroft_karp(g).size, 8u);
+  const Graph uneven = complete_bipartite(5, 9);
+  EXPECT_EQ(hopcroft_karp(uneven).size, 5u);
+}
+
+TEST(HopcroftKarp, PathsAndTrees) {
+  EXPECT_EQ(hopcroft_karp(path(7)).size, 3u);
+  EXPECT_EQ(hopcroft_karp(path(8)).size, 4u);
+  EXPECT_EQ(hopcroft_karp(star(9)).size, 1u);
+}
+
+TEST(HopcroftKarp, PartnerConsistency) {
+  const Graph g = random_bipartite(40, 40, 300, 2);
+  const auto mm = hopcroft_karp(g);
+  std::uint64_t matched_nodes = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mm.partner[v] == kNoNode) continue;
+    ++matched_nodes;
+    EXPECT_EQ(mm.partner[mm.partner[v]], v);
+    EXPECT_TRUE(g.has_edge(v, mm.partner[v]));
+  }
+  EXPECT_EQ(matched_nodes, 2 * mm.size);
+}
+
+TEST(HopcroftKarp, RejectsOddCycle) {
+  EXPECT_THROW(hopcroft_karp(cycle(5)), CheckFailure);
+}
+
+TEST(Stats, CompleteGraph) {
+  const auto stats = compute_stats(complete(6));
+  EXPECT_EQ(stats.nodes, 6u);
+  EXPECT_EQ(stats.edges, 15u);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+  EXPECT_EQ(stats.triangles, 20u);  // C(6,3)
+  EXPECT_DOUBLE_EQ(stats.clustering, 1.0);
+  EXPECT_EQ(stats.components, 1u);
+}
+
+TEST(Stats, TriangleFreeGraphs) {
+  const auto stats = compute_stats(complete_bipartite(5, 5));
+  EXPECT_EQ(stats.triangles, 0u);
+  EXPECT_DOUBLE_EQ(stats.clustering, 0.0);
+  const auto tree_stats = compute_stats(random_tree(100, 3));
+  EXPECT_EQ(tree_stats.triangles, 0u);
+}
+
+TEST(Stats, TriangleCountExact) {
+  // Two triangles sharing an edge: 0-1-2, 1-2-3.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(compute_stats(g).triangles, 2u);
+}
+
+TEST(Stats, DegreeHistogram) {
+  const Graph g = star(8);  // hub degree 8, leaves degree 1
+  const auto hist = degree_histogram_log2(g);
+  ASSERT_EQ(hist.size(), 4u);  // buckets for 1 and [8,16)
+  EXPECT_EQ(hist[0], 8u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+}  // namespace
+}  // namespace dmpc::graph

@@ -1,0 +1,74 @@
+// Tests for the public façade (Theorem 1 dispatch).
+#include <gtest/gtest.h>
+
+#include "api/solve.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace dmpc {
+namespace {
+
+using graph::Graph;
+
+TEST(Api, RegimeDispatch) {
+  SolveOptions options;
+  // Degree-3 graph on many nodes: low-degree regime.
+  EXPECT_TRUE(low_degree_regime(graph::random_regular(4096, 3, 1), options));
+  // Dense graph: high-degree regime.
+  EXPECT_FALSE(low_degree_regime(graph::gnm(256, 8000, 2), options));
+}
+
+TEST(Api, MisAutoLowDegree) {
+  const Graph g = graph::random_regular(500, 4, 3);
+  const auto solution = solve_mis(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, solution.in_set));
+  EXPECT_EQ(solution.report.algorithm_used, "lowdeg");
+  EXPECT_GT(solution.report.metrics.rounds(), 0u);
+}
+
+TEST(Api, MisAutoSparsification) {
+  const Graph g = graph::gnm(256, 4096, 4);
+  const auto solution = solve_mis(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, solution.in_set));
+  EXPECT_EQ(solution.report.algorithm_used, "sparsification");
+}
+
+TEST(Api, MatchingBothPaths) {
+  const Graph sparse = graph::random_regular(300, 4, 5);
+  const auto lowdeg = solve_maximal_matching(sparse);
+  EXPECT_TRUE(graph::is_maximal_matching(sparse, lowdeg.matching));
+  EXPECT_EQ(lowdeg.report.algorithm_used, "lowdeg");
+
+  const Graph dense = graph::gnm(256, 4096, 6);
+  const auto sp = solve_maximal_matching(dense);
+  EXPECT_TRUE(graph::is_maximal_matching(dense, sp.matching));
+  EXPECT_EQ(sp.report.algorithm_used, "sparsification");
+}
+
+TEST(Api, ForcedAlgorithmOverridesAuto) {
+  const Graph g = graph::gnm(200, 2000, 7);  // dense: auto = sparsification
+  SolveOptions options;
+  options.algorithm = Algorithm::kSparsification;
+  const auto forced = solve_mis(g, options);
+  EXPECT_EQ(forced.report.algorithm_used, "sparsification");
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, forced.in_set));
+}
+
+TEST(Api, Determinism) {
+  const Graph g = graph::power_law(300, 1500, 2.5, 8);
+  const auto a = solve_mis(g);
+  const auto b = solve_mis(g);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
+}
+
+TEST(Api, TrivialInputs) {
+  const Graph empty = Graph::from_edges(3, {});
+  const auto mis = solve_mis(empty);
+  EXPECT_EQ(std::count(mis.in_set.begin(), mis.in_set.end(), true), 3);
+  const auto mm = solve_maximal_matching(empty);
+  EXPECT_TRUE(mm.matching.empty());
+}
+
+}  // namespace
+}  // namespace dmpc

@@ -1,0 +1,135 @@
+// Tests for the application reductions (vertex cover, dominating set,
+// (Delta+1)-coloring).
+#include <gtest/gtest.h>
+
+#include "apps/derand_coloring.hpp"
+#include "apps/reductions.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace dmpc::apps {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+bool is_vertex_cover(const Graph& g, const std::vector<bool>& cover) {
+  for (const auto& e : g.edges()) {
+    if (!cover[e.u] && !cover[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_dominating_set(const Graph& g, const std::vector<bool>& set) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (set[v]) continue;
+    bool dominated = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (set[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+TEST(VertexCover, ValidAndTwoApprox) {
+  for (std::uint64_t seed : {1, 2}) {
+    const Graph g = graph::gnm(200, 1200, seed);
+    const auto result = vertex_cover_2approx(g);
+    EXPECT_TRUE(is_vertex_cover(g, result.in_cover));
+    // |cover| = 2 |M| and OPT >= |M| for a maximal matching M.
+    EXPECT_EQ(result.cover_size, 2 * result.matching_size);
+    EXPECT_GT(result.matching_size, 0u);
+  }
+}
+
+TEST(VertexCover, StarNeedsOnlyHub) {
+  const Graph g = graph::star(30);
+  const auto result = vertex_cover_2approx(g);
+  EXPECT_TRUE(is_vertex_cover(g, result.in_cover));
+  EXPECT_EQ(result.cover_size, 2u);  // one matched edge: hub + one leaf
+}
+
+TEST(VertexCover, EmptyGraph) {
+  const Graph g = Graph::from_edges(5, {});
+  const auto result = vertex_cover_2approx(g);
+  EXPECT_EQ(result.cover_size, 0u);
+}
+
+TEST(DominatingSet, MisDominates) {
+  for (const Graph& g : {graph::gnm(200, 800, 3), graph::grid(10, 10),
+                         graph::random_tree(150, 4)}) {
+    const auto result = dominating_set(g);
+    EXPECT_TRUE(is_dominating_set(g, result.in_set));
+    EXPECT_GT(result.set_size, 0u);
+  }
+}
+
+TEST(Coloring, ProperWithinPalette) {
+  for (const Graph& g :
+       {graph::random_regular(100, 4, 5), graph::cycle(31), graph::path(40),
+        graph::complete(8)}) {
+    const auto result = delta_plus_one_coloring(g);
+    EXPECT_TRUE(graph::is_proper_coloring(g, result.color));
+    EXPECT_LE(result.colors_used, g.max_degree() + 1);
+  }
+}
+
+TEST(Coloring, CompleteGraphUsesFullPalette) {
+  const Graph g = graph::complete(6);
+  const auto result = delta_plus_one_coloring(g);
+  EXPECT_EQ(result.colors_used, 6u);  // K6 needs exactly Delta+1 = 6
+}
+
+TEST(Coloring, Deterministic) {
+  const Graph g = graph::random_regular(80, 5, 6);
+  const auto a = delta_plus_one_coloring(g);
+  const auto b = delta_plus_one_coloring(g);
+  EXPECT_EQ(a.color, b.color);
+}
+
+TEST(DerandColoring, ProperWithinPaletteAcrossFamilies) {
+  for (const Graph& g :
+       {graph::random_regular(200, 5, 1), graph::gnm(200, 1200, 2),
+        graph::cycle(41), graph::complete(10), graph::star(30),
+        graph::grid(9, 9)}) {
+    const auto result = derand_coloring(g);
+    EXPECT_TRUE(graph::is_proper_coloring(g, result.color));
+    EXPECT_LE(result.colors_used, g.max_degree() + 1);
+  }
+}
+
+TEST(DerandColoring, Deterministic) {
+  const Graph g = graph::power_law(300, 1200, 2.5, 3);
+  const auto a = derand_coloring(g);
+  const auto b = derand_coloring(g);
+  EXPECT_EQ(a.color, b.color);
+  EXPECT_EQ(a.metrics.rounds(), b.metrics.rounds());
+}
+
+TEST(DerandColoring, LogarithmicRounds) {
+  const Graph g = graph::gnm(1024, 8192, 4);
+  const auto result = derand_coloring(g);
+  EXPECT_LE(result.rounds, 40u);  // O(log n) trial rounds
+}
+
+TEST(DerandColoring, AgreesWithReductionOnPalette) {
+  // Both colorings are proper and fit Delta+1: K6 needs all 6 colors.
+  const Graph g = graph::complete(6);
+  const auto native = derand_coloring(g);
+  const auto reduced = delta_plus_one_coloring(g);
+  EXPECT_EQ(native.colors_used, 6u);
+  EXPECT_EQ(reduced.colors_used, 6u);
+}
+
+TEST(DerandColoring, EdgelessGraph) {
+  const Graph g = Graph::from_edges(4, {});
+  const auto result = derand_coloring(g);
+  EXPECT_EQ(result.colors_used, 1u);
+}
+
+}  // namespace
+}  // namespace dmpc::apps

@@ -1,0 +1,99 @@
+// Unit tests for the baseline algorithms (ground truth + randomized Luby).
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.hpp"
+#include "baselines/israeli_itai.hpp"
+#include "baselines/luby_matching.hpp"
+#include "baselines/luby_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace dmpc::baselines {
+namespace {
+
+using graph::Graph;
+
+TEST(Greedy, MisIsMaximal) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = graph::gnm(200, 800, seed);
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, greedy_mis(g)));
+  }
+}
+
+TEST(Greedy, MisOnEmptyAndComplete) {
+  const Graph empty = Graph::from_edges(5, {});
+  const auto mis_empty = greedy_mis(empty);
+  EXPECT_EQ(std::count(mis_empty.begin(), mis_empty.end(), true), 5);
+  const Graph k5 = graph::complete(5);
+  const auto mis_k5 = greedy_mis(k5);
+  EXPECT_EQ(std::count(mis_k5.begin(), mis_k5.end(), true), 1);
+}
+
+TEST(Greedy, MatchingIsMaximal) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = graph::gnm(200, 800, seed);
+    EXPECT_TRUE(graph::is_maximal_matching(g, greedy_matching(g)));
+  }
+}
+
+TEST(LubyMis, ValidAndLogarithmicIterations) {
+  const Graph g = graph::gnm(500, 3000, 4);
+  const auto result = luby_mis(g, 99);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, result.in_set));
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_LE(result.iterations, 30u);  // ~log scale for n=500
+  // Progress trace is monotone decreasing to zero.
+  for (std::size_t i = 1; i < result.edges_after.size(); ++i) {
+    EXPECT_LT(result.edges_after[i], result.edges_after[i - 1]);
+  }
+  EXPECT_EQ(result.edges_after.back(), 0u);
+}
+
+TEST(LubyMis, DeterministicGivenSeed) {
+  const Graph g = graph::gnm(100, 400, 5);
+  const auto a = luby_mis(g, 7);
+  const auto b = luby_mis(g, 7);
+  EXPECT_EQ(a.in_set, b.in_set);
+}
+
+TEST(LubyMisPairwise, ValidOnSeveralFamilies) {
+  for (std::uint64_t seed : {1, 2}) {
+    const Graph g = graph::power_law(300, 1200, 2.5, seed);
+    const auto result = luby_mis_pairwise(g, seed);
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, result.in_set));
+  }
+}
+
+TEST(LubyMatching, ValidAndConverges) {
+  const Graph g = graph::gnm(300, 1500, 6);
+  const auto result = luby_matching(g, 42);
+  EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+  EXPECT_LE(result.iterations, 30u);
+}
+
+TEST(LubyMatching, PathAndStar) {
+  const auto p = graph::path(10);
+  EXPECT_TRUE(graph::is_maximal_matching(p, luby_matching(p, 1).matching));
+  const auto s = graph::star(10);
+  const auto result = luby_matching(s, 1);
+  EXPECT_EQ(result.matching.size(), 1u);  // star has max matching 1
+}
+
+TEST(IsraeliItai, ValidMatching) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = graph::gnm(300, 1200, seed + 10);
+    const auto result = israeli_itai(g, seed);
+    EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+    EXPECT_LE(result.iterations, 40u);
+  }
+}
+
+TEST(IsraeliItai, CompleteBipartite) {
+  const Graph g = graph::complete_bipartite(20, 20);
+  const auto result = israeli_itai(g, 3);
+  EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+  EXPECT_EQ(result.matching.size(), 20u);  // perfect matching forced
+}
+
+}  // namespace
+}  // namespace dmpc::baselines

@@ -1,0 +1,84 @@
+// Tests for the CONGESTED CLIQUE adapter and Corollary 2 algorithms.
+#include <gtest/gtest.h>
+
+#include "cclique/cc_mis.hpp"
+#include "cclique/clique.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::cclique {
+namespace {
+
+using graph::Graph;
+
+TEST(Clique, ChargingAccounting) {
+  CongestedClique cc(100);
+  cc.charge_rounds(3, "x");
+  EXPECT_EQ(cc.metrics().rounds(), 3u);
+  EXPECT_EQ(cc.metrics().total_communication(), 3u * 100u * 100u);
+  cc.charge_lenzen_routing(500, "route");
+  EXPECT_EQ(cc.metrics().rounds(), 5u);
+}
+
+TEST(Clique, RejectsOverloadedRouting) {
+  CongestedClique cc(10);
+  EXPECT_THROW(cc.charge_lenzen_routing(101, "too much"), CheckFailure);
+}
+
+TEST(Clique, NodeMemoryBound) {
+  CongestedClique cc(10);
+  EXPECT_NO_THROW(cc.check_node_memory(40, "fits"));
+  EXPECT_THROW(cc.check_node_memory(41, "overflow"), CheckFailure);
+}
+
+TEST(CcMis, ValidAndDeterministic) {
+  const Graph g = graph::random_regular(300, 5, 1);
+  const auto a = cc_mis(g);
+  const auto b = cc_mis(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, a.in_set));
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.metrics.rounds(), b.metrics.rounds());
+}
+
+TEST(CcMis, StructuredFamilies) {
+  for (const Graph& g : {graph::cycle(100), graph::grid(10, 10),
+                         graph::random_tree(100, 2)}) {
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, cc_mis(g).in_set));
+  }
+}
+
+TEST(CcMis, FasterThanBaseline) {
+  // Corollary 2's point: O(log Delta) vs O(log Delta log n) rounds.
+  const Graph g = graph::random_regular(512, 4, 3);
+  const auto ours = cc_mis(g);
+  const auto baseline = cc_mis_censor_hillel(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, ours.in_set));
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, baseline.in_set));
+  EXPECT_LT(ours.metrics.rounds(), baseline.metrics.rounds());
+}
+
+TEST(CcMis, PhaseCompressionKicksInForSmallDelta) {
+  const Graph small_delta = graph::random_regular(1024, 3, 4);
+  const auto result = cc_mis(small_delta);
+  EXPECT_GT(result.phases_per_stage, 1u);
+  const Graph big_delta = graph::gnm(128, 4000, 5);
+  const auto dense = cc_mis(big_delta);
+  EXPECT_TRUE(graph::is_maximal_independent_set(big_delta, dense.in_set));
+}
+
+TEST(CcMis, EdgelessGraph) {
+  const Graph g = Graph::from_edges(6, {});
+  const auto result = cc_mis(g);
+  EXPECT_EQ(std::count(result.in_set.begin(), result.in_set.end(), true), 6);
+  EXPECT_EQ(result.stages, 0u);
+}
+
+TEST(CcMatching, ValidViaLineGraph) {
+  const Graph g = graph::random_regular(150, 4, 6);
+  const auto result = cc_matching(g);
+  EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+}
+
+}  // namespace
+}  // namespace dmpc::cclique

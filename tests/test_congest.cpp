@@ -1,0 +1,80 @@
+// Tests for the CONGEST extension module (§6 future work).
+#include <gtest/gtest.h>
+
+#include "congest/congest_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace dmpc::congest {
+namespace {
+
+using graph::Graph;
+
+TEST(Network, ChargingModel) {
+  const Graph g = graph::cycle(10);
+  CongestNetwork net(g);
+  EXPECT_GE(net.message_bits(), 8u);  // 2 log2(10) rounded up
+  net.charge_rounds(3, "x");
+  EXPECT_EQ(net.metrics().rounds(), 3u);
+  EXPECT_EQ(net.metrics().total_communication(), 3u * 2u * 10u);
+  net.charge_tree_aggregation(4, 16, "vote");
+  EXPECT_EQ(net.metrics().rounds(), 3u + 2 * (4 + 16));
+}
+
+TEST(CongestMis, ValidAndDeterministic) {
+  const Graph g = graph::gnm(300, 1500, 1);
+  const auto a = congest_mis(g);
+  const auto b = congest_mis(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, a.in_set));
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.metrics.rounds(), b.metrics.rounds());
+}
+
+TEST(CongestMis, StructuredFamilies) {
+  for (const Graph& g : {graph::cycle(64), graph::grid(8, 8),
+                         graph::random_tree(100, 2), graph::star(50)}) {
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, congest_mis(g).in_set));
+  }
+}
+
+TEST(CongestMis, DisconnectedGraphs) {
+  const Graph g =
+      graph::disjoint_union(graph::cycle(11), graph::complete(7));
+  const auto result = congest_mis(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, result.in_set));
+}
+
+TEST(CongestMis, RoundsScaleWithBfsDepth) {
+  // Same phase structure, very different diameters: the deterministic
+  // coordination pays per unit of depth.
+  const Graph shallow = graph::star(256);
+  const Graph deep = graph::path(257);
+  const auto a = congest_mis(shallow);
+  const auto b = congest_mis(deep);
+  EXPECT_LT(a.bfs_depth, 3u);
+  EXPECT_GT(b.bfs_depth, 100u);
+  EXPECT_LT(a.metrics.rounds(), b.metrics.rounds());
+}
+
+TEST(CongestMis, RandomizedBaselineCheaperPerPhase) {
+  const Graph g = graph::gnm(400, 2000, 3);
+  const auto det = congest_mis(g);
+  const auto rand = luby_mis_congest(g, 7);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, det.in_set));
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, rand.in_set));
+  // The deterministic run pays the O(D + K) voting per phase.
+  EXPECT_GT(det.metrics.rounds(), rand.metrics.rounds());
+}
+
+TEST(CongestMis, EdgelessAndTiny) {
+  const Graph g = Graph::from_edges(5, {});
+  const auto result = congest_mis(g);
+  EXPECT_EQ(std::count(result.in_set.begin(), result.in_set.end(), true), 5);
+  EXPECT_EQ(result.phases, 0u);
+  const Graph single = Graph::from_edges(2, {{0, 1}});
+  EXPECT_TRUE(
+      graph::is_maximal_independent_set(single, congest_mis(single).in_set));
+}
+
+}  // namespace
+}  // namespace dmpc::congest

@@ -1,0 +1,198 @@
+// Unit tests for the derandomization engines: threshold seed search and the
+// method of conditional expectations (exact-enumeration oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "derand/cond_expect.hpp"
+#include "derand/objective.hpp"
+#include "derand/seed_search.hpp"
+#include "hash/kwise.hpp"
+#include "hash/seed.hpp"
+#include "mpc/cluster.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::derand {
+namespace {
+
+mpc::Cluster make_cluster() {
+  mpc::ClusterConfig config;
+  config.machine_space = 256;
+  config.num_machines = 64;
+  return mpc::Cluster(config);
+}
+
+/// Toy objective: q(seed) = number of 1-bits in the low 8 bits of the seed.
+class PopcountObjective final : public Objective {
+ public:
+  double evaluate(std::uint64_t seed) const override {
+    return static_cast<double>(__builtin_popcountll(seed & 0xFF));
+  }
+  std::uint64_t term_count() const override { return 8; }
+};
+
+TEST(SeedSearch, FindsFirstSeedMeetingThreshold) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 3.0;
+  const auto result = find_seed(cluster, objective, 1 << 8, options);
+  EXPECT_EQ(result.seed, 7u);  // first seed with >= 3 bits set
+  EXPECT_DOUBLE_EQ(result.value, 3.0);
+  EXPECT_EQ(result.trials, 8u);
+  EXPECT_GT(cluster.metrics().rounds(), 0u);
+}
+
+TEST(SeedSearch, ThresholdZeroCommitsImmediately) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 0.0;
+  const auto result = find_seed(cluster, objective, 1 << 8, options);
+  EXPECT_EQ(result.seed, 0u);
+  EXPECT_EQ(result.trials, 1u);
+}
+
+TEST(SeedSearch, ExhaustionThrows) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 9.0;  // unreachable: popcount of 8 bits <= 8
+  EXPECT_THROW(find_seed(cluster, objective, 1 << 8, options), CheckFailure);
+}
+
+TEST(SeedSearch, MaxTrialsRespected) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 8.0;  // only seed 255 qualifies
+  options.max_trials = 10;
+  EXPECT_THROW(find_seed(cluster, objective, 1 << 8, options), CheckFailure);
+}
+
+TEST(SeedSearch, BatchRoundChargesAreConstantPerBatch) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 8.0;
+  options.candidates_per_batch = 256;
+  const auto result = find_seed(cluster, objective, 1 << 8, options);
+  EXPECT_EQ(result.seed, 255u);
+  EXPECT_EQ(result.batches, 1u);  // one O(1)-round batch covered all
+}
+
+TEST(SeedSearch, FindBestSeed) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  const auto result = find_best_seed(cluster, objective, 1 << 8, 1 << 8);
+  EXPECT_EQ(result.value, 8.0);
+  EXPECT_EQ(result.seed, 255u);
+  EXPECT_EQ(result.trials, 256u);
+}
+
+TEST(SeedSearch, FindBestSeedWithinBudget) {
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  const auto result = find_best_seed(cluster, objective, 1 << 8, 8);
+  EXPECT_EQ(result.trials, 8u);
+  EXPECT_DOUBLE_EQ(result.value, 3.0);  // best among 0..7 is 7 -> 3 bits
+}
+
+// --- Method of conditional expectations on a real hash family. ---
+//
+// Objective over the pairwise family [p]x[p], p = 13: q(h) = number of
+// inputs x in {0..5} with h.raw(x) < 6. E[q] = 6 * 6/13 ~ 2.77, so the
+// method must find a seed with q >= ceil(E[q]) ... we use guarantee
+// floor(E[q]) to keep it safely below the true expectation.
+class HashCountObjective final : public Objective {
+ public:
+  explicit HashCountObjective(const hash::KWiseFamily& family)
+      : family_(&family) {}
+
+  double evaluate(std::uint64_t seed) const override {
+    const auto fn = family_->at(seed);
+    double q = 0;
+    for (std::uint64_t x = 0; x < 6; ++x) {
+      if (fn.raw(x) < 6) q += 1.0;
+    }
+    return q;
+  }
+  std::uint64_t term_count() const override { return 6; }
+
+ private:
+  const hash::KWiseFamily* family_;
+};
+
+TEST(CondExpect, ExhaustiveOracleMatchesDirectAverage) {
+  hash::KWiseFamily family(13, 13, 2, 13);
+  HashCountObjective objective(family);
+  const hash::SeedSpace space({13, 13});
+  ExhaustiveConditional conditional(objective, space);
+
+  // Prefix {} with candidate digit 4 must equal the average over the 13
+  // seeds whose most-significant digit is 4.
+  double direct = 0;
+  for (std::uint64_t s = 0; s < 13; ++s) {
+    direct += objective.evaluate(4 * 13 + s);
+  }
+  direct /= 13.0;
+  EXPECT_NEAR(conditional.conditional_expectation({}, 4), direct, 1e-12);
+
+  // Fully-fixed prefix: conditional expectation equals the point value.
+  EXPECT_NEAR(conditional.conditional_expectation({4}, 9),
+              objective.evaluate(4 * 13 + 9), 1e-12);
+}
+
+TEST(CondExpect, FixSeedAchievesExpectation) {
+  auto cluster = make_cluster();
+  hash::KWiseFamily family(13, 13, 2, 13);
+  HashCountObjective objective(family);
+  const hash::SeedSpace space({13, 13});
+  ExhaustiveConditional conditional(objective, space);
+
+  // True mean over the family.
+  double mean = 0;
+  for (std::uint64_t s = 0; s < space.size(); ++s) {
+    mean += objective.evaluate(s);
+  }
+  mean /= static_cast<double>(space.size());
+
+  FixOptions options;
+  options.guarantee = mean;  // the method can never do worse than the mean
+  const auto result = fix_seed(cluster, conditional, space, options);
+  EXPECT_GE(result.value, mean);
+  EXPECT_EQ(result.chunks, 2u);
+  EXPECT_LT(result.seed, space.size());
+  EXPECT_GT(cluster.metrics().rounds(), 0u);
+}
+
+TEST(CondExpect, GreedyChunkChoiceIsOptimalPerStep) {
+  auto cluster = make_cluster();
+  hash::KWiseFamily family(13, 13, 2, 13);
+  HashCountObjective objective(family);
+  const hash::SeedSpace space({13, 13});
+  ExhaustiveConditional conditional(objective, space);
+  FixOptions options;
+  options.guarantee = 0.0;
+  const auto result = fix_seed(cluster, conditional, space, options);
+  // The chosen first digit maximizes the conditional expectation.
+  const auto digits = space.decompose(result.seed);
+  const double chosen = conditional.conditional_expectation({}, digits[0]);
+  for (std::uint64_t d = 0; d < 13; ++d) {
+    EXPECT_GE(chosen + 1e-12, conditional.conditional_expectation({}, d));
+  }
+}
+
+TEST(CondExpect, InconsistentGuaranteeThrows) {
+  auto cluster = make_cluster();
+  hash::KWiseFamily family(13, 13, 2, 13);
+  HashCountObjective objective(family);
+  const hash::SeedSpace space({13, 13});
+  ExhaustiveConditional conditional(objective, space);
+  FixOptions options;
+  options.guarantee = 100.0;  // impossible: q <= 6
+  EXPECT_THROW(fix_seed(cluster, conditional, space, options), CheckFailure);
+}
+
+}  // namespace
+}  // namespace dmpc::derand

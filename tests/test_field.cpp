@@ -1,0 +1,115 @@
+// Unit tests for src/field: modular arithmetic and primality.
+#include <gtest/gtest.h>
+
+#include "field/modulus.hpp"
+#include "field/primes.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dmpc::field {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(91));   // 7 * 13
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(561));  // Carmichael
+  EXPECT_FALSE(is_prime(341));  // Fermat pseudoprime base 2
+}
+
+TEST(Primes, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime(kMersenne61));
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_TRUE(is_prime(1000000000000000003ULL));
+  EXPECT_FALSE(is_prime(1000000007ULL * 998244353ULL));
+}
+
+TEST(Primes, NextPrimeAtLeast) {
+  EXPECT_EQ(next_prime_at_least(0), 2u);
+  EXPECT_EQ(next_prime_at_least(2), 2u);
+  EXPECT_EQ(next_prime_at_least(3), 3u);
+  EXPECT_EQ(next_prime_at_least(4), 5u);
+  EXPECT_EQ(next_prime_at_least(90), 97u);
+  EXPECT_EQ(next_prime_at_least(1000000), 1000003u);
+}
+
+TEST(Modulus, RejectsBadModuli) {
+  EXPECT_THROW(Modulus(0), CheckFailure);
+  EXPECT_THROW(Modulus(1), CheckFailure);
+  EXPECT_THROW(Modulus(1ULL << 62), CheckFailure);
+}
+
+TEST(Modulus, AddSub) {
+  Modulus m(13);
+  EXPECT_EQ(m.add(6, 6), 12u);
+  EXPECT_EQ(m.add(6, 7), 0u);
+  EXPECT_EQ(m.add(12, 12), 11u);
+  EXPECT_EQ(m.sub(5, 3), 2u);
+  EXPECT_EQ(m.sub(3, 5), 11u);
+  EXPECT_EQ(m.sub(0, 12), 1u);
+}
+
+TEST(Modulus, MulMatchesWideReference) {
+  Rng rng(11);
+  for (std::uint64_t p : std::vector<std::uint64_t>{
+           13, 1000000007, kMersenne61, (1ULL << 61) + 129}) {
+    if (!is_prime(p)) continue;
+    Modulus m(p);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t a = rng.next_below(p);
+      const std::uint64_t b = rng.next_below(p);
+      const auto expect = static_cast<std::uint64_t>(
+          static_cast<__uint128_t>(a) * b % p);
+      EXPECT_EQ(m.mul(a, b), expect);
+    }
+  }
+}
+
+TEST(Modulus, Mersenne61EdgeCases) {
+  Modulus m(kMersenne61);
+  EXPECT_EQ(m.mul(kMersenne61 - 1, kMersenne61 - 1),
+            static_cast<std::uint64_t>(
+                static_cast<__uint128_t>(kMersenne61 - 1) *
+                (kMersenne61 - 1) % kMersenne61));
+  EXPECT_EQ(m.mul(0, kMersenne61 - 1), 0u);
+  EXPECT_EQ(m.mul(1, kMersenne61 - 1), kMersenne61 - 1);
+}
+
+TEST(Modulus, PowAndInverse) {
+  Modulus m(1000000007ULL);
+  EXPECT_EQ(m.pow(2, 10), 1024u);
+  EXPECT_EQ(m.pow(5, 0), 1u);
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = 1 + rng.next_below(m.value() - 1);
+    EXPECT_EQ(m.mul(a, m.inv(a)), 1u);
+  }
+  EXPECT_THROW(m.inv(0), CheckFailure);
+}
+
+TEST(Modulus, FermatLittleTheorem) {
+  Modulus m(97);
+  for (std::uint64_t a = 1; a < 97; ++a) {
+    EXPECT_EQ(m.pow(a, 96), 1u);
+  }
+}
+
+TEST(Modulus, PolyEvalHorner) {
+  Modulus m(101);
+  // f(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38.
+  EXPECT_EQ(m.poly_eval({3, 2, 1}, 5), 38u);
+  // Empty polynomial is zero.
+  EXPECT_EQ(m.poly_eval({}, 7), 0u);
+  // Constant.
+  EXPECT_EQ(m.poly_eval({42}, 99), 42u);
+  // Coefficients reduce mod p.
+  EXPECT_EQ(m.poly_eval({102}, 0), 1u);
+}
+
+}  // namespace
+}  // namespace dmpc::field

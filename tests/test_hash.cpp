@@ -1,0 +1,183 @@
+// Unit tests for src/hash: k-wise independence (verified by exhaustive
+// enumeration on small families), seed spaces, and small sequence families.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "field/primes.hpp"
+#include "hash/kwise.hpp"
+#include "hash/seed.hpp"
+#include "hash/small_family.hpp"
+#include "support/check.hpp"
+
+namespace dmpc::hash {
+namespace {
+
+TEST(KWiseFamily, BasicShape) {
+  KWiseFamily family(100, 100, 2);
+  EXPECT_EQ(family.k(), 2u);
+  EXPECT_GE(family.p(), 100u);
+  EXPECT_TRUE(field::is_prime(family.p()));
+  EXPECT_TRUE(family.enumerable());
+  EXPECT_EQ(family.seed_count(), family.p() * family.p());
+}
+
+TEST(KWiseFamily, RejectsBadParameters) {
+  EXPECT_THROW(KWiseFamily(10, 0, 2), CheckFailure);
+  EXPECT_THROW(KWiseFamily(10, 10, 0), CheckFailure);
+  EXPECT_THROW(KWiseFamily(10, 10, 2, 4), CheckFailure);   // 4 not prime
+  EXPECT_THROW(KWiseFamily(10, 10, 2, 7), CheckFailure);   // 7 < domain
+}
+
+TEST(KWiseFamily, SeedZeroIsConstantSeedOneIsIdentity) {
+  // Seed indexing puts the linear coefficient in the lowest digit.
+  KWiseFamily family(10, 10, 2, 11);
+  const auto f0 = family.at(0);
+  const auto f1 = family.at(1);
+  for (std::uint64_t x = 0; x < 10; ++x) {
+    EXPECT_EQ(f0.raw(x), 0u);
+    EXPECT_EQ(f1.raw(x), x % 11);
+  }
+}
+
+TEST(KWiseFamily, SeedWrapsModFamilySize) {
+  KWiseFamily family(5, 5, 2, 5);
+  EXPECT_EQ(family.seed_count(), 25u);
+  for (std::uint64_t x = 0; x < 5; ++x) {
+    EXPECT_EQ(family.eval(3, x), family.eval(3 + 25, x));
+  }
+}
+
+// Exhaustive pairwise-independence check: over the whole family, every pair
+// of distinct inputs takes every pair of raw values exactly once.
+TEST(KWiseFamily, PairwiseIndependenceExhaustive) {
+  const std::uint64_t p = 13;
+  KWiseFamily family(p, p, 2, p);
+  for (std::uint64_t x1 : {0ULL, 3ULL, 12ULL}) {
+    for (std::uint64_t x2 : {1ULL, 7ULL}) {
+      ASSERT_NE(x1, x2);
+      std::map<std::pair<std::uint64_t, std::uint64_t>, int> counts;
+      for (std::uint64_t seed = 0; seed < family.seed_count(); ++seed) {
+        const auto fn = family.at(seed);
+        ++counts[{fn.raw(x1), fn.raw(x2)}];
+      }
+      EXPECT_EQ(counts.size(), p * p);
+      for (const auto& [pair, count] : counts) EXPECT_EQ(count, 1);
+    }
+  }
+}
+
+// 3-wise: each value triple for 3 distinct inputs appears exactly once.
+TEST(KWiseFamily, ThreeWiseIndependenceExhaustive) {
+  const std::uint64_t p = 7;
+  KWiseFamily family(p, p, 3, p);
+  ASSERT_EQ(family.seed_count(), p * p * p);
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, int>
+      counts;
+  for (std::uint64_t seed = 0; seed < family.seed_count(); ++seed) {
+    const auto fn = family.at(seed);
+    ++counts[{fn.raw(0), fn.raw(2), fn.raw(5)}];
+  }
+  EXPECT_EQ(counts.size(), p * p * p);
+  for (const auto& [triple, count] : counts) EXPECT_EQ(count, 1);
+}
+
+TEST(KWiseFamily, LargeFamilyNotEnumerable) {
+  KWiseFamily family(1ULL << 40, 1ULL << 40, 4);
+  EXPECT_FALSE(family.enumerable());
+  EXPECT_EQ(family.seed_count(), UINT64_MAX);
+  // Evaluation still works.
+  const auto fn = family.at(123456789);
+  EXPECT_LT(fn(42), 1ULL << 40);
+  EXPECT_LT(fn.raw(42), family.p());
+}
+
+TEST(KWiseFamily, DeterministicAcrossMaterializations) {
+  KWiseFamily family(1000, 1000, 4);
+  const auto a = family.at(987654321);
+  const auto b = family.at(987654321);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a.raw(x), b.raw(x));
+}
+
+TEST(SeedSpace, ComposeDecomposeRoundTrip) {
+  SeedSpace space({5, 7, 3});
+  EXPECT_EQ(space.size(), 105u);
+  for (std::uint64_t seed = 0; seed < space.size(); ++seed) {
+    const auto digits = space.decompose(seed);
+    EXPECT_EQ(space.compose(digits), seed);
+  }
+}
+
+TEST(SeedSpace, SuffixSizes) {
+  SeedSpace space({5, 7, 3});
+  EXPECT_EQ(space.suffix_size(0), 105u);
+  EXPECT_EQ(space.suffix_size(1), 21u);
+  EXPECT_EQ(space.suffix_size(2), 3u);
+  EXPECT_EQ(space.suffix_size(3), 1u);
+}
+
+TEST(SeedSpace, AssembleMatchesCompose) {
+  SeedSpace space({4, 5, 6});
+  // prefix = {2}, candidate 3 for chunk 1, suffix enumerates chunk 2.
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    const auto seed = space.assemble({2}, 3, s);
+    const auto digits = space.decompose(seed);
+    EXPECT_EQ(digits[0], 2u);
+    EXPECT_EQ(digits[1], 3u);
+    EXPECT_EQ(digits[2], s);
+  }
+}
+
+TEST(SeedSpace, UniformFactory) {
+  const auto space = SeedSpace::uniform(8, 4);
+  EXPECT_EQ(space.chunk_count(), 4u);
+  EXPECT_EQ(space.size(), 4096u);
+}
+
+TEST(SeedSpace, OverflowRejected) {
+  EXPECT_THROW(SeedSpace::uniform(1ULL << 32, 3), CheckFailure);
+}
+
+TEST(SmallFamily, CoversColorSpace) {
+  SmallFamily family(256);
+  EXPECT_EQ(family.color_count(), 256u);
+  EXPECT_GE(family.p(), 256u);
+  const auto fn = family.at(7);
+  for (std::uint64_t c = 0; c < 256; ++c) {
+    EXPECT_LT(fn(c), 257u);  // range = max(2, colors)
+  }
+}
+
+TEST(FunctionSequence, PhaseSeedsDecomposeCorrectly) {
+  SmallFamily family(16);
+  FunctionSequence seq(family, 3, 10);
+  EXPECT_EQ(seq.per_phase_seeds(), 10u);
+  EXPECT_EQ(seq.sequence_count(), 1000u);
+  // Sequence seed 123 = digits (1, 2, 3) in base 10.
+  EXPECT_EQ(seq.phase_seed(123, 0), 1u);
+  EXPECT_EQ(seq.phase_seed(123, 1), 2u);
+  EXPECT_EQ(seq.phase_seed(123, 2), 3u);
+}
+
+TEST(FunctionSequence, DiverseVariesAllPhases) {
+  SmallFamily family(64);
+  FunctionSequence seq(family, 4, 64);
+  // Two different t produce different digits in (at least) the first phase.
+  const auto s0 = seq.diverse(0);
+  const auto s1 = seq.diverse(1);
+  EXPECT_NE(seq.phase_seed(s0, 0), seq.phase_seed(s1, 0));
+  EXPECT_NE(seq.phase_seed(s0, 3), seq.phase_seed(s1, 3));
+  // And within one candidate, phases get distinct seeds (offset mixing).
+  EXPECT_NE(seq.phase_seed(s0, 0), seq.phase_seed(s0, 1));
+}
+
+TEST(FunctionSequence, CapLimitsPerPhaseSeeds) {
+  SmallFamily family(8);
+  FunctionSequence seq(family, 2, 1ULL << 40);
+  EXPECT_EQ(seq.per_phase_seeds(), family.seed_count());
+}
+
+}  // namespace
+}  // namespace dmpc::hash

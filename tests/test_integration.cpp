@@ -1,0 +1,113 @@
+// Integration tests: full pipelines cross-checked against each other and
+// against the sequential ground truth, across generator families.
+#include <gtest/gtest.h>
+
+#include "api/solve.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/luby_matching.hpp"
+#include "baselines/luby_mis.hpp"
+#include "cclique/cc_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "graph/validate.hpp"
+#include "lowdeg/lowdeg_solver.hpp"
+#include "matching/det_matching.hpp"
+#include "mis/det_mis.hpp"
+
+namespace dmpc {
+namespace {
+
+using graph::Graph;
+
+std::vector<Graph> test_suite() {
+  std::vector<Graph> graphs;
+  graphs.push_back(graph::gnm(200, 1200, 1));
+  graphs.push_back(graph::power_law(250, 1000, 2.5, 2));
+  graphs.push_back(graph::random_regular(250, 6, 3));
+  graphs.push_back(graph::random_bipartite(100, 120, 900, 4));
+  graphs.push_back(graph::grid(14, 14));
+  graphs.push_back(graph::random_tree(200, 5));
+  graphs.push_back(graph::lopsided(3, 30, 80, 150, 6));
+  graphs.push_back(graph::disjoint_union(graph::cycle(31), graph::star(40)));
+  return graphs;
+}
+
+TEST(Integration, EverySolverValidOnEveryFamily) {
+  for (const Graph& g : test_suite()) {
+    // Sequential ground truth.
+    EXPECT_TRUE(
+        graph::is_maximal_independent_set(g, baselines::greedy_mis(g)));
+    EXPECT_TRUE(
+        graph::is_maximal_matching(g, baselines::greedy_matching(g)));
+    // Randomized baselines.
+    EXPECT_TRUE(graph::is_maximal_independent_set(
+        g, baselines::luby_mis(g, 17).in_set));
+    EXPECT_TRUE(graph::is_maximal_matching(
+        g, baselines::luby_matching(g, 17).matching));
+    // Deterministic MPC pipelines.
+    EXPECT_TRUE(graph::is_maximal_independent_set(
+        g, mis::det_mis(g, {}).in_set));
+    EXPECT_TRUE(graph::is_maximal_matching(
+        g, matching::det_maximal_matching(g, {}).matching));
+    // Façade (auto dispatch).
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, solve_mis(g).in_set));
+    EXPECT_TRUE(
+        graph::is_maximal_matching(g, solve_maximal_matching(g).matching));
+  }
+}
+
+TEST(Integration, LowDegAndSparsificationAgreeOnValidity) {
+  // Both paths must produce valid (not identical) solutions where both
+  // apply: bounded-degree inputs.
+  const Graph g = graph::random_regular(300, 5, 7);
+  const auto a = lowdeg::lowdeg_mis(g, {});
+  const auto b = mis::det_mis(g, {});
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, a.in_set));
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, b.in_set));
+}
+
+TEST(Integration, MatchingIsMisOfLineGraph) {
+  const Graph g = graph::random_regular(150, 4, 8);
+  const auto result = matching::det_maximal_matching(g, {});
+  // The matched edge set, viewed as nodes of L(G), is an independent set
+  // (maximality in L(G) is exactly maximality of the matching).
+  const Graph lg = graph::line_graph(g);
+  std::vector<bool> in_set(lg.num_nodes(), false);
+  for (auto e : result.matching) in_set[e] = true;
+  EXPECT_TRUE(graph::is_maximal_independent_set(lg, in_set));
+}
+
+TEST(Integration, DetPipelinesProgressMonotonically) {
+  const Graph g = graph::gnm(300, 2400, 9);
+  const auto mm = matching::det_maximal_matching(g, {});
+  for (std::size_t i = 1; i < mm.reports.size(); ++i) {
+    EXPECT_LE(mm.reports[i].edges_before, mm.reports[i - 1].edges_after);
+  }
+  const auto mis = mis::det_mis(g, {});
+  for (std::size_t i = 1; i < mis.reports.size(); ++i) {
+    EXPECT_LE(mis.reports[i].edges_before, mis.reports[i - 1].edges_after);
+  }
+}
+
+TEST(Integration, CongestedCliqueMatchesMpcValidity) {
+  const Graph g = graph::random_regular(200, 4, 10);
+  const auto cc = cclique::cc_mis(g);
+  const auto mpc = solve_mis(g);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, cc.in_set));
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, mpc.in_set));
+}
+
+TEST(Integration, MisSizesAreComparableAcrossSolvers) {
+  // All MIS algorithms produce maximal sets; sizes should be within a small
+  // factor of each other (sanity against degenerate outputs).
+  const Graph g = graph::gnm(400, 2400, 11);
+  const auto greedy = baselines::greedy_mis(g);
+  const auto det = mis::det_mis(g, {}).in_set;
+  const auto g_size = std::count(greedy.begin(), greedy.end(), true);
+  const auto d_size = std::count(det.begin(), det.end(), true);
+  EXPECT_GT(d_size, g_size / 3);
+  EXPECT_LT(d_size, g_size * 3);
+}
+
+}  // namespace
+}  // namespace dmpc

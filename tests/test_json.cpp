@@ -1,0 +1,76 @@
+// Tests for the JSON writer and run-report serialization.
+#include <gtest/gtest.h>
+
+#include "api/report_json.hpp"
+#include "graph/generators.hpp"
+#include "matching/det_matching.hpp"
+#include "mis/det_mis.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace dmpc {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsPreserveOrderAndOverwrite) {
+  auto j = Json::object();
+  j.set("b", 1).set("a", 2).set("b", 3);
+  EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  auto arr = Json::array();
+  arr.push(1).push("x").push(Json::object().set("k", Json::array()));
+  EXPECT_EQ(arr.dump(), "[1,\"x\",{\"k\":[]}]");
+}
+
+TEST(Json, PrettyPrint) {
+  auto j = Json::object().set("a", 1);
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  auto arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), CheckFailure);
+  auto obj = Json::object();
+  EXPECT_THROW(obj.push(1), CheckFailure);
+}
+
+TEST(ReportJson, MatchingRunSerializes) {
+  const auto g = graph::gnm(128, 512, 1);
+  const auto result = matching::det_maximal_matching(g, {});
+  const auto j = to_json(result);
+  const auto text = j.dump(2);
+  EXPECT_NE(text.find("\"matching_size\""), std::string::npos);
+  EXPECT_NE(text.find("\"rounds_by_label\""), std::string::npos);
+  EXPECT_NE(text.find("\"trace\""), std::string::npos);
+  EXPECT_NE(text.find("\"progress_fraction\""), std::string::npos);
+}
+
+TEST(ReportJson, MisRunSerializes) {
+  const auto g = graph::gnm(128, 512, 2);
+  const auto result = mis::det_mis(g, {});
+  const auto text = to_json(result).dump();
+  EXPECT_NE(text.find("\"mis_size\""), std::string::npos);
+  EXPECT_NE(text.find("\"qprime_max_degree\""), std::string::npos);
+  // Deterministic runs serialize identically.
+  const auto again = to_json(mis::det_mis(g, {})).dump();
+  EXPECT_EQ(text, again);
+}
+
+}  // namespace
+}  // namespace dmpc

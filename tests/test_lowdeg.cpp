@@ -1,0 +1,197 @@
+// Tests for the §5 low-degree pipeline: coloring, neighborhoods, phase
+// compression, and the combined O(log Delta + log log n) solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "lowdeg/coloring.hpp"
+#include "lowdeg/lowdeg_solver.hpp"
+#include "lowdeg/neighborhoods.hpp"
+#include "lowdeg/phase_compression.hpp"
+#include "mpc/cluster.hpp"
+
+namespace dmpc::lowdeg {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+mpc::Cluster roomy_cluster() {
+  mpc::ClusterConfig config;
+  config.machine_space = 1 << 16;
+  config.num_machines = 1 << 10;
+  return mpc::Cluster(config);
+}
+
+TEST(Coloring, ProperWithQuadraticPalette) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::random_regular(400, 5, 1);
+  const auto result = linial_coloring(cluster, g);
+  EXPECT_TRUE(graph::is_proper_coloring(g, result.color));
+  // O(Delta^2) with modest constants: q <= next prime > k * Delta.
+  EXPECT_LE(result.num_colors, 400u);
+  EXPECT_GE(result.reduction_steps, 1u);
+}
+
+TEST(Coloring, Distance2IsValidAndSmall) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::random_regular(300, 4, 2);
+  const auto result = distance2_coloring(cluster, g);
+  EXPECT_TRUE(graph::is_distance2_coloring(g, result.color));
+  // Palette min(n, O(Delta^4)): Delta = 4 -> G^2 degree <= 16, fixed point
+  // (2*16+k)^2 ~ 1369; at n = 300 the identity palette is already smaller.
+  EXPECT_LE(result.num_colors, 300u);
+  const Graph big = graph::random_regular(4000, 4, 3);
+  const auto big_result = distance2_coloring(cluster, big);
+  EXPECT_TRUE(graph::is_distance2_coloring(big, big_result.color));
+  EXPECT_LE(big_result.num_colors, 1600u);  // (2*D+8)^2 for D = Delta^2
+}
+
+TEST(Coloring, PathGetsTinyPalette) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::path(512);
+  const auto result = distance2_coloring(cluster, g);
+  EXPECT_TRUE(graph::is_distance2_coloring(g, result.color));
+  // G^2 of a path has degree <= 4: fixed point (2*4+3)^2 = 121.
+  EXPECT_LE(result.num_colors, 128u);
+}
+
+TEST(Coloring, ChargesOLogStarRounds) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::random_regular(400, 5, 3);
+  const auto result = linial_coloring(cluster, g);
+  EXPECT_LE(result.reduction_steps, 8u);  // log* 400 plus slack
+  EXPECT_GE(cluster.metrics().rounds(), result.reduction_steps);
+}
+
+TEST(Neighborhoods, BallsAreCorrect) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::cycle(12);
+  std::vector<bool> alive(12, true);
+  const auto gather = gather_neighborhoods(cluster, g, alive, 2);
+  for (NodeId v = 0; v < 12; ++v) {
+    EXPECT_EQ(gather.balls[v].size(), 5u);  // v, two each side
+  }
+  EXPECT_EQ(gather.max_ball, 5u);
+}
+
+TEST(Neighborhoods, RespectsAliveMaskAndRadius) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::path(10);
+  std::vector<bool> alive(10, true);
+  alive[5] = false;  // cuts the path
+  const auto gather = gather_neighborhoods(cluster, g, alive, 10);
+  // Node 0's ball stops at node 4.
+  EXPECT_EQ(gather.balls[0].size(), 5u);
+  EXPECT_TRUE(gather.balls[5].empty());
+}
+
+TEST(Neighborhoods, ChargesLogRounds) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::cycle(32);
+  std::vector<bool> alive(32, true);
+  const auto g4 = gather_neighborhoods(cluster, g, alive, 4);
+  EXPECT_EQ(g4.rounds_charged, 3u);  // ceil(log2 4) + 1
+}
+
+TEST(PhaseCompression, StageRemovesEdges) {
+  auto cluster = roomy_cluster();
+  const Graph g = graph::random_regular(200, 4, 4);
+  const auto coloring = distance2_coloring_raw(g);
+  hash::SmallFamily family(std::max<std::uint32_t>(coloring.num_colors, 2));
+  hash::FunctionSequence sequence(family, 3, 1024);
+  std::vector<bool> alive(g.num_nodes(), true);
+  const auto outcome = run_stage(cluster, g, alive, coloring.color, sequence,
+                                 /*budget=*/32);
+  EXPECT_LT(outcome.edges_after, outcome.edges_before);
+  EXPECT_FALSE(outcome.independent.empty());
+  // The committed set is independent and consistent with `alive`.
+  for (NodeId v : outcome.independent) {
+    EXPECT_FALSE(alive[v]);
+    for (NodeId u : g.neighbors(v)) EXPECT_FALSE(alive[u]);
+  }
+  std::vector<bool> in_set(g.num_nodes(), false);
+  for (NodeId v : outcome.independent) in_set[v] = true;
+  EXPECT_TRUE(graph::is_independent_set(g, in_set));
+}
+
+TEST(PhaseCompression, SimulationIsPureFunction) {
+  const Graph g = graph::random_regular(100, 4, 5);
+  const auto coloring = distance2_coloring_raw(g);
+  hash::SmallFamily family(std::max<std::uint32_t>(coloring.num_colors, 2));
+  hash::FunctionSequence sequence(family, 2, 64);
+  std::vector<bool> alive(g.num_nodes(), true);
+  const auto a = simulate_stage(g, alive, coloring.color, sequence, 17);
+  const auto b = simulate_stage(g, alive, coloring.color, sequence, 17);
+  EXPECT_EQ(a, b);
+  // alive is untouched.
+  EXPECT_TRUE(std::all_of(alive.begin(), alive.end(), [](bool x) { return x; }));
+}
+
+TEST(LowDegSolver, PhasesScaleInverselyWithLogDelta) {
+  LowDegConfig config;
+  const auto l_small = phases_for(config, 1 << 16, 2);
+  const auto l_big = phases_for(config, 1 << 16, 64);
+  EXPECT_GT(l_small, l_big);
+  EXPECT_GE(l_big, 1u);
+}
+
+TEST(LowDegSolver, MisValidOnBoundedDegree) {
+  for (std::uint64_t seed : {1, 2}) {
+    const Graph g = graph::random_regular(400, 6, seed);
+    const auto result = lowdeg_mis(g, LowDegConfig{});
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, result.in_set));
+    EXPECT_GE(result.phases_per_stage, 1u);
+    EXPECT_GT(result.colors, 0u);
+  }
+}
+
+TEST(LowDegSolver, MisDeterministic) {
+  const Graph g = graph::random_regular(300, 5, 3);
+  const auto a = lowdeg_mis(g, LowDegConfig{});
+  const auto b = lowdeg_mis(g, LowDegConfig{});
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.metrics.rounds(), b.metrics.rounds());
+}
+
+TEST(LowDegSolver, StageCountLogarithmicInDelta) {
+  // Theorem 1 shape: stages = O(log Delta) once the O(log log n)
+  // preprocessing is done. Generous constant at this scale.
+  const Graph g = graph::random_regular(2048, 4, 4);
+  const auto result = lowdeg_mis(g, LowDegConfig{});
+  EXPECT_LE(result.stages, 40u);
+}
+
+TEST(LowDegSolver, StructuredFamilies) {
+  for (const Graph& g : {graph::cycle(128), graph::path(128),
+                         graph::grid(12, 12), graph::random_tree(128, 5)}) {
+    const auto result = lowdeg_mis(g, LowDegConfig{});
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, result.in_set));
+  }
+}
+
+TEST(LowDegSolver, EmptyAndEdgelessGraphs) {
+  const Graph edgeless = Graph::from_edges(5, {});
+  const auto result = lowdeg_mis(edgeless, LowDegConfig{});
+  EXPECT_EQ(std::count(result.in_set.begin(), result.in_set.end(), true), 5);
+}
+
+TEST(LowDegSolver, MatchingViaLineGraph) {
+  for (std::uint64_t seed : {1, 2}) {
+    const Graph g = graph::random_regular(200, 5, seed + 10);
+    const auto result = lowdeg_matching(g, LowDegConfig{});
+    EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+  }
+}
+
+TEST(LowDegSolver, MatchingOnPath) {
+  const Graph g = graph::path(50);
+  const auto result = lowdeg_matching(g, LowDegConfig{});
+  EXPECT_TRUE(graph::is_maximal_matching(g, result.matching));
+  EXPECT_GE(result.matching.size(), 17u);  // maximal matching of P50 >= 17
+}
+
+}  // namespace
+}  // namespace dmpc::lowdeg

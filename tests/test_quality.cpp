@@ -1,0 +1,76 @@
+// Solution-quality tests: the classic approximation guarantees that
+// maximal solutions carry, verified against exact references.
+#include <gtest/gtest.h>
+
+#include "api/solve.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/luby_colored.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace dmpc {
+namespace {
+
+using graph::Graph;
+
+// Any maximal matching has size >= (1/2) * maximum matching. Verify the
+// deterministic solver against Hopcroft-Karp on bipartite instances.
+TEST(Quality, MaximalMatchingIsHalfOfMaximumBipartite) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = graph::random_bipartite(60, 60, 400, seed);
+    const auto maximum = graph::hopcroft_karp(g);
+    const auto solution = solve_maximal_matching(g);
+    EXPECT_GE(2 * solution.matching.size(), maximum.size);
+    EXPECT_LE(solution.matching.size(), maximum.size);
+  }
+}
+
+TEST(Quality, MatchingOnStructuredBipartite) {
+  // Grid graphs are bipartite with a perfect/near-perfect matching.
+  const Graph g = graph::grid(10, 10);
+  const auto maximum = graph::hopcroft_karp(g);
+  EXPECT_EQ(maximum.size, 50u);
+  const auto solution = solve_maximal_matching(g);
+  EXPECT_GE(2 * solution.matching.size(), maximum.size);
+}
+
+// MIS size bounds: any MIS has size >= n / (Delta + 1).
+TEST(Quality, MisSizeLowerBound) {
+  for (std::uint64_t seed : {4, 5}) {
+    const Graph g = graph::random_regular(300, 6, seed);
+    const auto solution = solve_mis(g);
+    std::size_t size = 0;
+    for (bool b : solution.in_set) size += b;
+    EXPECT_GE(size * (g.max_degree() + 1), g.num_nodes());
+  }
+}
+
+// §5.1 randomized baseline: valid, and its seeds really are small.
+TEST(Quality, ColoredLubyValidWithSmallSeeds) {
+  const Graph g = graph::random_regular(400, 4, 6);
+  const auto result = baselines::luby_mis_colored(g, 7);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, result.in_set));
+  EXPECT_GT(result.colors, 0u);
+  // Palette is min(n, poly(Delta)): at n = 400 the identity palette can be
+  // the fixed point; either way the seed stays O(log colors) bits.
+  EXPECT_LE(result.colors, 1600u);
+  // O(log Delta) bits: palette is poly(Delta), far below poly(n) seeds.
+  EXPECT_LE(result.seed_bits_per_phase, 24u);
+  EXPECT_LE(result.phases, 40u);
+}
+
+TEST(Quality, ColoredLubyMatchesClassicLubyShape) {
+  const Graph g = graph::random_regular(500, 5, 8);
+  const auto colored = baselines::luby_mis_colored(g, 9);
+  // Classic greedy reference: both are maximal, sizes within a small factor.
+  const auto greedy = baselines::greedy_mis(g);
+  const auto colored_size =
+      std::count(colored.in_set.begin(), colored.in_set.end(), true);
+  const auto greedy_size = std::count(greedy.begin(), greedy.end(), true);
+  EXPECT_GT(colored_size * 2, greedy_size);
+  EXPECT_LT(colored_size, greedy_size * 2);
+}
+
+}  // namespace
+}  // namespace dmpc

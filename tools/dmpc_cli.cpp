@@ -1,0 +1,251 @@
+// dmpc — command-line front end.
+//
+//   dmpc gen      --family=gnm --n=1000 --m=8000 [--seed=1] --out=g.txt
+//   dmpc stats    --in=g.txt
+//   dmpc mis      --in=g.txt [--eps=0.5] [--algorithm=auto|sparse|lowdeg]
+//                 [--out=mis.txt]
+//   dmpc matching --in=g.txt [--eps=0.5] [--out=matching.txt]
+//   dmpc cover    --in=g.txt [--out=cover.txt]
+//   dmpc color    --in=g.txt [--out=colors.txt]
+//
+// Graphs are plain edge lists: "n m" header then "u v" per line.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "api/report_json.hpp"
+#include "api/solve.hpp"
+#include "apps/derand_coloring.hpp"
+#include "apps/reductions.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/io.hpp"
+#include "support/check.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+using dmpc::graph::EdgeId;
+using dmpc::graph::Graph;
+using dmpc::graph::NodeId;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dmpc <gen|stats|mis|matching|cover|color> [--options]\n"
+               "see the header of tools/dmpc_cli.cpp for details\n");
+  return 2;
+}
+
+Graph generate(const dmpc::ArgParser& args) {
+  const std::string family = args.get("family", "gnm");
+  const auto n = static_cast<NodeId>(args.get_int("n", 1000));
+  const auto m = static_cast<EdgeId>(args.get_int("m", 8 * args.get_int("n", 1000)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (family == "gnm") return dmpc::graph::gnm(n, m, seed);
+  if (family == "gnp") {
+    return dmpc::graph::gnp(n, args.get_double("p", 0.01), seed);
+  }
+  if (family == "power_law") {
+    return dmpc::graph::power_law(n, m, args.get_double("beta", 2.5), seed);
+  }
+  if (family == "regular") {
+    return dmpc::graph::random_regular(
+        n, static_cast<std::uint32_t>(args.get_int("d", 8)), seed);
+  }
+  if (family == "bipartite") {
+    return dmpc::graph::random_bipartite(n / 2, n - n / 2, m, seed);
+  }
+  if (family == "grid") {
+    const auto side = static_cast<NodeId>(args.get_int("side", 32));
+    return dmpc::graph::grid(side, side);
+  }
+  if (family == "tree") return dmpc::graph::random_tree(n, seed);
+  if (family == "star") return dmpc::graph::star(n - 1);
+  if (family == "lopsided") {
+    return dmpc::graph::lopsided(
+        static_cast<NodeId>(args.get_int("core", 4)),
+        static_cast<std::uint32_t>(args.get_int("core_degree", 64)), n, m,
+        seed);
+  }
+  DMPC_CHECK_MSG(false, "unknown family: " << family);
+  return {};
+}
+
+dmpc::SolveOptions solve_options(const dmpc::ArgParser& args) {
+  dmpc::SolveOptions options;
+  options.eps = args.get_double("eps", 0.5);
+  const std::string algo = args.get("algorithm", "auto");
+  if (algo == "sparse") {
+    options.algorithm = dmpc::Algorithm::kSparsification;
+  } else if (algo == "lowdeg") {
+    options.algorithm = dmpc::Algorithm::kLowDegree;
+  } else {
+    DMPC_CHECK_MSG(algo == "auto", "unknown algorithm: " << algo);
+  }
+  return options;
+}
+
+void print_report(const dmpc::SolveReport& report) {
+  std::printf("algorithm=%s iterations=%llu rounds=%llu peak_load=%llu "
+              "communication=%llu\n",
+              report.algorithm_used.c_str(),
+              (unsigned long long)report.iterations,
+              (unsigned long long)report.metrics.rounds(),
+              (unsigned long long)report.metrics.peak_machine_load(),
+              (unsigned long long)report.metrics.total_communication());
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  DMPC_CHECK_MSG(out.good(), "cannot open " + path);
+  return out;
+}
+
+int cmd_gen(const dmpc::ArgParser& args) {
+  const auto g = generate(args);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    dmpc::graph::write_edge_list(g, std::cout);
+  } else {
+    dmpc::graph::write_edge_list_file(g, out);
+  }
+  std::fprintf(stderr, "generated n=%u m=%llu max_degree=%u\n", g.num_nodes(),
+               (unsigned long long)g.num_edges(), g.max_degree());
+  return 0;
+}
+
+int cmd_stats(const dmpc::ArgParser& args) {
+  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
+  const auto stats = dmpc::graph::compute_stats(g);
+  std::printf("nodes=%u edges=%llu components=%u isolated=%u\n", stats.nodes,
+              (unsigned long long)stats.edges, stats.components,
+              stats.isolated_nodes);
+  std::printf("degree: min=%u max=%u mean=%.2f density=%.5f\n",
+              stats.min_degree, stats.max_degree, stats.mean_degree,
+              stats.density);
+  std::printf("triangles=%llu clustering=%.4f\n",
+              (unsigned long long)stats.triangles, stats.clustering);
+  std::printf("degree histogram (log2 buckets):");
+  for (const auto count : dmpc::graph::degree_histogram_log2(g)) {
+    std::printf(" %llu", (unsigned long long)count);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_mis(const dmpc::ArgParser& args) {
+  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
+  const auto solution = dmpc::solve_mis(g, solve_options(args));
+  std::size_t size = 0;
+  for (bool b : solution.in_set) size += b;
+  if (args.has("json")) {
+    auto j = dmpc::to_json(solution.report);
+    j.set("mis_size", static_cast<std::uint64_t>(size));
+    std::printf("%s\n", j.dump(2).c_str());
+  } else {
+    std::printf("mis_size=%zu\n", size);
+    print_report(solution.report);
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    auto f = open_out(out);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (solution.in_set[v]) f << v << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_matching(const dmpc::ArgParser& args) {
+  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
+  const auto solution = dmpc::solve_maximal_matching(g, solve_options(args));
+  if (args.has("json")) {
+    auto j = dmpc::to_json(solution.report);
+    j.set("matching_size",
+          static_cast<std::uint64_t>(solution.matching.size()));
+    std::printf("%s\n", j.dump(2).c_str());
+  } else {
+    std::printf("matching_size=%zu\n", solution.matching.size());
+    print_report(solution.report);
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    auto f = open_out(out);
+    for (const auto e : solution.matching) {
+      f << g.edge(e).u << ' ' << g.edge(e).v << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_cover(const dmpc::ArgParser& args) {
+  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
+  const auto result = dmpc::apps::vertex_cover_2approx(g, solve_options(args));
+  std::printf("cover_size=%llu matching_lower_bound=%llu (<= 2x OPT)\n",
+              (unsigned long long)result.cover_size,
+              (unsigned long long)result.matching_size);
+  print_report(result.report);
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    auto f = open_out(out);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (result.in_cover[v]) f << v << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_color(const dmpc::ArgParser& args) {
+  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
+  std::vector<std::uint32_t> colors;
+  std::uint32_t used = 0;
+  if (args.has("native")) {
+    // Native derandomized trial coloring (apps/derand_coloring.hpp).
+    auto result = dmpc::apps::derand_coloring(g);
+    std::printf("colors_used=%u (palette Delta+1 = %u) rounds=%llu "
+                "mpc_rounds=%llu\n",
+                result.colors_used, g.max_degree() + 1,
+                (unsigned long long)result.rounds,
+                (unsigned long long)result.metrics.rounds());
+    colors = std::move(result.color);
+    used = result.colors_used;
+  } else {
+    auto result =
+        dmpc::apps::delta_plus_one_coloring(g, solve_options(args));
+    std::printf("colors_used=%u (palette Delta+1 = %u)\n",
+                result.colors_used, g.max_degree() + 1);
+    print_report(result.report);
+    colors = std::move(result.color);
+    used = result.colors_used;
+  }
+  (void)used;
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    auto f = open_out(out);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      f << v << ' ' << colors[v] << '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const dmpc::ArgParser args(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "mis") return cmd_mis(args);
+    if (command == "matching") return cmd_matching(args);
+    if (command == "cover") return cmd_cover(args);
+    if (command == "color") return cmd_color(args);
+  } catch (const dmpc::CheckFailure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
