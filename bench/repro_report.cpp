@@ -22,6 +22,8 @@
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
 #include "mpc/cluster.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "sparsify/edge_sparsifier.hpp"
 #include "sparsify/good_nodes.hpp"
 #include "sparsify/node_sparsifier.hpp"
@@ -485,6 +487,33 @@ void e15() {
   }
 }
 
+void e16() {
+  header("E16", "Observability: phase timing breakdown of one traced MIS run");
+  const std::uint64_t n = g_quick ? 512 : 1024;
+  const auto g = dmpc::graph::gnm(static_cast<NodeId>(n),
+                                  static_cast<EdgeId>(8 * n), 1800 + n);
+  dmpc::obs::CollectorSink collector;
+  dmpc::obs::TraceSession session(&collector);
+  dmpc::mis::DetMisConfig config;
+  config.trace = &session;
+  const auto r = dmpc::mis::det_mis(g, config);
+  session.finish();
+  std::printf("| span | count | wall ms | rounds | communication |\n");
+  std::printf("|---|---|---|---|---|\n");
+  for (const auto& stat : dmpc::obs::summarize_spans(collector.events())) {
+    std::printf("| %s | %llu | %.2f | %llu | %llu |\n", stat.name.c_str(),
+                (unsigned long long)stat.count,
+                double(stat.wall_ns) / 1e6,
+                (unsigned long long)stat.rounds,
+                (unsigned long long)stat.communication);
+  }
+  std::printf("\ntrace events: %llu; run totals: rounds=%llu "
+              "communication=%llu\n",
+              (unsigned long long)session.events_emitted(),
+              (unsigned long long)r.metrics.rounds(),
+              (unsigned long long)r.metrics.total_communication());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -505,6 +534,7 @@ int main(int argc, char** argv) {
   e13();
   e14();
   e15();
+  e16();
   std::printf("\n(report complete)\n");
   return 0;
 }

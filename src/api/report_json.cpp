@@ -7,11 +7,21 @@ Json to_json(const mpc::Metrics& metrics) {
   for (const auto& [label, rounds] : metrics.rounds_by_label()) {
     labels.set(label, rounds);
   }
+  Json comm = Json::object();
+  for (const auto& [label, words] : metrics.communication_by_label()) {
+    comm.set(label, words);
+  }
+  Json peak = Json::object();
+  for (const auto& [label, words] : metrics.peak_load_by_label()) {
+    peak.set(label, words);
+  }
   return Json::object()
       .set("rounds", metrics.rounds())
       .set("peak_machine_load", metrics.peak_machine_load())
       .set("total_communication", metrics.total_communication())
-      .set("rounds_by_label", std::move(labels));
+      .set("rounds_by_label", std::move(labels))
+      .set("communication_by_label", std::move(comm))
+      .set("peak_load_by_label", std::move(peak));
 }
 
 Json to_json(const SolveReport& report) {

@@ -31,6 +31,7 @@ MisSolution solve_mis(const graph::Graph& g, const SolveOptions& options) {
       (options.algorithm == Algorithm::kAuto && low_degree_regime(g, options));
   if (lowdeg) {
     lowdeg::LowDegConfig config;
+    config.trace = options.trace;
     config.eps = options.eps;
     config.space_headroom = options.space_headroom;
     auto result = lowdeg::lowdeg_mis(g, config);
@@ -40,6 +41,7 @@ MisSolution solve_mis(const graph::Graph& g, const SolveOptions& options) {
     solution.report.metrics = result.metrics;
   } else {
     mis::DetMisConfig config;
+    config.trace = options.trace;
     config.eps = options.eps;
     config.space_headroom = options.space_headroom;
     auto result = mis::det_mis(g, config);
@@ -59,6 +61,7 @@ MatchingSolution solve_maximal_matching(const graph::Graph& g,
       (options.algorithm == Algorithm::kAuto && low_degree_regime(g, options));
   if (lowdeg) {
     lowdeg::LowDegConfig config;
+    config.trace = options.trace;
     config.eps = options.eps;
     config.space_headroom = options.space_headroom;
     auto result = lowdeg::lowdeg_matching(g, config);
@@ -68,6 +71,7 @@ MatchingSolution solve_maximal_matching(const graph::Graph& g,
     solution.report.metrics = result.line_mis.metrics;
   } else {
     matching::DetMatchingConfig config;
+    config.trace = options.trace;
     config.eps = options.eps;
     config.space_headroom = options.space_headroom;
     auto result = matching::det_maximal_matching(g, config);

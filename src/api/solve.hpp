@@ -14,6 +14,10 @@
 #include "graph/graph.hpp"
 #include "mpc/metrics.hpp"
 
+namespace dmpc::obs {
+class TraceSession;
+}
+
 namespace dmpc {
 
 enum class Algorithm {
@@ -28,6 +32,8 @@ struct SolveOptions {
   double eps = 0.5;
   /// Constant-factor headroom on S (absorbs the paper's O(n^{8 delta})).
   double space_headroom = 8.0;
+  /// Optional tracing sink (non-owning; null = tracing off, zero cost).
+  obs::TraceSession* trace = nullptr;
 };
 
 struct SolveReport {

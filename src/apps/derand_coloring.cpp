@@ -85,8 +85,8 @@ DerandColoringResult derand_coloring(const Graph& g,
     const std::uint64_t depth =
         cluster.tree_depth(std::max<std::uint64_t>(n, 2));
     cluster.metrics().charge_rounds(2 * depth + 2, "coloring/commit");
-    cluster.metrics().add_communication(config.candidates_per_round *
-                                        cluster.machines());
+    cluster.metrics().add_communication(
+        config.candidates_per_round * cluster.machines(), "coloring/commit");
     std::vector<std::pair<NodeId, std::uint32_t>> best;
     std::uint64_t trial = 0;
     while (best.empty()) {

@@ -31,7 +31,7 @@ class CongestedClique {
   /// Charge r synchronous all-to-all rounds.
   void charge_rounds(std::uint64_t r, const std::string& label) {
     metrics_.charge_rounds(r, label);
-    metrics_.add_communication(r * n_ * n_);
+    metrics_.add_communication(r * n_ * n_, label);
   }
 
   /// Lenzen routing: any send/receive-balanced instance of `messages`
@@ -40,7 +40,7 @@ class CongestedClique {
     DMPC_CHECK_MSG(messages <= n_ * n_,
                    label << ": routing instance exceeds clique bandwidth");
     metrics_.charge_rounds(2, label);
-    metrics_.add_communication(messages);
+    metrics_.add_communication(messages, label);
   }
 
   /// Per-node memory check: in CONGESTED CLIQUE a node may hold O(n) words

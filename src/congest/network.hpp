@@ -42,7 +42,7 @@ class CongestNetwork {
   /// message each way per round).
   void charge_rounds(std::uint64_t r, const std::string& label) {
     metrics_.charge_rounds(r, label);
-    metrics_.add_communication(r * 2 * g_->num_edges());
+    metrics_.add_communication(r * 2 * g_->num_edges(), label);
   }
 
   /// Charge a converge-cast + broadcast over a BFS tree of depth `depth`,

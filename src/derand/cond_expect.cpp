@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::derand {
@@ -11,8 +12,16 @@ FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
   std::vector<std::uint64_t> prefix;
   prefix.reserve(space.chunk_count());
   FixResult result;
+  obs::Span span(cluster.trace(), options.label);
+  std::uint64_t candidates_swept = 0;
   for (unsigned chunk = 0; chunk < space.chunk_count(); ++chunk) {
     const std::uint64_t radix = space.radix(chunk);
+    // Each chunk is one conditional-expectation sweep: every machine
+    // evaluates its terms for all `radix` candidate digits.
+    obs::Span chunk_span(cluster.trace(),
+                         options.label + "/chunk" + std::to_string(chunk));
+    chunk_span.arg("candidate_seeds", radix);
+    candidates_swept += radix;
     // One chunk: every machine evaluates its conditional term for all
     // candidates; candidates aggregate in tree passes of width <= S (the
     // paper chunks the seed so radix = Theta(S); when a chunk's radix
@@ -23,9 +32,10 @@ FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
     const std::uint64_t depth =
         cluster.tree_depth(std::max<std::uint64_t>(objective.term_count(), 2));
     cluster.metrics().charge_rounds(waves * 2 * depth + 1, options.label);
-    cluster.metrics().add_communication(radix * cluster.machines());
+    cluster.metrics().add_communication(radix * cluster.machines(),
+                                        options.label);
     cluster.check_load(std::min(radix, cluster.space()),
-                       options.label + ": candidate table");
+                       options.label + ": candidate table", options.label);
 
     double best_value = 0.0;
     std::uint64_t best_digit = 0;
@@ -39,10 +49,15 @@ FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
       }
     }
     prefix.push_back(best_digit);
+    chunk_span.arg("fixed_digit", best_digit);
     ++result.chunks;
   }
   result.seed = space.compose(prefix);
   result.value = objective.evaluate(result.seed);
+  span.arg("candidate_seeds", candidates_swept);
+  span.arg("chunks", result.chunks);
+  span.arg("committed_seed", result.seed);
+  span.arg("committed_value", result.value);
   DMPC_CHECK_MSG(
       result.value >= options.guarantee,
       options.label << ": committed seed achieves " << result.value

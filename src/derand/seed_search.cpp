@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::derand {
@@ -15,13 +16,14 @@ void charge_batch(mpc::Cluster& cluster, std::uint64_t terms, std::uint64_t k,
   const std::uint64_t depth =
       cluster.tree_depth(std::max<std::uint64_t>(terms, 2));
   cluster.metrics().charge_rounds(2 * depth, label);
-  cluster.metrics().add_communication(k * cluster.machines());
+  cluster.metrics().add_communication(k * cluster.machines(), label);
 }
 }  // namespace
 
 SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
                        std::uint64_t seed_count, const SearchOptions& options) {
   DMPC_CHECK(seed_count >= 1);
+  obs::Span span(cluster.trace(), options.label);
   const std::uint64_t k = std::max<std::uint64_t>(
       1, std::min(options.candidates_per_batch, cluster.space()));
   SearchResult result;
@@ -47,6 +49,9 @@ SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
       if (value >= options.threshold) {
         result.seed = seed;
         result.value = value;
+        span.arg("candidate_seeds", result.trials);
+        span.arg("batches", result.batches);
+        span.arg("committed_seed", result.seed);
         return result;
       }
     }
@@ -63,6 +68,7 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
                             std::uint64_t seed_count, std::uint64_t budget,
                             const std::string& label) {
   DMPC_CHECK(seed_count >= 1 && budget >= 1);
+  obs::Span span(cluster.trace(), label);
   const std::uint64_t limit = std::min(seed_count, budget);
   const std::uint64_t k =
       std::max<std::uint64_t>(1, std::min<std::uint64_t>(limit, cluster.space()));
@@ -84,6 +90,9 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
     }
     next = batch_end;
   }
+  span.arg("candidate_seeds", result.trials);
+  span.arg("batches", result.batches);
+  span.arg("committed_seed", result.seed);
   return result;
 }
 

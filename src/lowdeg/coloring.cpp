@@ -121,7 +121,8 @@ ColoringResult linial_coloring(mpc::Cluster& cluster, const Graph& g) {
                                   "coloring/linial");
   cluster.metrics().add_communication(
       static_cast<std::uint64_t>(result.reduction_steps + 1) * 2 *
-      g.num_edges());
+          g.num_edges(),
+      "coloring/linial");
   return result;
 }
 
@@ -130,7 +131,7 @@ ColoringResult distance2_coloring(mpc::Cluster& cluster, const Graph& g) {
   // Delta^2 words, within S for the Delta <= n^{delta} regime (§5).
   cluster.check_load(static_cast<std::uint64_t>(g.max_degree()) *
                          std::max<std::uint32_t>(g.max_degree(), 1),
-                     "coloring/2hop");
+                     "coloring/2hop", "coloring/2hop");
   cluster.metrics().charge_rounds(2, "coloring/2hop");
   ColoringResult result = distance2_coloring_raw(g);
   cluster.metrics().charge_rounds(std::max<std::uint32_t>(
@@ -138,7 +139,8 @@ ColoringResult distance2_coloring(mpc::Cluster& cluster, const Graph& g) {
                                   "coloring/linial");
   cluster.metrics().add_communication(
       static_cast<std::uint64_t>(result.reduction_steps + 1) * 2 *
-      g.num_edges());
+          g.num_edges(),
+      "coloring/linial");
   return result;
 }
 

@@ -6,8 +6,8 @@
 #include "graph/transforms.hpp"
 #include "graph/validate.hpp"
 #include "lowdeg/neighborhoods.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
-#include "support/logging.hpp"
 #include "support/math.hpp"
 
 namespace dmpc::lowdeg {
@@ -48,11 +48,13 @@ mpc::ClusterConfig cluster_config_for(const LowDegConfig& config,
 LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
   mpc::Cluster cluster(cluster_config_for(config, g.num_nodes(),
                                           g.num_edges(), g.max_degree()));
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
   return lowdeg_mis(cluster, g, config);
 }
 
 LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
                            const LowDegConfig& config) {
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
   LowDegMisResult result;
   result.in_set.assign(g.num_nodes(), false);
   if (g.num_nodes() == 0) return result;
@@ -64,8 +66,13 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
     return result;
   }
 
+  obs::Span pipeline_span(cluster.trace(), "lowdeg/pipeline");
+
   // --- Preprocessing (§5.2.2): coloring + family + ball gathering. ---
-  const auto coloring = distance2_coloring(cluster, g);
+  const auto coloring = [&] {
+    obs::Span phase_span(cluster.trace(), "lowdeg/phase/coloring");
+    return distance2_coloring(cluster, g);
+  }();
   result.colors = coloring.num_colors;
   hash::SmallFamily family(std::max<std::uint32_t>(coloring.num_colors, 2));
 
@@ -73,18 +80,43 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
   result.phases_per_stage = l;
   hash::FunctionSequence sequence(family, l, config.per_phase_cap);
 
-  gather_neighborhoods(cluster, g, alive, /*radius=*/2 * l);
+  {
+    obs::Span phase_span(cluster.trace(), "lowdeg/phase/gather");
+    gather_neighborhoods(cluster, g, alive, /*radius=*/2 * l);
+  }
 
   // --- Stages. ---
   while (graph::alive_edge_count(g, alive) > 0) {
     DMPC_CHECK_MSG(result.stages < config.max_stages, "stage cap exceeded");
+    obs::Span stage_span(cluster.trace(), "lowdeg/stage");
+    stage_span.arg("stage", static_cast<std::uint64_t>(result.stages + 1));
     const auto outcome = run_stage(cluster, g, alive, coloring.color, sequence,
                                    config.sequence_budget);
     for (NodeId v : outcome.independent) result.in_set[v] = true;
     ++result.stages;
-    DMPC_DEBUG("lowdeg stage " << result.stages << ": |E| "
-                               << outcome.edges_before << " -> "
-                               << outcome.edges_after);
+    // Stage progress series: one structured event per stage (the
+    // machine-readable successor of the old free-form debug line).
+    if (auto* trace = cluster.trace(); obs::enabled(trace)) {
+      trace->instant(
+          "lowdeg/progress",
+          {obs::arg("iteration", static_cast<std::uint64_t>(result.stages)),
+           obs::arg("edges_remaining",
+                    static_cast<std::uint64_t>(outcome.edges_after)),
+           obs::arg("good_node_fraction",
+                    outcome.edges_before == 0
+                        ? 0.0
+                        : static_cast<double>(outcome.edges_before -
+                                              outcome.edges_after) /
+                              static_cast<double>(outcome.edges_before)),
+           obs::arg("independent_added",
+                    static_cast<std::uint64_t>(outcome.independent.size()))});
+    }
+    if (stage_span.active()) {
+      stage_span.arg("edges_before",
+                     static_cast<std::uint64_t>(outcome.edges_before));
+      stage_span.arg("edges_after",
+                     static_cast<std::uint64_t>(outcome.edges_after));
+    }
     result.outcomes.push_back(outcome);
   }
   // Alive survivors are isolated; they join the MIS.
@@ -106,6 +138,7 @@ LowDegMatchingResult lowdeg_matching(const Graph& g,
   // Line-graph construction is local to 1-hop neighborhoods: one exchange.
   mpc::Cluster cluster(cluster_config_for(config, lg.num_nodes(),
                                           lg.num_edges(), lg.max_degree()));
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
   cluster.metrics().charge_rounds(1, "lowdeg/line_graph");
   result.line_mis = lowdeg_mis(cluster, lg, config);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {

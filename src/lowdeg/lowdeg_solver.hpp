@@ -17,6 +17,10 @@
 #include "mpc/cluster.hpp"
 #include "mpc/metrics.hpp"
 
+namespace dmpc::obs {
+class TraceSession;
+}
+
 namespace dmpc::lowdeg {
 
 struct LowDegConfig {
@@ -27,6 +31,8 @@ struct LowDegConfig {
   std::uint64_t per_phase_cap = 1024;   ///< Per-phase seeds enumerable.
   std::uint32_t max_phases = 8;         ///< Upper clamp on l (sim cost).
   std::uint64_t max_stages = 100000;
+  /// Optional trace session (non-owning); null = tracing off.
+  obs::TraceSession* trace = nullptr;
 };
 
 struct LowDegMisResult {

@@ -50,12 +50,13 @@ NeighborhoodGather gather_neighborhoods(mpc::Cluster& cluster, const Graph& g,
   // to hold the induced edges.
   const std::uint64_t words =
       out.max_ball * std::max<std::uint32_t>(g.max_degree(), 1);
-  cluster.check_load(words, "gather_neighborhoods");
+  cluster.check_load(words, "gather_neighborhoods", "lowdeg/gather");
   out.rounds_charged = static_cast<std::uint64_t>(ceil_log2(
                            std::max<std::uint64_t>(radius, 2))) +
                        1;
   cluster.metrics().charge_rounds(out.rounds_charged, "lowdeg/gather");
-  cluster.metrics().add_communication(words * cluster.machines());
+  cluster.metrics().add_communication(words * cluster.machines(),
+                                      "lowdeg/gather");
   return out;
 }
 

@@ -67,8 +67,9 @@ StageOutcome run_stage(mpc::Cluster& cluster, const Graph& g,
   const std::uint64_t depth =
       cluster.tree_depth(std::max<std::uint64_t>(g.num_nodes(), 2));
   cluster.metrics().charge_rounds(2 * depth + 1, "lowdeg/stage");
-  cluster.metrics().add_communication(limit * cluster.machines());
-  cluster.check_load(limit, "lowdeg/stage: sequence table");
+  cluster.metrics().add_communication(limit * cluster.machines(),
+                                      "lowdeg/stage");
+  cluster.check_load(limit, "lowdeg/stage: sequence table", "lowdeg/stage");
 
   EdgeId best_after = 0;
   std::vector<NodeId> best_set;

@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "derand/cond_expect.hpp"
 #include "derand/seed_search.hpp"
 #include "graph/validate.hpp"
 #include "hash/kwise.hpp"
 #include "mpc/distribution.hpp"
+#include "obs/trace.hpp"
 #include "sparsify/good_nodes.hpp"
 #include "support/check.hpp"
-#include "support/logging.hpp"
 #include "support/math.hpp"
 
 namespace dmpc::matching {
@@ -99,6 +100,7 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
                                            double threshold, std::uint64_t salt,
                                            const DetMatchingConfig& config) {
   derand::SearchResult best;
+  obs::Span span(cluster.trace(), "matching/selection");
   bool have = false;
   std::uint64_t evaluated = 0;
   double t = threshold;
@@ -118,7 +120,8 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
     const std::uint64_t depth = cluster.tree_depth(
         std::max<std::uint64_t>(objective.term_count(), 2));
     cluster.metrics().charge_rounds(2 * depth, "matching/selection");
-    cluster.metrics().add_communication(budget * cluster.machines());
+    cluster.metrics().add_communication(budget * cluster.machines(),
+                                        "matching/selection");
     for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
       const std::uint64_t seed = seed_at(k);
       const double value = objective.evaluate(seed);
@@ -130,7 +133,11 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
     }
     evaluated += budget;
     best.trials = evaluated;
-    if (have && best.value >= t) return best;
+    if (have && best.value >= t) {
+      span.arg("candidate_seeds", best.trials);
+      span.arg("committed_seed", best.seed);
+      return best;
+    }
     if (evaluated % config.trials_per_threshold == 0) t /= 2.0;
   }
 }
@@ -166,14 +173,17 @@ DetMatchingResult det_maximal_matching(const Graph& g,
                                        const DetMatchingConfig& config) {
   mpc::Cluster cluster(
       cluster_config_for(config, g.num_nodes(), g.num_edges()));
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
   return det_maximal_matching(cluster, g, config);
 }
 
 DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
                                        const DetMatchingConfig& config) {
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
   const sparsify::Params params = params_for(config, g.num_nodes());
   DetMatchingResult result;
   std::vector<bool> alive(g.num_nodes(), true);
+  obs::Span pipeline_span(cluster.trace(), "matching/pipeline");
 
   while (graph::alive_edge_count(g, alive) > 0) {
     DMPC_CHECK_MSG(result.iterations < config.max_iterations,
@@ -181,20 +191,29 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     ++result.iterations;
     IterationReport report;
     report.iteration = result.iterations;
+    obs::Span iter_span(cluster.trace(), "matching/iteration");
+    iter_span.arg("iteration", report.iteration);
 
     // 1. Good nodes (Corollary 8).
-    const auto good =
-        sparsify::select_matching_good_set(cluster, params, g, alive);
+    const auto good = [&] {
+      obs::Span phase_span(cluster.trace(), "matching/phase/good_nodes");
+      return sparsify::select_matching_good_set(cluster, params, g, alive);
+    }();
     report.cls = good.cls;
     report.edges_before = good.alive_edges;
 
     // 2. Sparsify E_0 -> E* (§3.2).
-    const auto sparse =
-        sparsify::sparsify_edges(cluster, params, g, good, config.sparsify);
+    const auto sparse = [&] {
+      obs::Span phase_span(cluster.trace(), "matching/phase/sparsify");
+      return sparsify::sparsify_edges(cluster, params, g, good,
+                                      config.sparsify);
+    }();
     report.sparsify_stages = sparse.stages.size();
     report.estar_max_degree = sparse.max_degree;
 
     // 3. Gather 2-hop neighborhoods of B-nodes in E* (space check, §3.3).
+    std::optional<obs::Span> gather_span;
+    gather_span.emplace(cluster.trace(), "matching/phase/gather");
     std::vector<EdgeId> estar_edges;
     std::vector<std::vector<EdgeId>> estar_incident(g.num_nodes());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -216,8 +235,11 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
       mpc::charge_two_hop_gather(cluster, two_hop, good.in_B,
                                  "matching/gather2hop");
     }
+    gather_span.reset();
 
     // 4-5. Derandomized Lemma-13 selection.
+    std::optional<obs::Span> derand_span;
+    derand_span.emplace(cluster.trace(), "matching/phase/derand");
     const auto alive_degree = graph::alive_degrees(g, alive);
     const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_edges());
     hash::KWiseFamily family(domain, domain, /*k=*/2);
@@ -249,7 +271,13 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
                                         result.iterations, config);
     }
     report.selection_trials = committed.trials;
+    if (derand_span->active()) {
+      derand_span->arg("candidate_seeds", committed.trials);
+      derand_span->arg("committed_seed", committed.seed);
+    }
+    derand_span.reset();
 
+    obs::Span commit_span(cluster.trace(), "matching/phase/commit");
     const auto matched = objective.matching_for(committed.seed);
     DMPC_CHECK_MSG(!matched.empty(), "empty committed matching");
     report.matched_pairs = matched.size();
@@ -263,11 +291,28 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     report.progress_fraction =
         static_cast<double>(report.edges_before - report.edges_after) /
         static_cast<double>(report.edges_before);
-    DMPC_DEBUG("matching iter " << report.iteration << ": |E| "
-                                << report.edges_before << " -> "
-                                << report.edges_after << " (class "
-                                << report.cls << ", " << report.matched_pairs
-                                << " pairs)");
+    // Lemma-13 progress series: one structured event per iteration (the
+    // machine-readable successor of the old free-form debug line).
+    if (auto* trace = cluster.trace(); obs::enabled(trace)) {
+      trace->instant(
+          "matching/progress",
+          {obs::arg("iteration", report.iteration),
+           obs::arg("edges_remaining",
+                    static_cast<std::uint64_t>(report.edges_after)),
+           obs::arg("good_node_fraction",
+                    static_cast<double>(good.b_degree_mass) /
+                        static_cast<double>(2 * good.alive_edges)),
+           obs::arg("matched_pairs",
+                    static_cast<std::uint64_t>(report.matched_pairs)),
+           obs::arg("progress_fraction", report.progress_fraction)});
+    }
+    if (iter_span.active()) {
+      iter_span.arg("edges_before",
+                    static_cast<std::uint64_t>(report.edges_before));
+      iter_span.arg("edges_after",
+                    static_cast<std::uint64_t>(report.edges_after));
+      iter_span.arg("class", static_cast<std::uint64_t>(report.cls));
+    }
     result.reports.push_back(report);
   }
 

@@ -26,6 +26,10 @@
 #include "sparsify/edge_sparsifier.hpp"
 #include "sparsify/params.hpp"
 
+namespace dmpc::obs {
+class TraceSession;
+}
+
 namespace dmpc::matching {
 
 /// How the per-iteration selection seed is committed.
@@ -62,6 +66,9 @@ struct DetMatchingConfig {
   std::uint64_t trials_per_threshold = 256;
   std::uint64_t max_iterations = 100000;
   SelectionMode selection_mode = SelectionMode::kThresholdSearch;
+  /// Optional trace session (non-owning); spans and progress events are
+  /// emitted when set. Null = tracing off (zero cost).
+  obs::TraceSession* trace = nullptr;
 };
 
 struct IterationReport {

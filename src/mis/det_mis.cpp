@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "derand/cond_expect.hpp"
 #include "derand/seed_search.hpp"
 #include "graph/validate.hpp"
 #include "hash/kwise.hpp"
 #include "mpc/distribution.hpp"
+#include "obs/trace.hpp"
 #include "sparsify/good_nodes.hpp"
 #include "sparsify/node_sparsifier.hpp"
 #include "support/check.hpp"
-#include "support/logging.hpp"
 #include "support/math.hpp"
 
 namespace dmpc::mis {
@@ -94,6 +95,7 @@ derand::SearchResult select_with_threshold(
     std::uint64_t seed_count, double threshold, std::uint64_t salt,
     const DetMisConfig& config) {
   derand::SearchResult best;
+  obs::Span span(cluster.trace(), "mis/selection");
   bool have = false;
   std::uint64_t evaluated = 0;
   double t = threshold;
@@ -112,7 +114,8 @@ derand::SearchResult select_with_threshold(
     const std::uint64_t depth = cluster.tree_depth(
         std::max<std::uint64_t>(objective.term_count(), 2));
     cluster.metrics().charge_rounds(2 * depth, "mis/selection");
-    cluster.metrics().add_communication(budget * cluster.machines());
+    cluster.metrics().add_communication(budget * cluster.machines(),
+                                        "mis/selection");
     for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
       const std::uint64_t seed = seed_at(k);
       const double value = objective.evaluate(seed);
@@ -124,7 +127,11 @@ derand::SearchResult select_with_threshold(
     }
     evaluated += budget;
     best.trials = evaluated;
-    if (have && best.value >= t && best.value > 0) return best;
+    if (have && best.value >= t && best.value > 0) {
+      span.arg("candidate_seeds", best.trials);
+      span.arg("committed_seed", best.seed);
+      return best;
+    }
     if (evaluated % config.trials_per_threshold == 0) t /= 2.0;
   }
 }
@@ -159,11 +166,14 @@ mpc::ClusterConfig cluster_config_for(const DetMisConfig& config,
 DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
   mpc::Cluster cluster(
       cluster_config_for(config, g.num_nodes(), g.num_edges()));
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
   return det_mis(cluster, g, config);
 }
 
 DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
                      const DetMisConfig& config) {
+  if (config.trace != nullptr) cluster.set_trace(config.trace);
+  obs::Span pipeline_span(cluster.trace(), "mis/pipeline");
   const sparsify::Params params = params_for(config, g.num_nodes());
   DetMisResult result;
   result.in_set.assign(g.num_nodes(), false);
@@ -186,22 +196,34 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     DMPC_CHECK_MSG(result.iterations < config.max_iterations,
                    "MIS iteration cap exceeded");
     ++result.iterations;
+    obs::Span iter_span(cluster.trace(), "mis/iteration");
+    iter_span.arg("iteration", result.iterations);
     MisIterationReport report;
     report.iteration = result.iterations;
     report.isolated_added = absorb_isolated();
 
     // 2. Good nodes (Corollary 16).
-    const auto good = sparsify::select_mis_good_set(cluster, params, g, alive);
+    const auto good = [&] {
+      obs::Span span(cluster.trace(), "mis/phase/good_nodes");
+      return sparsify::select_mis_good_set(cluster, params, g, alive);
+    }();
     report.cls = good.cls;
     report.edges_before = good.alive_edges;
 
     // 3. Sparsify Q_0 -> Q' (§4.2).
-    const auto sparse = sparsify::sparsify_nodes(cluster, params, g, alive,
-                                                 good, config.sparsify);
+    const auto sparse = [&] {
+      obs::Span span(cluster.trace(), "mis/phase/sparsify");
+      return sparsify::sparsify_nodes(cluster, params, g, alive, good,
+                                      config.sparsify);
+    }();
     report.sparsify_stages = sparse.stages.size();
     report.qprime_max_degree = sparse.max_q_degree;
 
     // 4. Build Q' structures and the N_v windows; charge the gather.
+    // (optional so the span can close before the derand phase opens while
+    // the gathered structures stay in scope)
+    std::optional<obs::Span> gather_span;
+    gather_span.emplace(cluster.trace(), "mis/phase/gather");
     std::vector<NodeId> q_nodes;
     std::vector<std::vector<NodeId>> q_adj(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -231,8 +253,11 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
       }
       mpc::charge_two_hop_gather(cluster, two_hop, good.in_B, "mis/gather");
     }
+    gather_span.reset();
 
     // 5-6. Derandomized Lemma-21 selection.
+    std::optional<obs::Span> derand_span;
+    derand_span.emplace(cluster.trace(), "mis/phase/derand");
     const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_nodes());
     hash::KWiseFamily family(domain, domain, /*k=*/2);
     MisSelectionObjective objective(g, family, q_nodes, q_adj, nv, b_nodes,
@@ -262,7 +287,13 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
                                         result.iterations, config);
     }
     report.selection_trials = committed.trials;
+    if (derand_span->active()) {
+      derand_span->arg("candidate_seeds", committed.trials);
+      derand_span->arg("committed_seed", committed.seed);
+    }
+    derand_span.reset();
 
+    obs::Span commit_span(cluster.trace(), "mis/phase/commit");
     const auto independent = objective.independent_set_for(committed.seed);
     DMPC_CHECK_MSG(!independent.empty(), "empty committed independent set");
     report.independent_added = independent.size();
@@ -277,10 +308,25 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     report.progress_fraction =
         static_cast<double>(report.edges_before - report.edges_after) /
         static_cast<double>(report.edges_before);
-    DMPC_DEBUG("mis iter " << report.iteration << ": |E| "
-                           << report.edges_before << " -> "
-                           << report.edges_after << " (class " << report.cls
-                           << ", +" << report.independent_added << " nodes)");
+    // Lemma-12 progress series: one structured event per iteration (the
+    // machine-readable successor of the old free-form debug line).
+    if (auto* trace = cluster.trace(); obs::enabled(trace)) {
+      trace->instant(
+          "mis/progress",
+          {obs::arg("iteration", report.iteration),
+           obs::arg("edges_remaining",
+                    static_cast<std::uint64_t>(report.edges_after)),
+           obs::arg("good_node_fraction",
+                    static_cast<double>(good.b_degree_mass) /
+                        static_cast<double>(2 * good.alive_edges)),
+           obs::arg("independent_added", report.independent_added),
+           obs::arg("progress_fraction", report.progress_fraction)});
+    }
+    if (iter_span.active()) {
+      iter_span.arg("edges_before", static_cast<std::uint64_t>(report.edges_before));
+      iter_span.arg("edges_after", static_cast<std::uint64_t>(report.edges_after));
+      iter_span.arg("class", static_cast<std::uint64_t>(report.cls));
+    }
     result.reports.push_back(report);
   }
   absorb_isolated();

@@ -24,6 +24,10 @@
 #include "mpc/metrics.hpp"
 #include "sparsify/params.hpp"
 
+namespace dmpc::obs {
+class TraceSession;
+}
+
 namespace dmpc::mis {
 
 struct DetMisConfig {
@@ -39,6 +43,8 @@ struct DetMisConfig {
   std::uint64_t max_iterations = 100000;
   matching::SelectionMode selection_mode =
       matching::SelectionMode::kThresholdSearch;
+  /// Optional trace session (non-owning); null = tracing off.
+  obs::TraceSession* trace = nullptr;
 };
 
 struct MisIterationReport {

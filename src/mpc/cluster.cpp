@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "support/math.hpp"
 
 namespace dmpc::mpc {
@@ -30,8 +31,14 @@ std::uint64_t Cluster::tree_depth(std::uint64_t items) const {
   return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(depth)));
 }
 
-void Cluster::check_load(std::uint64_t words, const std::string& what) {
-  metrics_.observe_load(words);
+void Cluster::set_trace(obs::TraceSession* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) trace_->attach_metrics(&metrics_);
+}
+
+void Cluster::check_load(std::uint64_t words, const std::string& what,
+                         const std::string& label) {
+  metrics_.observe_load(words, label);
   if (config_.enforce_space) {
     DMPC_CHECK_MSG(words <= config_.machine_space,
                    what << ": machine load " << words << " exceeds S="
@@ -53,6 +60,7 @@ const std::vector<Word>& Cluster::local(std::uint64_t machine) const {
 
 void Cluster::step(const std::function<void(MachineContext&)>& compute,
                    const std::string& label) {
+  obs::Span span(trace_, label);
   const std::uint64_t m = locals_.size();
   std::vector<std::vector<Message>> outboxes(m);
   for (std::uint64_t i = 0; i < m; ++i) {
@@ -68,12 +76,14 @@ void Cluster::step(const std::function<void(MachineContext&)>& compute,
       sent += msg.payload.size();
       recv_volume[msg.to] += msg.payload.size();
     }
-    check_load(sent, label + ": send volume of machine " + std::to_string(i));
-    metrics_.add_communication(sent);
+    check_load(sent, label + ": send volume of machine " + std::to_string(i),
+               label);
+    metrics_.add_communication(sent, label);
   }
   for (std::uint64_t i = 0; i < m; ++i) {
     check_load(recv_volume[i],
-               label + ": receive volume of machine " + std::to_string(i));
+               label + ": receive volume of machine " + std::to_string(i),
+               label);
   }
   // Deliver: received words are appended to local storage in sender order.
   for (std::uint64_t i = 0; i < m; ++i) {
@@ -84,7 +94,8 @@ void Cluster::step(const std::function<void(MachineContext&)>& compute,
   }
   for (std::uint64_t i = 0; i < m; ++i) {
     check_load(locals_[i].size(),
-               label + ": local storage of machine " + std::to_string(i));
+               label + ": local storage of machine " + std::to_string(i),
+               label);
   }
   metrics_.charge_rounds(1, label);
 }

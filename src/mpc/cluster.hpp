@@ -31,6 +31,10 @@
 #include "mpc/metrics.hpp"
 #include "support/check.hpp"
 
+namespace dmpc::obs {
+class TraceSession;
+}
+
 namespace dmpc::mpc {
 
 using Word = std::uint64_t;
@@ -82,6 +86,12 @@ class Cluster {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
+  /// Attach a trace session (non-owning; null detaches). The session is
+  /// wired to this cluster's metrics so spans report round/communication
+  /// deltas; every instrumented call site reaches the session through here.
+  void set_trace(obs::TraceSession* trace);
+  obs::TraceSession* trace() const { return trace_; }
+
   /// Depth of a fan-in-S aggregation tree over `items` leaves; >= 1.
   /// This is the round cost of prefix sums / broadcast / reduction over a
   /// distributed array of `items` records (Lemma 4 with S = n^eps gives a
@@ -89,7 +99,10 @@ class Cluster {
   std::uint64_t tree_depth(std::uint64_t items) const;
 
   /// Assert a hypothetical machine load fits in S (counts toward peak load).
-  void check_load(std::uint64_t words, const std::string& what);
+  /// A non-empty `label` attributes the load to that label's peak-load
+  /// metric (`what` stays free-form for the failure message).
+  void check_load(std::uint64_t words, const std::string& what,
+                  const std::string& label = "");
 
   // ---- Low-level message-passing interface ----
 
@@ -111,6 +124,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   Metrics metrics_;
+  obs::TraceSession* trace_ = nullptr;
   std::vector<std::vector<Word>> locals_;
 };
 

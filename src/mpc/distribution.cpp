@@ -1,6 +1,7 @@
 #include "mpc/distribution.hpp"
 
 #include "mpc/primitives.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::mpc {
@@ -9,7 +10,7 @@ std::vector<GroupMachine> build_machine_groups(
     Cluster& cluster, const std::vector<std::uint64_t>& counts_per_owner,
     std::uint64_t group_size, std::uint64_t arity, const std::string& label) {
   DMPC_CHECK(group_size >= 1);
-  cluster.check_load(group_size * arity, label + ": group machine");
+  cluster.check_load(group_size * arity, label + ": group machine", label);
   std::vector<GroupMachine> machines;
   std::uint64_t total_items = 0;
   for (std::uint64_t owner = 0; owner < counts_per_owner.size(); ++owner) {
@@ -28,7 +29,8 @@ std::vector<GroupMachine> build_machine_groups(
   // (owner, position) over the item records.
   const std::uint64_t rounds = sort_round_cost(cluster, total_items);
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(total_items * arity);
+  cluster.metrics().add_communication(total_items * arity, label);
+  obs::trace_primitive(cluster.trace(), label, rounds, total_items * arity);
   return machines;
 }
 
@@ -40,15 +42,17 @@ void charge_two_hop_gather(Cluster& cluster,
   std::uint64_t total = 0;
   for (std::size_t v = 0; v < centers.size(); ++v) {
     if (!centers[v]) continue;
-    cluster.check_load(two_hop_words[v],
-                       label + ": 2-hop neighborhood of node " + std::to_string(v));
+    cluster.check_load(
+        two_hop_words[v],
+        label + ": 2-hop neighborhood of node " + std::to_string(v), label);
     total += two_hop_words[v];
   }
   // Sort edges to collect 1-hop lists, then one request + one response
   // exchange for the second hop (§2.2).
   const std::uint64_t rounds = sort_round_cost(cluster, std::max<std::uint64_t>(total, 2)) + 2;
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(total);
+  cluster.metrics().add_communication(total, label);
+  obs::trace_primitive(cluster.trace(), label, rounds, total);
 }
 
 }  // namespace dmpc::mpc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/math.hpp"
 
@@ -50,6 +51,8 @@ std::vector<Word> collect_blocks(const Cluster& cluster, std::uint64_t items) {
 std::vector<Word> prefix_sum(Cluster& cluster,
                              const std::vector<Word>& items) {
   if (items.empty()) return {};
+  obs::Span span(cluster.trace(), "lowlevel/prefix_sum");
+  span.arg("items", static_cast<std::uint64_t>(items.size()));
   load_blocks(cluster, items);
   const std::uint64_t m = cluster.low_level_machines();
   const std::uint64_t f = std::max<std::uint64_t>(2, cluster.space() / 4);
@@ -226,6 +229,8 @@ std::vector<Word> encode_keys(const std::vector<Key>& keys) {
 
 std::vector<Word> sort(Cluster& cluster, std::vector<Word> items) {
   if (items.empty()) return {};
+  obs::Span span(cluster.trace(), "lowlevel/sort");
+  span.arg("items", static_cast<std::uint64_t>(items.size()));
   // Load tagged pairs: two words per item.
   {
     std::vector<Key> keys(items.size());

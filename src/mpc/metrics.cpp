@@ -9,12 +9,17 @@ void Metrics::charge_rounds(std::uint64_t r, const std::string& label) {
   by_label_[label] += r;
 }
 
-void Metrics::observe_load(std::uint64_t words) {
+void Metrics::observe_load(std::uint64_t words, const std::string& label) {
   peak_load_ = std::max(peak_load_, words);
+  if (!label.empty()) {
+    auto& peak = peak_load_by_label_[label];
+    peak = std::max(peak, words);
+  }
 }
 
-void Metrics::add_communication(std::uint64_t words) {
+void Metrics::add_communication(std::uint64_t words, const std::string& label) {
   communication_ += words;
+  if (!label.empty()) communication_by_label_[label] += words;
 }
 
 void Metrics::reset() {
@@ -22,6 +27,8 @@ void Metrics::reset() {
   peak_load_ = 0;
   communication_ = 0;
   by_label_.clear();
+  communication_by_label_.clear();
+  peak_load_by_label_.clear();
 }
 
 void Metrics::merge(const Metrics& other) {
@@ -29,6 +36,13 @@ void Metrics::merge(const Metrics& other) {
   peak_load_ = std::max(peak_load_, other.peak_load_);
   communication_ += other.communication_;
   for (const auto& [label, r] : other.by_label_) by_label_[label] += r;
+  for (const auto& [label, w] : other.communication_by_label_) {
+    communication_by_label_[label] += w;
+  }
+  for (const auto& [label, w] : other.peak_load_by_label_) {
+    auto& peak = peak_load_by_label_[label];
+    peak = std::max(peak, w);
+  }
 }
 
 }  // namespace dmpc::mpc

@@ -4,6 +4,11 @@
 // of synchronous rounds, the peak per-machine space (S words), and the total
 // space/communication. Every simulator primitive charges these here, and the
 // benchmarks report them — this is the measured side of EXPERIMENTS.md.
+//
+// All three quantities are attributed per label (the primitive/phase names
+// the call sites pass), so a run can be audited stage by stage: the
+// sparsify -> gather -> derand -> commit decomposition in a report sums back
+// to the global totals. An empty label charges the totals only.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +22,12 @@ class Metrics {
   /// Charge `r` synchronous rounds attributed to `label`.
   void charge_rounds(std::uint64_t r, const std::string& label);
 
-  /// Record that some machine held `words` words at some instant.
-  void observe_load(std::uint64_t words);
+  /// Record that some machine held `words` words at some instant; a
+  /// non-empty `label` also tracks the per-label peak.
+  void observe_load(std::uint64_t words, const std::string& label = "");
 
-  /// Record `words` words of cross-machine traffic.
-  void add_communication(std::uint64_t words);
+  /// Record `words` words of cross-machine traffic attributed to `label`.
+  void add_communication(std::uint64_t words, const std::string& label = "");
 
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t peak_machine_load() const { return peak_load_; }
@@ -29,10 +35,17 @@ class Metrics {
   const std::map<std::string, std::uint64_t>& rounds_by_label() const {
     return by_label_;
   }
+  const std::map<std::string, std::uint64_t>& communication_by_label() const {
+    return communication_by_label_;
+  }
+  const std::map<std::string, std::uint64_t>& peak_load_by_label() const {
+    return peak_load_by_label_;
+  }
 
   void reset();
 
-  /// Merge another metrics object into this one (for sub-phases).
+  /// Merge another metrics object into this one (for sub-phases): sums
+  /// rounds and communication (globally and per label), maxes peak loads.
   void merge(const Metrics& other);
 
  private:
@@ -40,6 +53,8 @@ class Metrics {
   std::uint64_t peak_load_ = 0;
   std::uint64_t communication_ = 0;
   std::map<std::string, std::uint64_t> by_label_;
+  std::map<std::string, std::uint64_t> communication_by_label_;
+  std::map<std::string, std::uint64_t> peak_load_by_label_;
 };
 
 }  // namespace dmpc::mpc

@@ -9,7 +9,7 @@ void check_blocked_layout(Cluster& cluster, std::uint64_t records,
   if (records == 0) return;
   const std::uint64_t per_machine =
       ceil_div(records, cluster.machines()) * arity;
-  cluster.check_load(per_machine, what + ": block layout");
+  cluster.check_load(per_machine, what + ": block layout", what);
 }
 
 std::uint64_t sort_round_cost(const Cluster& cluster, std::uint64_t records) {
@@ -34,9 +34,11 @@ std::vector<std::uint64_t> prefix_sum_exclusive(
     acc += values[i];
   }
   const std::uint64_t rounds = scan_round_cost(cluster, values.size());
+  const std::uint64_t words =
+      cluster.tree_depth(values.size()) * cluster.machines();
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(cluster.tree_depth(values.size()) *
-                                      cluster.machines());
+  cluster.metrics().add_communication(words, label);
+  obs::trace_primitive(cluster.trace(), label, rounds, words);
   return out;
 }
 
@@ -47,7 +49,9 @@ std::uint64_t reduce_sum(Cluster& cluster,
   const std::uint64_t rounds =
       cluster.tree_depth(std::max<std::uint64_t>(values.size(), 2));
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(rounds * cluster.machines());
+  cluster.metrics().add_communication(rounds * cluster.machines(), label);
+  obs::trace_primitive(cluster.trace(), label, rounds,
+                       rounds * cluster.machines());
   return std::accumulate(values.begin(), values.end(), std::uint64_t{0});
 }
 
@@ -58,7 +62,9 @@ std::uint64_t reduce_max(Cluster& cluster,
   const std::uint64_t rounds =
       cluster.tree_depth(std::max<std::uint64_t>(values.size(), 2));
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(rounds * cluster.machines());
+  cluster.metrics().add_communication(rounds * cluster.machines(), label);
+  obs::trace_primitive(cluster.trace(), label, rounds,
+                       rounds * cluster.machines());
   std::uint64_t best = 0;
   for (std::uint64_t v : values) best = std::max(best, v);
   return best;
@@ -70,7 +76,9 @@ double reduce_sum_double(Cluster& cluster, std::span<const double> values,
   const std::uint64_t rounds =
       cluster.tree_depth(std::max<std::uint64_t>(values.size(), 2));
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(rounds * cluster.machines());
+  cluster.metrics().add_communication(rounds * cluster.machines(), label);
+  obs::trace_primitive(cluster.trace(), label, rounds,
+                       rounds * cluster.machines());
   double sum = 0;
   for (double v : values) sum += v;
   return sum;
@@ -78,10 +86,12 @@ double reduce_sum_double(Cluster& cluster, std::span<const double> values,
 
 void broadcast(Cluster& cluster, std::uint64_t words,
                const std::string& label) {
-  cluster.check_load(words, label);
+  cluster.check_load(words, label, label);
   const std::uint64_t rounds = cluster.tree_depth(cluster.machines());
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(words * cluster.machines());
+  cluster.metrics().add_communication(words * cluster.machines(), label);
+  obs::trace_primitive(cluster.trace(), label, rounds,
+                       words * cluster.machines());
 }
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> group_sum(
@@ -100,6 +110,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> group_sum(
   }
   const std::uint64_t rounds = scan_round_cost(cluster, pairs.size());
   cluster.metrics().charge_rounds(rounds, label);
+  obs::trace_primitive(cluster.trace(), label, rounds, 0);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mpc/cluster.hpp"
+#include "obs/trace.hpp"
 
 namespace dmpc::mpc {
 
@@ -45,7 +46,9 @@ void dsort(Cluster& cluster, std::vector<T>& v, Less less,
   std::sort(v.begin(), v.end(), less);
   const std::uint64_t rounds = sort_round_cost(cluster, v.size());
   cluster.metrics().charge_rounds(rounds, label);
-  cluster.metrics().add_communication(v.size() * arity * rounds);
+  cluster.metrics().add_communication(v.size() * arity * rounds, label);
+  obs::trace_primitive(cluster.trace(), label, rounds,
+                       v.size() * arity * rounds);
 }
 
 /// Exclusive prefix sums of a distributed array (Lemma 4).

@@ -1,0 +1,122 @@
+#include "obs/sinks.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "support/json.hpp"
+
+namespace dmpc::obs {
+
+namespace {
+
+Json args_json(const std::vector<TraceArg>& args) {
+  Json out = Json::object();
+  for (const TraceArg& a : args) {
+    if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+      out.set(a.key, *i);
+    } else if (const auto* d = std::get_if<double>(&a.value)) {
+      out.set(a.key, *d);
+    } else {
+      out.set(a.key, std::get<std::string>(a.value));
+    }
+  }
+  return out;
+}
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "begin";
+    case EventKind::kSpanEnd: return "end";
+    case EventKind::kInstant: return "instant";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void JsonlTraceSink::on_event(const TraceEvent& event) {
+  Json line = Json::object()
+                  .set("seq", event.seq)
+                  .set("type", kind_name(event.kind))
+                  .set("name", event.name)
+                  .set("span", event.span)
+                  .set("parent", event.parent)
+                  .set("depth", event.depth);
+  if (include_wall_time_) line.set("ts_ns", event.wall_ns);
+  if (!event.args.empty()) line.set("args", args_json(event.args));
+  *out_ << line.dump() << '\n';
+}
+
+void JsonlTraceSink::finish() { out_->flush(); }
+
+void ChromeTraceSink::on_event(const TraceEvent& event) {
+  events_.push_back(event);
+}
+
+void ChromeTraceSink::finish() {
+  Json trace_events = Json::array();
+  for (const TraceEvent& event : events_) {
+    Json e = Json::object().set("name", event.name).set("cat", "dmpc");
+    switch (event.kind) {
+      case EventKind::kSpanBegin: e.set("ph", "B"); break;
+      case EventKind::kSpanEnd: e.set("ph", "E"); break;
+      case EventKind::kInstant:
+        e.set("ph", "i").set("s", "t");
+        break;
+      case EventKind::kCounter: e.set("ph", "C"); break;
+    }
+    e.set("ts", static_cast<double>(event.wall_ns) / 1000.0)
+        .set("pid", 0)
+        .set("tid", 0);
+    if (!event.args.empty()) {
+      e.set("args", args_json(event.args));
+    } else if (event.kind == EventKind::kCounter) {
+      e.set("args", Json::object());  // counters require an args object
+    }
+    trace_events.push(std::move(e));
+  }
+  const Json doc = Json::object()
+                       .set("traceEvents", std::move(trace_events))
+                       .set("displayTimeUnit", "ms");
+  *out_ << doc.dump(1) << '\n';
+  out_->flush();
+}
+
+std::vector<SpanStats> summarize_spans(const std::vector<TraceEvent>& events) {
+  struct OpenSpan {
+    std::uint64_t begin_wall = 0;
+  };
+  std::map<std::uint64_t, OpenSpan> open;
+  std::vector<SpanStats> stats;
+  std::map<std::string, std::size_t> index;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kSpanBegin) {
+      open[event.span] = {event.wall_ns};
+      continue;
+    }
+    if (event.kind != EventKind::kSpanEnd) continue;
+    const auto it = open.find(event.span);
+    if (it == open.end()) continue;  // truncated stream
+    auto [pos, inserted] = index.try_emplace(event.name, stats.size());
+    if (inserted) {
+      stats.push_back({});
+      stats.back().name = event.name;
+    }
+    SpanStats& s = stats[pos->second];
+    ++s.count;
+    s.wall_ns += event.wall_ns - it->second.begin_wall;
+    for (const TraceArg& a : event.args) {
+      const auto* v = std::get_if<std::int64_t>(&a.value);
+      if (v == nullptr) continue;
+      if (a.key == "rounds") s.rounds += static_cast<std::uint64_t>(*v);
+      if (a.key == "communication") {
+        s.communication += static_cast<std::uint64_t>(*v);
+      }
+    }
+    open.erase(it);
+  }
+  return stats;
+}
+
+}  // namespace dmpc::obs

@@ -1,0 +1,74 @@
+// Trace exporters: JSONL event stream, Chrome trace-event JSON (loadable in
+// chrome://tracing and Perfetto), and an in-memory collector for tests and
+// benchmark aggregation. Event schemas are documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dmpc::obs {
+
+/// One JSON object per line, in emission order. Field order is fixed, so
+/// with `include_wall_time = false` the output is a deterministic function
+/// of the traced computation — two runs of the same graph with the same
+/// options produce byte-identical files (the golden-trace property).
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// The stream must outlive the sink. `include_wall_time` adds a `ts_ns`
+  /// field; leave it off for golden traces.
+  explicit JsonlTraceSink(std::ostream* out, bool include_wall_time = true)
+      : out_(out), include_wall_time_(include_wall_time) {}
+
+  void on_event(const TraceEvent& event) override;
+  void finish() override;
+
+ private:
+  std::ostream* out_;
+  bool include_wall_time_;
+};
+
+/// Chrome trace-event format: {"traceEvents": [...]} with B/E duration
+/// events for spans, "i" instants, and "C" counters. Buffers events and
+/// writes the whole document in finish().
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream* out) : out_(out) {}
+
+  void on_event(const TraceEvent& event) override;
+  void finish() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Keeps every event in memory; tests assert on the stream directly and
+/// repro_report aggregates span statistics from it.
+class CollectorSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Per-span-name aggregate over a collected event stream.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;          ///< Completed spans with this name.
+  std::uint64_t wall_ns = 0;        ///< Summed begin->end wall time.
+  std::uint64_t rounds = 0;         ///< Summed round deltas (metric args).
+  std::uint64_t communication = 0;  ///< Summed communication deltas.
+};
+
+/// Aggregate completed spans by name, in order of first appearance.
+std::vector<SpanStats> summarize_spans(const std::vector<TraceEvent>& events);
+
+}  // namespace dmpc::obs

@@ -6,6 +6,7 @@
 #include "derand/seed_search.hpp"
 #include "hash/kwise.hpp"
 #include "mpc/distribution.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/logging.hpp"
 
@@ -150,6 +151,8 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
       ++extra_used;
     }
     ++stage;
+    obs::Span stage_span(cluster.trace(), "sparsify/stage");
+    stage_span.arg("stage", static_cast<std::uint64_t>(stage));
 
     // --- Distribute: type-A machine groups (every node's incident E_{j-1}
     // list, upper windows) and type-B groups (X(v) ∩ E_{j-1} for v in B,
@@ -213,6 +216,11 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
       }
       total_trials += found ? committed.trials : config.trials_per_window;
       if (found) break;
+      if (auto* trace = cluster.trace(); obs::enabled(trace)) {
+        trace->instant("sparsify/escalate",
+                       {obs::arg("stage", static_cast<std::uint64_t>(stage)),
+                        obs::arg("window_multiplier", mult * 2.0)});
+      }
       DMPC_DEBUG("sparsify stage " << stage << ": escalating window to x"
                                    << mult * 2.0);
     }
@@ -277,6 +285,15 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
           static_cast<double>(result.xv_star[v].size()) / expect);
     }
     report.invariant_xv_ratio = worst_xv_ratio;
+    if (stage_span.active()) {
+      stage_span.arg("candidate_seeds", report.trials);
+      stage_span.arg("committed_seed", report.seed);
+      stage_span.arg("edges_before",
+                     static_cast<std::uint64_t>(report.edges_before));
+      stage_span.arg("edges_after",
+                     static_cast<std::uint64_t>(report.edges_after));
+      stage_span.arg("window_multiplier", report.window_multiplier);
+    }
     result.stages.push_back(report);
   }
   {

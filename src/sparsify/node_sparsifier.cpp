@@ -6,6 +6,7 @@
 #include "derand/seed_search.hpp"
 #include "hash/kwise.hpp"
 #include "mpc/distribution.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/logging.hpp"
 
@@ -169,6 +170,8 @@ NodeSparsifyResult sparsify_nodes(mpc::Cluster& cluster, const Params& params,
       ++extra_used;
     }
     ++stage;
+    obs::Span stage_span(cluster.trace(), "mis_sparsify/stage");
+    stage_span.arg("stage", static_cast<std::uint64_t>(stage));
 
     // --- Distribute neighbor lists into per-owner windows. ---
     NodeWindowSet windows;
@@ -254,6 +257,11 @@ NodeSparsifyResult sparsify_nodes(mpc::Cluster& cluster, const Params& params,
       }
       total_trials += found ? committed.trials : config.trials_per_window;
       if (found) break;
+      if (auto* trace = cluster.trace(); obs::enabled(trace)) {
+        trace->instant("mis_sparsify/escalate",
+                       {obs::arg("stage", static_cast<std::uint64_t>(stage)),
+                        obs::arg("window_multiplier", mult * 2.0)});
+      }
       DMPC_DEBUG("node sparsify stage " << stage << ": escalating window to x"
                                         << mult * 2.0);
     }
@@ -315,6 +323,12 @@ NodeSparsifyResult sparsify_nodes(mpc::Cluster& cluster, const Params& params,
     report.invariant_degree_ratio = worst_deg_ratio;
     report.invariant_xv_ratio = worst_h_ratio;
     report.max_degree_after = max_q_degree();
+    if (stage_span.active()) {
+      stage_span.arg("candidate_seeds", report.trials);
+      stage_span.arg("committed_seed", report.seed);
+      stage_span.arg("kept_nodes", kept_nodes);
+      stage_span.arg("window_multiplier", report.window_multiplier);
+    }
     result.stages.push_back(report);
   }
   result.max_q_degree = max_q_degree();

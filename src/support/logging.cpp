@@ -1,12 +1,34 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 
 namespace dmpc {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Initial threshold: DMPC_LOG_LEVEL=debug|info|warn|error|off if set and
+/// recognized, else Warn. Read once, before any logging call.
+int initial_level() {
+  const char* env = std::getenv("DMPC_LOG_LEVEL");
+  if (env != nullptr) {
+    const std::string value(env);
+    if (value == "debug") return static_cast<int>(LogLevel::kDebug);
+    if (value == "info") return static_cast<int>(LogLevel::kInfo);
+    if (value == "warn") return static_cast<int>(LogLevel::kWarn);
+    if (value == "error") return static_cast<int>(LogLevel::kError);
+    if (value == "off") return static_cast<int>(LogLevel::kOff);
+    std::cerr << "[dmpc WARN] unknown DMPC_LOG_LEVEL '" << value
+              << "' (want debug|info|warn|error|off); using warn\n";
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> g_level{initial_level()};
+  return g_level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,9 +41,13 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+void set_log_level(LogLevel level) {
+  level_storage() = static_cast<int>(level);
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load());
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {

@@ -1,0 +1,442 @@
+// Tests for the obs tracing subsystem and the per-label metric attribution
+// it rides on: span nesting and deterministic ordering, sink output formats,
+// golden-trace byte-identity, and the zero-overhead-when-disabled contract.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mis/det_mis.hpp"
+#include "mpc/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace dmpc {
+namespace {
+
+// --- Minimal JSON well-formedness checker (the repo's Json class is a
+// writer; chrome output correctness is asserted by re-parsing it here and
+// by `python3 -m json.tool` in CI). ---
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t find_int_arg(const obs::TraceEvent& event, const std::string& key) {
+  for (const auto& a : event.args) {
+    if (a.key == key) return std::get<std::int64_t>(a.value);
+  }
+  ADD_FAILURE() << "missing arg " << key << " on " << event.name;
+  return -1;
+}
+
+// --- Metrics label attribution (satellite of the span layer). ---
+
+TEST(Metrics, PerLabelAttribution) {
+  mpc::Metrics m;
+  m.charge_rounds(3, "a");
+  m.add_communication(10, "a");
+  m.add_communication(5, "b");
+  m.add_communication(7);  // unlabeled: totals only
+  m.observe_load(100, "a");
+  m.observe_load(40, "a");
+  m.observe_load(60, "b");
+  m.observe_load(200);  // unlabeled: global peak only
+
+  EXPECT_EQ(m.total_communication(), 22u);
+  EXPECT_EQ(m.communication_by_label().at("a"), 10u);
+  EXPECT_EQ(m.communication_by_label().at("b"), 5u);
+  EXPECT_EQ(m.communication_by_label().count(""), 0u);
+  EXPECT_EQ(m.peak_machine_load(), 200u);
+  EXPECT_EQ(m.peak_load_by_label().at("a"), 100u);
+  EXPECT_EQ(m.peak_load_by_label().at("b"), 60u);
+}
+
+TEST(Metrics, MergeSumsCommunicationAndMaxesPeaks) {
+  mpc::Metrics a;
+  a.add_communication(10, "x");
+  a.observe_load(100, "x");
+  mpc::Metrics b;
+  b.add_communication(4, "x");
+  b.add_communication(6, "y");
+  b.observe_load(70, "x");
+  b.observe_load(300, "y");
+
+  a.merge(b);
+  EXPECT_EQ(a.total_communication(), 20u);
+  EXPECT_EQ(a.communication_by_label().at("x"), 14u);
+  EXPECT_EQ(a.communication_by_label().at("y"), 6u);
+  EXPECT_EQ(a.peak_load_by_label().at("x"), 100u);
+  EXPECT_EQ(a.peak_load_by_label().at("y"), 300u);
+  EXPECT_EQ(a.peak_machine_load(), 300u);
+}
+
+TEST(Metrics, ResetClearsLabelMaps) {
+  mpc::Metrics m;
+  m.charge_rounds(1, "a");
+  m.add_communication(2, "a");
+  m.observe_load(3, "a");
+  m.reset();
+  EXPECT_EQ(m.rounds(), 0u);
+  EXPECT_EQ(m.total_communication(), 0u);
+  EXPECT_EQ(m.peak_machine_load(), 0u);
+  EXPECT_TRUE(m.rounds_by_label().empty());
+  EXPECT_TRUE(m.communication_by_label().empty());
+  EXPECT_TRUE(m.peak_load_by_label().empty());
+}
+
+// --- Span mechanics. ---
+
+TEST(Trace, NullSessionIsInactiveAndFree) {
+  obs::TraceSession session(nullptr);
+  EXPECT_FALSE(session.active());
+  EXPECT_FALSE(obs::enabled(&session));
+  EXPECT_FALSE(obs::enabled(nullptr));
+  {
+    obs::Span span(&session, "noop");
+    EXPECT_FALSE(span.active());
+    span.arg("k", std::uint64_t{1});
+    session.instant("x");
+    obs::trace_primitive(&session, "p", 1, 2);
+  }
+  obs::Span null_span(nullptr, "noop");
+  EXPECT_FALSE(null_span.active());
+  session.finish();
+  EXPECT_EQ(session.events_emitted(), 0u);
+}
+
+TEST(Trace, SpanNestingParentDepthAndOrdering) {
+  obs::CollectorSink sink;
+  obs::TraceSession session(&sink);
+  {
+    obs::Span outer(&session, "outer");
+    session.instant("tick");
+    {
+      obs::Span inner(&session, "inner");
+      inner.arg("candidates", std::uint64_t{7});
+    }
+  }
+  session.finish();
+  EXPECT_EQ(session.open_spans(), 0u);
+
+  const auto& ev = sink.events();
+  ASSERT_EQ(ev.size(), 5u);
+  // Strictly increasing logical clock starting at 0.
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].seq, i);
+  }
+  EXPECT_EQ(ev[0].kind, obs::EventKind::kSpanBegin);
+  EXPECT_EQ(ev[0].name, "outer");
+  EXPECT_EQ(ev[0].parent, 0u);
+  EXPECT_EQ(ev[0].depth, 0u);
+
+  EXPECT_EQ(ev[1].kind, obs::EventKind::kInstant);
+  EXPECT_EQ(ev[1].name, "tick");
+  EXPECT_EQ(ev[1].span, ev[0].span);
+  EXPECT_EQ(ev[1].depth, 1u);
+
+  EXPECT_EQ(ev[2].kind, obs::EventKind::kSpanBegin);
+  EXPECT_EQ(ev[2].name, "inner");
+  EXPECT_EQ(ev[2].parent, ev[0].span);
+  EXPECT_EQ(ev[2].depth, 1u);
+
+  EXPECT_EQ(ev[3].kind, obs::EventKind::kSpanEnd);
+  EXPECT_EQ(ev[3].name, "inner");
+  EXPECT_EQ(find_int_arg(ev[3], "candidates"), 7);
+
+  EXPECT_EQ(ev[4].kind, obs::EventKind::kSpanEnd);
+  EXPECT_EQ(ev[4].name, "outer");
+}
+
+TEST(Trace, SpanReportsMetricDeltas) {
+  mpc::Metrics metrics;
+  obs::CollectorSink sink;
+  obs::TraceSession session(&sink);
+  session.attach_metrics(&metrics);
+  metrics.charge_rounds(5, "before");
+  metrics.add_communication(11, "before");
+  {
+    obs::Span span(&session, "work");
+    metrics.charge_rounds(3, "work");
+    metrics.add_communication(9, "work");
+  }
+  session.finish();
+  ASSERT_EQ(sink.events().size(), 2u);
+  const auto& end = sink.events()[1];
+  EXPECT_EQ(find_int_arg(end, "rounds"), 3);
+  EXPECT_EQ(find_int_arg(end, "communication"), 9);
+}
+
+// --- End-to-end: a traced MIS run. ---
+
+TEST(Trace, PipelineSpanDeltaMatchesRunTotals) {
+  const auto g = graph::gnm(192, 960, 7);
+  obs::CollectorSink sink;
+  obs::TraceSession session(&sink);
+  mis::DetMisConfig config;
+  config.trace = &session;
+  const auto result = mis::det_mis(g, config);
+  session.finish();
+
+  const obs::TraceEvent* pipeline_end = nullptr;
+  for (const auto& event : sink.events()) {
+    if (event.kind == obs::EventKind::kSpanEnd &&
+        event.name == "mis/pipeline") {
+      pipeline_end = &event;
+    }
+  }
+  ASSERT_NE(pipeline_end, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(find_int_arg(*pipeline_end, "rounds")),
+            result.metrics.rounds());
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                find_int_arg(*pipeline_end, "communication")),
+            result.metrics.total_communication());
+
+  // The structured progress series replaced the free-form debug line: one
+  // event per iteration, with the Lemma-12 good-node mass fraction.
+  std::uint64_t progress_events = 0;
+  for (const auto& event : sink.events()) {
+    if (event.kind != obs::EventKind::kInstant ||
+        event.name != "mis/progress") {
+      continue;
+    }
+    ++progress_events;
+    EXPECT_GE(find_int_arg(event, "iteration"), 1);
+    EXPECT_GE(find_int_arg(event, "edges_remaining"), 0);
+    bool has_fraction = false;
+    for (const auto& a : event.args) {
+      if (a.key == "good_node_fraction") {
+        has_fraction = true;
+        const double f = std::get<double>(a.value);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LE(f, 1.0);
+      }
+    }
+    EXPECT_TRUE(has_fraction);
+  }
+  EXPECT_EQ(progress_events, result.iterations);
+
+  // Span aggregation covers the phase decomposition.
+  const auto stats = obs::summarize_spans(sink.events());
+  std::uint64_t phase_rounds = 0;
+  bool saw_derand = false;
+  for (const auto& s : stats) {
+    if (s.name == "mis/phase/derand") {
+      saw_derand = true;
+      EXPECT_EQ(s.count, result.iterations);
+    }
+    if (s.name.rfind("mis/phase/", 0) == 0) phase_rounds += s.rounds;
+  }
+  EXPECT_TRUE(saw_derand);
+  EXPECT_GT(phase_rounds, 0u);
+  EXPECT_LE(phase_rounds, result.metrics.rounds());
+}
+
+TEST(Trace, DisabledTracingLeavesMetricsIdentical) {
+  const auto g = graph::gnm(160, 640, 9);
+  mis::DetMisConfig plain_config;
+  const auto plain = mis::det_mis(g, plain_config);
+
+  obs::CollectorSink sink;
+  obs::TraceSession session(&sink);
+  mis::DetMisConfig traced_config;
+  traced_config.trace = &session;
+  const auto traced = mis::det_mis(g, traced_config);
+  session.finish();
+
+  EXPECT_GT(session.events_emitted(), 0u);
+  EXPECT_EQ(plain.metrics.rounds(), traced.metrics.rounds());
+  EXPECT_EQ(plain.metrics.total_communication(),
+            traced.metrics.total_communication());
+  EXPECT_EQ(plain.metrics.peak_machine_load(),
+            traced.metrics.peak_machine_load());
+  EXPECT_EQ(plain.metrics.rounds_by_label(), traced.metrics.rounds_by_label());
+  EXPECT_EQ(plain.metrics.communication_by_label(),
+            traced.metrics.communication_by_label());
+  EXPECT_EQ(plain.in_set, traced.in_set);
+}
+
+// --- Sinks. ---
+
+TEST(Sinks, GoldenJsonlTraceIsByteIdentical) {
+  const auto g = graph::gnm(160, 800, 11);
+  auto run = [&] {
+    std::ostringstream out;
+    obs::JsonlTraceSink sink(&out, /*include_wall_time=*/false);
+    obs::TraceSession session(&sink);
+    mis::DetMisConfig config;
+    config.trace = &session;
+    mis::det_mis(g, config);
+    session.finish();
+    return out.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Every line is one well-formed JSON object with the fixed field order.
+  std::istringstream lines(first);
+  std::string line;
+  std::uint64_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    EXPECT_EQ(line.rfind("{\"seq\":", 0), 0u) << line;
+    EXPECT_EQ(line.find("\"ts_ns\""), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_GT(count, 4u);
+}
+
+TEST(Sinks, JsonlIncludesWallTimeByDefault) {
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(&out);
+  obs::TraceSession session(&sink);
+  { obs::Span span(&session, "s"); }
+  session.finish();
+  EXPECT_NE(out.str().find("\"ts_ns\""), std::string::npos);
+}
+
+TEST(Sinks, ChromeTraceIsWellFormedAndBalanced) {
+  const auto g = graph::gnm(160, 800, 13);
+  std::ostringstream out;
+  obs::ChromeTraceSink sink(&out);
+  obs::TraceSession session(&sink);
+  mis::DetMisConfig config;
+  config.trace = &session;
+  mis::det_mis(g, config);
+  session.finish();
+
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonChecker(text).valid());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  // Duration events must balance for chrome://tracing to render them.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = text.find("\"ph\": \"B\"", pos)) != std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = text.find("\"ph\": \"E\"", pos)) != std::string::npos) {
+    ++ends;
+    ++pos;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(Sinks, SummarizeSpansAggregatesByName) {
+  obs::CollectorSink sink;
+  obs::TraceSession session(&sink);
+  mpc::Metrics metrics;
+  session.attach_metrics(&metrics);
+  for (int i = 0; i < 3; ++i) {
+    obs::Span span(&session, "repeat");
+    metrics.charge_rounds(2, "repeat");
+    metrics.add_communication(5, "repeat");
+  }
+  session.finish();
+  const auto stats = obs::summarize_spans(sink.events());
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "repeat");
+  EXPECT_EQ(stats[0].count, 3u);
+  EXPECT_EQ(stats[0].rounds, 6u);
+  EXPECT_EQ(stats[0].communication, 15u);
+}
+
+}  // namespace
+}  // namespace dmpc

@@ -3,8 +3,10 @@
 //   dmpc gen      --family=gnm --n=1000 --m=8000 [--seed=1] --out=g.txt
 //   dmpc stats    --in=g.txt
 //   dmpc mis      --in=g.txt [--eps=0.5] [--algorithm=auto|sparse|lowdeg]
-//                 [--out=mis.txt]
+//                 [--out=mis.txt] [--trace=trace.json]
+//                 [--trace-format=jsonl|chrome]
 //   dmpc matching --in=g.txt [--eps=0.5] [--out=matching.txt]
+//                 [--trace=...] [--trace-format=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -12,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "api/report_json.hpp"
@@ -21,6 +24,8 @@
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
 
@@ -33,6 +38,9 @@ using dmpc::graph::NodeId;
 int usage() {
   std::fprintf(stderr,
                "usage: dmpc <gen|stats|mis|matching|cover|color> [--options]\n"
+               "solver commands accept --trace=<file> to record a span trace\n"
+               "and --trace-format=jsonl|chrome to pick the encoding\n"
+               "(chrome output loads in chrome://tracing or ui.perfetto.dev)\n"
                "see the header of tools/dmpc_cli.cpp for details\n");
   return 2;
 }
@@ -102,6 +110,37 @@ std::ofstream open_out(const std::string& path) {
   return out;
 }
 
+/// Owns the trace output chain (--trace / --trace-format). Members are
+/// heap-allocated so the sink's stream pointer stays stable across moves.
+struct TraceSetup {
+  std::unique_ptr<std::ofstream> out;
+  std::unique_ptr<dmpc::obs::TraceSink> sink;
+  std::unique_ptr<dmpc::obs::TraceSession> session;
+
+  dmpc::obs::TraceSession* session_or_null() const { return session.get(); }
+  void finish() {
+    if (session) session->finish();
+    if (out) out->close();
+  }
+};
+
+TraceSetup make_trace(const dmpc::ArgParser& args) {
+  TraceSetup t;
+  const std::string path = args.get("trace", "");
+  if (path.empty()) return t;
+  const std::string format = args.get("trace-format", "jsonl");
+  t.out = std::make_unique<std::ofstream>(path);
+  DMPC_CHECK_MSG(t.out->good(), "cannot open " + path);
+  if (format == "chrome") {
+    t.sink = std::make_unique<dmpc::obs::ChromeTraceSink>(t.out.get());
+  } else {
+    DMPC_CHECK_MSG(format == "jsonl", "unknown trace format: " << format);
+    t.sink = std::make_unique<dmpc::obs::JsonlTraceSink>(t.out.get());
+  }
+  t.session = std::make_unique<dmpc::obs::TraceSession>(t.sink.get());
+  return t;
+}
+
 int cmd_gen(const dmpc::ArgParser& args) {
   const auto g = generate(args);
   const std::string out = args.get("out", "");
@@ -136,7 +175,11 @@ int cmd_stats(const dmpc::ArgParser& args) {
 
 int cmd_mis(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
-  const auto solution = dmpc::solve_mis(g, solve_options(args));
+  auto trace = make_trace(args);
+  auto options = solve_options(args);
+  options.trace = trace.session_or_null();
+  const auto solution = dmpc::solve_mis(g, options);
+  trace.finish();
   std::size_t size = 0;
   for (bool b : solution.in_set) size += b;
   if (args.has("json")) {
@@ -159,7 +202,11 @@ int cmd_mis(const dmpc::ArgParser& args) {
 
 int cmd_matching(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
-  const auto solution = dmpc::solve_maximal_matching(g, solve_options(args));
+  auto trace = make_trace(args);
+  auto options = solve_options(args);
+  options.trace = trace.session_or_null();
+  const auto solution = dmpc::solve_maximal_matching(g, options);
+  trace.finish();
   if (args.has("json")) {
     auto j = dmpc::to_json(solution.report);
     j.set("matching_size",
@@ -181,7 +228,11 @@ int cmd_matching(const dmpc::ArgParser& args) {
 
 int cmd_cover(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
-  const auto result = dmpc::apps::vertex_cover_2approx(g, solve_options(args));
+  auto trace = make_trace(args);
+  auto options = solve_options(args);
+  options.trace = trace.session_or_null();
+  const auto result = dmpc::apps::vertex_cover_2approx(g, options);
+  trace.finish();
   std::printf("cover_size=%llu matching_lower_bound=%llu (<= 2x OPT)\n",
               (unsigned long long)result.cover_size,
               (unsigned long long)result.matching_size);
@@ -211,8 +262,11 @@ int cmd_color(const dmpc::ArgParser& args) {
     colors = std::move(result.color);
     used = result.colors_used;
   } else {
-    auto result =
-        dmpc::apps::delta_plus_one_coloring(g, solve_options(args));
+    auto trace = make_trace(args);
+    auto options = solve_options(args);
+    options.trace = trace.session_or_null();
+    auto result = dmpc::apps::delta_plus_one_coloring(g, options);
+    trace.finish();
     std::printf("colors_used=%u (palette Delta+1 = %u)\n",
                 result.colors_used, g.max_degree() + 1);
     print_report(result.report);
