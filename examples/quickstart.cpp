@@ -1,10 +1,10 @@
 // Quickstart: build a graph, run the deterministic MIS and maximal matching
-// solvers, inspect the MPC cost report.
+// solvers through the dmpc::Solver facade, inspect the MPC cost report.
 //
-//   ./quickstart [--n=2000] [--m=12000] [--eps=0.5] [--seed=1]
+//   ./quickstart [--n=2000] [--m=12000] [--eps=0.5] [--seed=1] [--threads=1]
 #include <cstdio>
 
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
 #include "support/options.hpp"
@@ -17,13 +17,23 @@ int main(int argc, char** argv) {
 
   dmpc::SolveOptions options;
   options.eps = args.get_double("eps", 0.5);
+  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
 
-  std::printf("== dmpc quickstart: G(n=%u, m=%llu), eps=%.2f ==\n", n,
-              static_cast<unsigned long long>(m), options.eps);
+  // Validate once up front: bad options come back as a typed Status instead
+  // of an assertion out of the middle of a pipeline.
+  const dmpc::Solver solver(options);
+  if (const auto status = solver.validate(); !status.ok()) {
+    std::fprintf(stderr, "invalid options: %s\n", status.to_string().c_str());
+    return 2;
+  }
+
+  std::printf("== dmpc quickstart: G(n=%u, m=%llu), eps=%.2f, threads=%u ==\n",
+              n, static_cast<unsigned long long>(m), options.eps,
+              options.threads);
   const auto g = dmpc::graph::gnm(n, m, seed);
 
   // --- Maximal independent set (Theorem 1). ---
-  const auto mis = dmpc::solve_mis(g, options);
+  const auto mis = solver.mis(g);
   std::size_t mis_size = 0;
   for (bool b : mis.in_set) mis_size += b;
   std::printf("MIS:      %zu nodes, algorithm=%s, iterations=%llu\n",
@@ -42,7 +52,7 @@ int main(int argc, char** argv) {
                   : "NO (bug!)");
 
   // --- Maximal matching (Theorem 1). ---
-  const auto mm = dmpc::solve_maximal_matching(g, options);
+  const auto mm = solver.maximal_matching(g);
   std::printf("Matching: %zu edges, algorithm=%s, iterations=%llu\n",
               mm.matching.size(), mm.report.algorithm_used.c_str(),
               static_cast<unsigned long long>(mm.report.iterations));
@@ -53,9 +63,12 @@ int main(int argc, char** argv) {
                   ? "yes"
                   : "NO (bug!)");
 
-  // --- Determinism demo: run again, must be bit-identical. ---
-  const auto mis2 = dmpc::solve_mis(g, options);
-  std::printf("Determinism: second run identical = %s\n",
+  // --- Determinism demo: run again (and serially), must be bit-identical
+  // regardless of the thread count. ---
+  auto serial_options = options;
+  serial_options.threads = 1;
+  const auto mis2 = dmpc::Solver(serial_options).mis(g);
+  std::printf("Determinism: serial re-run identical = %s\n",
               mis2.in_set == mis.in_set ? "yes" : "NO (bug!)");
   return 0;
 }

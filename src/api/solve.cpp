@@ -1,86 +1,20 @@
 #include "api/solve.hpp"
 
-#include <cmath>
-
-#include "lowdeg/lowdeg_solver.hpp"
-#include "matching/det_matching.hpp"
-#include "mis/det_mis.hpp"
-#include "support/check.hpp"
+#include "api/solver.hpp"
 
 namespace dmpc {
 
 bool low_degree_regime(const graph::Graph& g, const SolveOptions& options) {
-  if (g.num_nodes() < 2) return true;
-  const double delta = options.eps / 8.0;
-  const double n = static_cast<double>(g.num_nodes());
-  const double bound = std::pow(n, delta);
-  // §5 needs Delta = O(n^{delta}); additionally, at finite n the pipeline's
-  // binding constraint is the 2-hop space check (Delta^2 words on one
-  // machine, and the matching path runs on the line graph whose degree is
-  // ~2 Delta), so require that to fit in S with room to spare.
-  const double s_budget = options.space_headroom * std::pow(n, options.eps);
-  const double d = static_cast<double>(g.max_degree());
-  const double line_degree = 2.0 * d;
-  return d <= 4.0 * bound + 4.0 && line_degree * line_degree <= s_budget;
+  return Solver(options).low_degree_regime(g);
 }
 
 MisSolution solve_mis(const graph::Graph& g, const SolveOptions& options) {
-  MisSolution solution;
-  const bool lowdeg =
-      options.algorithm == Algorithm::kLowDegree ||
-      (options.algorithm == Algorithm::kAuto && low_degree_regime(g, options));
-  if (lowdeg) {
-    lowdeg::LowDegConfig config;
-    config.trace = options.trace;
-    config.eps = options.eps;
-    config.space_headroom = options.space_headroom;
-    auto result = lowdeg::lowdeg_mis(g, config);
-    solution.in_set = std::move(result.in_set);
-    solution.report.algorithm_used = "lowdeg";
-    solution.report.iterations = result.stages;
-    solution.report.metrics = result.metrics;
-  } else {
-    mis::DetMisConfig config;
-    config.trace = options.trace;
-    config.eps = options.eps;
-    config.space_headroom = options.space_headroom;
-    auto result = mis::det_mis(g, config);
-    solution.in_set = std::move(result.in_set);
-    solution.report.algorithm_used = "sparsification";
-    solution.report.iterations = result.iterations;
-    solution.report.metrics = result.metrics;
-  }
-  return solution;
+  return Solver(options).mis(g);
 }
 
 MatchingSolution solve_maximal_matching(const graph::Graph& g,
                                         const SolveOptions& options) {
-  MatchingSolution solution;
-  const bool lowdeg =
-      options.algorithm == Algorithm::kLowDegree ||
-      (options.algorithm == Algorithm::kAuto && low_degree_regime(g, options));
-  if (lowdeg) {
-    lowdeg::LowDegConfig config;
-    config.trace = options.trace;
-    config.eps = options.eps;
-    config.space_headroom = options.space_headroom;
-    auto result = lowdeg::lowdeg_matching(g, config);
-    solution.matching = std::move(result.matching);
-    solution.report.algorithm_used = "lowdeg";
-    solution.report.iterations = result.line_mis.stages;
-    solution.report.metrics = result.line_mis.metrics;
-  } else {
-    matching::DetMatchingConfig config;
-    config.trace = options.trace;
-    config.eps = options.eps;
-    config.space_headroom = options.space_headroom;
-    auto result = matching::det_maximal_matching(g, config);
-    solution.matching = std::move(result.matching);
-    solution.report.algorithm_used = "sparsification";
-    solution.report.iterations = result.iterations;
-    solution.report.metrics = result.metrics;
-  }
-  return solution;
+  return Solver(options).maximal_matching(g);
 }
 
 }  // namespace dmpc

@@ -28,10 +28,21 @@ enum class Algorithm {
 
 struct SolveOptions {
   Algorithm algorithm = Algorithm::kAuto;
-  /// Machine-space exponent: S = Theta(n^eps) words.
+  /// Machine-space exponent: S = Theta(n^eps) words. Valid range (0, 1).
   double eps = 0.5;
   /// Constant-factor headroom on S (absorbs the paper's O(n^{8 delta})).
+  /// Must be > 0.
   double space_headroom = 8.0;
+  /// Theorem-1 dispatch threshold slack: the low-degree path is considered
+  /// when Delta <= dispatch_slack * n^{eps/8} + dispatch_slack (and the
+  /// 2-hop structures fit in S). Must be > 0.
+  double dispatch_slack = 4.0;
+  /// Host threads for per-machine local computation (seed evaluation,
+  /// conditional-expectation sweeps, degree scans): 0 = hardware
+  /// concurrency, 1 = serial. Model-level local computation is free, so
+  /// this changes wall time only — solutions, reports, and golden JSONL
+  /// traces are byte-identical for every value (see docs/API.md).
+  std::uint32_t threads = 1;
   /// Optional tracing sink (non-owning; null = tracing off, zero cost).
   obs::TraceSession* trace = nullptr;
 };
@@ -52,15 +63,24 @@ struct MatchingSolution {
   SolveReport report;
 };
 
+// The free functions below are convenience wrappers over dmpc::Solver
+// (api/solver.hpp) — one-shot construct-and-solve. Prefer the Solver facade
+// when options are validated once and reused, or when you want typed
+// validation errors (Solver::validate / OptionsError) instead of exceptions
+// out of the first solve.
+
 /// Deterministic maximal independent set (Theorem 1).
+/// Wrapper: Solver(options).mis(g).
 MisSolution solve_mis(const graph::Graph& g, const SolveOptions& options = {});
 
 /// Deterministic maximal matching (Theorem 1).
+/// Wrapper: Solver(options).maximal_matching(g).
 MatchingSolution solve_maximal_matching(const graph::Graph& g,
                                         const SolveOptions& options = {});
 
 /// The Theorem-1 dispatch predicate: true if the low-degree path applies
 /// (Delta <= n^{delta} with delta = eps/8).
+/// Wrapper: Solver(options).low_degree_regime(g).
 bool low_degree_regime(const graph::Graph& g, const SolveOptions& options);
 
 }  // namespace dmpc

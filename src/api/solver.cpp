@@ -1,0 +1,156 @@
+#include "api/solver.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "lowdeg/lowdeg_solver.hpp"
+#include "matching/det_matching.hpp"
+#include "mis/det_mis.hpp"
+
+namespace dmpc {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidEps:
+      return "invalid_eps";
+    case StatusCode::kInvalidSpaceHeadroom:
+      return "invalid_space_headroom";
+    case StatusCode::kInvalidDispatchSlack:
+      return "invalid_dispatch_slack";
+    case StatusCode::kInvalidThreads:
+      return "invalid_threads";
+    case StatusCode::kInvalidAlgorithm:
+      return "invalid_algorithm";
+    case StatusCode::kInvalidTraceFormat:
+      return "invalid_trace_format";
+  }
+  return "unknown";
+}
+
+Status Solver::validate(const SolveOptions& options) {
+  // NaN comparisons are false, so `!(x > 0)` style predicates reject NaN too.
+  if (!(options.eps > 0.0 && options.eps < 1.0)) {
+    return Status::error(
+        StatusCode::kInvalidEps,
+        "eps must satisfy 0 < eps < 1 (machine space is n^eps), got " +
+            std::to_string(options.eps));
+  }
+  if (!(options.space_headroom > 0.0)) {
+    return Status::error(
+        StatusCode::kInvalidSpaceHeadroom,
+        "space_headroom must be > 0, got " +
+            std::to_string(options.space_headroom));
+  }
+  if (!(options.dispatch_slack > 0.0)) {
+    return Status::error(
+        StatusCode::kInvalidDispatchSlack,
+        "dispatch_slack must be > 0, got " +
+            std::to_string(options.dispatch_slack));
+  }
+  if (options.threads > kMaxThreads) {
+    return Status::error(
+        StatusCode::kInvalidThreads,
+        "threads must be <= " + std::to_string(kMaxThreads) +
+            " (0 = hardware concurrency), got " +
+            std::to_string(options.threads));
+  }
+  return Status();
+}
+
+void Solver::require_valid() const {
+  Status s = validate(options_);
+  if (!s.ok()) throw OptionsError(std::move(s));
+}
+
+exec::Executor Solver::make_executor() const {
+  return exec::Executor::with_threads(options_.threads);
+}
+
+double Solver::dispatch_degree_bound(std::uint64_t n) const {
+  const double delta = options_.eps / 8.0;
+  const double bound = std::pow(static_cast<double>(n), delta);
+  return options_.dispatch_slack * bound + options_.dispatch_slack;
+}
+
+bool Solver::low_degree_regime(const graph::Graph& g) const {
+  require_valid();
+  if (g.num_nodes() < 2) return true;
+  const double n = static_cast<double>(g.num_nodes());
+  // §5 needs Delta = O(n^{delta}); additionally, at finite n the pipeline's
+  // binding constraint is the 2-hop space check (Delta^2 words on one
+  // machine, and the matching path runs on the line graph whose degree is
+  // ~2 Delta), so require that to fit in S with room to spare.
+  const double s_budget = options_.space_headroom * std::pow(n, options_.eps);
+  const double d = static_cast<double>(g.max_degree());
+  const double line_degree = 2.0 * d;
+  return d <= dispatch_degree_bound(g.num_nodes()) &&
+         line_degree * line_degree <= s_budget;
+}
+
+MisSolution Solver::mis(const graph::Graph& g) const {
+  require_valid();
+  MisSolution solution;
+  const bool lowdeg =
+      options_.algorithm == Algorithm::kLowDegree ||
+      (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
+  if (lowdeg) {
+    lowdeg::LowDegConfig config;
+    config.trace = options_.trace;
+    config.eps = options_.eps;
+    config.space_headroom = options_.space_headroom;
+    config.threads = options_.threads;
+    auto result = lowdeg::lowdeg_mis(g, config);
+    solution.in_set = std::move(result.in_set);
+    solution.report.algorithm_used = "lowdeg";
+    solution.report.iterations = result.stages;
+    solution.report.metrics = result.metrics;
+  } else {
+    mis::DetMisConfig config;
+    config.trace = options_.trace;
+    config.eps = options_.eps;
+    config.space_headroom = options_.space_headroom;
+    config.threads = options_.threads;
+    auto result = mis::det_mis(g, config);
+    solution.in_set = std::move(result.in_set);
+    solution.report.algorithm_used = "sparsification";
+    solution.report.iterations = result.iterations;
+    solution.report.metrics = result.metrics;
+  }
+  return solution;
+}
+
+MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
+  require_valid();
+  MatchingSolution solution;
+  const bool lowdeg =
+      options_.algorithm == Algorithm::kLowDegree ||
+      (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
+  if (lowdeg) {
+    lowdeg::LowDegConfig config;
+    config.trace = options_.trace;
+    config.eps = options_.eps;
+    config.space_headroom = options_.space_headroom;
+    config.threads = options_.threads;
+    auto result = lowdeg::lowdeg_matching(g, config);
+    solution.matching = std::move(result.matching);
+    solution.report.algorithm_used = "lowdeg";
+    solution.report.iterations = result.line_mis.stages;
+    solution.report.metrics = result.line_mis.metrics;
+  } else {
+    matching::DetMatchingConfig config;
+    config.trace = options_.trace;
+    config.eps = options_.eps;
+    config.space_headroom = options_.space_headroom;
+    config.threads = options_.threads;
+    auto result = matching::det_maximal_matching(g, config);
+    solution.matching = std::move(result.matching);
+    solution.report.algorithm_used = "sparsification";
+    solution.report.iterations = result.iterations;
+    solution.report.metrics = result.metrics;
+  }
+  return solution;
+}
+
+}  // namespace dmpc

@@ -1,0 +1,77 @@
+// dmpc::Solver — the configured-facade form of the public API.
+//
+// Lifecycle:
+//   1. Construct with SolveOptions (or default).
+//   2. validate() — typed Status per rejectable option (no DMPC_CHECK
+//      aborts for caller input errors). Optional: the solve entry points
+//      re-validate and throw OptionsError on bad options.
+//   3. mis(g) / maximal_matching(g) — Theorem-1 dispatch, any number of
+//      times, on any graphs; the Solver is immutable and (for a serial
+//      executor) stateless across calls.
+//
+// Determinism contract: for a fixed graph and fixed options *excluding
+// `threads`*, solutions, SolveReports, and golden JSONL traces are
+// byte-identical for every threads value (see docs/API.md, "Determinism
+// under parallelism"). The free functions solve_mis / solve_maximal_matching
+// remain as convenience wrappers over a temporary Solver.
+#pragma once
+
+#include <cstdint>
+
+#include "api/solve.hpp"
+#include "api/status.hpp"
+#include "exec/parallel.hpp"
+#include "graph/graph.hpp"
+
+namespace dmpc {
+
+class Solver {
+ public:
+  /// Hard cap on SolveOptions::threads — a guard against garbage input
+  /// (e.g. passing a node count where a thread count was meant), not a
+  /// tuning limit.
+  static constexpr std::uint32_t kMaxThreads = 4096;
+
+  Solver() = default;
+  explicit Solver(SolveOptions options) : options_(std::move(options)) {}
+
+  const SolveOptions& options() const { return options_; }
+
+  /// Validate this solver's options. Rules (one StatusCode each):
+  ///   - 0 < eps < 1                 (kInvalidEps)
+  ///   - space_headroom > 0          (kInvalidSpaceHeadroom)
+  ///   - dispatch_slack > 0          (kInvalidDispatchSlack)
+  ///   - threads <= kMaxThreads      (kInvalidThreads; 0 = hardware)
+  Status validate() const { return validate(options_); }
+  static Status validate(const SolveOptions& options);
+
+  /// Theorem-1 dispatch predicate for this solver's options: true if the §5
+  /// low-degree path applies (Delta within dispatch_degree_bound and the
+  /// 2-hop structures fit in S). Throws OptionsError on invalid options.
+  bool low_degree_regime(const graph::Graph& g) const;
+
+  /// The dispatch threshold itself: the largest max-degree for which the
+  /// low-degree path is considered on an n-node graph
+  /// (dispatch_slack * n^{eps/8} + dispatch_slack).
+  double dispatch_degree_bound(std::uint64_t n) const;
+
+  /// Deterministic maximal independent set (Theorem 1).
+  /// Throws OptionsError if validate() fails.
+  MisSolution mis(const graph::Graph& g) const;
+
+  /// Deterministic maximal matching (Theorem 1).
+  /// Throws OptionsError if validate() fails.
+  MatchingSolution maximal_matching(const graph::Graph& g) const;
+
+  /// The host executor the solve entry points will use (threads resolved:
+  /// 0 -> hardware concurrency). Exposed so callers can reuse it for
+  /// adjacent work (graph stats, custom objectives).
+  exec::Executor make_executor() const;
+
+ private:
+  void require_valid() const;
+
+  SolveOptions options_;
+};
+
+}  // namespace dmpc

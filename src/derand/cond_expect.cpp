@@ -37,11 +37,19 @@ FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
     cluster.check_load(std::min(radix, cluster.space()),
                        options.label + ": candidate table", options.label);
 
+    // Host-parallel sweep: conditional_expectation is const/pure, so the
+    // candidate values are computed concurrently; the argmax scan stays
+    // serial with a strict improvement test, committing the lowest digit on
+    // ties — identical to the serial sweep for every thread count.
+    std::vector<double> values(radix, 0.0);
+    cluster.executor().for_each(0, radix, [&](std::uint64_t digit) {
+      values[digit] = objective.conditional_expectation(prefix, digit);
+    });
     double best_value = 0.0;
     std::uint64_t best_digit = 0;
     bool have = false;
     for (std::uint64_t digit = 0; digit < radix; ++digit) {
-      const double value = objective.conditional_expectation(prefix, digit);
+      const double value = values[digit];
       if (!have || value > best_value) {
         have = true;
         best_value = value;

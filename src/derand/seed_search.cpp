@@ -1,6 +1,8 @@
 #include "derand/seed_search.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "support/check.hpp"
@@ -20,6 +22,21 @@ void charge_batch(mpc::Cluster& cluster, std::uint64_t terms, std::uint64_t k,
 }
 }  // namespace
 
+std::uint64_t effective_stride(std::uint64_t stride, std::uint64_t seed_count) {
+  DMPC_CHECK(seed_count >= 1);
+  if (seed_count == 1) return 1;
+  std::uint64_t s = stride % seed_count;
+  if (s == 0) s = 1;
+  // Walk forward (wrapping, skipping 0) to the nearest stride coprime to the
+  // family size. Strides that are already coprime — every caller passing a
+  // large odd stride against a power-of-two family — are returned unchanged.
+  while (std::gcd(s, seed_count) != 1) {
+    ++s;
+    if (s == seed_count) s = 1;
+  }
+  return s;
+}
+
 SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
                        std::uint64_t seed_count, const SearchOptions& options) {
   DMPC_CHECK(seed_count >= 1);
@@ -29,25 +46,32 @@ SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
   SearchResult result;
   std::uint64_t next = 0;
   const std::uint64_t limit = std::min(seed_count, options.max_trials);
-  const std::uint64_t stride = options.seed_stride % seed_count == 0
-                                   ? 1
-                                   : options.seed_stride % seed_count;
+  const std::uint64_t stride = effective_stride(options.seed_stride, seed_count);
   auto seed_at = [&](std::uint64_t t) {
     const __uint128_t pos = static_cast<__uint128_t>(t) * stride +
                             options.seed_base % seed_count;
     return static_cast<std::uint64_t>(pos % seed_count);
   };
+  std::vector<double> values;
   while (next < limit) {
     const std::uint64_t batch_end = std::min(limit, next + k);
     charge_batch(cluster, objective.term_count(), batch_end - next,
                  options.label);
     ++result.batches;
+    // Evaluate the whole batch (host-parallel; the objective is pure), then
+    // commit the first qualifying trial in enumeration order — identical to
+    // the serial search for every thread count. `trials` counts evaluations
+    // up to and including the committed one, matching the serial
+    // short-circuit count even though later candidates were also evaluated.
+    values.assign(batch_end - next, 0.0);
+    cluster.executor().for_each(0, batch_end - next, [&](std::uint64_t i) {
+      values[i] = objective.evaluate(seed_at(next + i));
+    });
     for (std::uint64_t t = next; t < batch_end; ++t) {
-      ++result.trials;
-      const std::uint64_t seed = seed_at(t);
-      const double value = objective.evaluate(seed);
+      const double value = values[t - next];
       if (value >= options.threshold) {
-        result.seed = seed;
+        result.trials = t + 1;
+        result.seed = seed_at(t);
         result.value = value;
         span.arg("candidate_seeds", result.trials);
         span.arg("batches", result.batches);
@@ -55,6 +79,7 @@ SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
         return result;
       }
     }
+    result.trials = batch_end;
     next = batch_end;
   }
   DMPC_CHECK_MSG(false, options.label
@@ -75,13 +100,21 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
   SearchResult result;
   bool have = false;
   std::uint64_t next = 0;
+  std::vector<double> values;
   while (next < limit) {
     const std::uint64_t batch_end = std::min(limit, next + k);
     charge_batch(cluster, objective.term_count(), batch_end - next, label);
     ++result.batches;
+    // Host-parallel evaluation, then a serial lowest-seed-first scan with a
+    // strict improvement test: ties commit the lowest seed, exactly like the
+    // serial search.
+    values.assign(batch_end - next, 0.0);
+    cluster.executor().for_each(0, batch_end - next, [&](std::uint64_t i) {
+      values[i] = objective.evaluate(next + i);
+    });
     for (std::uint64_t seed = next; seed < batch_end; ++seed) {
       ++result.trials;
-      const double value = objective.evaluate(seed);
+      const double value = values[seed - next];
       if (!have || value > result.value) {
         have = true;
         result.seed = seed;

@@ -57,7 +57,21 @@ struct SearchResult {
   std::uint64_t batches = 0;  ///< O(1)-round batches used.
 };
 
+/// The stride actually used for a requested (stride, seed_count): the
+/// smallest s >= stride mod seed_count (wrapping, never 0) with
+/// gcd(s, seed_count) = 1. Coprimality makes t -> (base + t*s) mod seed_count
+/// a bijection on [0, seed_count), so a strided walk visits every residue
+/// exactly once before repeating — the exhaustive-coverage property the
+/// termination guarantee rests on. (A non-coprime stride s visits only
+/// seed_count / gcd(s, seed_count) residues; an earlier version reduced a
+/// stride that was a multiple of seed_count to 1 but silently kept other
+/// non-coprime strides, losing coverage.) Exposed for tests.
+std::uint64_t effective_stride(std::uint64_t stride, std::uint64_t seed_count);
+
 /// Find the first seed (in enumeration order) meeting the threshold.
+/// Batches are evaluated on the cluster's host executor; the committed seed
+/// is the first qualifying one in enumeration order regardless of thread
+/// count (the whole batch is evaluated, then scanned lowest-trial-first).
 SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
                        std::uint64_t seed_count, const SearchOptions& options);
 

@@ -1,0 +1,41 @@
+#include "exec/parallel.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dmpc::exec {
+
+Executor Executor::with_threads(std::uint32_t threads) {
+  std::uint32_t resolved = threads;
+  if (resolved == 0) {
+    resolved = std::max(1u, std::thread::hardware_concurrency());
+  }
+  Executor ex;
+  if (resolved > 1) ex.pool_ = std::make_shared<ThreadPool>(resolved);
+  return ex;
+}
+
+void Executor::run_chunks_pooled(
+    std::uint64_t chunks,
+    const std::function<void(std::uint64_t)>& chunk_fn) const {
+  // Capture at most one exception per batch — the lowest-index chunk's — so
+  // error paths are as deterministic as success paths.
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::uint64_t error_chunk = 0;
+  pool_->run(chunks, [&](std::uint64_t c) {
+    try {
+      chunk_fn(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (error == nullptr || c < error_chunk) {
+        error = std::current_exception();
+        error_chunk = c;
+      }
+    }
+  });
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace dmpc::exec

@@ -2,17 +2,31 @@
 
 #include <algorithm>
 
+#include "exec/parallel.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::graph {
 
 Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
-  for (auto& e : edges) {
-    DMPC_CHECK_MSG(e.u != e.v, "self-loops are not supported");
-    DMPC_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
-    if (e.u > e.v) std::swap(e.u, e.v);
-  }
-  std::sort(edges.begin(), edges.end());
+  return from_edges(n, std::move(edges), exec::Executor::serial());
+}
+
+Graph Graph::from_edges(NodeId n, std::vector<Edge> edges,
+                        const exec::Executor& ex) {
+  // Validation and canonicalization touch each edge independently; the
+  // lowest-index failure is rethrown, so error behavior matches the serial
+  // scan. parallel_sort's output permutation depends only on the data (here
+  // a total order, so it equals std::sort's).
+  ex.for_each(
+      0, edges.size(),
+      [&](std::uint64_t i) {
+        Edge& e = edges[i];
+        DMPC_CHECK_MSG(e.u != e.v, "self-loops are not supported");
+        DMPC_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+        if (e.u > e.v) std::swap(e.u, e.v);
+      },
+      4096);
+  exec::parallel_sort(ex, edges);
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
   Graph g;
@@ -38,12 +52,16 @@ Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
   }
   // Canonical edge order already sorts each adjacency row ascending:
   // edges are sorted by (u, v), so row u receives v's in increasing order,
-  // and row v receives u's in increasing order of u. Verify cheaply once.
-  for (NodeId v = 0; v < n; ++v) {
-    auto nb = g.neighbors(v);
-    DMPC_CHECK(std::is_sorted(nb.begin(), nb.end()));
-    g.max_degree_ = std::max(g.max_degree_, static_cast<std::uint32_t>(nb.size()));
-  }
+  // and row v receives u's in increasing order of u. Verify cheaply once
+  // (node-parallel; exact max reduction).
+  g.max_degree_ = ex.map_reduce(
+      0, n, std::uint32_t{0},
+      [&](std::uint64_t v) {
+        auto nb = g.neighbors(static_cast<NodeId>(v));
+        DMPC_CHECK(std::is_sorted(nb.begin(), nb.end()));
+        return static_cast<std::uint32_t>(nb.size());
+      },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); }, 256);
   return g;
 }
 
@@ -77,6 +95,27 @@ std::vector<std::uint32_t> masked_degrees(const Graph& g,
   return deg;
 }
 
+std::vector<std::uint32_t> masked_degrees(const Graph& g,
+                                          const std::vector<bool>& edge_mask,
+                                          const exec::Executor& ex) {
+  DMPC_CHECK(edge_mask.size() == g.num_edges());
+  // Node-parallel reformulation of the edge loop: deg[v] = number of v's
+  // incident edges with the mask bit set — the same value the per-edge
+  // increments produce, computed with disjoint writes.
+  std::vector<std::uint32_t> deg(g.num_nodes(), 0);
+  ex.for_each(
+      0, g.num_nodes(),
+      [&](std::uint64_t v) {
+        std::uint32_t d = 0;
+        for (EdgeId e : g.incident_edges(static_cast<NodeId>(v))) {
+          if (edge_mask[e]) ++d;
+        }
+        deg[v] = d;
+      },
+      256);
+  return deg;
+}
+
 std::vector<std::uint32_t> alive_degrees(const Graph& g,
                                          const std::vector<bool>& alive) {
   DMPC_CHECK(alive.size() == g.num_nodes());
@@ -90,6 +129,27 @@ std::vector<std::uint32_t> alive_degrees(const Graph& g,
   return deg;
 }
 
+std::vector<std::uint32_t> alive_degrees(const Graph& g,
+                                         const std::vector<bool>& alive,
+                                         const exec::Executor& ex) {
+  DMPC_CHECK(alive.size() == g.num_nodes());
+  // Node-parallel reformulation: a dead node gets 0 (no edge with both
+  // endpoints alive touches it); an alive node counts its alive neighbors.
+  std::vector<std::uint32_t> deg(g.num_nodes(), 0);
+  ex.for_each(
+      0, g.num_nodes(),
+      [&](std::uint64_t v) {
+        if (!alive[v]) return;
+        std::uint32_t d = 0;
+        for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+          if (alive[u]) ++d;
+        }
+        deg[v] = d;
+      },
+      256);
+  return deg;
+}
+
 EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive) {
   DMPC_CHECK(alive.size() == g.num_nodes());
   EdgeId count = 0;
@@ -97,6 +157,18 @@ EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive) {
     if (alive[e.u] && alive[e.v]) ++count;
   }
   return count;
+}
+
+EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive,
+                        const exec::Executor& ex) {
+  DMPC_CHECK(alive.size() == g.num_nodes());
+  return ex.map_reduce(
+      0, g.num_edges(), EdgeId{0},
+      [&](std::uint64_t e) {
+        const Edge& ed = g.edge(e);
+        return static_cast<EdgeId>(alive[ed.u] && alive[ed.v] ? 1 : 0);
+      },
+      [](EdgeId a, EdgeId b) { return a + b; }, 4096);
 }
 
 std::uint32_t alive_max_degree(const Graph& g, const std::vector<bool>& alive) {

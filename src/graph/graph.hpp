@@ -11,6 +11,10 @@
 #include <span>
 #include <vector>
 
+namespace dmpc::exec {
+class Executor;
+}
+
 namespace dmpc::graph {
 
 using NodeId = std::uint32_t;
@@ -35,6 +39,11 @@ class Graph {
   /// Build from an edge list. Self-loops are rejected; duplicate edges are
   /// collapsed. Node ids must be < n.
   static Graph from_edges(NodeId n, std::vector<Edge> edges);
+
+  /// As above, validating/sorting/verifying on the given host executor. The
+  /// resulting graph is byte-identical to the serial build for any executor.
+  static Graph from_edges(NodeId n, std::vector<Edge> edges,
+                          const exec::Executor& ex);
 
   NodeId num_nodes() const { return n_; }
   EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
@@ -84,13 +93,28 @@ class Graph {
 std::vector<std::uint32_t> masked_degrees(const Graph& g,
                                           const std::vector<bool>& edge_mask);
 
+/// Host-parallel variant (node-parallel over incident edges); identical
+/// output for any executor.
+std::vector<std::uint32_t> masked_degrees(const Graph& g,
+                                          const std::vector<bool>& edge_mask,
+                                          const exec::Executor& ex);
+
 /// Degree of every node restricted to alive nodes (an edge counts iff both
 /// endpoints are alive).
 std::vector<std::uint32_t> alive_degrees(const Graph& g,
                                          const std::vector<bool>& alive);
 
+/// Host-parallel variant; identical output for any executor.
+std::vector<std::uint32_t> alive_degrees(const Graph& g,
+                                         const std::vector<bool>& alive,
+                                         const exec::Executor& ex);
+
 /// Number of edges with both endpoints alive.
 EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive);
+
+/// Host-parallel variant; identical output for any executor.
+EdgeId alive_edge_count(const Graph& g, const std::vector<bool>& alive,
+                        const exec::Executor& ex);
 
 /// Maximum alive degree.
 std::uint32_t alive_max_degree(const Graph& g, const std::vector<bool>& alive);

@@ -2,28 +2,65 @@
 
 #include <algorithm>
 
+#include "exec/parallel.hpp"
 #include "graph/algorithms.hpp"
 #include "support/math.hpp"
 
 namespace dmpc::graph {
 
+namespace {
+
+/// Exact per-node aggregates folded with map_reduce; every field combines
+/// associatively over integers, so any chunking gives the same totals.
+struct DegreeAggregate {
+  std::uint32_t min = UINT32_MAX;
+  std::uint32_t max = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t isolated = 0;
+  std::uint64_t wedges = 0;
+};
+
+DegreeAggregate combine(DegreeAggregate a, const DegreeAggregate& b) {
+  a.min = std::min(a.min, b.min);
+  a.max = std::max(a.max, b.max);
+  a.sum += b.sum;
+  a.isolated += b.isolated;
+  a.wedges += b.wedges;
+  return a;
+}
+
+}  // namespace
+
 GraphStats compute_stats(const Graph& g) {
+  return compute_stats(g, exec::Executor::serial());
+}
+
+GraphStats compute_stats(const Graph& g, const exec::Executor& ex) {
   GraphStats stats;
   stats.nodes = g.num_nodes();
   stats.edges = g.num_edges();
   if (g.num_nodes() == 0) return stats;
 
-  stats.min_degree = UINT32_MAX;
-  std::uint64_t degree_sum = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto d = g.degree(v);
-    stats.min_degree = std::min(stats.min_degree, d);
-    stats.max_degree = std::max(stats.max_degree, d);
-    degree_sum += d;
-    if (d == 0) ++stats.isolated_nodes;
-  }
+  const DegreeAggregate agg = ex.map_reduce(
+      0, g.num_nodes(), DegreeAggregate{},
+      [&](std::uint64_t v) {
+        DegreeAggregate a;
+        const std::uint64_t d = g.degree(static_cast<NodeId>(v));
+        a.min = a.max = static_cast<std::uint32_t>(d);
+        a.sum = d;
+        a.isolated = d == 0 ? 1 : 0;
+        a.wedges = d * (d - 1) / 2;
+        return a;
+      },
+      [](DegreeAggregate a, const DegreeAggregate& b) {
+        return combine(std::move(a), b);
+      },
+      1024);
+  stats.min_degree = agg.min;
+  stats.max_degree = agg.max;
+  stats.isolated_nodes = static_cast<NodeId>(agg.isolated);
   stats.mean_degree =
-      static_cast<double>(degree_sum) / static_cast<double>(g.num_nodes());
+      static_cast<double>(agg.sum) / static_cast<double>(g.num_nodes());
   if (g.num_nodes() > 1) {
     stats.density = static_cast<double>(2 * g.num_edges()) /
                     (static_cast<double>(g.num_nodes()) *
@@ -32,33 +69,35 @@ GraphStats compute_stats(const Graph& g) {
   stats.components = connected_components(g).count;
 
   // Triangles: for each edge (u, v) with u < v, intersect sorted
-  // neighborhoods, counting only w > v to count each triangle once.
-  std::uint64_t wedges = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const std::uint64_t d = g.degree(v);
-    wedges += d * (d - 1) / 2;
-  }
-  for (const Edge& e : g.edges()) {
-    auto a = g.neighbors(e.u);
-    auto b = g.neighbors(e.v);
-    auto ia = a.begin();
-    auto ib = b.begin();
-    while (ia != a.end() && ib != b.end()) {
-      if (*ia < *ib) {
-        ++ia;
-      } else if (*ib < *ia) {
-        ++ib;
-      } else {
-        if (*ia > e.v) ++stats.triangles;
-        ++ia;
-        ++ib;
-      }
-    }
-  }
+  // neighborhoods, counting only w > v to count each triangle once. Each
+  // edge's count is independent; the sum is exact.
+  stats.triangles = ex.map_reduce(
+      0, g.num_edges(), std::uint64_t{0},
+      [&](std::uint64_t eid) {
+        const Edge& e = g.edge(eid);
+        auto a = g.neighbors(e.u);
+        auto b = g.neighbors(e.v);
+        auto ia = a.begin();
+        auto ib = b.begin();
+        std::uint64_t triangles = 0;
+        while (ia != a.end() && ib != b.end()) {
+          if (*ia < *ib) {
+            ++ia;
+          } else if (*ib < *ia) {
+            ++ib;
+          } else {
+            if (*ia > e.v) ++triangles;
+            ++ia;
+            ++ib;
+          }
+        }
+        return triangles;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, 512);
   stats.clustering =
-      wedges == 0 ? 0.0
-                  : 3.0 * static_cast<double>(stats.triangles) /
-                        static_cast<double>(wedges);
+      agg.wedges == 0 ? 0.0
+                      : 3.0 * static_cast<double>(stats.triangles) /
+                            static_cast<double>(agg.wedges);
   return stats;
 }
 

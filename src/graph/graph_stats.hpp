@@ -6,6 +6,10 @@
 
 #include "graph/graph.hpp"
 
+namespace dmpc::exec {
+class Executor;
+}
+
 namespace dmpc::graph {
 
 struct GraphStats {
@@ -23,6 +27,11 @@ struct GraphStats {
 };
 
 GraphStats compute_stats(const Graph& g);
+
+/// Host-parallel variant (degree scan and triangle counting run on the
+/// executor); identical output for any executor, including the exact
+/// floating-point fields.
+GraphStats compute_stats(const Graph& g, const exec::Executor& ex);
 
 /// Degree histogram with log2-spaced buckets: counts[i] = #nodes with
 /// degree in [2^i, 2^{i+1}) (counts[0] also includes degree 0... degree 1).

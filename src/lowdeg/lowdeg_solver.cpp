@@ -49,6 +49,7 @@ LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
   mpc::Cluster cluster(cluster_config_for(config, g.num_nodes(),
                                           g.num_edges(), g.max_degree()));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  cluster.set_executor(exec::Executor::with_threads(config.threads));
   return lowdeg_mis(cluster, g, config);
 }
 
@@ -86,7 +87,7 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
   }
 
   // --- Stages. ---
-  while (graph::alive_edge_count(g, alive) > 0) {
+  while (graph::alive_edge_count(g, alive, cluster.executor()) > 0) {
     DMPC_CHECK_MSG(result.stages < config.max_stages, "stage cap exceeded");
     obs::Span stage_span(cluster.trace(), "lowdeg/stage");
     stage_span.arg("stage", static_cast<std::uint64_t>(result.stages + 1));
@@ -139,6 +140,7 @@ LowDegMatchingResult lowdeg_matching(const Graph& g,
   mpc::Cluster cluster(cluster_config_for(config, lg.num_nodes(),
                                           lg.num_edges(), lg.max_degree()));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  cluster.set_executor(exec::Executor::with_threads(config.threads));
   cluster.metrics().charge_rounds(1, "lowdeg/line_graph");
   result.line_mis = lowdeg_mis(cluster, lg, config);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {

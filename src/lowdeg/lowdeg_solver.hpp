@@ -31,6 +31,10 @@ struct LowDegConfig {
   std::uint64_t per_phase_cap = 1024;   ///< Per-phase seeds enumerable.
   std::uint32_t max_phases = 8;         ///< Upper clamp on l (sim cost).
   std::uint64_t max_stages = 100000;
+  /// Host threads for per-machine local computation (0 = hardware
+  /// concurrency, 1 = serial). Results are identical for every value; only
+  /// the cluster-creating overloads apply this.
+  std::uint32_t threads = 1;
   /// Optional trace session (non-owning); null = tracing off.
   obs::TraceSession* trace = nullptr;
 };

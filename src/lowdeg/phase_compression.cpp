@@ -56,7 +56,7 @@ StageOutcome run_stage(mpc::Cluster& cluster, const Graph& g,
                        const hash::FunctionSequence& sequence,
                        std::uint64_t budget) {
   StageOutcome outcome;
-  outcome.edges_before = graph::alive_edge_count(g, alive);
+  outcome.edges_before = graph::alive_edge_count(g, alive, cluster.executor());
   DMPC_CHECK(outcome.edges_before > 0);
 
   const std::uint64_t limit =
@@ -71,24 +71,36 @@ StageOutcome run_stage(mpc::Cluster& cluster, const Graph& g,
                                       "lowdeg/stage");
   cluster.check_load(limit, "lowdeg/stage: sequence table", "lowdeg/stage");
 
+  // Candidate simulations are independent and pure — run them host-parallel,
+  // then pick the minimizer with a serial strict-< scan (ties commit the
+  // lowest t, exactly like the serial loop, for every thread count).
+  struct Candidate {
+    std::uint64_t seq = 0;
+    EdgeId after = 0;
+    std::vector<NodeId> joined;
+  };
+  std::vector<Candidate> candidates(limit);
+  cluster.executor().for_each(0, limit, [&](std::uint64_t t) {
+    Candidate& cand = candidates[t];
+    cand.seq = sequence.diverse(t);
+    cand.joined = simulate_stage(g, alive, color, sequence, cand.seq);
+    // Residual edges under this sequence.
+    std::vector<bool> live = alive;
+    for (NodeId v : cand.joined) {
+      live[v] = false;
+      for (NodeId u : g.neighbors(v)) live[u] = false;
+    }
+    cand.after = graph::alive_edge_count(g, live);
+  });
   EdgeId best_after = 0;
   std::vector<NodeId> best_set;
   bool have = false;
   for (std::uint64_t t = 0; t < limit; ++t) {
-    const std::uint64_t seq = sequence.diverse(t);
-    const auto joined = simulate_stage(g, alive, color, sequence, seq);
-    // Residual edges under this sequence.
-    std::vector<bool> live = alive;
-    for (NodeId v : joined) {
-      live[v] = false;
-      for (NodeId u : g.neighbors(v)) live[u] = false;
-    }
-    const EdgeId after = graph::alive_edge_count(g, live);
-    if (!have || after < best_after) {
+    if (!have || candidates[t].after < best_after) {
       have = true;
-      best_after = after;
-      best_set = joined;
-      outcome.sequence_seed = seq;
+      best_after = candidates[t].after;
+      best_set = std::move(candidates[t].joined);
+      outcome.sequence_seed = candidates[t].seq;
     }
   }
   outcome.sequences_tried = limit;
@@ -104,7 +116,7 @@ StageOutcome run_stage(mpc::Cluster& cluster, const Graph& g,
   // the r-th hop neighborhood").
   cluster.metrics().charge_rounds(1, "lowdeg/ball_update");
   outcome.independent = std::move(best_set);
-  outcome.edges_after = graph::alive_edge_count(g, alive);
+  outcome.edges_after = graph::alive_edge_count(g, alive, cluster.executor());
   DMPC_CHECK(outcome.edges_after < outcome.edges_before);
   return outcome;
 }

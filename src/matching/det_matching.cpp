@@ -122,12 +122,18 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
     cluster.metrics().charge_rounds(2 * depth, "matching/selection");
     cluster.metrics().add_communication(budget * cluster.machines(),
                                         "matching/selection");
+    // Host-parallel batch evaluation (the objective is pure), then a serial
+    // lowest-trial-first scan with a strict improvement test — the committed
+    // seed is identical for every thread count.
+    std::vector<double> values(budget, 0.0);
+    cluster.executor().for_each(0, budget, [&](std::uint64_t i) {
+      values[i] = objective.evaluate(seed_at(evaluated + i));
+    });
     for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
-      const std::uint64_t seed = seed_at(k);
-      const double value = objective.evaluate(seed);
+      const double value = values[k - evaluated];
       if (!have || value > best.value) {
         have = true;
-        best.seed = seed;
+        best.seed = seed_at(k);
         best.value = value;
       }
     }
@@ -174,6 +180,7 @@ DetMatchingResult det_maximal_matching(const Graph& g,
   mpc::Cluster cluster(
       cluster_config_for(config, g.num_nodes(), g.num_edges()));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  cluster.set_executor(exec::Executor::with_threads(config.threads));
   return det_maximal_matching(cluster, g, config);
 }
 
@@ -185,7 +192,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
   std::vector<bool> alive(g.num_nodes(), true);
   obs::Span pipeline_span(cluster.trace(), "matching/pipeline");
 
-  while (graph::alive_edge_count(g, alive) > 0) {
+  while (graph::alive_edge_count(g, alive, cluster.executor()) > 0) {
     DMPC_CHECK_MSG(result.iterations < config.max_iterations,
                    "matching iteration cap exceeded");
     ++result.iterations;
@@ -240,7 +247,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     // 4-5. Derandomized Lemma-13 selection.
     std::optional<obs::Span> derand_span;
     derand_span.emplace(cluster.trace(), "matching/phase/derand");
-    const auto alive_degree = graph::alive_degrees(g, alive);
+    const auto alive_degree = graph::alive_degrees(g, alive, cluster.executor());
     const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_edges());
     hash::KWiseFamily family(domain, domain, /*k=*/2);
     SelectionObjective objective(g, family, estar_edges, estar_incident,
@@ -287,7 +294,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
       alive[g.edge(e).v] = false;
     }
 
-    report.edges_after = graph::alive_edge_count(g, alive);
+    report.edges_after = graph::alive_edge_count(g, alive, cluster.executor());
     report.progress_fraction =
         static_cast<double>(report.edges_before - report.edges_after) /
         static_cast<double>(report.edges_before);

@@ -66,6 +66,11 @@ struct DetMatchingConfig {
   std::uint64_t trials_per_threshold = 256;
   std::uint64_t max_iterations = 100000;
   SelectionMode selection_mode = SelectionMode::kThresholdSearch;
+  /// Host threads for per-machine local computation (0 = hardware
+  /// concurrency, 1 = serial). Results are identical for every value; only
+  /// the cluster-creating overload applies this (the cluster-taking overload
+  /// uses the caller's executor).
+  std::uint32_t threads = 1;
   /// Optional trace session (non-owning); spans and progress events are
   /// emitted when set. Null = tracing off (zero cost).
   obs::TraceSession* trace = nullptr;

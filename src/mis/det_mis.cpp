@@ -116,12 +116,18 @@ derand::SearchResult select_with_threshold(
     cluster.metrics().charge_rounds(2 * depth, "mis/selection");
     cluster.metrics().add_communication(budget * cluster.machines(),
                                         "mis/selection");
+    // Host-parallel batch evaluation (the objective is pure), then a serial
+    // lowest-trial-first scan — the committed seed is identical for every
+    // thread count.
+    std::vector<double> values(budget, 0.0);
+    cluster.executor().for_each(0, budget, [&](std::uint64_t i) {
+      values[i] = objective.evaluate(seed_at(evaluated + i));
+    });
     for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
-      const std::uint64_t seed = seed_at(k);
-      const double value = objective.evaluate(seed);
+      const double value = values[k - evaluated];
       if (!have || value > best.value) {
         have = true;
-        best.seed = seed;
+        best.seed = seed_at(k);
         best.value = value;
       }
     }
@@ -167,6 +173,7 @@ DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
   mpc::Cluster cluster(
       cluster_config_for(config, g.num_nodes(), g.num_edges()));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  cluster.set_executor(exec::Executor::with_threads(config.threads));
   return det_mis(cluster, g, config);
 }
 
@@ -180,7 +187,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
   std::vector<bool> alive(g.num_nodes(), true);
 
   auto absorb_isolated = [&]() {
-    const auto deg = graph::alive_degrees(g, alive);
+    const auto deg = graph::alive_degrees(g, alive, cluster.executor());
     std::uint64_t added = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (alive[v] && deg[v] == 0) {
@@ -192,7 +199,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     return added;
   };
 
-  while (graph::alive_edge_count(g, alive) > 0) {
+  while (graph::alive_edge_count(g, alive, cluster.executor()) > 0) {
     DMPC_CHECK_MSG(result.iterations < config.max_iterations,
                    "MIS iteration cap exceeded");
     ++result.iterations;
@@ -233,7 +240,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
         if (alive[u] && sparse.in_Qprime[u]) q_adj[v].push_back(u);
       }
     }
-    const auto alive_degree = graph::alive_degrees(g, alive);
+    const auto alive_degree = graph::alive_degrees(g, alive, cluster.executor());
     std::vector<NodeId> b_nodes;
     std::vector<std::vector<NodeId>> nv(g.num_nodes());
     {
@@ -304,7 +311,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
       for (NodeId u : g.neighbors(v)) alive[u] = false;
     }
 
-    report.edges_after = graph::alive_edge_count(g, alive);
+    report.edges_after = graph::alive_edge_count(g, alive, cluster.executor());
     report.progress_fraction =
         static_cast<double>(report.edges_before - report.edges_after) /
         static_cast<double>(report.edges_before);

@@ -43,6 +43,10 @@ struct DetMisConfig {
   std::uint64_t max_iterations = 100000;
   matching::SelectionMode selection_mode =
       matching::SelectionMode::kThresholdSearch;
+  /// Host threads for per-machine local computation (0 = hardware
+  /// concurrency, 1 = serial). Results are identical for every value; only
+  /// the cluster-creating overload applies this.
+  std::uint32_t threads = 1;
   /// Optional trace session (non-owning); null = tracing off.
   obs::TraceSession* trace = nullptr;
 };

@@ -63,10 +63,13 @@ void Cluster::step(const std::function<void(MachineContext&)>& compute,
   obs::Span span(trace_, label);
   const std::uint64_t m = locals_.size();
   std::vector<std::vector<Message>> outboxes(m);
-  for (std::uint64_t i = 0; i < m; ++i) {
+  // Machines are independent within a round: each compute touches only its
+  // own locals_[i] / outboxes[i], so host-parallel execution is safe and
+  // (machine i's work being fixed) deterministic.
+  executor_.for_each(0, m, [&](std::uint64_t i) {
     MachineContext ctx(i, &locals_[i], &outboxes[i]);
     compute(ctx);
-  }
+  });
   // Route with capacity accounting.
   std::vector<std::uint64_t> recv_volume(m, 0);
   for (std::uint64_t i = 0; i < m; ++i) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "mpc/metrics.hpp"
 #include "support/check.hpp"
 
@@ -92,6 +93,14 @@ class Cluster {
   void set_trace(obs::TraceSession* trace);
   obs::TraceSession* trace() const { return trace_; }
 
+  /// Host executor for per-machine local computation (default: serial). The
+  /// model is unchanged — the simulated machines are independent within a
+  /// round, so the host may run their local compute concurrently. Every loop
+  /// dispatched through this executor uses the deterministic helpers in
+  /// exec/parallel.hpp, so results are identical for any executor.
+  void set_executor(exec::Executor executor) { executor_ = std::move(executor); }
+  const exec::Executor& executor() const { return executor_; }
+
   /// Depth of a fan-in-S aggregation tree over `items` leaves; >= 1.
   /// This is the round cost of prefix sums / broadcast / reduction over a
   /// distributed array of `items` records (Lemma 4 with S = n^eps gives a
@@ -118,6 +127,8 @@ class Cluster {
   /// Run one synchronous round: `compute` runs on every machine, messages
   /// are routed, and capacity constraints (send volume <= S, receive volume
   /// <= S, local words <= S) are enforced. Charges exactly 1 round.
+  /// Under a parallel executor, `compute` may run concurrently for distinct
+  /// machines and must touch only its MachineContext (machine-local state).
   void step(const std::function<void(MachineContext&)>& compute,
             const std::string& label = "step");
 
@@ -125,6 +136,7 @@ class Cluster {
   ClusterConfig config_;
   Metrics metrics_;
   obs::TraceSession* trace_ = nullptr;
+  exec::Executor executor_;
   std::vector<std::vector<Word>> locals_;
 };
 

@@ -28,10 +28,43 @@ std::vector<std::uint64_t> prefix_sum_exclusive(
     const std::string& label) {
   check_blocked_layout(cluster, values.size(), 1, label);
   std::vector<std::uint64_t> out(values.size(), 0);
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i] = acc;
-    acc += values[i];
+  // Two-pass chunked scan: per-chunk sums in parallel, serial exclusive scan
+  // over the (few) chunk sums, then per-chunk writes in parallel. Word sums
+  // are exact, so this agrees with the plain serial scan for any chunking.
+  constexpr std::uint64_t kGrain = 4096;
+  const std::uint64_t n = values.size();
+  const exec::Executor& ex = cluster.executor();
+  if (!ex.parallel() || n <= kGrain) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out[i] = acc;
+      acc += values[i];
+    }
+  } else {
+    const std::uint64_t chunks = (n + kGrain - 1) / kGrain;
+    std::vector<std::uint64_t> chunk_offset(chunks, 0);
+    ex.for_each(0, chunks, [&](std::uint64_t c) {
+      const std::uint64_t lo = c * kGrain;
+      const std::uint64_t hi = std::min(n, lo + kGrain);
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = lo; i < hi; ++i) sum += values[i];
+      chunk_offset[c] = sum;
+    });
+    std::uint64_t acc = 0;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t sum = chunk_offset[c];
+      chunk_offset[c] = acc;
+      acc += sum;
+    }
+    ex.for_each(0, chunks, [&](std::uint64_t c) {
+      const std::uint64_t lo = c * kGrain;
+      const std::uint64_t hi = std::min(n, lo + kGrain);
+      std::uint64_t local = chunk_offset[c];
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        out[i] = local;
+        local += values[i];
+      }
+    });
   }
   const std::uint64_t rounds = scan_round_cost(cluster, values.size());
   const std::uint64_t words =
@@ -52,7 +85,11 @@ std::uint64_t reduce_sum(Cluster& cluster,
   cluster.metrics().add_communication(rounds * cluster.machines(), label);
   obs::trace_primitive(cluster.trace(), label, rounds,
                        rounds * cluster.machines());
-  return std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  // Exact word arithmetic: any reduction order gives the same sum.
+  return cluster.executor().map_reduce(
+      0, values.size(), std::uint64_t{0},
+      [&](std::uint64_t i) { return values[i]; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 std::uint64_t reduce_max(Cluster& cluster,
@@ -65,9 +102,10 @@ std::uint64_t reduce_max(Cluster& cluster,
   cluster.metrics().add_communication(rounds * cluster.machines(), label);
   obs::trace_primitive(cluster.trace(), label, rounds,
                        rounds * cluster.machines());
-  std::uint64_t best = 0;
-  for (std::uint64_t v : values) best = std::max(best, v);
-  return best;
+  return cluster.executor().map_reduce(
+      0, values.size(), std::uint64_t{0},
+      [&](std::uint64_t i) { return values[i]; },
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
 }
 
 double reduce_sum_double(Cluster& cluster, std::span<const double> values,
@@ -79,9 +117,12 @@ double reduce_sum_double(Cluster& cluster, std::span<const double> values,
   cluster.metrics().add_communication(rounds * cluster.machines(), label);
   obs::trace_primitive(cluster.trace(), label, rounds,
                        rounds * cluster.machines());
-  double sum = 0;
-  for (double v : values) sum += v;
-  return sum;
+  // map_reduce's fixed-association chunked fold makes this floating-point
+  // sum bitwise identical for every thread count (the serial executor runs
+  // the same chunked algorithm).
+  return cluster.executor().map_reduce(
+      0, values.size(), 0.0, [&](std::uint64_t i) { return values[i]; },
+      [](double a, double b) { return a + b; });
 }
 
 void broadcast(Cluster& cluster, std::uint64_t words,

@@ -37,13 +37,15 @@ void check_blocked_layout(Cluster& cluster, std::uint64_t records,
 std::uint64_t sort_round_cost(const Cluster& cluster, std::uint64_t records);
 std::uint64_t scan_round_cost(const Cluster& cluster, std::uint64_t records);
 
-/// Deterministic distributed sort (Lemma 4). Sorts in place.
+/// Deterministic distributed sort (Lemma 4). Sorts in place. Runs on the
+/// cluster's host executor; the output permutation depends only on the data
+/// (see exec::parallel_sort), never on the thread count.
 template <typename T, typename Less>
 void dsort(Cluster& cluster, std::vector<T>& v, Less less,
            const std::string& label = "sort") {
   const std::uint64_t arity = (sizeof(T) + 7) / 8;
   check_blocked_layout(cluster, v.size(), arity, label);
-  std::sort(v.begin(), v.end(), less);
+  exec::parallel_sort(cluster.executor(), v, less);
   const std::uint64_t rounds = sort_round_cost(cluster, v.size());
   cluster.metrics().charge_rounds(rounds, label);
   cluster.metrics().add_communication(v.size() * arity * rounds, label);

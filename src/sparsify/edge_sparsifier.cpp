@@ -125,7 +125,7 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
   const double nd3 = params.pow_nd(3.0);
 
   // Baselines for the invariant measurements.
-  const auto deg_e0 = graph::masked_degrees(g, good.in_E0);
+  const auto deg_e0 = graph::masked_degrees(g, good.in_E0, cluster.executor());
   std::vector<std::uint64_t> xv0_size(g.num_nodes(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) xv0_size[v] = good.xv[v].size();
 
@@ -141,7 +141,7 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
     if (!planned_stage) {
       // §3.3 requires degrees <= 2 n^{4 delta} in E*; at finite n the
       // window slack can leave an overshoot, fixed by extra stages.
-      const auto deg_now = graph::masked_degrees(g, result.in_Estar);
+      const auto deg_now = graph::masked_degrees(g, result.in_Estar, cluster.executor());
       const std::uint32_t max_deg =
           *std::max_element(deg_now.begin(), deg_now.end());
       if (max_deg <= params.degree_cap() ||
@@ -262,7 +262,7 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
     }
 
     // --- Measure the paper-form invariants (Lemmas 10 & 11). ---
-    const auto deg_now = graph::masked_degrees(g, result.in_Estar);
+    const auto deg_now = graph::masked_degrees(g, result.in_Estar, cluster.executor());
     const double shrink = std::pow(q, static_cast<double>(stage));
     report.edges_after = kept;
     report.max_degree_after =
@@ -297,7 +297,7 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
     result.stages.push_back(report);
   }
   {
-    const auto deg_final = graph::masked_degrees(g, result.in_Estar);
+    const auto deg_final = graph::masked_degrees(g, result.in_Estar, cluster.executor());
     result.max_degree = *std::max_element(deg_final.begin(), deg_final.end());
   }
   return result;

@@ -32,8 +32,8 @@ MatchingGoodSet select_matching_good_set(mpc::Cluster& cluster,
                                          const Graph& g,
                                          const std::vector<bool>& alive) {
   MatchingGoodSet out;
-  const auto deg = graph::alive_degrees(g, alive);
-  out.alive_edges = graph::alive_edge_count(g, alive);
+  const auto deg = graph::alive_degrees(g, alive, cluster.executor());
+  out.alive_edges = graph::alive_edge_count(g, alive, cluster.executor());
   DMPC_CHECK_MSG(out.alive_edges > 0, "good-node selection on empty graph");
   charge_selection(cluster, out.alive_edges, "good_nodes/matching");
 
@@ -99,8 +99,8 @@ MatchingGoodSet select_matching_good_set(mpc::Cluster& cluster,
 MisGoodSet select_mis_good_set(mpc::Cluster& cluster, const Params& params,
                                const Graph& g, const std::vector<bool>& alive) {
   MisGoodSet out;
-  const auto deg = graph::alive_degrees(g, alive);
-  out.alive_edges = graph::alive_edge_count(g, alive);
+  const auto deg = graph::alive_degrees(g, alive, cluster.executor());
+  out.alive_edges = graph::alive_edge_count(g, alive, cluster.executor());
   DMPC_CHECK_MSG(out.alive_edges > 0, "good-node selection on empty graph");
   charge_selection(cluster, out.alive_edges, "good_nodes/mis");
 

@@ -123,7 +123,7 @@ NodeSparsifyResult sparsify_nodes(mpc::Cluster& cluster, const Params& params,
   const std::uint32_t planned = params.stages_for_class(good.cls);
   const std::uint64_t group = params.group_size();
   const double q = params.sample_probability();
-  const auto deg = graph::alive_degrees(g, alive);
+  const auto deg = graph::alive_degrees(g, alive, cluster.executor());
 
   const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_nodes());
   hash::KWiseFamily family(domain, domain, config.hash_k);

@@ -1,7 +1,11 @@
-// Tests for the public façade (Theorem 1 dispatch).
+// Tests for the public façade (Theorem 1 dispatch) and the Solver API:
+// typed option validation and the determinism-under-parallelism contract.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
 
@@ -68,6 +72,129 @@ TEST(Api, TrivialInputs) {
   EXPECT_EQ(std::count(mis.in_set.begin(), mis.in_set.end(), true), 3);
   const auto mm = solve_maximal_matching(empty);
   EXPECT_TRUE(mm.matching.empty());
+}
+
+TEST(Solver, DefaultOptionsValidate) {
+  EXPECT_TRUE(Solver().validate().ok());
+  EXPECT_EQ(Solver().validate().code(), StatusCode::kOk);
+  EXPECT_EQ(Solver().validate().to_string(), "ok");
+}
+
+TEST(Solver, RejectsEpsOutOfRange) {
+  for (double eps : {0.0, -0.5, 1.0, 1.5}) {
+    SolveOptions options;
+    options.eps = eps;
+    const auto status = Solver::validate(options);
+    EXPECT_FALSE(status.ok()) << "eps=" << eps;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidEps);
+    EXPECT_NE(status.message().find("eps"), std::string::npos);
+  }
+  // NaN must also be rejected.
+  SolveOptions options;
+  options.eps = std::nan("");
+  EXPECT_EQ(Solver::validate(options).code(), StatusCode::kInvalidEps);
+}
+
+TEST(Solver, RejectsNonPositiveSpaceHeadroom) {
+  for (double headroom : {0.0, -1.0}) {
+    SolveOptions options;
+    options.space_headroom = headroom;
+    const auto status = Solver::validate(options);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidSpaceHeadroom);
+    EXPECT_NE(status.message().find("space_headroom"), std::string::npos);
+  }
+}
+
+TEST(Solver, RejectsNonPositiveDispatchSlack) {
+  SolveOptions options;
+  options.dispatch_slack = 0.0;
+  const auto status = Solver::validate(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidDispatchSlack);
+  EXPECT_NE(status.message().find("dispatch_slack"), std::string::npos);
+}
+
+TEST(Solver, RejectsAbsurdThreadCount) {
+  SolveOptions options;
+  options.threads = Solver::kMaxThreads + 1;
+  const auto status = Solver::validate(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidThreads);
+  // 0 (hardware concurrency) and the cap itself are fine.
+  options.threads = 0;
+  EXPECT_TRUE(Solver::validate(options).ok());
+  options.threads = Solver::kMaxThreads;
+  EXPECT_TRUE(Solver::validate(options).ok());
+}
+
+TEST(Solver, SolveEntryPointsThrowTypedErrorOnInvalidOptions) {
+  const Graph g = graph::gnm(64, 256, 1);
+  SolveOptions options;
+  options.eps = 2.0;
+  const Solver solver(options);
+  try {
+    (void)solver.mis(g);
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidEps);
+  }
+  EXPECT_THROW((void)solver.maximal_matching(g), OptionsError);
+  EXPECT_THROW((void)solver.low_degree_regime(g), OptionsError);
+  // OptionsError stays catchable as CheckFailure for pre-Solver call sites.
+  EXPECT_THROW((void)solver.mis(g), CheckFailure);
+}
+
+TEST(Solver, StatusCodeNamesAreStable) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidEps), "invalid_eps");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidTraceFormat),
+               "invalid_trace_format");
+  SolveOptions options;
+  options.space_headroom = -1.0;
+  const auto status = Solver::validate(options);
+  EXPECT_EQ(status.to_string().rfind("invalid_space_headroom:", 0), 0u);
+}
+
+TEST(Solver, MatchesFreeFunctionWrappers) {
+  const Graph g = graph::gnm(256, 4096, 4);
+  SolveOptions options;
+  options.eps = 0.5;
+  const Solver solver(options);
+  const auto a = solver.mis(g);
+  const auto b = solve_mis(g, options);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.report.algorithm_used, b.report.algorithm_used);
+  EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
+  const auto ma = solver.maximal_matching(g);
+  const auto mb = solve_maximal_matching(g, options);
+  EXPECT_EQ(ma.matching, mb.matching);
+  EXPECT_EQ(solver.low_degree_regime(g), low_degree_regime(g, options));
+}
+
+TEST(Solver, DispatchThresholdMovesWithSlack) {
+  // A 4-regular graph sits in the low-degree regime at the default slack;
+  // shrinking the slack far enough pushes it to the sparsification path.
+  const Graph g = graph::random_regular(500, 4, 3);
+  SolveOptions options;
+  EXPECT_TRUE(Solver(options).low_degree_regime(g));
+  options.dispatch_slack = 0.1;
+  const Solver tight(options);
+  EXPECT_LT(tight.dispatch_degree_bound(g.num_nodes()), 4.0);
+  EXPECT_FALSE(tight.low_degree_regime(g));
+  const auto solution = tight.mis(g);
+  EXPECT_EQ(solution.report.algorithm_used, "sparsification");
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, solution.in_set));
+}
+
+TEST(Solver, ThreadedSolveMatchesSerial) {
+  const Graph g = graph::gnm(256, 4096, 9);
+  SolveOptions serial;
+  SolveOptions threaded;
+  threaded.threads = 4;
+  const auto a = Solver(serial).mis(g);
+  const auto b = Solver(threaded).mis(g);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.report.iterations, b.report.iterations);
+  EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
 }
 
 }  // namespace

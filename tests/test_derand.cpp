@@ -2,7 +2,10 @@
 // method of conditional expectations (exact-enumeration oracle).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <vector>
 
 #include "derand/cond_expect.hpp"
 #include "derand/objective.hpp"
@@ -96,6 +99,80 @@ TEST(SeedSearch, FindBestSeedWithinBudget) {
   const auto result = find_best_seed(cluster, objective, 1 << 8, 8);
   EXPECT_EQ(result.trials, 8u);
   EXPECT_DOUBLE_EQ(result.value, 3.0);  // best among 0..7 is 7 -> 3 bits
+}
+
+// --- Stride coverage property. ---
+
+TEST(SeedSearch, EffectiveStrideIsAlwaysCoprime) {
+  // Coprime strides pass through unchanged (mod seed_count).
+  EXPECT_EQ(effective_stride(1, 256), 1u);
+  EXPECT_EQ(effective_stride(3, 256), 3u);
+  EXPECT_EQ(effective_stride(7919, 1 << 16), 7919u);
+  // A multiple of seed_count degenerates to stride 0; it must become 1,
+  // not silently re-evaluate seed `base` forever.
+  EXPECT_EQ(effective_stride(256, 256), 1u);
+  EXPECT_EQ(effective_stride(512, 256), 1u);
+  // Non-coprime (but nonzero mod) strides get bumped to the next coprime
+  // value instead of being kept — the old bug class.
+  EXPECT_EQ(effective_stride(4, 256), 5u);
+  EXPECT_EQ(effective_stride(6, 15), 7u);
+  // Degenerate family of one seed.
+  EXPECT_EQ(effective_stride(17, 1), 1u);
+  // Property check across a grid: the result is always coprime, so the
+  // strided walk is a bijection on [0, seed_count).
+  for (std::uint64_t count : {2ull, 15ull, 16ull, 97ull, 360ull}) {
+    for (std::uint64_t stride = 0; stride <= 2 * count + 1; ++stride) {
+      const auto s = effective_stride(stride, count);
+      ASSERT_GE(s, 1u);
+      ASSERT_LT(s, std::max<std::uint64_t>(count, 2));
+      ASSERT_EQ(std::gcd(s, count), 1u)
+          << "stride=" << stride << " count=" << count;
+    }
+  }
+}
+
+TEST(SeedSearch, StridedWalkVisitsEveryResidue) {
+  // Directly verify the coverage property find_seed's termination guarantee
+  // rests on: for any requested stride, seed t -> (base + t*s) mod count
+  // visits every residue exactly once over count trials.
+  const std::uint64_t count = 360;  // many divisors -> many bad raw strides
+  for (std::uint64_t stride : {1ull, 2ull, 90ull, 360ull, 719ull}) {
+    const auto s = effective_stride(stride, count);
+    std::vector<bool> seen(count, false);
+    for (std::uint64_t t = 0; t < count; ++t) {
+      const std::uint64_t seed = (11 + t * s) % count;
+      ASSERT_FALSE(seen[seed]) << "stride=" << stride;
+      seen[seed] = true;
+    }
+  }
+}
+
+TEST(SeedSearch, NonCoprimeStrideStillFindsIsolatedSeed) {
+  // Only seed 255 meets the threshold. A raw stride of 4 from base 0 would
+  // only ever visit even seeds (gcd(4, 256) = 4) and falsely exhaust; the
+  // effective stride must reach it.
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 8.0;
+  options.seed_base = 0;
+  options.seed_stride = 4;
+  const auto result = find_seed(cluster, objective, 1 << 8, options);
+  EXPECT_EQ(result.seed, 255u);
+  EXPECT_DOUBLE_EQ(result.value, 8.0);
+}
+
+TEST(SeedSearch, StrideMultipleOfCountDoesNotSpinOnBase) {
+  // stride % seed_count == 0 previously walked seed `base` max_trials times.
+  auto cluster = make_cluster();
+  PopcountObjective objective;
+  SearchOptions options;
+  options.threshold = 8.0;
+  options.seed_base = 3;
+  options.seed_stride = 256;  // == seed_count
+  const auto result = find_seed(cluster, objective, 1 << 8, options);
+  EXPECT_EQ(result.seed, 255u);
+  EXPECT_LE(result.trials, 256u);
 }
 
 // --- Method of conditional expectations on a real hash family. ---

@@ -1,0 +1,104 @@
+// Determinism matrix: generator families × thread counts.
+//
+// The engine's contract (docs/API.md, "Determinism under parallelism") is
+// that for a fixed graph and fixed options excluding `threads`, solutions,
+// reports, and JSONL traces are *byte-identical* for every thread count.
+// This test pins that across three generator families and threads in
+// {1, 2, hardware}.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/report_json.hpp"
+#include "api/solver.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace dmpc {
+namespace {
+
+using graph::Graph;
+
+const std::uint32_t kThreadCounts[] = {1, 2, 0};  // 0 = hardware concurrency
+
+struct RunArtifacts {
+  std::vector<bool> mis_in_set;
+  std::string mis_report_json;
+  std::string mis_trace;
+  std::vector<graph::EdgeId> matching;
+  std::string matching_report_json;
+  std::string matching_trace;
+};
+
+RunArtifacts run_all(const Graph& g, std::uint32_t threads) {
+  RunArtifacts out;
+  {
+    std::ostringstream trace_out;
+    obs::JsonlTraceSink sink(&trace_out, /*include_wall_time=*/false);
+    obs::TraceSession session(&sink);
+    SolveOptions options;
+    options.threads = threads;
+    options.trace = &session;
+    const auto solution = Solver(options).mis(g);
+    session.finish();
+    out.mis_in_set = solution.in_set;
+    out.mis_report_json = to_json(solution.report).dump();
+    out.mis_trace = trace_out.str();
+  }
+  {
+    std::ostringstream trace_out;
+    obs::JsonlTraceSink sink(&trace_out, /*include_wall_time=*/false);
+    obs::TraceSession session(&sink);
+    SolveOptions options;
+    options.threads = threads;
+    options.trace = &session;
+    const auto solution = Solver(options).maximal_matching(g);
+    session.finish();
+    out.matching = solution.matching;
+    out.matching_report_json = to_json(solution.report).dump();
+    out.matching_trace = trace_out.str();
+  }
+  return out;
+}
+
+void expect_matrix_identical(const Graph& g, const char* family) {
+  const auto reference = run_all(g, /*threads=*/1);
+  EXPECT_FALSE(reference.mis_trace.empty()) << family;
+  EXPECT_FALSE(reference.matching_trace.empty()) << family;
+  for (std::uint32_t threads : kThreadCounts) {
+    const auto run = run_all(g, threads);
+    EXPECT_EQ(run.mis_in_set, reference.mis_in_set)
+        << family << " threads=" << threads;
+    EXPECT_EQ(run.mis_report_json, reference.mis_report_json)
+        << family << " threads=" << threads;
+    EXPECT_EQ(run.mis_trace, reference.mis_trace)
+        << family << " threads=" << threads;
+    EXPECT_EQ(run.matching, reference.matching)
+        << family << " threads=" << threads;
+    EXPECT_EQ(run.matching_report_json, reference.matching_report_json)
+        << family << " threads=" << threads;
+    EXPECT_EQ(run.matching_trace, reference.matching_trace)
+        << family << " threads=" << threads;
+  }
+}
+
+TEST(DeterminismMatrix, Gnm) {
+  // Dense enough to take the sparsification path.
+  expect_matrix_identical(graph::gnm(600, 4800, 11), "gnm");
+}
+
+TEST(DeterminismMatrix, RandomRegular) {
+  // Low-degree path.
+  expect_matrix_identical(graph::random_regular(500, 4, 12), "random_regular");
+}
+
+TEST(DeterminismMatrix, PowerLaw) {
+  expect_matrix_identical(graph::power_law(400, 1600, 2.5, 13), "power_law");
+}
+
+}  // namespace
+}  // namespace dmpc

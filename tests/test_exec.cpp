@@ -1,0 +1,208 @@
+// Tests for the deterministic host-parallel execution engine: the thread
+// pool itself, and the Executor helpers' bitwise-identical-across-thread-
+// counts contract (static chunking, ordered reduction, lowest-index
+// selection).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace dmpc::exec {
+namespace {
+
+// Thread counts exercised by every determinism check. 0 = hardware
+// concurrency, whatever that is on the host running the test.
+const std::uint32_t kThreadCounts[] = {1, 2, 4, 8, 0};
+
+// Cheap deterministic pseudo-random doubles (no <random> so the values are
+// identical across standard libraries).
+double noise(std::uint64_t i) {
+  std::uint64_t x = i * 0x9E3779B97F4A7C15ull + 1;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return static_cast<double>(x % 1000003) / 997.0 - 500.0;
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::uint64_t kTasks = 10000;
+  std::vector<std::atomic<std::uint32_t>> hits(kTasks);
+  pool.run(kTasks, [&](std::uint64_t t) {
+    hits[t].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(hits[t].load(), 1u) << "task " << t;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.run(100, [&](std::uint64_t t) {
+      sum.fetch_add(t, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, ZeroTasksAndSingleTask) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> count{0};
+  pool.run(0, [&](std::uint64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  pool.run(1, [&](std::uint64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1u);
+}
+
+TEST(Executor, SerialHasNoPool) {
+  EXPECT_FALSE(Executor().parallel());
+  EXPECT_FALSE(Executor::serial().parallel());
+  EXPECT_FALSE(Executor::with_threads(1).parallel());
+  EXPECT_EQ(Executor::with_threads(1).threads(), 1u);
+  EXPECT_TRUE(Executor::with_threads(2).parallel());
+  EXPECT_EQ(Executor::with_threads(2).threads(), 2u);
+  EXPECT_GE(Executor::with_threads(0).threads(), 1u);
+}
+
+TEST(Executor, ForEachCoversRangeOnce) {
+  for (std::uint32_t threads : kThreadCounts) {
+    const auto ex = Executor::with_threads(threads);
+    for (std::uint64_t grain : {1ull, 7ull, 1024ull}) {
+      std::vector<std::uint32_t> hits(5000, 0);
+      ex.for_each(0, hits.size(), [&](std::uint64_t i) { ++hits[i]; }, grain);
+      for (std::uint64_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i], 1u) << "threads=" << threads << " i=" << i;
+      }
+    }
+    // Empty and offset ranges.
+    std::uint64_t calls = 0;
+    ex.for_each(10, 10, [&](std::uint64_t) { ++calls; });
+    EXPECT_EQ(calls, 0u);
+  }
+}
+
+TEST(Executor, FloatSumIdenticalAcrossThreadCounts) {
+  constexpr std::uint64_t kN = 200000;
+  // Reference: thread count 1 (serial path runs the same chunked fold).
+  const double reference = Executor::with_threads(1).map_reduce(
+      0, kN, 0.0, [](std::uint64_t i) { return noise(i); },
+      [](double a, double b) { return a + b; });
+  for (std::uint32_t threads : kThreadCounts) {
+    const double sum = Executor::with_threads(threads).map_reduce(
+        0, kN, 0.0, [](std::uint64_t i) { return noise(i); },
+        [](double a, double b) { return a + b; });
+    // Bitwise equality, not EXPECT_NEAR: the association is fixed.
+    ASSERT_EQ(sum, reference) << "threads=" << threads;
+  }
+}
+
+TEST(Executor, MapReduceMaxAndEmptyRange) {
+  const auto ex = Executor::with_threads(4);
+  const auto max_val = ex.map_reduce(
+      0, 100000, std::uint64_t{0},
+      [](std::uint64_t i) { return (i * 2654435761u) % 99991; },
+      [](std::uint64_t a, std::uint64_t b) { return a < b ? b : a; });
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    expected = std::max(expected, (i * 2654435761u) % 99991);
+  }
+  EXPECT_EQ(max_val, expected);
+  EXPECT_EQ(ex.map_reduce(5, 5, std::uint64_t{42},
+                          [](std::uint64_t) { return std::uint64_t{1}; },
+                          [](std::uint64_t a, std::uint64_t b) { return a + b; }),
+            42u);
+}
+
+TEST(Executor, FindFirstReturnsLowestIndex) {
+  constexpr std::uint64_t kN = 100000;
+  // Matches at 31337 and everywhere above 90000: the answer must be the
+  // lowest, never "whichever thread got there first".
+  auto pred = [](std::uint64_t i) { return i == 31337 || i >= 90000; };
+  for (std::uint32_t threads : kThreadCounts) {
+    const auto ex = Executor::with_threads(threads);
+    ASSERT_EQ(ex.find_first(0, kN, pred), 31337u) << "threads=" << threads;
+    ASSERT_EQ(ex.find_first(0, kN, pred, /*grain=*/64), 31337u);
+    // No match -> end.
+    ASSERT_EQ(ex.find_first(0, 1000, [](std::uint64_t) { return false; }),
+              1000u);
+    // Empty range -> end.
+    ASSERT_EQ(ex.find_first(7, 7, [](std::uint64_t) { return true; }), 7u);
+  }
+}
+
+TEST(Executor, ParallelSortMatchesStdSortOnTotalOrder) {
+  constexpr std::uint64_t kN = 150000;  // > kRun so runs + merges engage
+  std::vector<std::uint64_t> reference(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    reference[i] = (i * 0x9E3779B97F4A7C15ull) % 1000;
+  }
+  auto sorted = reference;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t threads : kThreadCounts) {
+    auto v = reference;
+    parallel_sort(Executor::with_threads(threads), v);
+    ASSERT_EQ(v, sorted) << "threads=" << threads;
+  }
+}
+
+TEST(Executor, ParallelSortEqualElementOrderIsExecutorIndependent) {
+  // Key-only comparator over (key, payload) pairs: equal keys keep distinct
+  // payloads, so the output permutation exposes any executor-dependent
+  // decomposition. All thread counts must produce the same bytes.
+  constexpr std::uint64_t kN = 120000;
+  using P = std::pair<std::uint32_t, std::uint32_t>;
+  std::vector<P> input(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    input[i] = {static_cast<std::uint32_t>((i * 2654435761u) % 16),
+                static_cast<std::uint32_t>(i)};
+  }
+  auto key_less = [](const P& a, const P& b) { return a.first < b.first; };
+  auto reference = input;
+  parallel_sort(Executor::serial(), reference, key_less);
+  for (std::uint32_t threads : kThreadCounts) {
+    auto v = input;
+    parallel_sort(Executor::with_threads(threads), v, key_less);
+    ASSERT_EQ(v, reference) << "threads=" << threads;
+  }
+}
+
+TEST(Executor, LowestIndexExceptionWins) {
+  const auto ex = Executor::with_threads(4);
+  try {
+    ex.for_each(0, 10000, [](std::uint64_t i) {
+      if (i == 123 || i == 4567 || i == 9999) {
+        throw std::runtime_error("fail at " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail at 123");
+  }
+}
+
+TEST(Executor, NestedForEachRunsInline) {
+  // A parallel loop inside a pool task must not deadlock; nested helpers run
+  // inline on the claiming thread and still produce correct results.
+  const auto ex = Executor::with_threads(4);
+  std::vector<std::uint64_t> sums(64, 0);
+  ex.for_each(0, sums.size(), [&](std::uint64_t i) {
+    sums[i] = ex.map_reduce(0, 1000, std::uint64_t{0},
+                            [&](std::uint64_t j) { return i + j; },
+                            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  });
+  for (std::uint64_t i = 0; i < sums.size(); ++i) {
+    ASSERT_EQ(sums[i], i * 1000 + 499500);
+  }
+}
+
+}  // namespace
+}  // namespace dmpc::exec

@@ -1,14 +1,19 @@
 // dmpc — command-line front end.
 //
 //   dmpc gen      --family=gnm --n=1000 --m=8000 [--seed=1] --out=g.txt
-//   dmpc stats    --in=g.txt
+//   dmpc stats    --in=g.txt [--threads=N]
 //   dmpc mis      --in=g.txt [--eps=0.5] [--algorithm=auto|sparse|lowdeg]
-//                 [--out=mis.txt] [--trace=trace.json]
+//                 [--threads=N] [--out=mis.txt] [--trace=trace.json]
 //                 [--trace-format=jsonl|chrome]
-//   dmpc matching --in=g.txt [--eps=0.5] [--out=matching.txt]
+//   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
+//
+// --threads=N uses N host threads for local computation (0 = hardware
+// concurrency); outputs are byte-identical for every value. Invalid options
+// (bad eps, unknown algorithm or trace format, ...) are reported with their
+// typed status code and exit 2; internal check failures exit 1.
 //
 // Graphs are plain edge lists: "n m" header then "u v" per line.
 #include <cstdio>
@@ -18,7 +23,7 @@
 #include <string>
 
 #include "api/report_json.hpp"
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "apps/derand_coloring.hpp"
 #include "apps/reductions.hpp"
 #include "graph/generators.hpp"
@@ -83,13 +88,17 @@ Graph generate(const dmpc::ArgParser& args) {
 dmpc::SolveOptions solve_options(const dmpc::ArgParser& args) {
   dmpc::SolveOptions options;
   options.eps = args.get_double("eps", 0.5);
+  options.threads =
+      static_cast<std::uint32_t>(args.get_int("threads", 1));
   const std::string algo = args.get("algorithm", "auto");
   if (algo == "sparse") {
     options.algorithm = dmpc::Algorithm::kSparsification;
   } else if (algo == "lowdeg") {
     options.algorithm = dmpc::Algorithm::kLowDegree;
-  } else {
-    DMPC_CHECK_MSG(algo == "auto", "unknown algorithm: " << algo);
+  } else if (algo != "auto") {
+    throw dmpc::OptionsError(dmpc::Status::error(
+        dmpc::StatusCode::kInvalidAlgorithm,
+        "unknown algorithm '" + algo + "' (expected auto|sparse|lowdeg)"));
   }
   return options;
 }
@@ -133,9 +142,12 @@ TraceSetup make_trace(const dmpc::ArgParser& args) {
   DMPC_CHECK_MSG(t.out->good(), "cannot open " + path);
   if (format == "chrome") {
     t.sink = std::make_unique<dmpc::obs::ChromeTraceSink>(t.out.get());
-  } else {
-    DMPC_CHECK_MSG(format == "jsonl", "unknown trace format: " << format);
+  } else if (format == "jsonl") {
     t.sink = std::make_unique<dmpc::obs::JsonlTraceSink>(t.out.get());
+  } else {
+    throw dmpc::OptionsError(dmpc::Status::error(
+        dmpc::StatusCode::kInvalidTraceFormat,
+        "unknown trace format '" + format + "' (expected jsonl|chrome)"));
   }
   t.session = std::make_unique<dmpc::obs::TraceSession>(t.sink.get());
   return t;
@@ -156,7 +168,9 @@ int cmd_gen(const dmpc::ArgParser& args) {
 
 int cmd_stats(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
-  const auto stats = dmpc::graph::compute_stats(g);
+  const auto ex = dmpc::exec::Executor::with_threads(
+      static_cast<std::uint32_t>(args.get_int("threads", 1)));
+  const auto stats = dmpc::graph::compute_stats(g, ex);
   std::printf("nodes=%u edges=%llu components=%u isolated=%u\n", stats.nodes,
               (unsigned long long)stats.edges, stats.components,
               stats.isolated_nodes);
@@ -178,7 +192,11 @@ int cmd_mis(const dmpc::ArgParser& args) {
   auto trace = make_trace(args);
   auto options = solve_options(args);
   options.trace = trace.session_or_null();
-  const auto solution = dmpc::solve_mis(g, options);
+  const dmpc::Solver solver(options);
+  if (auto status = solver.validate(); !status.ok()) {
+    throw dmpc::OptionsError(std::move(status));
+  }
+  const auto solution = solver.mis(g);
   trace.finish();
   std::size_t size = 0;
   for (bool b : solution.in_set) size += b;
@@ -205,7 +223,11 @@ int cmd_matching(const dmpc::ArgParser& args) {
   auto trace = make_trace(args);
   auto options = solve_options(args);
   options.trace = trace.session_or_null();
-  const auto solution = dmpc::solve_maximal_matching(g, options);
+  const dmpc::Solver solver(options);
+  if (auto status = solver.validate(); !status.ok()) {
+    throw dmpc::OptionsError(std::move(status));
+  }
+  const auto solution = solver.maximal_matching(g);
   trace.finish();
   if (args.has("json")) {
     auto j = dmpc::to_json(solution.report);
@@ -297,6 +319,10 @@ int main(int argc, char** argv) {
     if (command == "matching") return cmd_matching(args);
     if (command == "cover") return cmd_cover(args);
     if (command == "color") return cmd_color(args);
+  } catch (const dmpc::OptionsError& e) {
+    // Caller input error: report the typed status, not an assertion.
+    std::fprintf(stderr, "error: %s\n", e.status().to_string().c_str());
+    return 2;
   } catch (const dmpc::CheckFailure& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
