@@ -80,12 +80,13 @@ class MixObjective final : public dmpc::derand::Objective {
 };
 
 dmpc::mpc::Cluster make_cluster(std::uint32_t threads) {
-  dmpc::mpc::ClusterConfig config;
-  config.machine_space = 4096;
-  config.num_machines = 64;
-  dmpc::mpc::Cluster cluster(config);
-  cluster.set_executor(dmpc::exec::Executor::with_threads(threads));
-  return cluster;
+  // Solver-owned provisioning with a pinned geometry (hand-built
+  // mpc::ClusterConfig is deprecated at call sites).
+  dmpc::SolveOptions options;
+  options.threads = threads;
+  options.cluster.machine_space = 4096;
+  options.cluster.num_machines = 64;
+  return dmpc::Solver(options).cluster(/*n=*/2, /*m=*/0);
 }
 
 void bench_seed_search(std::uint64_t seed_count, std::uint64_t terms,

@@ -1,0 +1,242 @@
+// E18: fault injection + checkpoint/restart — recovery overhead with
+// byte-identical output.
+//
+// The fault layer (src/mpc/faults.hpp) promises that a solve under any
+// admissible FaultPlan produces byte-identical solutions, report JSON
+// (modulo the "recovery" counter block), and golden traces vs the fault-free
+// run. This bench escalates the fault load on a fixed instance and, for each
+// scenario, *asserts* that promise while measuring the wall-clock and
+// round-budget overhead the retry engine pays for it.
+//
+//   ./bench_e18_fault_recovery [--n=512] [--quick] [--json]
+//
+// Plain executable (not google-benchmark): each scenario prints
+//   <scenario>  wall=<ms>(x<slowdown>)  faults=.. retries=.. replayed=..
+//   checkpoints=..  identical=yes
+// With --json the same data is emitted as a single JSON object on stdout so
+// CI can archive it next to the E17 artifact. A non-identical run or an
+// unexpected FaultError is a failure, not a result.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/report_json.hpp"
+#include "api/solver.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "mpc/faults.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct RunArtifacts {
+  std::vector<bool> in_set;
+  std::string report_json;  ///< Recovery block zeroed — the comparable part.
+  std::string trace;
+  dmpc::mpc::RecoveryStats recovery;
+  double ms = 0.0;
+};
+
+/// Solve MIS under `faults`, capturing everything the identity contract
+/// covers. The report is serialized with the recovery ledger zeroed so the
+/// fault-free and faulty JSON are directly comparable.
+RunArtifacts run_mis(const dmpc::graph::Graph& g,
+                     const dmpc::mpc::FaultPlan& faults,
+                     dmpc::mpc::CheckpointMode checkpoint) {
+  RunArtifacts out;
+  std::ostringstream trace_out;
+  dmpc::obs::JsonlTraceSink sink(&trace_out, /*include_wall_time=*/false);
+  dmpc::obs::TraceSession session(&sink);
+  dmpc::SolveOptions options;
+  options.trace = &session;
+  options.faults = faults;
+  options.recovery.checkpoint = checkpoint;
+  const dmpc::Solver solver(options);
+  if (const auto status = solver.validate(); !status.ok()) {
+    std::fprintf(stderr, "FATAL: inadmissible scenario options: %s\n",
+                 status.to_string().c_str());
+    std::exit(1);
+  }
+  const auto t0 = Clock::now();
+  const auto solution = solver.mis(g);
+  out.ms = ms_since(t0);
+  session.finish();
+  out.in_set = solution.in_set;
+  out.recovery = solution.report.recovery;
+  auto comparable = solution.report;
+  comparable.recovery = dmpc::mpc::RecoveryStats{};
+  out.report_json = to_json(comparable).dump();
+  out.trace = trace_out.str();
+  return out;
+}
+
+struct Scenario {
+  std::string name;
+  dmpc::mpc::FaultPlan faults;
+  dmpc::mpc::CheckpointMode checkpoint = dmpc::mpc::CheckpointMode::kRound;
+};
+
+/// Spread `count` events of `kind` evenly across the logical round span of
+/// the fault-free run so every pipeline phase sees some fault pressure.
+dmpc::mpc::FaultPlan spread_plan(dmpc::mpc::FaultKind kind, std::uint64_t count,
+                                 std::uint64_t total_rounds,
+                                 std::uint64_t machines) {
+  dmpc::mpc::FaultPlan plan;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dmpc::mpc::FaultEvent event;
+    event.kind = kind;
+    event.round = 1 + (i * total_rounds) / (count + 1);
+    event.machine = i % machines;
+    event.message = 0;
+    plan.add(event);
+  }
+  return plan;
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t planned = 0;
+  double wall_ms = 0.0;
+  double slowdown = 0.0;
+  bool identical = false;
+  dmpc::mpc::RecoveryStats recovery;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const bool quick = args.has("quick");
+  const bool json = args.has("json");
+  const auto n = static_cast<dmpc::graph::NodeId>(
+      args.get_int("n", quick ? 256 : 512));
+
+  // Dense enough to exercise the sparsification path (the interesting one:
+  // many primitive invocations, so crash/drop windows land mid-pipeline).
+  const auto g = dmpc::graph::gnm(
+      n, static_cast<dmpc::graph::EdgeId>(16ull * n), /*seed=*/23);
+
+  if (!json) {
+    std::printf("== E18 fault recovery: n=%u, m=%llu%s ==\n", n,
+                static_cast<unsigned long long>(g.num_edges()),
+                quick ? " (quick)" : "");
+  }
+
+  // Fault-free baseline: defines the identity target and the logical round
+  // span that fault plans are keyed on.
+  const auto baseline =
+      run_mis(g, dmpc::mpc::FaultPlan{}, dmpc::mpc::CheckpointMode::kRound);
+  // Re-derive the round count from a plain solve report (the baseline above
+  // zeroes recovery but keeps metrics).
+  const auto probe = dmpc::Solver(dmpc::SolveOptions{}).mis(g);
+  const std::uint64_t total_rounds = probe.report.metrics.rounds();
+  const std::uint64_t machines = 16;  // Lower bound on any derived geometry.
+
+  const std::uint64_t light = quick ? 2 : 4;
+  const std::uint64_t heavy = quick ? 8 : 32;
+
+  std::vector<Scenario> scenarios;
+  using dmpc::mpc::CheckpointMode;
+  using dmpc::mpc::FaultKind;
+  scenarios.push_back({"crash_light",
+                       spread_plan(FaultKind::kCrash, light, total_rounds, 1),
+                       CheckpointMode::kRound});
+  scenarios.push_back(
+      {"crash_heavy",
+       spread_plan(FaultKind::kCrash, heavy, total_rounds, machines),
+       CheckpointMode::kRound});
+  scenarios.push_back({"drop_light",
+                       spread_plan(FaultKind::kDrop, light, total_rounds, 1),
+                       CheckpointMode::kRound});
+  scenarios.push_back(
+      {"drop_heavy",
+       spread_plan(FaultKind::kDrop, heavy, total_rounds, machines),
+       CheckpointMode::kRound});
+  {
+    auto mixed = spread_plan(FaultKind::kCrash, light, total_rounds, machines);
+    for (const auto kind : {FaultKind::kDrop, FaultKind::kStraggler,
+                            FaultKind::kDuplicate}) {
+      const auto part = spread_plan(kind, light, total_rounds, machines);
+      for (const auto& e : part.events()) mixed.add(e);
+    }
+    scenarios.push_back({"mixed", std::move(mixed), CheckpointMode::kRound});
+  }
+  scenarios.push_back(
+      {"crash_phase_ckpt",
+       spread_plan(FaultKind::kCrash, light, total_rounds, machines),
+       CheckpointMode::kPhase});
+
+  std::vector<ScenarioResult> results;
+  bool all_identical = true;
+  for (const auto& scenario : scenarios) {
+    const auto run = run_mis(g, scenario.faults, scenario.checkpoint);
+    ScenarioResult r;
+    r.name = scenario.name;
+    r.planned = scenario.faults.events().size();
+    r.wall_ms = run.ms;
+    r.slowdown = baseline.ms > 0 ? run.ms / baseline.ms : 0.0;
+    r.identical = run.in_set == baseline.in_set &&
+                  run.report_json == baseline.report_json &&
+                  run.trace == baseline.trace;
+    r.recovery = run.recovery;
+    all_identical = all_identical && r.identical;
+    results.push_back(std::move(r));
+
+    if (!json) {
+      const auto& out = results.back();
+      std::printf(
+          "%-18s planned=%3llu wall=%8.2fms (x%4.2f)  faults=%llu "
+          "retries=%llu replayed=%llu checkpoints=%llu  identical=%s\n",
+          out.name.c_str(), static_cast<unsigned long long>(out.planned),
+          out.wall_ms, out.slowdown,
+          static_cast<unsigned long long>(out.recovery.faults_injected),
+          static_cast<unsigned long long>(out.recovery.retries),
+          static_cast<unsigned long long>(out.recovery.replayed_rounds),
+          static_cast<unsigned long long>(out.recovery.checkpoints),
+          out.identical ? "yes" : "NO");
+    }
+    if (!results.back().identical) {
+      std::fprintf(stderr,
+                   "FATAL: scenario '%s' output differs from fault-free run\n",
+                   scenario.name.c_str());
+      std::exit(1);
+    }
+  }
+
+  if (json) {
+    dmpc::Json rows = dmpc::Json::array();
+    for (const auto& r : results) {
+      rows.push(dmpc::Json::object()
+                    .set("scenario", r.name)
+                    .set("planned_events", r.planned)
+                    .set("wall_ms", r.wall_ms)
+                    .set("slowdown_vs_fault_free", r.slowdown)
+                    .set("identical", r.identical)
+                    .set("recovery", dmpc::to_json(r.recovery)));
+    }
+    const auto doc = dmpc::Json::object()
+                         .set("bench", std::string("e18_fault_recovery"))
+                         .set("n", static_cast<std::uint64_t>(n))
+                         .set("m", g.num_edges())
+                         .set("fault_free_rounds", total_rounds)
+                         .set("fault_free_wall_ms", baseline.ms)
+                         .set("all_identical", all_identical)
+                         .set("scenarios", std::move(rows));
+    std::printf("%s\n", doc.dump().c_str());
+  } else {
+    std::printf("all identity checks passed\n");
+  }
+  return 0;
+}

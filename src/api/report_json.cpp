@@ -1,5 +1,7 @@
 #include "api/report_json.hpp"
 
+#include "api/solver.hpp"
+
 namespace dmpc {
 
 Json to_json(const mpc::Metrics& metrics) {
@@ -24,11 +26,44 @@ Json to_json(const mpc::Metrics& metrics) {
       .set("peak_load_by_label", std::move(peak));
 }
 
+Json to_json(const mpc::RecoveryStats& stats) {
+  Json retries = Json::object();
+  for (const auto& [label, count] : stats.retries_by_label) {
+    retries.set(label, count);
+  }
+  return Json::object()
+      .set("faults_injected", stats.faults_injected)
+      .set("crashes", stats.crashes)
+      .set("messages_dropped", stats.messages_dropped)
+      .set("duplicates_suppressed", stats.duplicates_suppressed)
+      .set("straggler_rounds", stats.straggler_rounds)
+      .set("retries", stats.retries)
+      .set("replayed_rounds", stats.replayed_rounds)
+      .set("checkpoints", stats.checkpoints)
+      .set("checkpoint_words", stats.checkpoint_words)
+      .set("retries_by_label", std::move(retries));
+}
+
 Json to_json(const SolveReport& report) {
   return Json::object()
+      .set("schema_version", kReportSchemaVersion)
       .set("algorithm", report.algorithm_used)
       .set("iterations", report.iterations)
-      .set("metrics", to_json(report.metrics));
+      .set("metrics", to_json(report.metrics))
+      .set("recovery", to_json(report.recovery));
+}
+
+Json to_json(const Report& report) {
+  return Json::object()
+      .set("schema_version", report.schema_version)
+      .set("algorithm", report.algorithm)
+      .set("iterations", report.iterations)
+      .set("metrics", to_json(report.metrics))
+      .set("recovery", to_json(report.recovery));
+}
+
+std::string Solver::report_json(const SolveReport& solve_report) const {
+  return to_json(report(solve_report)).dump();
 }
 
 Json to_json(const matching::IterationReport& report) {
@@ -62,9 +97,11 @@ Json to_json(const matching::DetMatchingResult& result) {
   Json iterations = Json::array();
   for (const auto& report : result.reports) iterations.push(to_json(report));
   return Json::object()
+      .set("schema_version", kReportSchemaVersion)
       .set("matching_size", result.matching.size())
       .set("iterations", result.iterations)
       .set("metrics", to_json(result.metrics))
+      .set("recovery", to_json(result.recovery))
       .set("trace", std::move(iterations));
 }
 
@@ -74,9 +111,11 @@ Json to_json(const mis::DetMisResult& result) {
   std::uint64_t size = 0;
   for (bool b : result.in_set) size += b;
   return Json::object()
+      .set("schema_version", kReportSchemaVersion)
       .set("mis_size", size)
       .set("iterations", result.iterations)
       .set("metrics", to_json(result.metrics))
+      .set("recovery", to_json(result.recovery))
       .set("trace", std::move(iterations));
 }
 

@@ -10,7 +10,9 @@
 namespace dmpc {
 
 Json to_json(const mpc::Metrics& metrics);
+Json to_json(const mpc::RecoveryStats& stats);
 Json to_json(const SolveReport& report);
+Json to_json(const Report& report);
 Json to_json(const matching::IterationReport& report);
 Json to_json(const mis::MisIterationReport& report);
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
 
 namespace dmpc::obs {
@@ -43,6 +45,18 @@ struct SolveOptions {
   /// this changes wall time only — solutions, reports, and golden JSONL
   /// traces are byte-identical for every value (see docs/API.md).
   std::uint32_t threads = 1;
+  /// Cluster provisioning. The Solver owns the derivation (S and M are
+  /// auto-sized from n, eps, and space_headroom when this is default);
+  /// non-zero fields pin an exact geometry. Hand-building mpc::ClusterConfig
+  /// at call sites is deprecated in favor of these overrides.
+  mpc::ClusterOverrides cluster;
+  /// Deterministic fault schedule injected into the simulated cluster. The
+  /// default (empty) plan is the fault-free run; see docs/FAULTS.md for the
+  /// identical-output recovery contract.
+  mpc::FaultPlan faults;
+  /// Retry/checkpoint policy tolerating `faults` (validated against it:
+  /// a plan that provably exceeds the budget is kUnrecoverableFault).
+  mpc::RecoveryOptions recovery;
   /// Optional tracing sink (non-owning; null = tracing off, zero cost).
   obs::TraceSession* trace = nullptr;
 };
@@ -51,6 +65,23 @@ struct SolveReport {
   std::string algorithm_used;     ///< "sparsification" or "lowdeg".
   std::uint64_t iterations = 0;   ///< Outer iterations / stages.
   mpc::Metrics metrics;           ///< Rounds, peak load, communication.
+  mpc::RecoveryStats recovery;    ///< Fault/retry ledger (all-zero clean).
+};
+
+/// Version of the serialized report schema. Bumped to 2 when the
+/// "schema_version" and "recovery" keys were added; downstream parsers
+/// should branch on this rather than sniffing keys.
+inline constexpr std::uint32_t kReportSchemaVersion = 2;
+
+/// The typed, versioned view of a SolveReport that Solver::report() returns;
+/// serialize with to_json(report) / Solver::report_json(). Downstream
+/// parsers consume this struct (or its JSON) instead of scraping strings.
+struct Report {
+  std::uint32_t schema_version = kReportSchemaVersion;
+  std::string algorithm;          ///< "sparsification" or "lowdeg".
+  std::uint64_t iterations = 0;
+  mpc::Metrics metrics;
+  mpc::RecoveryStats recovery;
 };
 
 struct MisSolution {

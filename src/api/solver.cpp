@@ -25,6 +25,14 @@ const char* status_code_name(StatusCode code) {
       return "invalid_algorithm";
     case StatusCode::kInvalidTraceFormat:
       return "invalid_trace_format";
+    case StatusCode::kInvalidClusterOverrides:
+      return "invalid_cluster_overrides";
+    case StatusCode::kInvalidFaultPlan:
+      return "invalid_fault_plan";
+    case StatusCode::kInvalidRetryBudget:
+      return "invalid_retry_budget";
+    case StatusCode::kUnrecoverableFault:
+      return "unrecoverable_fault";
   }
   return "unknown";
 }
@@ -56,6 +64,51 @@ Status Solver::validate(const SolveOptions& options) {
             " (0 = hardware concurrency), got " +
             std::to_string(options.threads));
   }
+  if (options.cluster.machine_space == 1) {
+    return Status::error(
+        StatusCode::kInvalidClusterOverrides,
+        "cluster.machine_space override must be 0 (auto) or >= 2, got 1");
+  }
+  if (const std::string problem = options.faults.check(); !problem.empty()) {
+    return Status::error(StatusCode::kInvalidFaultPlan, problem);
+  }
+  if (options.recovery.backoff_rounds < 1) {
+    return Status::error(StatusCode::kInvalidRetryBudget,
+                         "recovery.backoff_rounds must be >= 1, got " +
+                             std::to_string(options.recovery.backoff_rounds));
+  }
+  if (options.recovery.max_retries > mpc::RecoveryOptions::kMaxRetries) {
+    return Status::error(
+        StatusCode::kInvalidRetryBudget,
+        "recovery.max_retries must be <= " +
+            std::to_string(mpc::RecoveryOptions::kMaxRetries) + ", got " +
+            std::to_string(options.recovery.max_retries));
+  }
+  // Static unrecoverability: reject plans that provably exceed the policy
+  // instead of letting the run fail midway with a FaultError.
+  for (const mpc::FaultEvent& event : options.faults.events()) {
+    const bool needs_replay = event.kind == mpc::FaultKind::kCrash ||
+                              event.kind == mpc::FaultKind::kDrop;
+    if (!needs_replay) continue;
+    if (options.recovery.checkpoint == mpc::CheckpointMode::kOff) {
+      return Status::error(
+          StatusCode::kUnrecoverableFault,
+          std::string("fault plan schedules a ") +
+              mpc::fault_kind_name(event.kind) + " at round " +
+              std::to_string(event.round) +
+              " but recovery.checkpoint is off — nothing to roll back to");
+    }
+    if (event.attempts > options.recovery.max_retries) {
+      return Status::error(
+          StatusCode::kUnrecoverableFault,
+          std::string("fault plan schedules a ") +
+              mpc::fault_kind_name(event.kind) + " at round " +
+              std::to_string(event.round) + " firing on " +
+              std::to_string(event.attempts) +
+              " attempts, exceeding recovery.max_retries = " +
+              std::to_string(options.recovery.max_retries));
+    }
+  }
   return Status();
 }
 
@@ -66,6 +119,40 @@ void Solver::require_valid() const {
 
 exec::Executor Solver::make_executor() const {
   return exec::Executor::with_threads(options_.threads);
+}
+
+mpc::ClusterConfig Solver::cluster_config(std::uint64_t n,
+                                          std::uint64_t m) const {
+  require_valid();
+  // The §3/§4 provisioning formula (shared by both sparsification
+  // pipelines): S = max(64, headroom * n^eps), M sized to hold the input
+  // with the paper's constant-factor total-space slack.
+  matching::DetMatchingConfig base;
+  base.eps = options_.eps;
+  base.space_headroom = options_.space_headroom;
+  return mpc::apply_overrides(matching::cluster_config_for(base, n, m),
+                              options_.cluster);
+}
+
+mpc::Cluster Solver::cluster(std::uint64_t n, std::uint64_t m) const {
+  mpc::Cluster cluster(cluster_config(n, m));
+  cluster.set_executor(make_executor());
+  if (!options_.faults.empty()) {
+    cluster.set_faults(options_.faults, options_.recovery);
+  }
+  // Deliberately no set_trace here: the session would bind to this
+  // instance's Metrics and dangle after the move; callers attach a trace to
+  // the placed cluster.
+  return cluster;
+}
+
+Report Solver::report(const SolveReport& solve_report) const {
+  Report report;
+  report.algorithm = solve_report.algorithm_used;
+  report.iterations = solve_report.iterations;
+  report.metrics = solve_report.metrics;
+  report.recovery = solve_report.recovery;
+  return report;
 }
 
 double Solver::dispatch_degree_bound(std::uint64_t n) const {
@@ -101,22 +188,30 @@ MisSolution Solver::mis(const graph::Graph& g) const {
     config.eps = options_.eps;
     config.space_headroom = options_.space_headroom;
     config.threads = options_.threads;
+    config.cluster = options_.cluster;
+    config.faults = options_.faults;
+    config.recovery = options_.recovery;
     auto result = lowdeg::lowdeg_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "lowdeg";
     solution.report.iterations = result.stages;
     solution.report.metrics = result.metrics;
+    solution.report.recovery = result.recovery;
   } else {
     mis::DetMisConfig config;
     config.trace = options_.trace;
     config.eps = options_.eps;
     config.space_headroom = options_.space_headroom;
     config.threads = options_.threads;
+    config.cluster = options_.cluster;
+    config.faults = options_.faults;
+    config.recovery = options_.recovery;
     auto result = mis::det_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "sparsification";
     solution.report.iterations = result.iterations;
     solution.report.metrics = result.metrics;
+    solution.report.recovery = result.recovery;
   }
   return solution;
 }
@@ -133,22 +228,30 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
     config.eps = options_.eps;
     config.space_headroom = options_.space_headroom;
     config.threads = options_.threads;
+    config.cluster = options_.cluster;
+    config.faults = options_.faults;
+    config.recovery = options_.recovery;
     auto result = lowdeg::lowdeg_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "lowdeg";
     solution.report.iterations = result.line_mis.stages;
     solution.report.metrics = result.line_mis.metrics;
+    solution.report.recovery = result.line_mis.recovery;
   } else {
     matching::DetMatchingConfig config;
     config.trace = options_.trace;
     config.eps = options_.eps;
     config.space_headroom = options_.space_headroom;
     config.threads = options_.threads;
+    config.cluster = options_.cluster;
+    config.faults = options_.faults;
+    config.recovery = options_.recovery;
     auto result = matching::det_maximal_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "sparsification";
     solution.report.iterations = result.iterations;
     solution.report.metrics = result.metrics;
+    solution.report.recovery = result.recovery;
   }
   return solution;
 }

@@ -42,6 +42,12 @@ class Solver {
   ///   - space_headroom > 0          (kInvalidSpaceHeadroom)
   ///   - dispatch_slack > 0          (kInvalidDispatchSlack)
   ///   - threads <= kMaxThreads      (kInvalidThreads; 0 = hardware)
+  ///   - cluster.machine_space 0 or >= 2  (kInvalidClusterOverrides)
+  ///   - faults structurally well formed  (kInvalidFaultPlan)
+  ///   - recovery within bounds           (kInvalidRetryBudget)
+  ///   - plan recoverable under policy    (kUnrecoverableFault): a crash or
+  ///     drop event with checkpointing off, or firing on more attempts than
+  ///     max_retries allows, is rejected up front instead of failing the run.
   Status validate() const { return validate(options_); }
   static Status validate(const SolveOptions& options);
 
@@ -67,6 +73,24 @@ class Solver {
   /// 0 -> hardware concurrency). Exposed so callers can reuse it for
   /// adjacent work (graph stats, custom objectives).
   exec::Executor make_executor() const;
+
+  /// The cluster this solver would provision for an (n, m)-size input:
+  /// geometry auto-sized from eps/space_headroom, overrides applied, the
+  /// executor and fault plan installed. This is the supported way for
+  /// benches and tests to obtain a cluster (hand-building mpc::ClusterConfig
+  /// is deprecated); attach a trace session to the placed instance
+  /// afterwards if needed. Throws OptionsError on invalid options.
+  mpc::Cluster cluster(std::uint64_t n, std::uint64_t m) const;
+
+  /// The raw geometry cluster(n, m) would use (after overrides).
+  mpc::ClusterConfig cluster_config(std::uint64_t n, std::uint64_t m) const;
+
+  /// The typed, versioned report for a finished solve (schema_version,
+  /// algorithm, metrics, recovery ledger).
+  Report report(const SolveReport& solve_report) const;
+
+  /// Thin wrapper: to_json(report(solve_report)).dump().
+  std::string report_json(const SolveReport& solve_report) const;
 
  private:
   void require_valid() const;

@@ -24,6 +24,10 @@ enum class StatusCode {
   kInvalidThreads,       ///< threads must be <= kMaxThreads.
   kInvalidAlgorithm,     ///< unknown algorithm name (CLI parsing).
   kInvalidTraceFormat,   ///< trace sink set but format not jsonl|chrome.
+  kInvalidClusterOverrides, ///< machine_space override must be 0 or >= 2.
+  kInvalidFaultPlan,     ///< structurally malformed fault schedule.
+  kInvalidRetryBudget,   ///< max_retries/backoff_rounds out of range.
+  kUnrecoverableFault,   ///< plan provably exceeds the recovery policy.
 };
 
 /// Short stable name for a code ("invalid_eps", ...), for logs and tests.

@@ -116,7 +116,7 @@ ColoringResult distance2_coloring_raw(const Graph& g) {
 ColoringResult linial_coloring(mpc::Cluster& cluster, const Graph& g) {
   ColoringResult result = linial_coloring_raw(g);
   // Each reduction step is O(1) MPC rounds: nodes need only neighbor colors.
-  cluster.metrics().charge_rounds(std::max<std::uint32_t>(
+  cluster.charge_recoverable(std::max<std::uint32_t>(
                                       result.reduction_steps, 1),
                                   "coloring/linial");
   cluster.metrics().add_communication(
@@ -132,9 +132,9 @@ ColoringResult distance2_coloring(mpc::Cluster& cluster, const Graph& g) {
   cluster.check_load(static_cast<std::uint64_t>(g.max_degree()) *
                          std::max<std::uint32_t>(g.max_degree(), 1),
                      "coloring/2hop", "coloring/2hop");
-  cluster.metrics().charge_rounds(2, "coloring/2hop");
+  cluster.charge_recoverable(2, "coloring/2hop");
   ColoringResult result = distance2_coloring_raw(g);
-  cluster.metrics().charge_rounds(std::max<std::uint32_t>(
+  cluster.charge_recoverable(std::max<std::uint32_t>(
                                       result.reduction_steps, 1),
                                   "coloring/linial");
   cluster.metrics().add_communication(

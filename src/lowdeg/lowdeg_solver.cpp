@@ -46,10 +46,12 @@ mpc::ClusterConfig cluster_config_for(const LowDegConfig& config,
 }
 
 LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
-  mpc::Cluster cluster(cluster_config_for(config, g.num_nodes(),
-                                          g.num_edges(), g.max_degree()));
+  mpc::Cluster cluster(mpc::apply_overrides(
+      cluster_config_for(config, g.num_nodes(), g.num_edges(), g.max_degree()),
+      config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
+  if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   return lowdeg_mis(cluster, g, config);
 }
 
@@ -68,8 +70,12 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
   }
 
   obs::Span pipeline_span(cluster.trace(), "lowdeg/pipeline");
+  // Distributed state a phase checkpoint persists: the edge list plus the
+  // per-node alive/in-set flags.
+  const std::uint64_t phase_words = 2 * g.num_edges() + 2 * g.num_nodes();
 
   // --- Preprocessing (§5.2.2): coloring + family + ball gathering. ---
+  cluster.mark_phase("lowdeg/phase/coloring", phase_words);
   const auto coloring = [&] {
     obs::Span phase_span(cluster.trace(), "lowdeg/phase/coloring");
     return distance2_coloring(cluster, g);
@@ -82,6 +88,7 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
   hash::FunctionSequence sequence(family, l, config.per_phase_cap);
 
   {
+    cluster.mark_phase("lowdeg/phase/gather", phase_words);
     obs::Span phase_span(cluster.trace(), "lowdeg/phase/gather");
     gather_neighborhoods(cluster, g, alive, /*radius=*/2 * l);
   }
@@ -89,6 +96,7 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
   // --- Stages. ---
   while (graph::alive_edge_count(g, alive, cluster.executor()) > 0) {
     DMPC_CHECK_MSG(result.stages < config.max_stages, "stage cap exceeded");
+    cluster.mark_phase("lowdeg/stage", phase_words);
     obs::Span stage_span(cluster.trace(), "lowdeg/stage");
     stage_span.arg("stage", static_cast<std::uint64_t>(result.stages + 1));
     const auto outcome = run_stage(cluster, g, alive, coloring.color, sequence,
@@ -128,6 +136,7 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
   DMPC_CHECK_MSG(graph::is_maximal_independent_set(g, result.in_set),
                  "lowdeg_mis produced a non-maximal independent set");
   result.metrics = cluster.metrics();
+  result.recovery = cluster.recovery_stats();
   return result;
 }
 
@@ -137,11 +146,14 @@ LowDegMatchingResult lowdeg_matching(const Graph& g,
   if (g.num_edges() == 0) return result;
   const Graph lg = graph::line_graph(g);
   // Line-graph construction is local to 1-hop neighborhoods: one exchange.
-  mpc::Cluster cluster(cluster_config_for(config, lg.num_nodes(),
-                                          lg.num_edges(), lg.max_degree()));
+  mpc::Cluster cluster(mpc::apply_overrides(
+      cluster_config_for(config, lg.num_nodes(), lg.num_edges(),
+                         lg.max_degree()),
+      config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
-  cluster.metrics().charge_rounds(1, "lowdeg/line_graph");
+  if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
+  cluster.charge_recoverable(1, "lowdeg/line_graph");
   result.line_mis = lowdeg_mis(cluster, lg, config);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (result.line_mis.in_set[e]) result.matching.push_back(e);

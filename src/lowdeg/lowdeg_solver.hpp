@@ -35,6 +35,13 @@ struct LowDegConfig {
   /// concurrency, 1 = serial). Results are identical for every value; only
   /// the cluster-creating overloads apply this.
   std::uint32_t threads = 1;
+  /// Provisioning overrides on the auto-derived cluster geometry (only the
+  /// cluster-creating overloads apply them).
+  mpc::ClusterOverrides cluster;
+  /// Deterministic fault schedule + recovery policy (only the
+  /// cluster-creating overloads install them; empty plan = fault-free).
+  mpc::FaultPlan faults;
+  mpc::RecoveryOptions recovery;
   /// Optional trace session (non-owning); null = tracing off.
   obs::TraceSession* trace = nullptr;
 };
@@ -46,6 +53,7 @@ struct LowDegMisResult {
   std::uint32_t colors = 0;            ///< Distance-2 palette size.
   std::vector<StageOutcome> outcomes;
   mpc::Metrics metrics;
+  mpc::RecoveryStats recovery;  ///< All-zero for a fault-free run.
 };
 
 /// Phases per stage: the largest l with 4 * Delta^{2l+1} <= S (the radius-2l

@@ -66,7 +66,7 @@ StageOutcome run_stage(mpc::Cluster& cluster, const Graph& g,
   // one broadcast announces it — O(1) charged rounds per stage.
   const std::uint64_t depth =
       cluster.tree_depth(std::max<std::uint64_t>(g.num_nodes(), 2));
-  cluster.metrics().charge_rounds(2 * depth + 1, "lowdeg/stage");
+  cluster.charge_recoverable(2 * depth + 1, "lowdeg/stage");
   cluster.metrics().add_communication(limit * cluster.machines(),
                                       "lowdeg/stage");
   cluster.check_load(limit, "lowdeg/stage: sequence table", "lowdeg/stage");
@@ -114,7 +114,7 @@ StageOutcome run_stage(mpc::Cluster& cluster, const Graph& g,
   }
   // One more round: winners notify their r-hop balls (§5.2.2, "maintaining
   // the r-th hop neighborhood").
-  cluster.metrics().charge_rounds(1, "lowdeg/ball_update");
+  cluster.charge_recoverable(1, "lowdeg/ball_update");
   outcome.independent = std::move(best_set);
   outcome.edges_after = graph::alive_edge_count(g, alive, cluster.executor());
   DMPC_CHECK(outcome.edges_after < outcome.edges_before);

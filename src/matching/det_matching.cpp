@@ -119,7 +119,7 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
     DMPC_CHECK_MSG(budget > 0, "selection seed space exhausted");
     const std::uint64_t depth = cluster.tree_depth(
         std::max<std::uint64_t>(objective.term_count(), 2));
-    cluster.metrics().charge_rounds(2 * depth, "matching/selection");
+    cluster.charge_recoverable(2 * depth, "matching/selection");
     cluster.metrics().add_communication(budget * cluster.machines(),
                                         "matching/selection");
     // Host-parallel batch evaluation (the objective is pure), then a serial
@@ -177,10 +177,12 @@ mpc::ClusterConfig cluster_config_for(const DetMatchingConfig& config,
 
 DetMatchingResult det_maximal_matching(const Graph& g,
                                        const DetMatchingConfig& config) {
-  mpc::Cluster cluster(
-      cluster_config_for(config, g.num_nodes(), g.num_edges()));
+  mpc::Cluster cluster(mpc::apply_overrides(
+      cluster_config_for(config, g.num_nodes(), g.num_edges()),
+      config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
+  if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   return det_maximal_matching(cluster, g, config);
 }
 
@@ -191,6 +193,9 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
   DetMatchingResult result;
   std::vector<bool> alive(g.num_nodes(), true);
   obs::Span pipeline_span(cluster.trace(), "matching/pipeline");
+  // Distributed state a phase checkpoint persists: the edge list plus the
+  // per-node alive/matched flags.
+  const std::uint64_t phase_words = 2 * g.num_edges() + g.num_nodes();
 
   while (graph::alive_edge_count(g, alive, cluster.executor()) > 0) {
     DMPC_CHECK_MSG(result.iterations < config.max_iterations,
@@ -202,6 +207,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     iter_span.arg("iteration", report.iteration);
 
     // 1. Good nodes (Corollary 8).
+    cluster.mark_phase("matching/phase/good_nodes", phase_words);
     const auto good = [&] {
       obs::Span phase_span(cluster.trace(), "matching/phase/good_nodes");
       return sparsify::select_matching_good_set(cluster, params, g, alive);
@@ -210,6 +216,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     report.edges_before = good.alive_edges;
 
     // 2. Sparsify E_0 -> E* (§3.2).
+    cluster.mark_phase("matching/phase/sparsify", phase_words);
     const auto sparse = [&] {
       obs::Span phase_span(cluster.trace(), "matching/phase/sparsify");
       return sparsify::sparsify_edges(cluster, params, g, good,
@@ -219,6 +226,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     report.estar_max_degree = sparse.max_degree;
 
     // 3. Gather 2-hop neighborhoods of B-nodes in E* (space check, §3.3).
+    cluster.mark_phase("matching/phase/gather", phase_words);
     std::optional<obs::Span> gather_span;
     gather_span.emplace(cluster.trace(), "matching/phase/gather");
     std::vector<EdgeId> estar_edges;
@@ -245,6 +253,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     gather_span.reset();
 
     // 4-5. Derandomized Lemma-13 selection.
+    cluster.mark_phase("matching/phase/derand", phase_words);
     std::optional<obs::Span> derand_span;
     derand_span.emplace(cluster.trace(), "matching/phase/derand");
     const auto alive_degree = graph::alive_degrees(g, alive, cluster.executor());
@@ -284,6 +293,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     }
     derand_span.reset();
 
+    cluster.mark_phase("matching/phase/commit", phase_words);
     obs::Span commit_span(cluster.trace(), "matching/phase/commit");
     const auto matched = objective.matching_for(committed.seed);
     DMPC_CHECK_MSG(!matched.empty(), "empty committed matching");
@@ -326,6 +336,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
   DMPC_CHECK_MSG(graph::is_maximal_matching(g, result.matching),
                  "det_maximal_matching produced a non-maximal matching");
   result.metrics = cluster.metrics();
+  result.recovery = cluster.recovery_stats();
   return result;
 }
 

@@ -71,6 +71,13 @@ struct DetMatchingConfig {
   /// the cluster-creating overload applies this (the cluster-taking overload
   /// uses the caller's executor).
   std::uint32_t threads = 1;
+  /// Provisioning overrides on the auto-derived cluster geometry (only the
+  /// cluster-creating overload applies them).
+  mpc::ClusterOverrides cluster;
+  /// Deterministic fault schedule + recovery policy (only the
+  /// cluster-creating overload installs them; empty plan = fault-free).
+  mpc::FaultPlan faults;
+  mpc::RecoveryOptions recovery;
   /// Optional trace session (non-owning); spans and progress events are
   /// emitted when set. Null = tracing off (zero cost).
   obs::TraceSession* trace = nullptr;
@@ -93,6 +100,7 @@ struct DetMatchingResult {
   std::uint64_t iterations = 0;
   std::vector<IterationReport> reports;
   mpc::Metrics metrics;
+  mpc::RecoveryStats recovery;  ///< All-zero for a fault-free run.
 };
 
 /// Creates the cluster per the config and runs the full loop.

@@ -113,7 +113,7 @@ derand::SearchResult select_with_threshold(
                    "MIS selection seed space exhausted — guarantee violated");
     const std::uint64_t depth = cluster.tree_depth(
         std::max<std::uint64_t>(objective.term_count(), 2));
-    cluster.metrics().charge_rounds(2 * depth, "mis/selection");
+    cluster.charge_recoverable(2 * depth, "mis/selection");
     cluster.metrics().add_communication(budget * cluster.machines(),
                                         "mis/selection");
     // Host-parallel batch evaluation (the objective is pure), then a serial
@@ -170,10 +170,12 @@ mpc::ClusterConfig cluster_config_for(const DetMisConfig& config,
 }
 
 DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
-  mpc::Cluster cluster(
-      cluster_config_for(config, g.num_nodes(), g.num_edges()));
+  mpc::Cluster cluster(mpc::apply_overrides(
+      cluster_config_for(config, g.num_nodes(), g.num_edges()),
+      config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
+  if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   return det_mis(cluster, g, config);
 }
 
@@ -185,6 +187,9 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
   DetMisResult result;
   result.in_set.assign(g.num_nodes(), false);
   std::vector<bool> alive(g.num_nodes(), true);
+  // Distributed state a phase checkpoint persists: the edge list plus the
+  // per-node alive/in-set flags.
+  const std::uint64_t phase_words = 2 * g.num_edges() + 2 * g.num_nodes();
 
   auto absorb_isolated = [&]() {
     const auto deg = graph::alive_degrees(g, alive, cluster.executor());
@@ -210,6 +215,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     report.isolated_added = absorb_isolated();
 
     // 2. Good nodes (Corollary 16).
+    cluster.mark_phase("mis/phase/good_nodes", phase_words);
     const auto good = [&] {
       obs::Span span(cluster.trace(), "mis/phase/good_nodes");
       return sparsify::select_mis_good_set(cluster, params, g, alive);
@@ -218,6 +224,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     report.edges_before = good.alive_edges;
 
     // 3. Sparsify Q_0 -> Q' (§4.2).
+    cluster.mark_phase("mis/phase/sparsify", phase_words);
     const auto sparse = [&] {
       obs::Span span(cluster.trace(), "mis/phase/sparsify");
       return sparsify::sparsify_nodes(cluster, params, g, alive, good,
@@ -229,6 +236,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     // 4. Build Q' structures and the N_v windows; charge the gather.
     // (optional so the span can close before the derand phase opens while
     // the gathered structures stay in scope)
+    cluster.mark_phase("mis/phase/gather", phase_words);
     std::optional<obs::Span> gather_span;
     gather_span.emplace(cluster.trace(), "mis/phase/gather");
     std::vector<NodeId> q_nodes;
@@ -263,6 +271,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     gather_span.reset();
 
     // 5-6. Derandomized Lemma-21 selection.
+    cluster.mark_phase("mis/phase/derand", phase_words);
     std::optional<obs::Span> derand_span;
     derand_span.emplace(cluster.trace(), "mis/phase/derand");
     const std::uint64_t domain = std::max<std::uint64_t>(2, g.num_nodes());
@@ -300,6 +309,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     }
     derand_span.reset();
 
+    cluster.mark_phase("mis/phase/commit", phase_words);
     obs::Span commit_span(cluster.trace(), "mis/phase/commit");
     const auto independent = objective.independent_set_for(committed.seed);
     DMPC_CHECK_MSG(!independent.empty(), "empty committed independent set");
@@ -341,6 +351,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
   DMPC_CHECK_MSG(graph::is_maximal_independent_set(g, result.in_set),
                  "det_mis produced a non-maximal independent set");
   result.metrics = cluster.metrics();
+  result.recovery = cluster.recovery_stats();
   return result;
 }
 

@@ -47,6 +47,13 @@ struct DetMisConfig {
   /// concurrency, 1 = serial). Results are identical for every value; only
   /// the cluster-creating overload applies this.
   std::uint32_t threads = 1;
+  /// Provisioning overrides on the auto-derived cluster geometry (only the
+  /// cluster-creating overload applies them).
+  mpc::ClusterOverrides cluster;
+  /// Deterministic fault schedule + recovery policy (only the
+  /// cluster-creating overload installs them; empty plan = fault-free).
+  mpc::FaultPlan faults;
+  mpc::RecoveryOptions recovery;
   /// Optional trace session (non-owning); null = tracing off.
   obs::TraceSession* trace = nullptr;
 };
@@ -69,6 +76,7 @@ struct DetMisResult {
   std::uint64_t iterations = 0;
   std::vector<MisIterationReport> reports;
   mpc::Metrics metrics;
+  mpc::RecoveryStats recovery;  ///< All-zero for a fault-free run.
 };
 
 DetMisResult det_mis(const graph::Graph& g, const DetMisConfig& config);

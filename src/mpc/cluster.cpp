@@ -19,9 +19,35 @@ ClusterConfig ClusterConfig::for_input(std::uint64_t n, double eps,
   return config;
 }
 
+ClusterConfig apply_overrides(ClusterConfig base,
+                              const ClusterOverrides& overrides) {
+  if (overrides.machine_space != 0) {
+    base.machine_space = overrides.machine_space;
+  }
+  if (overrides.num_machines != 0) {
+    base.num_machines = overrides.num_machines;
+  }
+  base.enforce_space = overrides.enforce_space;
+  return base;
+}
+
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   DMPC_CHECK_MSG(config_.machine_space >= 2, "machine space must be >= 2");
   if (config_.num_machines == 0) config_.num_machines = 1;
+}
+
+void Cluster::set_faults(FaultPlan plan, RecoveryOptions recovery) {
+  const std::string problem = plan.check();
+  DMPC_CHECK_MSG(problem.empty(), "inadmissible fault plan: " << problem);
+  DMPC_CHECK_MSG(recovery.backoff_rounds >= 1, "backoff_rounds must be >= 1");
+  DMPC_CHECK_MSG(recovery.max_retries <= RecoveryOptions::kMaxRetries,
+                 "max_retries " << recovery.max_retries << " exceeds cap "
+                                << RecoveryOptions::kMaxRetries);
+  fault_plan_ = std::move(plan);
+  recovery_ = recovery;
+  recovery_stats_.reset();
+  phase_round_ = metrics_.rounds();
+  fault_covered_round_ = metrics_.rounds();
 }
 
 std::uint64_t Cluster::tree_depth(std::uint64_t items) const {
@@ -36,19 +62,29 @@ void Cluster::set_trace(obs::TraceSession* trace) {
   if (trace_ != nullptr) trace_->attach_metrics(&metrics_);
 }
 
+namespace {
+
+std::string machine_tag(std::uint64_t machine) {
+  return machine == Cluster::kAnyMachine ? std::string("any")
+                                         : std::to_string(machine);
+}
+
+}  // namespace
+
 void Cluster::check_load(std::uint64_t words, const std::string& what,
-                         const std::string& label) {
+                         const std::string& label, std::uint64_t machine) {
   metrics_.observe_load(words, label);
   if (config_.enforce_space) {
     DMPC_CHECK_MSG(words <= config_.machine_space,
-                   what << ": machine load " << words << " exceeds S="
-                        << config_.machine_space);
+                   what << ": machine load exceeds S [machine="
+                        << machine_tag(machine) << " measured=" << words
+                        << " limit=" << config_.machine_space << "]");
   }
 }
 
 void Cluster::load(std::vector<std::vector<Word>> inputs) {
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    check_load(inputs[i].size(), "load: machine " + std::to_string(i));
+    check_load(inputs[i].size(), "load: machine " + std::to_string(i), "", i);
   }
   locals_ = std::move(inputs);
 }
@@ -58,18 +94,9 @@ const std::vector<Word>& Cluster::local(std::uint64_t machine) const {
   return locals_[machine];
 }
 
-void Cluster::step(const std::function<void(MachineContext&)>& compute,
-                   const std::string& label) {
-  obs::Span span(trace_, label);
+void Cluster::route_and_deliver(std::vector<std::vector<Message>>& outboxes,
+                                const std::string& label) {
   const std::uint64_t m = locals_.size();
-  std::vector<std::vector<Message>> outboxes(m);
-  // Machines are independent within a round: each compute touches only its
-  // own locals_[i] / outboxes[i], so host-parallel execution is safe and
-  // (machine i's work being fixed) deterministic.
-  executor_.for_each(0, m, [&](std::uint64_t i) {
-    MachineContext ctx(i, &locals_[i], &outboxes[i]);
-    compute(ctx);
-  });
   // Route with capacity accounting.
   std::vector<std::uint64_t> recv_volume(m, 0);
   for (std::uint64_t i = 0; i < m; ++i) {
@@ -80,13 +107,13 @@ void Cluster::step(const std::function<void(MachineContext&)>& compute,
       recv_volume[msg.to] += msg.payload.size();
     }
     check_load(sent, label + ": send volume of machine " + std::to_string(i),
-               label);
+               label, i);
     metrics_.add_communication(sent, label);
   }
   for (std::uint64_t i = 0; i < m; ++i) {
     check_load(recv_volume[i],
                label + ": receive volume of machine " + std::to_string(i),
-               label);
+               label, i);
   }
   // Deliver: received words are appended to local storage in sender order.
   for (std::uint64_t i = 0; i < m; ++i) {
@@ -98,9 +125,206 @@ void Cluster::step(const std::function<void(MachineContext&)>& compute,
   for (std::uint64_t i = 0; i < m; ++i) {
     check_load(locals_[i].size(),
                label + ": local storage of machine " + std::to_string(i),
-               label);
+               label, i);
   }
   metrics_.charge_rounds(1, label);
+}
+
+void Cluster::note_checkpoint(const std::string& label, std::uint64_t words) {
+  recovery_stats_.checkpoints += 1;
+  recovery_stats_.checkpoint_words += words;
+  if (recovery_.trace_recovery && obs::enabled(trace_)) {
+    trace_->instant("recovery/checkpoint",
+                    {obs::arg("label", label), obs::arg("words", words),
+                     obs::arg("round", metrics_.rounds())});
+  }
+}
+
+void Cluster::register_retry(const std::string& label, std::uint64_t round,
+                             std::uint64_t cost, std::uint32_t attempt) {
+  const std::uint32_t spent = attempt + 1;  // attempts consumed so far
+  if (recovery_.checkpoint == CheckpointMode::kOff) {
+    throw FaultError(label, round, spent,
+                     "checkpointing is off (checkpoint=off), no snapshot to "
+                     "restore");
+  }
+  if (spent > recovery_.max_retries) {
+    throw FaultError(label, round, spent,
+                     "retry budget exhausted (max_retries=" +
+                         std::to_string(recovery_.max_retries) + ")");
+  }
+  recovery_stats_.retries += 1;
+  recovery_stats_.retries_by_label[label] += 1;
+  // kPhase restores the last phase mark, so the replay re-executes every
+  // round since that mark; kRound restores the snapshot taken at the top of
+  // this superstep. Retry k of a c-round superstep consumes
+  // backoff_rounds * (c + rollback) * 2^{k-1} rounds of the recovery budget.
+  std::uint64_t rollback = 0;
+  if (recovery_.checkpoint == CheckpointMode::kPhase && round > phase_round_) {
+    rollback = round - phase_round_;
+  }
+  const std::uint64_t backoff = recovery_.backoff_rounds
+                                << std::min<std::uint32_t>(attempt, 32);
+  recovery_stats_.replayed_rounds += (cost + rollback) * backoff;
+  if (recovery_.trace_recovery && obs::enabled(trace_)) {
+    trace_->instant("recovery/retry",
+                    {obs::arg("label", label), obs::arg("round", round),
+                     obs::arg("attempt", static_cast<std::uint64_t>(spent))});
+  }
+}
+
+void Cluster::mark_phase(const std::string& label, std::uint64_t state_words) {
+  if (fault_plan_.empty()) return;
+  phase_round_ = metrics_.rounds();
+  if (recovery_.checkpoint == CheckpointMode::kPhase) {
+    note_checkpoint(label, state_words);
+  }
+}
+
+void Cluster::run_with_recovery(const std::string& label,
+                                std::uint64_t round_cost,
+                                std::uint64_t state_words,
+                                const std::function<void()>& body) {
+  if (fault_plan_.empty()) {
+    body();
+    return;
+  }
+  const std::uint64_t round = metrics_.rounds();
+  const std::uint64_t cost = std::max<std::uint64_t>(round_cost, 1);
+  // Extend the window back over any rounds charged since the last
+  // recoverable superstep (central simulation charges have no recovery
+  // boundary of their own), so windows tile the round axis and every
+  // in-range event fires exactly once.
+  const std::uint64_t begin = std::min(fault_covered_round_, round);
+  const std::uint64_t end = round + cost;
+  fault_covered_round_ = end;
+  if (recovery_.checkpoint == CheckpointMode::kRound) {
+    note_checkpoint(label, state_words);
+  }
+  std::uint32_t attempt = 0;
+  while (true) {
+    bool failed = false;
+    for (const FaultEvent* event : fault_plan_.active(begin, end, attempt)) {
+      recovery_stats_.faults_injected += 1;
+      switch (event->kind) {
+        case FaultKind::kCrash:
+          recovery_stats_.crashes += 1;
+          failed = true;
+          break;
+        case FaultKind::kDrop:
+          recovery_stats_.messages_dropped += 1;
+          failed = true;
+          break;
+        case FaultKind::kDuplicate:
+          // The aggregation-tree router tags fragments with (round, source),
+          // so a redelivery is recognized and discarded centrally.
+          recovery_stats_.duplicates_suppressed += 1;
+          break;
+        case FaultKind::kStraggler:
+          // Lemma-4 primitives synchronize at every tree level; a straggler
+          // stretches the barrier but changes no data.
+          recovery_stats_.straggler_rounds += event->delay;
+          break;
+      }
+    }
+    // The body is deterministic and overwrites its outputs, so re-running it
+    // after a failed attempt models the lost work while producing the exact
+    // fault-free result.
+    body();
+    if (!failed) return;
+    register_retry(label, round, cost, attempt);
+    attempt += 1;
+  }
+}
+
+void Cluster::charge_recoverable(std::uint64_t rounds, const std::string& label,
+                                 std::uint64_t state_words) {
+  run_with_recovery(label, rounds, state_words, [] {});
+  metrics_.charge_rounds(rounds, label);
+}
+
+void Cluster::step(const std::function<void(MachineContext&)>& compute,
+                   const std::string& label) {
+  obs::Span span(trace_, label);
+  const std::uint64_t m = locals_.size();
+  if (fault_plan_.empty()) {
+    std::vector<std::vector<Message>> outboxes(m);
+    // Machines are independent within a round: each compute touches only its
+    // own locals_[i] / outboxes[i], so host-parallel execution is safe and
+    // (machine i's work being fixed) deterministic.
+    executor_.for_each(0, m, [&](std::uint64_t i) {
+      MachineContext ctx(i, &locals_[i], &outboxes[i]);
+      compute(ctx);
+    });
+    route_and_deliver(outboxes, label);
+    return;
+  }
+
+  // Faulty path: snapshot, attempt, and replay until the superstep commits.
+  // All routing/metrics accounting happens only on the committing attempt,
+  // so Metrics (rounds, peak load, communication) stays byte-identical to
+  // the fault-free run; every fault and replay lands in RecoveryStats.
+  const std::uint64_t round = metrics_.rounds();
+  const std::uint64_t begin = std::min(fault_covered_round_, round);
+  const std::uint64_t end = round + 1;
+  fault_covered_round_ = end;
+  std::vector<std::vector<Word>> checkpoint;
+  if (recovery_.checkpoint != CheckpointMode::kOff) {
+    // The snapshot itself is needed to restore state whichever granularity
+    // is charged; under kPhase its *cost* was accounted at the last
+    // mark_phase, so only kRound records it here.
+    checkpoint = locals_;
+    if (recovery_.checkpoint == CheckpointMode::kRound) {
+      std::uint64_t words = 0;
+      for (const auto& local : checkpoint) words += local.size();
+      note_checkpoint(label, words);
+    }
+  }
+  std::uint32_t attempt = 0;
+  while (true) {
+    const auto active = fault_plan_.active(begin, end, attempt);
+    bool failed = false;
+    std::vector<char> crashed(m, 0);
+    for (const FaultEvent* event : active) {
+      if (event->kind == FaultKind::kCrash && event->machine < m) {
+        recovery_stats_.faults_injected += 1;
+        recovery_stats_.crashes += 1;
+        crashed[event->machine] = 1;
+        failed = true;
+      } else if (event->kind == FaultKind::kStraggler && event->machine < m) {
+        recovery_stats_.faults_injected += 1;
+        recovery_stats_.straggler_rounds += event->delay;
+      }
+    }
+    std::vector<std::vector<Message>> outboxes(m);
+    executor_.for_each(0, m, [&](std::uint64_t i) {
+      if (crashed[i]) return;  // lost worker: compute + sends discarded
+      MachineContext ctx(i, &locals_[i], &outboxes[i]);
+      compute(ctx);
+    });
+    for (const FaultEvent* event : active) {
+      if (event->machine >= m) continue;
+      if (event->kind == FaultKind::kDrop &&
+          event->message < outboxes[event->machine].size()) {
+        recovery_stats_.faults_injected += 1;
+        recovery_stats_.messages_dropped += 1;
+        failed = true;
+      } else if (event->kind == FaultKind::kDuplicate &&
+                 event->message < outboxes[event->machine].size()) {
+        // The router deduplicates the second copy on (sender, ordinal), so
+        // delivery is unchanged; only the ledger notices.
+        recovery_stats_.faults_injected += 1;
+        recovery_stats_.duplicates_suppressed += 1;
+      }
+    }
+    if (!failed) {
+      route_and_deliver(outboxes, label);
+      return;
+    }
+    register_retry(label, round, 1, attempt);
+    locals_ = checkpoint;
+    attempt += 1;
+  }
 }
 
 }  // namespace dmpc::mpc

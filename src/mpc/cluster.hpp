@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "exec/parallel.hpp"
+#include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
 #include "support/check.hpp"
 
@@ -50,6 +51,24 @@ struct ClusterConfig {
                                  std::uint64_t total_words,
                                  std::uint64_t min_space = 16);
 };
+
+/// User-facing knobs over the auto-derived provisioning. `dmpc::Solver` owns
+/// the derivation (S and M from n, eps, space_headroom); overrides let
+/// benches/tests pin an exact geometry without hand-building a ClusterConfig.
+/// A zero field means "keep the derived value".
+struct ClusterOverrides {
+  std::uint64_t machine_space = 0;  ///< Words per machine; 0 = auto.
+  std::uint64_t num_machines = 0;   ///< Machine count; 0 = auto.
+  bool enforce_space = true;        ///< Disable only for ablation (E11).
+
+  bool is_default() const {
+    return machine_space == 0 && num_machines == 0 && enforce_space;
+  }
+};
+
+/// Apply non-zero override fields on top of a derived base config.
+ClusterConfig apply_overrides(ClusterConfig base,
+                              const ClusterOverrides& overrides);
 
 /// A message in the low-level interface.
 struct Message {
@@ -101,17 +120,77 @@ class Cluster {
   void set_executor(exec::Executor executor) { executor_ = std::move(executor); }
   const exec::Executor& executor() const { return executor_; }
 
+  // ---- Fault injection & recovery ----
+
+  /// Install a deterministic fault schedule plus the recovery policy that
+  /// tolerates it. An empty plan (the default) disables every fault/recovery
+  /// code path: no checkpoints are taken and the run is bit-for-bit the
+  /// fault-free execution with an all-zero RecoveryStats ledger.
+  void set_faults(FaultPlan plan, RecoveryOptions recovery = {});
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  const RecoveryOptions& recovery_options() const { return recovery_; }
+
+  RecoveryStats& recovery_stats() { return recovery_stats_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// The logical round clock faults are keyed on: the number of rounds the
+  /// fault-free run has charged so far (recovery overhead is accounted in
+  /// RecoveryStats, never here, so this clock is identical with and without
+  /// faults).
+  std::uint64_t logical_round() const { return metrics_.rounds(); }
+
+  /// Declare a pipeline phase boundary. Under CheckpointMode::kPhase this is
+  /// where snapshots are charged; a replay rolls back to the latest mark.
+  /// `state_words` is the distributed state a phase snapshot would persist.
+  /// No-op while the fault plan is empty.
+  void mark_phase(const std::string& label, std::uint64_t state_words = 0);
+
+  /// Run a centrally-executed primitive (Lemma-4 level) under the fault +
+  /// recovery engine. `round_cost` is the rounds the primitive will charge.
+  /// Its fault window ends at logical_round() + round_cost and starts at the
+  /// end of the previous recoverable superstep's window, so windows tile the
+  /// whole round axis: an event keyed on a round charged outside any
+  /// recoverable superstep (a centrally-simulated selection or gather, say)
+  /// fires at the first recoverable superstep at or after it.
+  /// `state_words` sizes the checkpoint taken before the attempt. `body`
+  /// must be deterministic and idempotent under re-execution (all repo
+  /// primitives are: they overwrite their outputs). Faults scheduled in the
+  /// window abort the attempt, charge retry backoff to RecoveryStats, and
+  /// re-run `body`; exhaustion throws FaultError.
+  void run_with_recovery(const std::string& label, std::uint64_t round_cost,
+                         std::uint64_t state_words,
+                         const std::function<void()>& body);
+
+  /// Charge `rounds` centrally-simulated rounds as a *recoverable*
+  /// superstep: the charge opens a fault window, takes a checkpoint of
+  /// `state_words` words under CheckpointMode::kRound, and goes through the
+  /// retry engine when a crash/drop lands in the window. The replay has no
+  /// body to re-run — a centrally-simulated superstep is deterministic by
+  /// construction, so re-executing it is pure accounting (backoff rounds in
+  /// RecoveryStats). Pipelines must use this instead of
+  /// metrics().charge_rounds() for any charge that represents machine work,
+  /// otherwise faults keyed on those rounds can never fire.
+  void charge_recoverable(std::uint64_t rounds, const std::string& label,
+                          std::uint64_t state_words = 0);
+
   /// Depth of a fan-in-S aggregation tree over `items` leaves; >= 1.
   /// This is the round cost of prefix sums / broadcast / reduction over a
   /// distributed array of `items` records (Lemma 4 with S = n^eps gives a
   /// constant depth of ceil(1/eps)).
   std::uint64_t tree_depth(std::uint64_t items) const;
 
+  /// Sentinel for check_load's machine argument when the load is aggregate
+  /// (not attributable to one machine).
+  static constexpr std::uint64_t kAnyMachine = ~0ull;
+
   /// Assert a hypothetical machine load fits in S (counts toward peak load).
   /// A non-empty `label` attributes the load to that label's peak-load
-  /// metric (`what` stays free-form for the failure message).
+  /// metric (`what` stays free-form for the failure message). The failure
+  /// message always carries the machine index, the measured load, and the
+  /// limit S in a stable `[machine=... measured=... limit=...]` suffix.
   void check_load(std::uint64_t words, const std::string& what,
-                  const std::string& label = "");
+                  const std::string& label = "",
+                  std::uint64_t machine = kAnyMachine);
 
   // ---- Low-level message-passing interface ----
 
@@ -133,11 +212,33 @@ class Cluster {
             const std::string& label = "step");
 
  private:
+  /// Route messages, enforce capacities, deliver, and charge 1 round — the
+  /// commit half of a (successful) step attempt.
+  void route_and_deliver(std::vector<std::vector<Message>>& outboxes,
+                         const std::string& label);
+
+  /// Account one retry of `label` covering `cost` rounds at logical round
+  /// `round` after 0-based `attempt` failed. Throws FaultError when
+  /// checkpointing is off or the retry budget is exhausted.
+  void register_retry(const std::string& label, std::uint64_t round,
+                      std::uint64_t cost, std::uint32_t attempt);
+
+  /// Account one checkpoint of `words` words (optionally traced).
+  void note_checkpoint(const std::string& label, std::uint64_t words);
+
   ClusterConfig config_;
   Metrics metrics_;
   obs::TraceSession* trace_ = nullptr;
   exec::Executor executor_;
   std::vector<std::vector<Word>> locals_;
+  FaultPlan fault_plan_;
+  RecoveryOptions recovery_;
+  RecoveryStats recovery_stats_;
+  std::uint64_t phase_round_ = 0;  ///< Logical round of the last phase mark.
+  /// End of the last fault window. Successive windows tile [0, rounds), so
+  /// events keyed on rounds charged outside any recoverable superstep still
+  /// fire (at the first recoverable superstep after them).
+  std::uint64_t fault_covered_round_ = 0;
 };
 
 }  // namespace dmpc::mpc

@@ -1,0 +1,180 @@
+#include "mpc/faults.hpp"
+
+#include <sstream>
+
+namespace dmpc::mpc {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kStraggler:
+      return "straggler";
+  }
+  return "unknown";
+}
+
+const char* checkpoint_mode_name(CheckpointMode mode) {
+  switch (mode) {
+    case CheckpointMode::kOff:
+      return "off";
+    case CheckpointMode::kRound:
+      return "round";
+    case CheckpointMode::kPhase:
+      return "phase";
+  }
+  return "unknown";
+}
+
+std::vector<const FaultEvent*> FaultPlan::active(std::uint64_t begin,
+                                                 std::uint64_t end,
+                                                 std::uint32_t attempt) const {
+  std::vector<const FaultEvent*> out;
+  for (const FaultEvent& event : events_) {
+    if (event.round >= begin && event.round < end && attempt < event.attempts) {
+      out.push_back(&event);
+    }
+  }
+  return out;
+}
+
+std::string FaultPlan::check() const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& event = events_[i];
+    if (event.attempts == 0) {
+      return "fault event #" + std::to_string(i) +
+             " has attempts=0 (an event must fire on at least one attempt)";
+    }
+    if (event.kind == FaultKind::kStraggler && event.delay == 0) {
+      return "fault event #" + std::to_string(i) +
+             " is a straggler with delay=0 (must delay by >= 1 round)";
+    }
+  }
+  return "";
+}
+
+namespace {
+
+bool parse_kind(const std::string& token, FaultKind* kind) {
+  if (token == "crash") {
+    *kind = FaultKind::kCrash;
+  } else if (token == "drop") {
+    *kind = FaultKind::kDrop;
+  } else if (token == "duplicate") {
+    *kind = FaultKind::kDuplicate;
+  } else if (token == "straggler") {
+    *kind = FaultKind::kStraggler;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* value) {
+  if (text.empty()) return false;
+  std::uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *value = out;
+  return true;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text, std::string* error) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return FaultPlan{};
+  };
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string kind_token;
+    if (!(tokens >> kind_token)) continue;  // blank / comment-only line
+    FaultEvent event;
+    if (!parse_kind(kind_token, &event.kind)) {
+      return fail("unknown fault kind '" + kind_token +
+                  "' (expected crash|drop|duplicate|straggler)");
+    }
+    std::string pair;
+    while (tokens >> pair) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value, got '" + pair + "'");
+      }
+      const std::string key = pair.substr(0, eq);
+      std::uint64_t value = 0;
+      if (!parse_u64(pair.substr(eq + 1), &value)) {
+        return fail("non-numeric value in '" + pair + "'");
+      }
+      if (key == "round") {
+        event.round = value;
+      } else if (key == "machine") {
+        event.machine = value;
+      } else if (key == "message") {
+        event.message = value;
+      } else if (key == "delay") {
+        event.delay = value;
+      } else if (key == "attempts") {
+        event.attempts = static_cast<std::uint32_t>(value);
+      } else {
+        return fail("unknown key '" + key +
+                    "' (expected round|machine|message|delay|attempts)");
+      }
+    }
+    plan.add(event);
+  }
+  if (const std::string problem = plan.check(); !problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return FaultPlan{};
+  }
+  if (error != nullptr) error->clear();
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : events_) {
+    out << fault_kind_name(event.kind) << " round=" << event.round
+        << " machine=" << event.machine;
+    if (event.kind == FaultKind::kDrop || event.kind == FaultKind::kDuplicate) {
+      out << " message=" << event.message;
+    }
+    if (event.kind == FaultKind::kStraggler) out << " delay=" << event.delay;
+    if (event.attempts != 1) out << " attempts=" << event.attempts;
+    out << "\n";
+  }
+  return out.str();
+}
+
+void RecoveryStats::merge(const RecoveryStats& other) {
+  faults_injected += other.faults_injected;
+  crashes += other.crashes;
+  messages_dropped += other.messages_dropped;
+  duplicates_suppressed += other.duplicates_suppressed;
+  straggler_rounds += other.straggler_rounds;
+  retries += other.retries;
+  replayed_rounds += other.replayed_rounds;
+  checkpoints += other.checkpoints;
+  checkpoint_words += other.checkpoint_words;
+  for (const auto& [label, count] : other.retries_by_label) {
+    retries_by_label[label] += count;
+  }
+}
+
+}  // namespace dmpc::mpc

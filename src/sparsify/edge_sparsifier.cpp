@@ -151,6 +151,9 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
       ++extra_used;
     }
     ++stage;
+    // Each stage rewrites the survivor set from the previous one, so it is a
+    // recovery-safe boundary for phase-granularity checkpoints.
+    cluster.mark_phase("sparsify/stage", g.num_edges());
     obs::Span stage_span(cluster.trace(), "sparsify/stage");
     stage_span.arg("stage", static_cast<std::uint64_t>(stage));
 

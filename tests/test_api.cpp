@@ -148,6 +148,14 @@ TEST(Solver, StatusCodeNamesAreStable) {
   EXPECT_STREQ(status_code_name(StatusCode::kInvalidEps), "invalid_eps");
   EXPECT_STREQ(status_code_name(StatusCode::kInvalidTraceFormat),
                "invalid_trace_format");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidClusterOverrides),
+               "invalid_cluster_overrides");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidFaultPlan),
+               "invalid_fault_plan");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidRetryBudget),
+               "invalid_retry_budget");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnrecoverableFault),
+               "unrecoverable_fault");
   SolveOptions options;
   options.space_headroom = -1.0;
   const auto status = Solver::validate(options);

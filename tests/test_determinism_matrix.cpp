@@ -91,6 +91,92 @@ TEST(DeterminismMatrix, Gnm) {
   expect_matrix_identical(graph::gnm(600, 4800, 11), "gnm");
 }
 
+// ---- Fault axis ----
+//
+// The recovery engine's contract extends the matrix by one dimension: for a
+// fixed graph and fixed options, solutions, reports (modulo the "recovery"
+// counter block), and traces are byte-identical across {no faults, crashes,
+// drops} × thread counts.
+
+struct FaultRun {
+  std::vector<bool> in_set;
+  std::vector<graph::EdgeId> matching;
+  std::string report_json;  ///< MIS report with the recovery ledger zeroed.
+  std::string trace;
+  std::uint64_t faults_injected = 0;
+};
+
+FaultRun run_with_faults(const Graph& g, std::uint32_t threads,
+                         const mpc::FaultPlan& plan) {
+  FaultRun out;
+  std::ostringstream trace_out;
+  obs::JsonlTraceSink sink(&trace_out, /*include_wall_time=*/false);
+  obs::TraceSession session(&sink);
+  SolveOptions options;
+  options.threads = threads;
+  options.trace = &session;
+  options.faults = plan;
+  const Solver solver(options);
+  EXPECT_TRUE(solver.validate().ok()) << solver.validate().to_string();
+  const auto solution = solver.mis(g);
+  session.finish();
+  out.in_set = solution.in_set;
+  out.faults_injected = solution.report.recovery.faults_injected;
+  auto comparable = solution.report;
+  comparable.recovery = mpc::RecoveryStats{};
+  out.report_json = to_json(comparable).dump();
+  out.trace = trace_out.str();
+  out.matching = Solver(options).maximal_matching(g).matching;
+  return out;
+}
+
+void expect_fault_matrix_identical(const Graph& g, const char* family) {
+  mpc::FaultPlan crashes;
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/2, /*machine=*/0});
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/7, /*machine=*/1});
+  mpc::FaultPlan drops;
+  drops.add({mpc::FaultKind::kDrop, /*round=*/3, /*machine=*/0,
+             /*message=*/0});
+  drops.add({mpc::FaultKind::kDrop, /*round=*/9, /*machine=*/2,
+             /*message=*/1});
+
+  const auto reference = run_with_faults(g, /*threads=*/1, mpc::FaultPlan{});
+  EXPECT_EQ(reference.faults_injected, 0u) << family;
+  const std::uint32_t fault_threads[] = {1, 0};
+  const struct {
+    const char* name;
+    const mpc::FaultPlan* plan;
+  } axes[] = {{"none", nullptr}, {"crashes", &crashes}, {"drops", &drops}};
+  for (const auto& axis : axes) {
+    for (std::uint32_t threads : fault_threads) {
+      const auto run = run_with_faults(
+          g, threads, axis.plan != nullptr ? *axis.plan : mpc::FaultPlan{});
+      EXPECT_EQ(run.in_set, reference.in_set)
+          << family << " faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.report_json, reference.report_json)
+          << family << " faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.trace, reference.trace)
+          << family << " faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.matching, reference.matching)
+          << family << " faults=" << axis.name << " threads=" << threads;
+      if (axis.plan != nullptr) {
+        EXPECT_GT(run.faults_injected, 0u)
+            << family << " faults=" << axis.name << " threads=" << threads
+            << ": plan did not fire";
+      }
+    }
+  }
+}
+
+TEST(DeterminismMatrix, FaultAxisSparsification) {
+  expect_fault_matrix_identical(graph::gnm(400, 3200, 14), "gnm");
+}
+
+TEST(DeterminismMatrix, FaultAxisLowDegree) {
+  expect_fault_matrix_identical(graph::random_regular(400, 4, 15),
+                                "random_regular");
+}
+
 TEST(DeterminismMatrix, RandomRegular) {
   // Low-degree path.
   expect_matrix_identical(graph::random_regular(500, 4, 12), "random_regular");

@@ -3,7 +3,9 @@
 // configurations — rather than silently degrade.
 #include <gtest/gtest.h>
 
-#include "api/solve.hpp"
+#include <string>
+
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "lowdeg/lowdeg_solver.hpp"
 #include "matching/det_matching.hpp"
@@ -17,17 +19,34 @@ namespace {
 
 using graph::Graph;
 
+/// Provision a pinned-geometry cluster through the Solver facade (hand-built
+/// mpc::ClusterConfig at call sites is deprecated).
+mpc::Cluster pinned_cluster(std::uint64_t machine_space,
+                            std::uint64_t num_machines,
+                            bool enforce_space = true) {
+  SolveOptions options;
+  options.cluster.machine_space = machine_space;
+  options.cluster.num_machines = num_machines;
+  options.cluster.enforce_space = enforce_space;
+  return Solver(options).cluster(/*n=*/2, /*m=*/0);
+}
+
 TEST(FailureInjection, UndersizedClusterRejectsMatchingPipeline) {
   // A cluster provisioned for a toy graph cannot run a bigger one: the
-  // 2-hop gather (or a block layout) must trip the space check.
+  // 2-hop gather (or a block layout) must trip the space check — and the
+  // failure message must name the machine, the measured load, and the limit.
   const Graph big = graph::gnm(2048, 16384, 1);
-  mpc::ClusterConfig cc;
-  cc.machine_space = 64;   // far below the needed ~8 * 2048^0.5
-  cc.num_machines = 4096;
-  mpc::Cluster cluster(cc);
+  auto cluster = pinned_cluster(/*machine_space=*/64, /*num_machines=*/4096);
   matching::DetMatchingConfig config;
-  EXPECT_THROW(matching::det_maximal_matching(cluster, big, config),
-               CheckFailure);
+  try {
+    matching::det_maximal_matching(cluster, big, config);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("machine="), std::string::npos) << message;
+    EXPECT_NE(message.find("measured="), std::string::npos) << message;
+    EXPECT_NE(message.find("limit=64"), std::string::npos) << message;
+  }
 }
 
 TEST(FailureInjection, UndersizedClusterRejectsMisPipeline) {
@@ -35,22 +54,23 @@ TEST(FailureInjection, UndersizedClusterRejectsMisPipeline) {
   // so it takes a severely undersized cluster to trip: 16-word machines
   // cannot even hold the blocked edge layout.
   const Graph big = graph::gnm(2048, 16384, 2);
-  mpc::ClusterConfig cc;
-  cc.machine_space = 16;
-  cc.num_machines = 1024;
-  mpc::Cluster cluster(cc);
+  auto cluster = pinned_cluster(/*machine_space=*/16, /*num_machines=*/1024);
   mis::DetMisConfig config;
-  EXPECT_THROW(mis::det_mis(cluster, big, config), CheckFailure);
+  try {
+    mis::det_mis(cluster, big, config);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("measured="), std::string::npos) << message;
+    EXPECT_NE(message.find("limit=16"), std::string::npos) << message;
+  }
 }
 
 TEST(FailureInjection, LowDegPipelineRejectsHighDegreeInput) {
   // Forcing the low-degree path on a hub graph must hit the 2-hop space
   // check rather than produce wrong output.
   const Graph hub = graph::star(4000);
-  mpc::ClusterConfig cc;
-  cc.machine_space = 256;
-  cc.num_machines = 4096;
-  mpc::Cluster cluster(cc);
+  auto cluster = pinned_cluster(/*machine_space=*/256, /*num_machines=*/4096);
   EXPECT_THROW(lowdeg::lowdeg_mis(cluster, hub, lowdeg::LowDegConfig{}),
                CheckFailure);
 }
@@ -66,11 +86,8 @@ TEST(FailureInjection, SpaceDisabledAblationRuns) {
   // With enforcement off, the undersized run completes (that is what the
   // E11 ablation measures) — the peak load records the violation instead.
   const Graph big = graph::gnm(1024, 8192, 3);
-  mpc::ClusterConfig cc;
-  cc.machine_space = 64;
-  cc.num_machines = 4096;
-  cc.enforce_space = false;
-  mpc::Cluster cluster(cc);
+  auto cluster = pinned_cluster(/*machine_space=*/64, /*num_machines=*/4096,
+                                /*enforce_space=*/false);
   matching::DetMatchingConfig config;
   const auto result = matching::det_maximal_matching(cluster, big, config);
   EXPECT_FALSE(result.matching.empty());
@@ -78,10 +95,7 @@ TEST(FailureInjection, SpaceDisabledAblationRuns) {
 }
 
 TEST(FailureInjection, LowLevelSortRejectsOversubscription) {
-  mpc::ClusterConfig cc;
-  cc.machine_space = 32;
-  cc.num_machines = 4096;
-  mpc::Cluster cluster(cc);
+  auto cluster = pinned_cluster(/*machine_space=*/32, /*num_machines=*/4096);
   // 5000 tagged keys need far more than S/2 machines at S = 32.
   std::vector<mpc::Word> items(5000, 1);
   EXPECT_THROW(mpc::lowlevel::sort(cluster, items), CheckFailure);

@@ -4,22 +4,27 @@
 //   dmpc stats    --in=g.txt [--threads=N]
 //   dmpc mis      --in=g.txt [--eps=0.5] [--algorithm=auto|sparse|lowdeg]
 //                 [--threads=N] [--out=mis.txt] [--trace=trace.json]
-//                 [--trace-format=jsonl|chrome]
+//                 [--trace-format=jsonl|chrome] [--fault-plan=plan.txt]
+//                 [--max-retries=3] [--checkpoint=round|phase|off]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
-//                 [--trace=...] [--trace-format=...]
+//                 [--trace=...] [--trace-format=...] [--fault-plan=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
 // --threads=N uses N host threads for local computation (0 = hardware
-// concurrency); outputs are byte-identical for every value. Invalid options
-// (bad eps, unknown algorithm or trace format, ...) are reported with their
-// typed status code and exit 2; internal check failures exit 1.
+// concurrency); outputs are byte-identical for every value. --fault-plan
+// injects a deterministic fault schedule (docs/FAULTS.md) recovered via
+// checkpoint/replay; solutions are byte-identical to the fault-free run.
+// Invalid options (bad eps, unknown algorithm or trace format, a malformed
+// or unrecoverable fault plan, ...) are reported with their typed status
+// code and exit 2; internal check failures exit 1.
 //
 // Graphs are plain edge lists: "n m" header then "u v" per line.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "api/report_json.hpp"
@@ -100,6 +105,32 @@ dmpc::SolveOptions solve_options(const dmpc::ArgParser& args) {
         dmpc::StatusCode::kInvalidAlgorithm,
         "unknown algorithm '" + algo + "' (expected auto|sparse|lowdeg)"));
   }
+  const std::string plan_path = args.get("fault-plan", "");
+  if (!plan_path.empty()) {
+    std::ifstream in(plan_path);
+    DMPC_CHECK_MSG(in.good(), "cannot open " + plan_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    options.faults = dmpc::mpc::FaultPlan::parse(text.str(), &error);
+    if (!error.empty()) {
+      throw dmpc::OptionsError(dmpc::Status::error(
+          dmpc::StatusCode::kInvalidFaultPlan, plan_path + ": " + error));
+    }
+  }
+  options.recovery.max_retries =
+      static_cast<std::uint32_t>(args.get_int("max-retries", 3));
+  const std::string checkpoint = args.get("checkpoint", "round");
+  if (checkpoint == "off") {
+    options.recovery.checkpoint = dmpc::mpc::CheckpointMode::kOff;
+  } else if (checkpoint == "phase") {
+    options.recovery.checkpoint = dmpc::mpc::CheckpointMode::kPhase;
+  } else if (checkpoint != "round") {
+    throw dmpc::OptionsError(dmpc::Status::error(
+        dmpc::StatusCode::kInvalidRetryBudget,
+        "unknown checkpoint mode '" + checkpoint +
+            "' (expected round|phase|off)"));
+  }
   return options;
 }
 
@@ -111,6 +142,14 @@ void print_report(const dmpc::SolveReport& report) {
               (unsigned long long)report.metrics.rounds(),
               (unsigned long long)report.metrics.peak_machine_load(),
               (unsigned long long)report.metrics.total_communication());
+  if (!report.recovery.clean()) {
+    std::printf("recovery: faults=%llu retries=%llu replayed_rounds=%llu "
+                "checkpoints=%llu\n",
+                (unsigned long long)report.recovery.faults_injected,
+                (unsigned long long)report.recovery.retries,
+                (unsigned long long)report.recovery.replayed_rounds,
+                (unsigned long long)report.recovery.checkpoints);
+  }
 }
 
 std::ofstream open_out(const std::string& path) {
@@ -322,6 +361,11 @@ int main(int argc, char** argv) {
   } catch (const dmpc::OptionsError& e) {
     // Caller input error: report the typed status, not an assertion.
     std::fprintf(stderr, "error: %s\n", e.status().to_string().c_str());
+    return 2;
+  } catch (const dmpc::mpc::FaultError& e) {
+    // The fault plan exceeded the recovery policy at runtime: typed
+    // unrecoverable-fault outcome, same exit class as option errors.
+    std::fprintf(stderr, "error: unrecoverable_fault: %s\n", e.what());
     return 2;
   } catch (const dmpc::CheckFailure& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
