@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "apps/reductions.hpp"
 #include "baselines/israeli_itai.hpp"
 #include "congest/congest_mis.hpp"
@@ -48,20 +49,53 @@ void header(const char* id, const char* title) {
   std::printf("\n### %s — %s\n\n", id, title);
 }
 
+/// One-cell certification summary: the run is re-solved through the Solver
+/// in checked mode (certify=full, docs/ROBUSTNESS.md) and reported as
+/// "ok P/N" (passed/total claims, skipped claims counted in N only) or the
+/// first failing claim's name.
+std::string cert_cell(const Graph& g, bool matching) {
+  dmpc::SolveOptions options;
+  options.certify = dmpc::verify::CertifyMode::kFull;
+  const dmpc::Solver solver(options);
+  try {
+    const auto& certificate = [&]() -> const dmpc::verify::Certificate& {
+      if (matching) {
+        (void)solver.maximal_matching(g);
+      } else {
+        (void)solver.mis(g);
+      }
+      return solver.certificate();
+    }();
+    std::uint64_t passed = 0;
+    for (const auto& claim : certificate.claims) {
+      if (claim.verdict == dmpc::verify::Verdict::kPass) ++passed;
+    }
+    return "ok " + std::to_string(passed) + "/" +
+           std::to_string(certificate.claims.size());
+  } catch (const dmpc::verify::CertificationError& e) {
+    const auto* failure = e.certificate().first_failure();
+    return std::string("FAILED ") +
+           (failure != nullptr ? dmpc::verify::claim_name(failure->claim)
+                               : "?");
+  }
+}
+
 void e1_e2() {
   header("E1", "Theorem 7: deterministic maximal matching rounds vs n");
-  std::printf("| n | iterations | MPC rounds | rounds/log2(n) | peak load |\n");
-  std::printf("|---|---|---|---|---|\n");
+  std::printf("| n | iterations | MPC rounds | rounds/log2(n) | peak load |"
+              " certificate |\n");
+  std::printf("|---|---|---|---|---|---|\n");
   std::vector<double> xs, ys;
   for (const auto n : sweep_n()) {
     const auto g = dmpc::graph::gnm(static_cast<NodeId>(n),
                                     static_cast<EdgeId>(8 * n), n + 1);
     const auto r = dmpc::matching::det_maximal_matching(g, {});
-    std::printf("| %llu | %llu | %llu | %.1f | %llu |\n",
+    std::printf("| %llu | %llu | %llu | %.1f | %llu | %s |\n",
                 (unsigned long long)n, (unsigned long long)r.iterations,
                 (unsigned long long)r.metrics.rounds(),
                 double(r.metrics.rounds()) / std::log2(double(n)),
-                (unsigned long long)r.metrics.peak_machine_load());
+                (unsigned long long)r.metrics.peak_machine_load(),
+                cert_cell(g, /*matching=*/true).c_str());
     xs.push_back(std::log2(double(n)));
     ys.push_back(double(r.iterations));
   }
@@ -70,17 +104,19 @@ void e1_e2() {
               fit.r_squared);
 
   header("E2", "Theorem 14: deterministic MIS rounds vs n");
-  std::printf("| n | iterations | MPC rounds | rounds/log2(n) | peak load |\n");
-  std::printf("|---|---|---|---|---|\n");
+  std::printf("| n | iterations | MPC rounds | rounds/log2(n) | peak load |"
+              " certificate |\n");
+  std::printf("|---|---|---|---|---|---|\n");
   for (const auto n : sweep_n()) {
     const auto g = dmpc::graph::gnm(static_cast<NodeId>(n),
                                     static_cast<EdgeId>(8 * n), n + 2);
     const auto r = dmpc::mis::det_mis(g, {});
-    std::printf("| %llu | %llu | %llu | %.1f | %llu |\n",
+    std::printf("| %llu | %llu | %llu | %.1f | %llu | %s |\n",
                 (unsigned long long)n, (unsigned long long)r.iterations,
                 (unsigned long long)r.metrics.rounds(),
                 double(r.metrics.rounds()) / std::log2(double(n)),
-                (unsigned long long)r.metrics.peak_machine_load());
+                (unsigned long long)r.metrics.peak_machine_load(),
+                cert_cell(g, /*matching=*/false).c_str());
   }
 }
 

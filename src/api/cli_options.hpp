@@ -1,0 +1,44 @@
+// Shared parsing of solver-related command-line options.
+//
+// One implementation serves the dmpc CLI, the examples, and the fuzzing
+// harness (tools/fuzz/), so the exact surface fuzzed is the surface shipped:
+// every flag value is parsed strictly — a malformed number, an unknown
+// enum name, or an oversized value raises a typed recoverable error
+// (ParseError for token-level defects, OptionsError with a StatusCode for
+// unknown mode names), never a DMPC_CHECK abort.
+#pragma once
+
+#include <string>
+
+#include "api/solve.hpp"
+#include "api/status.hpp"
+#include "support/options.hpp"
+
+namespace dmpc {
+
+/// --algorithm=auto|sparse|lowdeg. Throws OptionsError(kInvalidAlgorithm).
+Algorithm parse_algorithm(const std::string& name);
+
+/// --certify=off|answer|full. Throws OptionsError(kInvalidCertifyMode).
+verify::CertifyMode parse_certify_mode(const std::string& name);
+
+/// --checkpoint=round|phase|off. Throws OptionsError(kInvalidRetryBudget).
+mpc::CheckpointMode parse_checkpoint_mode(const std::string& name);
+
+/// SolveOptions parsed from flags, plus the side-channels the caller must
+/// resolve itself (file loading stays out of this layer so the fuzz harness
+/// can drive it hermetically).
+struct CliSolveOptions {
+  SolveOptions options;
+  /// --fault-plan=<path>; empty = no plan. The caller loads the file and
+  /// applies mpc::FaultPlan::parse(text) to options.faults.
+  std::string fault_plan_path;
+};
+
+/// Parse --eps, --threads, --algorithm, --certify, --max-retries,
+/// --checkpoint, --fault-plan. Numeric values are parsed strictly
+/// (ParseError on garbage/overflow); enum values raise OptionsError with
+/// the matching StatusCode. Flags not present keep SolveOptions defaults.
+CliSolveOptions parse_solve_options(const ArgParser& args);
+
+}  // namespace dmpc

@@ -44,13 +44,59 @@ Json to_json(const mpc::RecoveryStats& stats) {
       .set("retries_by_label", std::move(retries));
 }
 
+Json to_json(const verify::Witness& witness) {
+  return Json::object()
+      .set("kind", witness.kind)
+      .set("index", witness.index)
+      .set("u", witness.u)
+      .set("v", witness.v)
+      .set("measured", witness.measured)
+      .set("bound", witness.bound)
+      .set("detail", witness.detail);
+}
+
+Json to_json(const verify::ClaimResult& result) {
+  Json json = Json::object()
+                  .set("claim", verify::claim_name(result.claim))
+                  .set("verdict", verify::verdict_name(result.verdict))
+                  .set("checked", result.checked);
+  if (result.has_witness) json.set("witness", to_json(result.witness));
+  return json;
+}
+
+Json to_json(const verify::Certificate& certificate) {
+  Json claims = Json::array();
+  for (const verify::ClaimResult& claim : certificate.claims) {
+    claims.push(to_json(claim));
+  }
+  return Json::object()
+      .set("schema_version", verify::kCertificateSchemaVersion)
+      .set("mode", verify::certify_mode_name(certificate.mode))
+      .set("ok", certificate.ok())
+      .set("failures", certificate.failures())
+      .set("claims", std::move(claims));
+}
+
+Json to_json(const verify::SparsifyAudit& audit) {
+  return Json::object()
+      .set("iterations", audit.iterations)
+      .set("stages", audit.stages)
+      .set("max_degree", audit.max_degree)
+      .set("degree_cap", audit.degree_cap)
+      .set("worst_degree_ratio", audit.worst_degree_ratio)
+      .set("worst_xv_ratio", audit.worst_xv_ratio)
+      .set("max_window_multiplier", audit.max_window_multiplier);
+}
+
 Json to_json(const SolveReport& report) {
   return Json::object()
       .set("schema_version", kReportSchemaVersion)
       .set("algorithm", report.algorithm_used)
       .set("iterations", report.iterations)
       .set("metrics", to_json(report.metrics))
-      .set("recovery", to_json(report.recovery));
+      .set("recovery", to_json(report.recovery))
+      .set("sparsify_audit", to_json(report.sparsify))
+      .set("certificate", to_json(report.certificate));
 }
 
 Json to_json(const Report& report) {
@@ -59,7 +105,9 @@ Json to_json(const Report& report) {
       .set("algorithm", report.algorithm)
       .set("iterations", report.iterations)
       .set("metrics", to_json(report.metrics))
-      .set("recovery", to_json(report.recovery));
+      .set("recovery", to_json(report.recovery))
+      .set("sparsify_audit", to_json(report.sparsify))
+      .set("certificate", to_json(report.certificate));
 }
 
 std::string Solver::report_json(const SolveReport& solve_report) const {
@@ -76,7 +124,10 @@ Json to_json(const matching::IterationReport& report) {
       .set("progress_fraction", report.progress_fraction)
       .set("selection_trials", report.selection_trials)
       .set("sparsify_stages", report.sparsify_stages)
-      .set("estar_max_degree", report.estar_max_degree);
+      .set("estar_max_degree", report.estar_max_degree)
+      .set("invariant_degree_ratio", report.invariant_degree_ratio)
+      .set("invariant_xv_ratio", report.invariant_xv_ratio)
+      .set("window_multiplier", report.window_multiplier);
 }
 
 Json to_json(const mis::MisIterationReport& report) {
@@ -90,7 +141,10 @@ Json to_json(const mis::MisIterationReport& report) {
       .set("progress_fraction", report.progress_fraction)
       .set("selection_trials", report.selection_trials)
       .set("sparsify_stages", report.sparsify_stages)
-      .set("qprime_max_degree", report.qprime_max_degree);
+      .set("qprime_max_degree", report.qprime_max_degree)
+      .set("invariant_degree_ratio", report.invariant_degree_ratio)
+      .set("invariant_xv_ratio", report.invariant_xv_ratio)
+      .set("window_multiplier", report.window_multiplier);
 }
 
 Json to_json(const matching::DetMatchingResult& result) {

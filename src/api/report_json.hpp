@@ -11,6 +11,10 @@ namespace dmpc {
 
 Json to_json(const mpc::Metrics& metrics);
 Json to_json(const mpc::RecoveryStats& stats);
+Json to_json(const verify::Witness& witness);
+Json to_json(const verify::ClaimResult& result);
+Json to_json(const verify::Certificate& certificate);
+Json to_json(const verify::SparsifyAudit& audit);
 Json to_json(const SolveReport& report);
 Json to_json(const Report& report);
 Json to_json(const matching::IterationReport& report);

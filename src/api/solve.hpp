@@ -15,6 +15,7 @@
 #include "mpc/cluster.hpp"
 #include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
+#include "verify/certificate.hpp"
 
 namespace dmpc::obs {
 class TraceSession;
@@ -59,6 +60,15 @@ struct SolveOptions {
   mpc::RecoveryOptions recovery;
   /// Optional tracing sink (non-owning; null = tracing off, zero cost).
   obs::TraceSession* trace = nullptr;
+  /// Checked mode: kOff returns the answer uncertified (zero cost); kAnswer
+  /// certifies the answer itself (MIS/matching claims + space accounting);
+  /// kFull additionally certifies the sparsifier invariants, metrics
+  /// consistency, and — under an active fault plan — replay identity
+  /// against a fault-free re-run. A failed certificate throws a typed
+  /// verify::CertificationError; certification never perturbs solutions,
+  /// metrics, or traces (it appends a verify/certify span after the
+  /// pipeline span and adds a report block).
+  verify::CertifyMode certify = verify::CertifyMode::kOff;
 };
 
 struct SolveReport {
@@ -66,12 +76,18 @@ struct SolveReport {
   std::uint64_t iterations = 0;   ///< Outer iterations / stages.
   mpc::Metrics metrics;           ///< Rounds, peak load, communication.
   mpc::RecoveryStats recovery;    ///< Fault/retry ledger (all-zero clean).
+  /// Worst-case sparsifier stage measurements (sparsification path only;
+  /// zero-stage audit on the lowdeg path).
+  verify::SparsifyAudit sparsify;
+  /// The certificate produced in checked mode (empty when certify == kOff).
+  verify::Certificate certificate;
 };
 
 /// Version of the serialized report schema. Bumped to 2 when the
-/// "schema_version" and "recovery" keys were added; downstream parsers
+/// "schema_version" and "recovery" keys were added, and to 3 when the
+/// "certificate" and "sparsify_audit" blocks were added; downstream parsers
 /// should branch on this rather than sniffing keys.
-inline constexpr std::uint32_t kReportSchemaVersion = 2;
+inline constexpr std::uint32_t kReportSchemaVersion = 3;
 
 /// The typed, versioned view of a SolveReport that Solver::report() returns;
 /// serialize with to_json(report) / Solver::report_json(). Downstream
@@ -82,6 +98,8 @@ struct Report {
   std::uint64_t iterations = 0;
   mpc::Metrics metrics;
   mpc::RecoveryStats recovery;
+  verify::SparsifyAudit sparsify;
+  verify::Certificate certificate;  ///< Empty when certify == kOff.
 };
 
 struct MisSolution {

@@ -1,13 +1,56 @@
 #include "api/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
 #include "lowdeg/lowdeg_solver.hpp"
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
+#include "obs/trace.hpp"
+#include "verify/certifier.hpp"
 
 namespace dmpc {
+
+namespace {
+
+// Copy the SolveOptions fields every pipeline config shares. The three
+// config types deliberately have identical field names, so one template
+// replaces the former per-call-site copies.
+template <typename Config>
+Config pipeline_config(const SolveOptions& options) {
+  Config config;
+  config.trace = options.trace;
+  config.eps = options.eps;
+  config.space_headroom = options.space_headroom;
+  config.threads = options.threads;
+  config.cluster = options.cluster;
+  config.faults = options.faults;
+  config.recovery = options.recovery;
+  return config;
+}
+
+// Fold a pipeline's per-iteration sparsifier measurements into the report's
+// audit block (checked by the Certifier in full mode).
+template <typename IterationReports, typename MaxDegreeOf>
+void fill_audit(verify::SparsifyAudit* audit, const IterationReports& reports,
+                std::uint64_t degree_cap, MaxDegreeOf&& max_degree_of) {
+  audit->degree_cap = degree_cap;
+  for (const auto& r : reports) {
+    ++audit->iterations;
+    if (r.sparsify_stages == 0) continue;
+    audit->stages += r.sparsify_stages;
+    audit->max_degree = std::max(audit->max_degree, max_degree_of(r));
+    audit->worst_degree_ratio =
+        std::max(audit->worst_degree_ratio, r.invariant_degree_ratio);
+    audit->worst_xv_ratio =
+        std::min(audit->worst_xv_ratio, r.invariant_xv_ratio);
+    audit->max_window_multiplier =
+        std::max(audit->max_window_multiplier, r.window_multiplier);
+  }
+}
+
+}  // namespace
 
 const char* status_code_name(StatusCode code) {
   switch (code) {
@@ -33,6 +76,8 @@ const char* status_code_name(StatusCode code) {
       return "invalid_retry_budget";
     case StatusCode::kUnrecoverableFault:
       return "unrecoverable_fault";
+    case StatusCode::kInvalidCertifyMode:
+      return "invalid_certify_mode";
   }
   return "unknown";
 }
@@ -152,6 +197,8 @@ Report Solver::report(const SolveReport& solve_report) const {
   report.iterations = solve_report.iterations;
   report.metrics = solve_report.metrics;
   report.recovery = solve_report.recovery;
+  report.sparsify = solve_report.sparsify;
+  report.certificate = solve_report.certificate;
   return report;
 }
 
@@ -183,14 +230,7 @@ MisSolution Solver::mis(const graph::Graph& g) const {
       options_.algorithm == Algorithm::kLowDegree ||
       (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
   if (lowdeg) {
-    lowdeg::LowDegConfig config;
-    config.trace = options_.trace;
-    config.eps = options_.eps;
-    config.space_headroom = options_.space_headroom;
-    config.threads = options_.threads;
-    config.cluster = options_.cluster;
-    config.faults = options_.faults;
-    config.recovery = options_.recovery;
+    auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
     auto result = lowdeg::lowdeg_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "lowdeg";
@@ -198,21 +238,20 @@ MisSolution Solver::mis(const graph::Graph& g) const {
     solution.report.metrics = result.metrics;
     solution.report.recovery = result.recovery;
   } else {
-    mis::DetMisConfig config;
-    config.trace = options_.trace;
-    config.eps = options_.eps;
-    config.space_headroom = options_.space_headroom;
-    config.threads = options_.threads;
-    config.cluster = options_.cluster;
-    config.faults = options_.faults;
-    config.recovery = options_.recovery;
+    auto config = pipeline_config<mis::DetMisConfig>(options_);
     auto result = mis::det_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "sparsification";
     solution.report.iterations = result.iterations;
     solution.report.metrics = result.metrics;
     solution.report.recovery = result.recovery;
+    fill_audit(&solution.report.sparsify, result.reports,
+               mis::params_for(config, g.num_nodes()).degree_cap(),
+               [](const mis::MisIterationReport& r) {
+                 return r.qprime_max_degree;
+               });
   }
+  finalize_mis_certificate(g, &solution);
   return solution;
 }
 
@@ -223,14 +262,7 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
       options_.algorithm == Algorithm::kLowDegree ||
       (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
   if (lowdeg) {
-    lowdeg::LowDegConfig config;
-    config.trace = options_.trace;
-    config.eps = options_.eps;
-    config.space_headroom = options_.space_headroom;
-    config.threads = options_.threads;
-    config.cluster = options_.cluster;
-    config.faults = options_.faults;
-    config.recovery = options_.recovery;
+    auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
     auto result = lowdeg::lowdeg_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "lowdeg";
@@ -238,22 +270,152 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
     solution.report.metrics = result.line_mis.metrics;
     solution.report.recovery = result.line_mis.recovery;
   } else {
-    matching::DetMatchingConfig config;
-    config.trace = options_.trace;
-    config.eps = options_.eps;
-    config.space_headroom = options_.space_headroom;
-    config.threads = options_.threads;
-    config.cluster = options_.cluster;
-    config.faults = options_.faults;
-    config.recovery = options_.recovery;
+    auto config = pipeline_config<matching::DetMatchingConfig>(options_);
     auto result = matching::det_maximal_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "sparsification";
     solution.report.iterations = result.iterations;
     solution.report.metrics = result.metrics;
     solution.report.recovery = result.recovery;
+    fill_audit(&solution.report.sparsify, result.reports,
+               matching::params_for(config, g.num_nodes()).degree_cap(),
+               [](const matching::IterationReport& r) {
+                 return r.estar_max_degree;
+               });
   }
+  finalize_matching_certificate(g, &solution);
   return solution;
+}
+
+const verify::Certificate& Solver::certificate() const {
+  return last_certificate_;
+}
+
+verify::Certificate Solver::certify_common(
+    const graph::Graph& g, const SolveReport& report,
+    std::vector<verify::ClaimResult> answer_claims,
+    const std::function<bool(std::uint64_t*, std::uint64_t*,
+                             std::string*)>& replay) const {
+  verify::Certificate certificate;
+  certificate.mode = options_.certify;
+  certificate.claims = std::move(answer_claims);
+
+  const verify::Certifier certifier(make_executor());
+  certificate.claims.push_back(certifier.check_space_accounting(
+      report.metrics, cluster_config(g.num_nodes(), g.num_edges()).machine_space));
+
+  if (options_.certify == verify::CertifyMode::kFull) {
+    certificate.claims.push_back(
+        certifier.check_sparsifier_degree_cap(report.sparsify));
+    certificate.claims.push_back(
+        certifier.check_sparsifier_invariants(report.sparsify));
+    certificate.claims.push_back(
+        certifier.check_metrics_consistency(report.metrics));
+    // Replay identity runs unconditionally in full mode: under a fault plan
+    // it checks the recovery contract (faulted == fault-free, bytewise);
+    // without one it re-derives the answer and checks reproducibility. The
+    // resulting claim bytes are identical either way, so certified report
+    // JSON stays comparable across fault axes (modulo the recovery block).
+    std::uint64_t compared = 0, diff_index = 0;
+    std::string detail;
+    const bool identical = replay(&compared, &diff_index, &detail);
+    certificate.claims.push_back(verify::Certifier::replay_claim(
+        identical, compared, diff_index, detail));
+  }
+  return certificate;
+}
+
+void Solver::record_certificate(verify::Certificate certificate,
+                                SolveReport* report) const {
+  // Certification happens after the pipeline (and its cluster) are gone; a
+  // still-attached session would snapshot freed Metrics, so detach before
+  // opening the verify span. The span comes strictly after every pipeline
+  // span: a certify=off trace is a byte-prefix of the certify=on trace.
+  if (obs::enabled(options_.trace)) {
+    options_.trace->attach_metrics(nullptr);
+    obs::Span span(options_.trace, "verify/certify");
+    span.arg("mode", std::string(verify::certify_mode_name(certificate.mode)));
+    span.arg("claims", static_cast<std::uint64_t>(certificate.claims.size()));
+    span.arg("failures", certificate.failures());
+  }
+  report->certificate = certificate;
+  last_certificate_ = std::move(certificate);
+  if (!last_certificate_.ok()) {
+    throw verify::CertificationError(last_certificate_);
+  }
+}
+
+void Solver::finalize_mis_certificate(const graph::Graph& g,
+                                      MisSolution* solution) const {
+  if (options_.certify == verify::CertifyMode::kOff) {
+    last_certificate_ = verify::Certificate{};
+    return;
+  }
+  const verify::Certifier certifier(make_executor());
+  std::vector<verify::ClaimResult> claims;
+  claims.push_back(certifier.check_mis_independence(g, solution->in_set));
+  claims.push_back(certifier.check_mis_maximality(g, solution->in_set));
+  auto replay = [&](std::uint64_t* compared, std::uint64_t* diff_index,
+                    std::string* detail) {
+    SolveOptions replay_options = options_;
+    replay_options.faults = mpc::FaultPlan{};
+    replay_options.trace = nullptr;
+    replay_options.certify = verify::CertifyMode::kOff;
+    const MisSolution clean = Solver(replay_options).mis(g);
+    *compared = solution->in_set.size();
+    for (std::uint64_t i = 0; i < solution->in_set.size(); ++i) {
+      if (solution->in_set[i] != clean.in_set[i]) {
+        *diff_index = i;
+        *detail = "fault-free replay disagrees on node " +
+                  std::to_string(i);
+        return false;
+      }
+    }
+    return true;
+  };
+  record_certificate(
+      certify_common(g, solution->report, std::move(claims), replay),
+      &solution->report);
+}
+
+void Solver::finalize_matching_certificate(const graph::Graph& g,
+                                           MatchingSolution* solution) const {
+  if (options_.certify == verify::CertifyMode::kOff) {
+    last_certificate_ = verify::Certificate{};
+    return;
+  }
+  const verify::Certifier certifier(make_executor());
+  std::vector<verify::ClaimResult> claims;
+  claims.push_back(certifier.check_matching_validity(g, solution->matching));
+  claims.push_back(certifier.check_matching_maximality(g, solution->matching));
+  auto replay = [&](std::uint64_t* compared, std::uint64_t* diff_index,
+                    std::string* detail) {
+    SolveOptions replay_options = options_;
+    replay_options.faults = mpc::FaultPlan{};
+    replay_options.trace = nullptr;
+    replay_options.certify = verify::CertifyMode::kOff;
+    const MatchingSolution clean = Solver(replay_options).maximal_matching(g);
+    *compared = solution->matching.size();
+    if (solution->matching.size() != clean.matching.size()) {
+      *diff_index = std::min(solution->matching.size(), clean.matching.size());
+      *detail = "run matched " + std::to_string(solution->matching.size()) +
+                " edges, fault-free replay matched " +
+                std::to_string(clean.matching.size());
+      return false;
+    }
+    for (std::uint64_t i = 0; i < solution->matching.size(); ++i) {
+      if (solution->matching[i] != clean.matching[i]) {
+        *diff_index = i;
+        *detail = "fault-free replay disagrees at matching slot " +
+                  std::to_string(i);
+        return false;
+      }
+    }
+    return true;
+  };
+  record_certificate(
+      certify_common(g, solution->report, std::move(claims), replay),
+      &solution->report);
 }
 
 }  // namespace dmpc

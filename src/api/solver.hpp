@@ -17,11 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "api/solve.hpp"
 #include "api/status.hpp"
 #include "exec/parallel.hpp"
 #include "graph/graph.hpp"
+#include "verify/certificate.hpp"
 
 namespace dmpc {
 
@@ -86,16 +90,44 @@ class Solver {
   mpc::ClusterConfig cluster_config(std::uint64_t n, std::uint64_t m) const;
 
   /// The typed, versioned report for a finished solve (schema_version,
-  /// algorithm, metrics, recovery ledger).
+  /// algorithm, metrics, recovery ledger, certificate).
   Report report(const SolveReport& solve_report) const;
 
   /// Thin wrapper: to_json(report(solve_report)).dump().
   std::string report_json(const SolveReport& solve_report) const;
 
+  /// The certificate of the most recent solve on this Solver instance
+  /// (empty when certify == kOff or before the first solve). Also embedded
+  /// in the SolveReport of the answer it certifies. Like the solve entry
+  /// points themselves, not synchronized: concurrent solves on one Solver
+  /// instance race on this slot.
+  const verify::Certificate& certificate() const;
+
  private:
   void require_valid() const;
 
+  /// Run the shared claim set (space accounting + full-mode pipeline claims
+  /// + replay identity) and append to `answer_claims`.
+  verify::Certificate certify_common(
+      const graph::Graph& g, const SolveReport& report,
+      std::vector<verify::ClaimResult> answer_claims,
+      const std::function<bool(std::uint64_t*, std::uint64_t*, std::string*)>&
+          replay) const;
+
+  /// Emit the verify/certify span, embed the certificate in the report,
+  /// remember it, and throw CertificationError if any claim failed.
+  void record_certificate(verify::Certificate certificate,
+                          SolveReport* report) const;
+
+  void finalize_mis_certificate(const graph::Graph& g,
+                                MisSolution* solution) const;
+  void finalize_matching_certificate(const graph::Graph& g,
+                                     MatchingSolution* solution) const;
+
   SolveOptions options_;
+  /// The last solve's certificate (see certificate()). Mutable: solves are
+  /// logically const — the certificate is an output slot, not solver state.
+  mutable verify::Certificate last_certificate_;
 };
 
 }  // namespace dmpc

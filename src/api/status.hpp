@@ -28,6 +28,7 @@ enum class StatusCode {
   kInvalidFaultPlan,     ///< structurally malformed fault schedule.
   kInvalidRetryBudget,   ///< max_retries/backoff_rounds out of range.
   kUnrecoverableFault,   ///< plan provably exceeds the recovery policy.
+  kInvalidCertifyMode,   ///< unknown certify mode name (CLI parsing).
 };
 
 /// Short stable name for a code ("invalid_eps", ...), for logs and tests.

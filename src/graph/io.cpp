@@ -1,45 +1,154 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <istream>
+#include <ostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/parse_error.hpp"
 
 namespace dmpc::graph {
+namespace {
 
-Graph read_edge_list(std::istream& in) {
+using parse::clip;
+using parse::require_u64;
+using parse::Token;
+using parse::tokenize;
+
+std::string errno_detail() {
+  const int err = errno;
+  return err != 0 ? std::strerror(err) : "unknown error";
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, const EdgeListLimits& limits) {
   std::string line;
+  std::uint64_t line_no = 0;
   bool header_seen = false;
   NodeId n = 0;
+  std::uint64_t declared_m = 0;
+  std::uint64_t data_lines = 0;
   std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> seen;
   while (std::getline(in, line)) {
+    ++line_no;
+    if (line.size() > limits.max_line_bytes) {
+      throw ParseError(ParseErrorCode::kLimitExceeded,
+                       "line exceeds " + std::to_string(limits.max_line_bytes) +
+                           " byte limit",
+                       line_no);
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::uint64_t a = 0, b = 0;
-    if (!(ls >> a)) continue;  // blank/comment line
-    DMPC_CHECK_MSG(static_cast<bool>(ls >> b), "malformed edge list line");
+    const std::vector<Token> toks = tokenize(line);
+    if (toks.empty()) continue;  // blank/comment line
+    if (toks.size() != 2) {
+      throw ParseError(
+          ParseErrorCode::kMalformedLine,
+          "expected exactly two tokens, found " + std::to_string(toks.size()),
+          line_no, toks.size() > 2 ? toks[2].column : toks[0].column,
+          clip(toks.size() > 2 ? toks[2].text : toks[0].text));
+    }
+    const std::uint64_t a = require_u64(toks[0], line_no);
+    const std::uint64_t b = require_u64(toks[1], line_no);
     if (!header_seen) {
       header_seen = true;
       // First data line is the "n m" header.
-      DMPC_CHECK_MSG(a > 0 && a < kNoNode, "bad node count in header");
+      if (a == 0 || a >= kNoNode) {
+        throw ParseError(ParseErrorCode::kBadHeader,
+                         "node count must be in [1, 2^32 - 2]", line_no,
+                         toks[0].column, clip(toks[0].text));
+      }
+      if (a > limits.max_nodes) {
+        throw ParseError(ParseErrorCode::kLimitExceeded,
+                         "declared node count exceeds cap of " +
+                             std::to_string(limits.max_nodes),
+                         line_no, toks[0].column, clip(toks[0].text));
+      }
+      if (b > limits.max_edges) {
+        throw ParseError(ParseErrorCode::kLimitExceeded,
+                         "declared edge count exceeds cap of " +
+                             std::to_string(limits.max_edges),
+                         line_no, toks[1].column, clip(toks[1].text));
+      }
       n = static_cast<NodeId>(a);
-      edges.reserve(b);
+      declared_m = b;
+      // Reserve only a bounded prefix: allocation must track bytes actually
+      // read, never an adversarial header.
+      edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(declared_m, 1ull << 20)));
       continue;
     }
-    DMPC_CHECK_MSG(a < n && b < n, "edge endpoint out of declared range");
+    ++data_lines;
+    if (data_lines > limits.max_edges) {
+      throw ParseError(
+          ParseErrorCode::kLimitExceeded,
+          "edge count exceeds cap of " + std::to_string(limits.max_edges),
+          line_no);
+    }
+    if (a >= n) {
+      throw ParseError(ParseErrorCode::kOutOfRange,
+                       "edge endpoint out of declared range [0, " +
+                           std::to_string(n) + ")",
+                       line_no, toks[0].column, clip(toks[0].text));
+    }
+    if (b >= n) {
+      throw ParseError(ParseErrorCode::kOutOfRange,
+                       "edge endpoint out of declared range [0, " +
+                           std::to_string(n) + ")",
+                       line_no, toks[1].column, clip(toks[1].text));
+    }
+    if (a == b) {
+      if (limits.duplicates == DuplicatePolicy::kDedupe) continue;
+      throw ParseError(ParseErrorCode::kSelfLoop, "self-loop edge", line_no,
+                       toks[0].column, clip(toks[0].text));
+    }
+    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    if (!seen.insert((lo << 32) | hi).second) {
+      if (limits.duplicates == DuplicatePolicy::kDedupe) continue;
+      throw ParseError(ParseErrorCode::kDuplicateEdge,
+                       "duplicate edge {" + std::to_string(lo) + ", " +
+                           std::to_string(hi) + "}",
+                       line_no, toks[0].column);
+    }
     edges.push_back({static_cast<NodeId>(a), static_cast<NodeId>(b)});
   }
-  DMPC_CHECK_MSG(header_seen, "empty edge list input");
+  if (in.bad()) {
+    throw ParseError(ParseErrorCode::kIoError,
+                     "read failure: " + errno_detail(), line_no);
+  }
+  if (!header_seen) {
+    throw ParseError(ParseErrorCode::kBadHeader, "empty edge list input");
+  }
+  if (limits.check_edge_count && data_lines != declared_m) {
+    throw ParseError(ParseErrorCode::kCountMismatch,
+                     "header declares " + std::to_string(declared_m) +
+                         " edges but input contains " +
+                         std::to_string(data_lines),
+                     line_no);
+  }
   return Graph::from_edges(n, std::move(edges));
 }
 
-Graph read_edge_list_file(const std::string& path) {
+Graph read_edge_list_file(const std::string& path,
+                          const EdgeListLimits& limits) {
+  errno = 0;
   std::ifstream in(path);
-  DMPC_CHECK_MSG(in.good(), "cannot open " + path);
-  return read_edge_list(in);
+  if (!in.good()) {
+    throw ParseError(ParseErrorCode::kIoError,
+                     "cannot open '" + path + "' for reading: " +
+                         errno_detail());
+  }
+  return read_edge_list(in, limits);
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
@@ -48,9 +157,19 @@ void write_edge_list(const Graph& g, std::ostream& out) {
 }
 
 void write_edge_list_file(const Graph& g, const std::string& path) {
+  errno = 0;
   std::ofstream out(path);
-  DMPC_CHECK_MSG(out.good(), "cannot open " + path);
+  if (!out.good()) {
+    throw ParseError(ParseErrorCode::kIoError,
+                     "cannot open '" + path + "' for writing: " +
+                         errno_detail());
+  }
   write_edge_list(g, out);
+  out.flush();
+  if (!out.good()) {
+    throw ParseError(ParseErrorCode::kIoError,
+                     "write failure on '" + path + "': " + errno_detail());
+  }
 }
 
 }  // namespace dmpc::graph

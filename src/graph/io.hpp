@@ -1,7 +1,17 @@
-// Plain-text edge-list IO ("u v" per line, '#' comments, first data line may
-// be "n m" header; ids must be < n).
+// Plain-text edge-list IO ("u v" per line, '#' comments, first data line is
+// the "n m" header; ids must be < n).
+//
+// The reader is a hardened untrusted-input boundary: malformed input of any
+// kind — truncated lines, non-numeric or overflowing tokens, an adversarial
+// header declaring 2^63 edges, out-of-range endpoints, self-loops, duplicate
+// edges, oversized lines — is reported as a typed, recoverable
+// dmpc::ParseError (code + line/column + offending token), never a
+// DMPC_CHECK assertion and never an unbounded allocation. Hard caps on
+// n / m / line length are configurable via EdgeListLimits; allocation is
+// always bounded by the bytes actually read, not by what the header claims.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -9,8 +19,40 @@
 
 namespace dmpc::graph {
 
-Graph read_edge_list(std::istream& in);
-Graph read_edge_list_file(const std::string& path);
+/// What to do with duplicate edges (and self-loops) in the input.
+enum class DuplicatePolicy : std::uint8_t {
+  kReject,  ///< Typed ParseError naming the first duplicate / self-loop.
+  kDedupe,  ///< Silently keep the first occurrence, drop the rest.
+};
+
+/// Hard caps on untrusted edge-list input. Inputs exceeding a cap are
+/// rejected with ParseErrorCode::kLimitExceeded before any allocation sized
+/// by the offending value happens.
+struct EdgeListLimits {
+  /// Maximum accepted node count (header n). The graph's adjacency arrays
+  /// are sized by n, so the default caps a 12-byte adversarial header at a
+  /// ~2 GiB allocation rather than the full NodeId range (~34 GiB); raise
+  /// it explicitly for genuinely larger inputs.
+  std::uint64_t max_nodes = 1ull << 28;
+  /// Maximum accepted edge count (header m and actual data lines).
+  std::uint64_t max_edges = 1ull << 33;
+  /// Maximum accepted line length in bytes.
+  std::uint64_t max_line_bytes = 1ull << 20;
+  DuplicatePolicy duplicates = DuplicatePolicy::kReject;
+  /// Require the declared header m to equal the number of data lines.
+  bool check_edge_count = true;
+};
+
+/// Read an edge list. Throws dmpc::ParseError (derives CheckFailure) on any
+/// malformed input; never aborts, never allocates proportionally to an
+/// adversarial header.
+Graph read_edge_list(std::istream& in, const EdgeListLimits& limits = {});
+
+/// Read from a file. Open and read failures carry errno context
+/// (std::strerror) and are distinguished from parse failures by
+/// ParseErrorCode::kIoError.
+Graph read_edge_list_file(const std::string& path,
+                          const EdgeListLimits& limits = {});
 
 void write_edge_list(const Graph& g, std::ostream& out);
 void write_edge_list_file(const Graph& g, const std::string& path);

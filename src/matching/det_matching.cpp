@@ -224,6 +224,14 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
     }();
     report.sparsify_stages = sparse.stages.size();
     report.estar_max_degree = sparse.max_degree;
+    for (const sparsify::StageReport& s : sparse.stages) {
+      report.invariant_degree_ratio =
+          std::max(report.invariant_degree_ratio, s.invariant_degree_ratio);
+      report.invariant_xv_ratio =
+          std::min(report.invariant_xv_ratio, s.invariant_xv_ratio);
+      report.window_multiplier =
+          std::max(report.window_multiplier, s.window_multiplier);
+    }
 
     // 3. Gather 2-hop neighborhoods of B-nodes in E* (space check, §3.3).
     cluster.mark_phase("matching/phase/gather", phase_words);

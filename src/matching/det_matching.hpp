@@ -93,6 +93,14 @@ struct IterationReport {
   std::uint64_t selection_trials = 0;
   std::uint64_t sparsify_stages = 0;
   std::uint32_t estar_max_degree = 0;
+  /// Worst measured §3.2 invariant (i) ratio across this iteration's stages
+  /// (max of StageReport::invariant_degree_ratio; 0 when no stages ran).
+  double invariant_degree_ratio = 0.0;
+  /// Worst measured invariant (ii) ratio (min of
+  /// StageReport::invariant_xv_ratio; 2.0 sentinel when unmeasured).
+  double invariant_xv_ratio = 2.0;
+  /// Largest window escalation any stage needed (0 when no stages ran).
+  double window_multiplier = 0.0;
 };
 
 struct DetMatchingResult {

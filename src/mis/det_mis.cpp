@@ -232,6 +232,14 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
     }();
     report.sparsify_stages = sparse.stages.size();
     report.qprime_max_degree = sparse.max_q_degree;
+    for (const sparsify::StageReport& s : sparse.stages) {
+      report.invariant_degree_ratio =
+          std::max(report.invariant_degree_ratio, s.invariant_degree_ratio);
+      report.invariant_xv_ratio =
+          std::min(report.invariant_xv_ratio, s.invariant_xv_ratio);
+      report.window_multiplier =
+          std::max(report.window_multiplier, s.window_multiplier);
+    }
 
     // 4. Build Q' structures and the N_v windows; charge the gather.
     // (optional so the span can close before the derand phase opens while

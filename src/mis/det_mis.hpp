@@ -69,6 +69,11 @@ struct MisIterationReport {
   std::uint64_t selection_trials = 0;
   std::uint64_t sparsify_stages = 0;
   std::uint32_t qprime_max_degree = 0;
+  /// Worst measured §4.2 invariant ratios across this iteration's stages
+  /// (see matching::IterationReport for the conventions).
+  double invariant_degree_ratio = 0.0;
+  double invariant_xv_ratio = 2.0;
+  double window_multiplier = 0.0;
 };
 
 struct DetMisResult {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/parse_error.hpp"
+
 namespace dmpc::mpc {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -74,54 +76,47 @@ bool parse_kind(const std::string& token, FaultKind* kind) {
   return true;
 }
 
-bool parse_u64(const std::string& text, std::uint64_t* value) {
-  if (text.empty()) return false;
-  std::uint64_t out = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') return false;
-    out = out * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  *value = out;
-  return true;
-}
-
 }  // namespace
 
-FaultPlan FaultPlan::parse(const std::string& text, std::string* error) {
+FaultPlan FaultPlan::parse(const std::string& text) {
   FaultPlan plan;
   std::istringstream lines(text);
   std::string line;
   std::uint64_t line_no = 0;
-  const auto fail = [&](const std::string& what) {
-    if (error != nullptr) {
-      *error = "line " + std::to_string(line_no) + ": " + what;
-    }
-    return FaultPlan{};
-  };
   while (std::getline(lines, line)) {
     ++line_no;
+    if (line.size() > kMaxLineBytes) {
+      throw ParseError(ParseErrorCode::kLimitExceeded,
+                       "line exceeds " + std::to_string(kMaxLineBytes) +
+                           " byte limit",
+                       line_no);
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.resize(hash);
     }
-    std::istringstream tokens(line);
-    std::string kind_token;
-    if (!(tokens >> kind_token)) continue;  // blank / comment-only line
+    const std::vector<parse::Token> toks = parse::tokenize(line);
+    if (toks.empty()) continue;  // blank / comment-only line
     FaultEvent event;
-    if (!parse_kind(kind_token, &event.kind)) {
-      return fail("unknown fault kind '" + kind_token +
-                  "' (expected crash|drop|duplicate|straggler)");
+    if (!parse_kind(toks[0].text, &event.kind)) {
+      throw ParseError(ParseErrorCode::kBadToken,
+                       "unknown fault kind "
+                       "(expected crash|drop|duplicate|straggler)",
+                       line_no, toks[0].column, parse::clip(toks[0].text));
     }
-    std::string pair;
-    while (tokens >> pair) {
-      const auto eq = pair.find('=');
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const parse::Token& tok = toks[i];
+      const auto eq = tok.text.find('=');
       if (eq == std::string::npos) {
-        return fail("expected key=value, got '" + pair + "'");
+        throw ParseError(ParseErrorCode::kMalformedLine,
+                         "expected key=value", line_no, tok.column,
+                         parse::clip(tok.text));
       }
-      const std::string key = pair.substr(0, eq);
-      std::uint64_t value = 0;
-      if (!parse_u64(pair.substr(eq + 1), &value)) {
-        return fail("non-numeric value in '" + pair + "'");
-      }
+      const std::string key = tok.text.substr(0, eq);
+      // Locate the value token precisely: its column is just past the '='.
+      const parse::Token value_tok{tok.text.substr(eq + 1),
+                                   tok.column + eq + 1};
+      const std::uint64_t value = parse::require_u64(value_tok, line_no);
       if (key == "round") {
         event.round = value;
       } else if (key == "machine") {
@@ -131,20 +126,44 @@ FaultPlan FaultPlan::parse(const std::string& text, std::string* error) {
       } else if (key == "delay") {
         event.delay = value;
       } else if (key == "attempts") {
+        if (value > RecoveryOptions::kMaxRetries + 1ull) {
+          throw ParseError(ParseErrorCode::kOutOfRange,
+                           "attempts exceeds retry cap of " +
+                               std::to_string(RecoveryOptions::kMaxRetries),
+                           line_no, value_tok.column,
+                           parse::clip(value_tok.text));
+        }
         event.attempts = static_cast<std::uint32_t>(value);
       } else {
-        return fail("unknown key '" + key +
-                    "' (expected round|machine|message|delay|attempts)");
+        throw ParseError(ParseErrorCode::kBadToken,
+                         "unknown key "
+                         "(expected round|machine|message|delay|attempts)",
+                         line_no, tok.column, parse::clip(key));
       }
+    }
+    if (plan.events().size() >= kMaxEvents) {
+      throw ParseError(ParseErrorCode::kLimitExceeded,
+                       "plan exceeds " + std::to_string(kMaxEvents) +
+                           " event limit",
+                       line_no);
     }
     plan.add(event);
   }
   if (const std::string problem = plan.check(); !problem.empty()) {
-    if (error != nullptr) *error = problem;
+    throw ParseError(ParseErrorCode::kOutOfRange, problem);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, std::string* error) {
+  try {
+    const FaultPlan plan = parse(text);
+    if (error != nullptr) error->clear();
+    return plan;
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error = e.what();
     return FaultPlan{};
   }
-  if (error != nullptr) error->clear();
-  return plan;
 }
 
 std::string FaultPlan::to_string() const {

@@ -78,10 +78,19 @@ class FaultPlan {
   /// kInvalidFaultPlan).
   std::string check() const;
 
+  /// Hard caps on untrusted plan text (ParseErrorCode::kLimitExceeded).
+  static constexpr std::uint64_t kMaxEvents = 1ull << 20;
+  static constexpr std::uint64_t kMaxLineBytes = 1ull << 16;
+
   /// Parse the text format. Lines are
   ///   <crash|drop|duplicate|straggler> key=value ...
   /// with keys round, machine, message, delay, attempts; '#' starts a
-  /// comment. On failure returns an empty plan and sets *error.
+  /// comment. Throws dmpc::ParseError (typed code + line/column + offending
+  /// token) on malformed or oversized input.
+  static FaultPlan parse(const std::string& text);
+
+  /// Legacy non-throwing wrapper: on failure returns an empty plan and sets
+  /// *error to the ParseError message.
   static FaultPlan parse(const std::string& text, std::string* error);
 
   /// Inverse of parse (stable one-line-per-event encoding).

@@ -1,0 +1,113 @@
+#include "verify/certificate.hpp"
+
+#include <algorithm>
+
+namespace dmpc::verify {
+
+const char* certify_mode_name(CertifyMode mode) {
+  switch (mode) {
+    case CertifyMode::kOff:
+      return "off";
+    case CertifyMode::kAnswer:
+      return "answer";
+    case CertifyMode::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+const char* claim_name(Claim claim) {
+  switch (claim) {
+    case Claim::kMisIndependence:
+      return "mis_independence";
+    case Claim::kMisMaximality:
+      return "mis_maximality";
+    case Claim::kMatchingValidity:
+      return "matching_validity";
+    case Claim::kMatchingMaximality:
+      return "matching_maximality";
+    case Claim::kProperColoring:
+      return "proper_coloring";
+    case Claim::kDistance2Coloring:
+      return "distance2_coloring";
+    case Claim::kSparsifierDegreeCap:
+      return "sparsifier_degree_cap";
+    case Claim::kSparsifierInvariants:
+      return "sparsifier_invariants";
+    case Claim::kSpaceAccounting:
+      return "space_accounting";
+    case Claim::kMetricsConsistency:
+      return "metrics_consistency";
+    case Claim::kReplayIdentity:
+      return "replay_identity";
+  }
+  return "unknown";
+}
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kPass:
+      return "pass";
+    case Verdict::kFail:
+      return "fail";
+    case Verdict::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+bool Certificate::ok() const { return failures() == 0; }
+
+std::uint64_t Certificate::failures() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(claims.begin(), claims.end(), [](const ClaimResult& c) {
+        return c.verdict == Verdict::kFail;
+      }));
+}
+
+const ClaimResult* Certificate::first_failure() const {
+  for (const ClaimResult& c : claims) {
+    if (c.verdict == Verdict::kFail) return &c;
+  }
+  return nullptr;
+}
+
+std::string Certificate::summary() const {
+  if (const ClaimResult* failure = first_failure(); failure != nullptr) {
+    std::string out = "certificate FAILED (";
+    out += std::to_string(failures());
+    out += " of ";
+    out += std::to_string(claims.size());
+    out += " claims): ";
+    out += claim_name(failure->claim);
+    if (failure->has_witness && !failure->witness.detail.empty()) {
+      out += ": " + failure->witness.detail;
+    }
+    return out;
+  }
+  std::uint64_t passed = 0, skipped = 0;
+  for (const ClaimResult& c : claims) {
+    if (c.verdict == Verdict::kPass) ++passed;
+    if (c.verdict == Verdict::kSkipped) ++skipped;
+  }
+  std::string out = "certificate ok: ";
+  out += std::to_string(claims.size());
+  out += " claims (";
+  out += std::to_string(passed);
+  out += " passed, ";
+  out += std::to_string(skipped);
+  out += " skipped)";
+  return out;
+}
+
+void SparsifyAudit::absorb_stage(double degree_ratio, double xv_ratio,
+                                 double window_multiplier,
+                                 std::uint32_t stage_max_degree) {
+  ++stages;
+  worst_degree_ratio = std::max(worst_degree_ratio, degree_ratio);
+  worst_xv_ratio = std::min(worst_xv_ratio, xv_ratio);
+  max_window_multiplier = std::max(max_window_multiplier, window_multiplier);
+  max_degree = std::max(max_degree, stage_max_degree);
+}
+
+}  // namespace dmpc::verify

@@ -1,0 +1,144 @@
+// Typed certificates for solver answers.
+//
+// The theorems under reproduction (Theorems 7/14, Corollaries 8/15/16, the
+// §3.2/§4.2 sparsification invariants) are proved properties, but a
+// production solve should not ask the caller to trust the proof transcript:
+// in checked mode every answer carries a machine-checkable Certificate — a
+// list of per-claim verdicts, each backed by a concrete witness when it
+// fails (the violating node/edge/iteration and the measured-vs-bound
+// values). A failed certificate surfaces as a typed CertificationError,
+// never a silent bad answer.
+//
+// This layer depends only on graph/exec/mpc-metrics/support; the api layer
+// consumes it (SolveOptions::certify, report JSON schema v3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmpc::verify {
+
+/// How much certification a solve runs (SolveOptions::certify).
+enum class CertifyMode : std::uint8_t {
+  kOff,     ///< No certification (zero cost).
+  kAnswer,  ///< Certify the answer itself + space accounting.
+  kFull,    ///< kAnswer + sparsifier invariants, metrics consistency, and
+            ///< replay identity under an active fault plan.
+};
+
+const char* certify_mode_name(CertifyMode mode);
+
+/// Every property a Certificate can speak to. Stable names via claim_name().
+enum class Claim : std::uint8_t {
+  kMisIndependence = 1,   ///< No two set members adjacent.
+  kMisMaximality,         ///< Every non-member has a member neighbor.
+  kMatchingValidity,      ///< No two matching edges share an endpoint.
+  kMatchingMaximality,    ///< Every edge has a matched endpoint.
+  kProperColoring,        ///< Adjacent nodes differ.
+  kDistance2Coloring,     ///< Nodes at distance <= 2 differ (§5.1).
+  kSparsifierDegreeCap,   ///< Max sparsified degree <= 2 n^{4 delta}.
+  kSparsifierInvariants,  ///< §3.2/§4.2 measured ratios within bounds.
+  kSpaceAccounting,       ///< peak_load <= machine_space.
+  kMetricsConsistency,    ///< Per-label charges consistent with totals.
+  kReplayIdentity,        ///< Faulted run == fault-free replay, bytewise.
+};
+
+const char* claim_name(Claim claim);
+
+enum class Verdict : std::uint8_t {
+  kPass,
+  kFail,
+  kSkipped,  ///< Claim not applicable to this run (recorded, not checked).
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// The concrete counterexample behind a kFail verdict: which object violates
+/// the claim and the measured-vs-bound values, so a failure is actionable
+/// without re-running anything.
+struct Witness {
+  /// What `index` refers to: "node", "edge", "iteration", "label", "round".
+  std::string kind;
+  std::uint64_t index = 0;
+  /// Endpoints when the witness is an edge (canonical u < v); for a node
+  /// witness, u is the node and v its offending neighbor.
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  double measured = 0.0;  ///< The violating quantity.
+  double bound = 0.0;     ///< The bound it violates.
+  std::string detail;     ///< One-line human description.
+};
+
+struct ClaimResult {
+  Claim claim = Claim::kMisIndependence;
+  Verdict verdict = Verdict::kSkipped;
+  std::uint64_t checked = 0;  ///< Objects examined (0 when skipped).
+  bool has_witness = false;   ///< True iff verdict == kFail.
+  Witness witness;
+};
+
+/// Version of the serialized certificate block inside report JSON.
+inline constexpr std::uint32_t kCertificateSchemaVersion = 1;
+
+/// The outcome of certifying one solve: per-claim verdicts in a fixed
+/// claim-enum order (deterministic across runs and thread counts).
+struct Certificate {
+  CertifyMode mode = CertifyMode::kOff;
+  std::vector<ClaimResult> claims;
+
+  bool empty() const { return claims.empty(); }
+
+  /// True when no claim failed (skipped claims do not fail a certificate).
+  bool ok() const;
+
+  std::uint64_t failures() const;
+
+  /// The first failing claim, or nullptr when ok().
+  const ClaimResult* first_failure() const;
+
+  /// One line: "certificate ok: 5 claims (4 passed, 1 skipped)" or
+  /// "certificate FAILED: <claim>: <witness detail>".
+  std::string summary() const;
+};
+
+/// Aggregated sparsification evidence for one solve: worst-case stage
+/// measurements across all outer iterations, checked by the Certifier
+/// against the §3.2/§4.2 bounds in full mode.
+struct SparsifyAudit {
+  std::uint64_t iterations = 0;  ///< Outer iterations aggregated.
+  std::uint64_t stages = 0;      ///< Total sparsifier stages run.
+  std::uint32_t max_degree = 0;  ///< Max degree inside any E*/Q'.
+  std::uint64_t degree_cap = 0;  ///< The 2 n^{4 delta} cap (0 = not set).
+  /// Max over stages of invariant (i): d_Ej(v) / (n^{-j delta} d_E0(v) +
+  /// n^{3 delta}).
+  double worst_degree_ratio = 0.0;
+  /// Min over stages of invariant (ii): |X(v) ∩ E_j| / (n^{-j delta}
+  /// |X(v)|). 2.0 is the "nothing measurable" sentinel.
+  double worst_xv_ratio = 2.0;
+  double max_window_multiplier = 0.0;
+
+  /// Fold one iteration's stage measurements into the aggregate.
+  void absorb_stage(double degree_ratio, double xv_ratio,
+                    double window_multiplier, std::uint32_t stage_max_degree);
+};
+
+/// A certificate with at least one failing claim, thrown by checked-mode
+/// solves (and Certifier::require). Derives from CheckFailure so existing
+/// catch sites keep working; the full certificate rides along so callers
+/// can serialize the witness.
+class CertificationError : public CheckFailure {
+ public:
+  explicit CertificationError(Certificate certificate)
+      : CheckFailure(certificate.summary()),
+        certificate_(std::move(certificate)) {}
+
+  const Certificate& certificate() const { return certificate_; }
+
+ private:
+  Certificate certificate_;
+};
+
+}  // namespace dmpc::verify

@@ -205,5 +205,106 @@ TEST(Solver, ThreadedSolveMatchesSerial) {
   EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
 }
 
+TEST(SolverCertify, OffLeavesCertificateEmpty) {
+  const Graph g = graph::gnm(256, 4096, 11);
+  const Solver solver(SolveOptions{});
+  const auto solution = solver.mis(g);
+  EXPECT_EQ(solution.report.certificate.mode, verify::CertifyMode::kOff);
+  EXPECT_TRUE(solution.report.certificate.empty());
+  EXPECT_TRUE(solver.certificate().empty());
+}
+
+TEST(SolverCertify, AnswerModeCertifiesMisAndMatching) {
+  const Graph g = graph::gnm(256, 4096, 11);
+  SolveOptions options;
+  options.certify = verify::CertifyMode::kAnswer;
+  const Solver solver(options);
+
+  const auto mis = solver.mis(g);
+  EXPECT_TRUE(mis.report.certificate.ok());
+  EXPECT_EQ(mis.report.certificate.mode, verify::CertifyMode::kAnswer);
+  // Answer mode: independence + maximality + space accounting.
+  EXPECT_EQ(mis.report.certificate.claims.size(), 3u);
+  EXPECT_EQ(solver.certificate().claims.size(), 3u);
+
+  const auto matching = solver.maximal_matching(g);
+  EXPECT_TRUE(matching.report.certificate.ok());
+  EXPECT_EQ(matching.report.certificate.claims.size(), 3u);
+  EXPECT_EQ(matching.report.certificate.claims[0].claim,
+            verify::Claim::kMatchingValidity);
+}
+
+TEST(SolverCertify, FullModeCertifiesAllClaimsOnBothRegimes) {
+  SolveOptions options;
+  options.certify = verify::CertifyMode::kFull;
+  const Solver solver(options);
+  // Sparsification regime: the audit claims are checked, not skipped.
+  const auto dense = solver.mis(graph::gnm(256, 4096, 12));
+  EXPECT_TRUE(dense.report.certificate.ok());
+  EXPECT_EQ(dense.report.certificate.claims.size(), 7u);
+  for (const auto& claim : dense.report.certificate.claims) {
+    EXPECT_NE(verify::verdict_name(claim.verdict), std::string("fail"));
+  }
+  // Low-degree regime: no sparsifier ran; audit claims are skipped but the
+  // certificate still passes.
+  const auto sparse = solver.mis(graph::random_regular(500, 4, 13));
+  EXPECT_TRUE(sparse.report.certificate.ok());
+  EXPECT_EQ(sparse.report.certificate.claims.size(), 7u);
+}
+
+TEST(SolverCertify, FullModeDoesNotPerturbTheSolve) {
+  const Graph g = graph::gnm(256, 4096, 14);
+  SolveOptions plain;
+  SolveOptions certified;
+  certified.certify = verify::CertifyMode::kFull;
+  const auto a = Solver(plain).mis(g);
+  const auto b = Solver(certified).mis(g);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
+  EXPECT_EQ(a.report.metrics.peak_machine_load(),
+            b.report.metrics.peak_machine_load());
+}
+
+TEST(SolverCertify, CertificateSurvivesJsonRoundTrip) {
+  const Graph g = graph::gnm(256, 4096, 15);
+  SolveOptions options;
+  options.certify = verify::CertifyMode::kFull;
+  const Solver solver(options);
+  const auto solution = solver.mis(g);
+  const std::string json = solver.report_json(solution.report);
+  EXPECT_NE(json.find("\"certificate\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mode\":\"full\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mis_independence\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"replay_identity\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sparsify_audit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+}
+
+TEST(SolverCertify, CertifyUnderFaultsStillPassesAndMatchesFaultFree) {
+  const Graph g = graph::gnm(256, 4096, 16);
+  SolveOptions faulted;
+  faulted.certify = verify::CertifyMode::kFull;
+  faulted.faults.add({mpc::FaultKind::kCrash, /*round=*/2, /*machine=*/0});
+  const Solver solver(faulted);
+  const auto solution = solver.mis(g);
+  EXPECT_TRUE(solution.report.certificate.ok());
+  EXPECT_GT(solution.report.recovery.faults_injected, 0u);
+
+  SolveOptions clean;
+  clean.certify = verify::CertifyMode::kFull;
+  const auto reference = Solver(clean).mis(g);
+  EXPECT_EQ(solution.in_set, reference.in_set);
+  // The certificate claims themselves are identical: the replay-identity
+  // claim runs in both runs precisely so the certified report stays
+  // comparable across fault axes.
+  ASSERT_EQ(solution.report.certificate.claims.size(),
+            reference.report.certificate.claims.size());
+  for (std::size_t i = 0; i < reference.report.certificate.claims.size();
+       ++i) {
+    EXPECT_EQ(solution.report.certificate.claims[i].verdict,
+              reference.report.certificate.claims[i].verdict);
+  }
+}
+
 }  // namespace
 }  // namespace dmpc

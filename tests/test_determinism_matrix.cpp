@@ -182,6 +182,78 @@ TEST(DeterminismMatrix, RandomRegular) {
   expect_matrix_identical(graph::random_regular(500, 4, 12), "random_regular");
 }
 
+// ---- Certify axis ----
+//
+// Checked mode must not perturb determinism: with certify=full, solutions,
+// certified reports, and traces stay byte-identical across thread counts
+// and fault axes, and the certify=off trace is a byte prefix of the
+// certify=full trace (the "verify/certify" span is appended, nothing else
+// moves).
+
+struct CertifiedRun {
+  std::vector<bool> in_set;
+  std::string report_json;  ///< Recovery ledger zeroed, certificate kept.
+  std::string trace;
+};
+
+CertifiedRun run_certified(const Graph& g, std::uint32_t threads,
+                           const mpc::FaultPlan& plan,
+                           verify::CertifyMode mode) {
+  CertifiedRun out;
+  std::ostringstream trace_out;
+  obs::JsonlTraceSink sink(&trace_out, /*include_wall_time=*/false);
+  obs::TraceSession session(&sink);
+  SolveOptions options;
+  options.threads = threads;
+  options.trace = &session;
+  options.faults = plan;
+  options.certify = mode;
+  const auto solution = Solver(options).mis(g);
+  session.finish();
+  out.in_set = solution.in_set;
+  auto comparable = solution.report;
+  comparable.recovery = mpc::RecoveryStats{};
+  out.report_json = to_json(comparable).dump();
+  out.trace = trace_out.str();
+  return out;
+}
+
+TEST(DeterminismMatrix, CertifyAxis) {
+  const Graph g = graph::gnm(400, 3200, 16);
+  mpc::FaultPlan crashes;
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/2, /*machine=*/0});
+
+  const auto reference = run_certified(g, /*threads=*/1, mpc::FaultPlan{},
+                                       verify::CertifyMode::kFull);
+  EXPECT_NE(reference.report_json.find("\"certificate\""), std::string::npos);
+  EXPECT_NE(reference.trace.find("verify/certify"), std::string::npos);
+
+  const std::uint32_t thread_counts[] = {1, 2, 0};
+  const struct {
+    const char* name;
+    const mpc::FaultPlan* plan;
+  } axes[] = {{"none", nullptr}, {"crashes", &crashes}};
+  for (const auto& axis : axes) {
+    for (std::uint32_t threads : thread_counts) {
+      const auto run = run_certified(
+          g, threads, axis.plan != nullptr ? *axis.plan : mpc::FaultPlan{},
+          verify::CertifyMode::kFull);
+      EXPECT_EQ(run.in_set, reference.in_set)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.report_json, reference.report_json)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.trace, reference.trace)
+          << "faults=" << axis.name << " threads=" << threads;
+    }
+  }
+
+  // certify=off produces a byte-prefix of the certify=full trace.
+  const auto off = run_certified(g, /*threads=*/1, mpc::FaultPlan{},
+                                 verify::CertifyMode::kOff);
+  ASSERT_LT(off.trace.size(), reference.trace.size());
+  EXPECT_EQ(reference.trace.compare(0, off.trace.size(), off.trace), 0);
+}
+
 TEST(DeterminismMatrix, PowerLaw) {
   expect_matrix_identical(graph::power_law(400, 1600, 2.5, 13), "power_law");
 }

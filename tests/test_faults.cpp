@@ -457,7 +457,7 @@ TEST(FaultSolverApi, ReportCarriesSchemaVersionAndRecovery) {
   EXPECT_EQ(typed.recovery.retries, solution.report.recovery.retries);
 
   const std::string json = solver.report_json(solution.report);
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"recovery\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"retries_by_label\""), std::string::npos) << json;
 }

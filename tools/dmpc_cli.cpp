@@ -6,8 +6,10 @@
 //                 [--threads=N] [--out=mis.txt] [--trace=trace.json]
 //                 [--trace-format=jsonl|chrome] [--fault-plan=plan.txt]
 //                 [--max-retries=3] [--checkpoint=round|phase|off]
+//                 [--certify=off|answer|full]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...] [--fault-plan=...]
+//                 [--certify=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -15,18 +17,24 @@
 // concurrency); outputs are byte-identical for every value. --fault-plan
 // injects a deterministic fault schedule (docs/FAULTS.md) recovered via
 // checkpoint/replay; solutions are byte-identical to the fault-free run.
+// --certify runs checked mode (docs/ROBUSTNESS.md): the answer is verified
+// before it is reported, a one-line certificate verdict is printed, and a
+// failed certificate exits 3.
 // Invalid options (bad eps, unknown algorithm or trace format, a malformed
-// or unrecoverable fault plan, ...) are reported with their typed status
-// code and exit 2; internal check failures exit 1.
+// input file or fault plan, ...) are reported with their typed status code
+// and exit 2; internal check failures exit 1.
 //
 // Graphs are plain edge lists: "n m" header then "u v" per line.
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include "api/cli_options.hpp"
 #include "api/report_json.hpp"
 #include "api/solver.hpp"
 #include "apps/derand_coloring.hpp"
@@ -38,6 +46,7 @@
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
+#include "support/parse_error.hpp"
 
 namespace {
 
@@ -91,47 +100,36 @@ Graph generate(const dmpc::ArgParser& args) {
 }
 
 dmpc::SolveOptions solve_options(const dmpc::ArgParser& args) {
-  dmpc::SolveOptions options;
-  options.eps = args.get_double("eps", 0.5);
-  options.threads =
-      static_cast<std::uint32_t>(args.get_int("threads", 1));
-  const std::string algo = args.get("algorithm", "auto");
-  if (algo == "sparse") {
-    options.algorithm = dmpc::Algorithm::kSparsification;
-  } else if (algo == "lowdeg") {
-    options.algorithm = dmpc::Algorithm::kLowDegree;
-  } else if (algo != "auto") {
-    throw dmpc::OptionsError(dmpc::Status::error(
-        dmpc::StatusCode::kInvalidAlgorithm,
-        "unknown algorithm '" + algo + "' (expected auto|sparse|lowdeg)"));
-  }
-  const std::string plan_path = args.get("fault-plan", "");
-  if (!plan_path.empty()) {
-    std::ifstream in(plan_path);
-    DMPC_CHECK_MSG(in.good(), "cannot open " + plan_path);
+  // Flag parsing is shared with the fuzz harness (api/cli_options.hpp);
+  // only file IO — loading the fault plan — happens here.
+  dmpc::CliSolveOptions cli = dmpc::parse_solve_options(args);
+  if (!cli.fault_plan_path.empty()) {
+    errno = 0;
+    std::ifstream in(cli.fault_plan_path);
+    if (!in.good()) {
+      throw dmpc::ParseError(
+          dmpc::ParseErrorCode::kIoError,
+          "cannot open fault plan '" + cli.fault_plan_path +
+              "': " + (errno != 0 ? std::strerror(errno) : "unknown error"));
+    }
     std::ostringstream text;
     text << in.rdbuf();
-    std::string error;
-    options.faults = dmpc::mpc::FaultPlan::parse(text.str(), &error);
-    if (!error.empty()) {
-      throw dmpc::OptionsError(dmpc::Status::error(
-          dmpc::StatusCode::kInvalidFaultPlan, plan_path + ": " + error));
+    try {
+      cli.options.faults = dmpc::mpc::FaultPlan::parse(text.str());
+    } catch (const dmpc::ParseError& e) {
+      throw dmpc::OptionsError(
+          dmpc::Status::error(dmpc::StatusCode::kInvalidFaultPlan,
+                              cli.fault_plan_path + ": " + e.what()));
     }
   }
-  options.recovery.max_retries =
-      static_cast<std::uint32_t>(args.get_int("max-retries", 3));
-  const std::string checkpoint = args.get("checkpoint", "round");
-  if (checkpoint == "off") {
-    options.recovery.checkpoint = dmpc::mpc::CheckpointMode::kOff;
-  } else if (checkpoint == "phase") {
-    options.recovery.checkpoint = dmpc::mpc::CheckpointMode::kPhase;
-  } else if (checkpoint != "round") {
-    throw dmpc::OptionsError(dmpc::Status::error(
-        dmpc::StatusCode::kInvalidRetryBudget,
-        "unknown checkpoint mode '" + checkpoint +
-            "' (expected round|phase|off)"));
-  }
-  return options;
+  return cli.options;
+}
+
+void print_certificate(const dmpc::SolveReport& report) {
+  if (report.certificate.mode == dmpc::verify::CertifyMode::kOff) return;
+  std::printf("certificate[%s]: %s\n",
+              dmpc::verify::certify_mode_name(report.certificate.mode),
+              report.certificate.summary().c_str());
 }
 
 void print_report(const dmpc::SolveReport& report) {
@@ -246,6 +244,7 @@ int cmd_mis(const dmpc::ArgParser& args) {
   } else {
     std::printf("mis_size=%zu\n", size);
     print_report(solution.report);
+    print_certificate(solution.report);
   }
   const std::string out = args.get("out", "");
   if (!out.empty()) {
@@ -276,6 +275,7 @@ int cmd_matching(const dmpc::ArgParser& args) {
   } else {
     std::printf("matching_size=%zu\n", solution.matching.size());
     print_report(solution.report);
+    print_certificate(solution.report);
   }
   const std::string out = args.get("out", "");
   if (!out.empty()) {
@@ -361,6 +361,16 @@ int main(int argc, char** argv) {
   } catch (const dmpc::OptionsError& e) {
     // Caller input error: report the typed status, not an assertion.
     std::fprintf(stderr, "error: %s\n", e.status().to_string().c_str());
+    return 2;
+  } catch (const dmpc::verify::CertificationError& e) {
+    // The answer failed checked-mode verification. Distinct exit code so
+    // scripts can tell "bad input" (2) from "bad answer" (3).
+    std::fprintf(stderr, "error: certification failed: %s\n", e.what());
+    return 3;
+  } catch (const dmpc::ParseError& e) {
+    // Untrusted-input parse error (edge list, fault plan, flag value):
+    // same exit class as other caller input errors.
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const dmpc::mpc::FaultError& e) {
     // The fault plan exceeded the recovery policy at runtime: typed

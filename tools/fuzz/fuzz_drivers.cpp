@@ -1,0 +1,91 @@
+#include "fuzz_drivers.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/cli_options.hpp"
+#include "api/status.hpp"
+#include "graph/io.hpp"
+#include "mpc/faults.hpp"
+#include "support/options.hpp"
+#include "support/parse_error.hpp"
+
+namespace dmpc::fuzz {
+namespace {
+
+// Small caps so the fuzzer explores the limit checks instead of timing out
+// on genuinely huge (but well-formed) inputs.
+graph::EdgeListLimits fuzz_limits(graph::DuplicatePolicy policy) {
+  graph::EdgeListLimits limits;
+  limits.max_nodes = 1u << 16;
+  limits.max_edges = 1u << 16;
+  limits.max_line_bytes = 1u << 12;
+  limits.duplicates = policy;
+  return limits;
+}
+
+void read_one(const std::string& text, graph::DuplicatePolicy policy) {
+  try {
+    std::istringstream in(text);
+    const graph::Graph g = graph::read_edge_list(in, fuzz_limits(policy));
+    // Accepted input must survive a write/re-read round trip unchanged in
+    // shape. The re-read uses kReject: the writer never emits duplicates.
+    std::ostringstream out;
+    graph::write_edge_list(g, out);
+    std::istringstream back(out.str());
+    const graph::Graph g2 =
+        graph::read_edge_list(back, fuzz_limits(graph::DuplicatePolicy::kReject));
+    if (g2.num_nodes() != g.num_nodes() || g2.num_edges() != g.num_edges()) {
+      __builtin_trap();
+    }
+  } catch (const ParseError&) {
+    // Typed rejection: the expected outcome for malformed input.
+  }
+}
+
+}  // namespace
+
+int drive_edge_list(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  read_one(text, graph::DuplicatePolicy::kReject);
+  read_one(text, graph::DuplicatePolicy::kDedupe);
+  return 0;
+}
+
+int drive_fault_plan(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const mpc::FaultPlan plan = mpc::FaultPlan::parse(text);
+    // An accepted plan must be internally consistent.
+    if (!plan.check().empty()) __builtin_trap();
+  } catch (const ParseError&) {
+  }
+  return 0;
+}
+
+int drive_cli_args(const std::uint8_t* data, std::size_t size) {
+  // One argument per line, capped so a pathological input cannot allocate
+  // an unbounded argv.
+  constexpr std::size_t kMaxArgs = 64;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::vector<std::string> argv_storage;
+  std::istringstream lines(text);
+  std::string line;
+  while (argv_storage.size() < kMaxArgs && std::getline(lines, line)) {
+    argv_storage.push_back(line);
+  }
+  std::vector<const char*> argv;
+  argv.reserve(argv_storage.size() + 1);
+  argv.push_back("dmpc");  // ArgParser skips argv[0]
+  for (const std::string& arg : argv_storage) argv.push_back(arg.c_str());
+  try {
+    const ArgParser args(static_cast<int>(argv.size()), argv.data());
+    (void)parse_solve_options(args);
+  } catch (const ParseError&) {
+  } catch (const OptionsError&) {
+  }
+  return 0;
+}
+
+}  // namespace dmpc::fuzz

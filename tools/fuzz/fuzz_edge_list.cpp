@@ -1,0 +1,10 @@
+// libFuzzer target: graph::read_edge_list. Build with -DDMPC_FUZZ=ON.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_drivers.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dmpc::fuzz::drive_edge_list(data, size);
+}
