@@ -7,12 +7,14 @@
 // hot path and *asserts* the identity contract on every comparison — a run
 // that is fast but not identical is a failure, not a result.
 //
-//   ./bench_e17_host_parallel [--n=100000] [--threads=0] [--quick]
+//   ./bench_e17_host_parallel [--n=100000] [--threads=0] [--quick] [--json]
 //
 // Plain executable (not google-benchmark): each section prints
 //   <section>  serial=<ms>  parallel=<ms>(x<speedup>)  identical=yes
 // On a 1-core host the speedup hovers around 1.0x; the identity checks are
-// the part that must hold everywhere.
+// the part that must hold everywhere. With --json the same data is emitted
+// as one JSON document (bench/bench_json.hpp envelope) on stdout so CI can
+// archive it next to the BENCH_*.json artifacts.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +26,7 @@
 
 #include "api/report_json.hpp"
 #include "api/solver.hpp"
+#include "bench_json.hpp"
 #include "derand/objective.hpp"
 #include "derand/seed_search.hpp"
 #include "exec/parallel.hpp"
@@ -38,6 +41,9 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+bool g_json = false;
+dmpc::Json g_sections = dmpc::Json::array();
+
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
@@ -45,10 +51,21 @@ double ms_since(Clock::time_point start) {
 
 void report(const char* section, double serial_ms, double parallel_ms,
             bool identical) {
-  std::printf("%-24s serial=%8.2fms  parallel=%8.2fms (x%.2f)  identical=%s\n",
-              section, serial_ms, parallel_ms,
-              parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
-              identical ? "yes" : "NO");
+  if (g_json) {
+    g_sections.push(
+        dmpc::Json::object()
+            .set("section", std::string(section))
+            .set("serial", dmpc::bench::wall_stats(serial_ms))
+            .set("parallel", dmpc::bench::wall_stats(parallel_ms))
+            .set("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0)
+            .set("identical", identical));
+  } else {
+    std::printf(
+        "%-24s serial=%8.2fms  parallel=%8.2fms (x%.2f)  identical=%s\n",
+        section, serial_ms, parallel_ms,
+        parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
+        identical ? "yes" : "NO");
+  }
   if (!identical) {
     std::fprintf(stderr, "FATAL: %s parallel output differs from serial\n",
                  section);
@@ -180,6 +197,7 @@ void bench_end_to_end(std::uint64_t n, std::uint32_t threads) {
 int main(int argc, char** argv) {
   const dmpc::ArgParser args(argc, argv);
   const bool quick = args.has("quick");
+  g_json = args.has("json");
   const auto n =
       static_cast<std::uint64_t>(args.get_int("n", quick ? 20000 : 100000));
   auto threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
@@ -187,13 +205,26 @@ int main(int argc, char** argv) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
 
-  std::printf("== E17 host-parallel engine: n=%llu, threads=%u%s ==\n",
-              static_cast<unsigned long long>(n), threads,
-              quick ? " (quick)" : "");
+  if (!g_json) {
+    std::printf("== E17 host-parallel engine: n=%llu, threads=%u%s ==\n",
+                static_cast<unsigned long long>(n), threads,
+                quick ? " (quick)" : "");
+  }
   bench_seed_search(/*seed_count=*/quick ? 4096 : 32768,
                     /*terms=*/quick ? 512 : 2048, threads);
   bench_graph_build(n, threads);
   bench_end_to_end(quick ? 256 : 512, threads);
-  std::printf("all identity checks passed\n");
+  if (g_json) {
+    const auto doc =
+        dmpc::bench::bench_envelope("e17", "host-parallel engine speedup",
+                                    quick, args.get("commit", ""))
+            .set("n", n)
+            .set("threads", static_cast<std::uint64_t>(threads))
+            .set("all_identical", true)
+            .set("sections", std::move(g_sections));
+    std::printf("%s\n", doc.dump().c_str());
+  } else {
+    std::printf("all identity checks passed\n");
+  }
   return 0;
 }

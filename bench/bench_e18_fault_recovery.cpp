@@ -13,9 +13,10 @@
 // Plain executable (not google-benchmark): each scenario prints
 //   <scenario>  wall=<ms>(x<slowdown>)  faults=.. retries=.. replayed=..
 //   checkpoints=..  identical=yes
-// With --json the same data is emitted as a single JSON object on stdout so
-// CI can archive it next to the E17 artifact. A non-identical run or an
-// unexpected FaultError is a failure, not a result.
+// With --json the same data is emitted as a single JSON document (the
+// bench/bench_json.hpp envelope) on stdout so CI can archive it next to the
+// E17 artifact. A non-identical run or an unexpected FaultError is a
+// failure, not a result.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,7 @@
 
 #include "api/report_json.hpp"
 #include "api/solver.hpp"
+#include "bench_json.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "mpc/faults.hpp"
@@ -221,19 +223,20 @@ int main(int argc, char** argv) {
       rows.push(dmpc::Json::object()
                     .set("scenario", r.name)
                     .set("planned_events", r.planned)
-                    .set("wall_ms", r.wall_ms)
+                    .set("wall", dmpc::bench::wall_stats(r.wall_ms))
                     .set("slowdown_vs_fault_free", r.slowdown)
                     .set("identical", r.identical)
                     .set("recovery", dmpc::to_json(r.recovery)));
     }
-    const auto doc = dmpc::Json::object()
-                         .set("bench", std::string("e18_fault_recovery"))
-                         .set("n", static_cast<std::uint64_t>(n))
-                         .set("m", g.num_edges())
-                         .set("fault_free_rounds", total_rounds)
-                         .set("fault_free_wall_ms", baseline.ms)
-                         .set("all_identical", all_identical)
-                         .set("scenarios", std::move(rows));
+    const auto doc =
+        dmpc::bench::bench_envelope("e18", "fault injection recovery cost",
+                                    quick, args.get("commit", ""))
+            .set("n", static_cast<std::uint64_t>(n))
+            .set("m", g.num_edges())
+            .set("fault_free_rounds", total_rounds)
+            .set("fault_free_wall", dmpc::bench::wall_stats(baseline.ms))
+            .set("all_identical", all_identical)
+            .set("scenarios", std::move(rows));
     std::printf("%s\n", doc.dump().c_str());
   } else {
     std::printf("all identity checks passed\n");

@@ -23,6 +23,8 @@
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
 #include "mpc/cluster.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/scaling.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
 #include "sparsify/edge_sparsifier.hpp"
@@ -47,6 +49,19 @@ std::vector<std::uint64_t> sweep_n() {
 
 void header(const char* id, const char* title) {
   std::printf("\n### %s — %s\n\n", id, title);
+}
+
+/// Theorem-envelope fit footer, same arithmetic as tools/scaling_check
+/// (obs/scaling.hpp): least-squares y = a + b*log2(x), pass iff every
+/// relative residual is within the slack scaling_check gates CI on.
+void print_log_fit(const char* what, const std::vector<dmpc::obs::SeriesPoint>& series) {
+  const auto fit =
+      dmpc::obs::check_envelope(series, dmpc::obs::EnvelopeKind::kLogX,
+                                /*slack=*/0.25);
+  std::printf("\n%s vs log2(n): %.2f + %.2f * log2(n), r^2 %.2f, "
+              "max residual %.3f -> %s\n",
+              what, fit.intercept, fit.slope, fit.r_squared,
+              fit.max_rel_residual, fit.pass ? "within envelope" : "VIOLATED");
 }
 
 /// One-cell certification summary: the run is re-solved through the Solver
@@ -85,7 +100,7 @@ void e1_e2() {
   std::printf("| n | iterations | MPC rounds | rounds/log2(n) | peak load |"
               " certificate |\n");
   std::printf("|---|---|---|---|---|---|\n");
-  std::vector<double> xs, ys;
+  std::vector<dmpc::obs::SeriesPoint> rounds_series, iter_series;
   for (const auto n : sweep_n()) {
     const auto g = dmpc::graph::gnm(static_cast<NodeId>(n),
                                     static_cast<EdgeId>(8 * n), n + 1);
@@ -96,17 +111,17 @@ void e1_e2() {
                 double(r.metrics.rounds()) / std::log2(double(n)),
                 (unsigned long long)r.metrics.peak_machine_load(),
                 cert_cell(g, /*matching=*/true).c_str());
-    xs.push_back(std::log2(double(n)));
-    ys.push_back(double(r.iterations));
+    rounds_series.push_back({double(n), double(r.metrics.rounds())});
+    iter_series.push_back({double(n), double(r.iterations)});
   }
-  const auto fit = dmpc::fit_linear(xs, ys);
-  std::printf("\niterations vs log2(n): slope %.2f, r^2 %.2f\n", fit.slope,
-              fit.r_squared);
+  print_log_fit("MPC rounds", rounds_series);
+  print_log_fit("iterations", iter_series);
 
   header("E2", "Theorem 14: deterministic MIS rounds vs n");
   std::printf("| n | iterations | MPC rounds | rounds/log2(n) | peak load |"
               " certificate |\n");
   std::printf("|---|---|---|---|---|---|\n");
+  rounds_series.clear();
   for (const auto n : sweep_n()) {
     const auto g = dmpc::graph::gnm(static_cast<NodeId>(n),
                                     static_cast<EdgeId>(8 * n), n + 2);
@@ -117,7 +132,9 @@ void e1_e2() {
                 double(r.metrics.rounds()) / std::log2(double(n)),
                 (unsigned long long)r.metrics.peak_machine_load(),
                 cert_cell(g, /*matching=*/false).c_str());
+    rounds_series.push_back({double(n), double(r.metrics.rounds())});
   }
+  print_log_fit("MPC rounds", rounds_series);
 }
 
 void e3() {
@@ -524,30 +541,46 @@ void e15() {
 }
 
 void e16() {
-  header("E16", "Observability: phase timing breakdown of one traced MIS run");
+  header("E16", "Observability: metrics-registry snapshot of one traced MIS run");
   const std::uint64_t n = g_quick ? 512 : 1024;
   const auto g = dmpc::graph::gnm(static_cast<NodeId>(n),
                                   static_cast<EdgeId>(8 * n), 1800 + n);
+  // One traced solve through the Solver; the aggregate table below is the
+  // model section of the solve's registry delta (Solver::metrics_snapshot),
+  // not a hand re-aggregation of the collected spans — the spans stay
+  // available for drill-down, the registry is the source of truth for sums.
   dmpc::obs::CollectorSink collector;
   dmpc::obs::TraceSession session(&collector);
-  dmpc::mis::DetMisConfig config;
-  config.trace = &session;
-  const auto r = dmpc::mis::det_mis(g, config);
+  dmpc::SolveOptions options;
+  options.trace = &session;
+  const dmpc::Solver solver(options);
+  const auto r = solver.mis(g);
   session.finish();
-  std::printf("| span | count | wall ms | rounds | communication |\n");
-  std::printf("|---|---|---|---|---|\n");
-  for (const auto& stat : dmpc::obs::summarize_spans(collector.events())) {
-    std::printf("| %s | %llu | %.2f | %llu | %llu |\n", stat.name.c_str(),
-                (unsigned long long)stat.count,
-                double(stat.wall_ns) / 1e6,
-                (unsigned long long)stat.rounds,
-                (unsigned long long)stat.communication);
+  std::printf("| metric | value |\n");
+  std::printf("|---|---|\n");
+  const auto& snapshot = solver.metrics_snapshot();
+  for (const auto& entry : snapshot.entries) {
+    if (entry.section != dmpc::obs::MetricSection::kModel) continue;
+    if (entry.value == 0) continue;
+    if (entry.kind == dmpc::obs::MetricKind::kHistogram) {
+      std::printf("| %s | total=%lld sum=%lld |\n", entry.name.c_str(),
+                  (long long)entry.value, (long long)entry.sum);
+    } else {
+      std::printf("| %s | %lld |\n", entry.name.c_str(),
+                  (long long)entry.value);
+    }
   }
-  std::printf("\ntrace events: %llu; run totals: rounds=%llu "
-              "communication=%llu\n",
+  const auto* rounds = snapshot.find("mpc/rounds");
+  const auto* comm = snapshot.find("mpc/communication");
+  const bool matches =
+      rounds != nullptr && comm != nullptr &&
+      std::uint64_t(rounds->value) == r.report.metrics.rounds() &&
+      std::uint64_t(comm->value) == r.report.metrics.total_communication();
+  std::printf("\ntrace events: %llu (%llu collected); registry matches "
+              "report totals: %s\n",
               (unsigned long long)session.events_emitted(),
-              (unsigned long long)r.metrics.rounds(),
-              (unsigned long long)r.metrics.total_communication());
+              (unsigned long long)collector.events().size(),
+              matches ? "yes" : "NO");
 }
 
 }  // namespace

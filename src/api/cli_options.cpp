@@ -62,6 +62,7 @@ CliSolveOptions parse_solve_options(const ArgParser& args) {
   options.recovery.checkpoint =
       parse_checkpoint_mode(args.get("checkpoint", "round"));
   cli.fault_plan_path = args.get("fault-plan", "");
+  cli.metrics_out_path = args.get("metrics-out", "");
   return cli;
 }
 

@@ -33,12 +33,17 @@ struct CliSolveOptions {
   /// --fault-plan=<path>; empty = no plan. The caller loads the file and
   /// applies mpc::FaultPlan::parse(text) to options.faults.
   std::string fault_plan_path;
+  /// --metrics-out=<path>; empty = no metrics dump. After a successful
+  /// solve the caller writes the solve's full registry snapshot delta
+  /// (all sections, grouped) there as JSON.
+  std::string metrics_out_path;
 };
 
 /// Parse --eps, --threads, --algorithm, --certify, --max-retries,
-/// --checkpoint, --fault-plan. Numeric values are parsed strictly
-/// (ParseError on garbage/overflow); enum values raise OptionsError with
-/// the matching StatusCode. Flags not present keep SolveOptions defaults.
+/// --checkpoint, --fault-plan, --metrics-out. Numeric values are parsed
+/// strictly (ParseError on garbage/overflow); enum values raise OptionsError
+/// with the matching StatusCode. Flags not present keep SolveOptions
+/// defaults.
 CliSolveOptions parse_solve_options(const ArgParser& args);
 
 }  // namespace dmpc

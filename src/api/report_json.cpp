@@ -89,6 +89,10 @@ Json to_json(const verify::SparsifyAudit& audit) {
 }
 
 Json to_json(const SolveReport& report) {
+  // Only the golden model section of the registry delta enters the report:
+  // the recovery section would break the "identical modulo the recovery
+  // block" fault contract, and the host section (wall/RSS, executor
+  // scheduling) is non-deterministic by nature.
   return Json::object()
       .set("schema_version", kReportSchemaVersion)
       .set("algorithm", report.algorithm_used)
@@ -96,7 +100,10 @@ Json to_json(const SolveReport& report) {
       .set("metrics", to_json(report.metrics))
       .set("recovery", to_json(report.recovery))
       .set("sparsify_audit", to_json(report.sparsify))
-      .set("certificate", to_json(report.certificate));
+      .set("certificate", to_json(report.certificate))
+      .set("registry",
+           obs::to_json_section(report.registry, obs::MetricSection::kModel,
+                                /*include_zero=*/false));
 }
 
 Json to_json(const Report& report) {
@@ -107,7 +114,10 @@ Json to_json(const Report& report) {
       .set("metrics", to_json(report.metrics))
       .set("recovery", to_json(report.recovery))
       .set("sparsify_audit", to_json(report.sparsify))
-      .set("certificate", to_json(report.certificate));
+      .set("certificate", to_json(report.certificate))
+      .set("registry",
+           obs::to_json_section(report.registry, obs::MetricSection::kModel,
+                                /*include_zero=*/false));
 }
 
 std::string Solver::report_json(const SolveReport& solve_report) const {

@@ -5,6 +5,7 @@
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
 #include "mpc/metrics.hpp"
+#include "obs/metrics_registry.hpp"
 #include "support/json.hpp"
 
 namespace dmpc {

@@ -15,6 +15,7 @@
 #include "mpc/cluster.hpp"
 #include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
+#include "obs/metrics_registry.hpp"
 #include "verify/certificate.hpp"
 
 namespace dmpc::obs {
@@ -81,13 +82,21 @@ struct SolveReport {
   verify::SparsifyAudit sparsify;
   /// The certificate produced in checked mode (empty when certify == kOff).
   verify::Certificate certificate;
+  /// This solve's delta over the process-wide obs::MetricsRegistry (taken
+  /// around the pipeline, before any certification replay). The model
+  /// section is golden — byte-identical across runs, thread counts, and
+  /// admissible fault plans — and is the only section serialized into
+  /// report JSON (as the "registry" block); recovery/host sections are for
+  /// benches and --metrics-out.
+  obs::MetricsSnapshot registry;
 };
 
 /// Version of the serialized report schema. Bumped to 2 when the
-/// "schema_version" and "recovery" keys were added, and to 3 when the
-/// "certificate" and "sparsify_audit" blocks were added; downstream parsers
-/// should branch on this rather than sniffing keys.
-inline constexpr std::uint32_t kReportSchemaVersion = 3;
+/// "schema_version" and "recovery" keys were added, to 3 when the
+/// "certificate" and "sparsify_audit" blocks were added, and to 4 when the
+/// "registry" block (model-section metrics-registry delta) was added;
+/// downstream parsers should branch on this rather than sniffing keys.
+inline constexpr std::uint32_t kReportSchemaVersion = 4;
 
 /// The typed, versioned view of a SolveReport that Solver::report() returns;
 /// serialize with to_json(report) / Solver::report_json(). Downstream
@@ -100,6 +109,7 @@ struct Report {
   mpc::RecoveryStats recovery;
   verify::SparsifyAudit sparsify;
   verify::Certificate certificate;  ///< Empty when certify == kOff.
+  obs::MetricsSnapshot registry;    ///< Per-solve registry delta.
 };
 
 struct MisSolution {

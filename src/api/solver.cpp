@@ -7,6 +7,7 @@
 #include "lowdeg/lowdeg_solver.hpp"
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "verify/certifier.hpp"
 
@@ -199,7 +200,18 @@ Report Solver::report(const SolveReport& solve_report) const {
   report.recovery = solve_report.recovery;
   report.sparsify = solve_report.sparsify;
   report.certificate = solve_report.certificate;
+  report.registry = solve_report.registry;
   return report;
+}
+
+void Solver::capture_registry_delta(const obs::MetricsSnapshot& before,
+                                    SolveReport* report) const {
+  auto& registry = obs::MetricsRegistry::global();
+  report->metrics.export_to(registry);
+  report->recovery.export_to(registry);
+  obs::sample_host(registry);
+  report->registry = obs::MetricsSnapshot::delta(registry.snapshot(), before);
+  last_snapshot_ = report->registry;
 }
 
 double Solver::dispatch_degree_bound(std::uint64_t n) const {
@@ -225,6 +237,7 @@ bool Solver::low_degree_regime(const graph::Graph& g) const {
 
 MisSolution Solver::mis(const graph::Graph& g) const {
   require_valid();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   MisSolution solution;
   const bool lowdeg =
       options_.algorithm == Algorithm::kLowDegree ||
@@ -251,12 +264,14 @@ MisSolution Solver::mis(const graph::Graph& g) const {
                  return r.qprime_max_degree;
                });
   }
+  capture_registry_delta(before, &solution.report);
   finalize_mis_certificate(g, &solution);
   return solution;
 }
 
 MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
   require_valid();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   MatchingSolution solution;
   const bool lowdeg =
       options_.algorithm == Algorithm::kLowDegree ||
@@ -283,12 +298,17 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
                  return r.estar_max_degree;
                });
   }
+  capture_registry_delta(before, &solution.report);
   finalize_matching_certificate(g, &solution);
   return solution;
 }
 
 const verify::Certificate& Solver::certificate() const {
   return last_certificate_;
+}
+
+const obs::MetricsSnapshot& Solver::metrics_snapshot() const {
+  return last_snapshot_;
 }
 
 verify::Certificate Solver::certify_common(

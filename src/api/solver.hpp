@@ -103,6 +103,13 @@ class Solver {
   /// instance race on this slot.
   const verify::Certificate& certificate() const;
 
+  /// The metrics-registry delta of the most recent solve on this Solver
+  /// instance (empty before the first solve): counters/histograms are this
+  /// solve's contribution to obs::MetricsRegistry::global(), gauges are the
+  /// post-solve sample. Also embedded in SolveReport::registry. Same
+  /// synchronization caveat as certificate().
+  const obs::MetricsSnapshot& metrics_snapshot() const;
+
  private:
   void require_valid() const;
 
@@ -124,10 +131,20 @@ class Solver {
   void finalize_matching_certificate(const graph::Graph& g,
                                      MatchingSolution* solution) const;
 
+  /// Export the pipeline's metrics into the global registry, sample the
+  /// host gauges, and store the per-solve delta against `before` into the
+  /// report and the metrics_snapshot() slot. Called after the pipeline and
+  /// before certification, so a certify=full replay solve cannot leak its
+  /// registry increments into this report.
+  void capture_registry_delta(const obs::MetricsSnapshot& before,
+                              SolveReport* report) const;
+
   SolveOptions options_;
   /// The last solve's certificate (see certificate()). Mutable: solves are
   /// logically const — the certificate is an output slot, not solver state.
   mutable verify::Certificate last_certificate_;
+  /// The last solve's registry delta (see metrics_snapshot()).
+  mutable obs::MetricsSnapshot last_snapshot_;
 };
 
 }  // namespace dmpc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
@@ -62,6 +63,12 @@ FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
   }
   result.seed = space.compose(prefix);
   result.value = objective.evaluate(result.seed);
+  // Model-section sweep counters; charged once per fix from the
+  // orchestrating thread, mirroring the golden span args below.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("derand/ce_fixes").add(1);
+  registry.counter("derand/ce_sweeps").add(result.chunks);
+  registry.counter("derand/ce_candidates").add(candidates_swept);
   span.arg("candidate_seeds", candidates_swept);
   span.arg("chunks", result.chunks);
   span.arg("committed_seed", result.seed);

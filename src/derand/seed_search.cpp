@@ -4,12 +4,48 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::derand {
 
 namespace {
+
+/// Model-section registry counters for seed searches. Charged once per
+/// completed search from the orchestrating thread (never inside a
+/// recoverable body and never from executor workers), so the totals are
+/// deterministic across thread counts and fault plans — golden by the same
+/// argument as the trace args they mirror. The trials histogram has fixed
+/// power-of-four bounds so its serialization is value-independent.
+struct SearchMetrics {
+  obs::Counter* searches;
+  obs::Counter* candidates;
+  obs::Counter* batches;
+  obs::Histogram* trials;
+};
+
+SearchMetrics& search_metrics() {
+  static SearchMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::global();
+    return SearchMetrics{
+        &registry.counter("derand/searches"),
+        &registry.counter("derand/candidate_seeds"),
+        &registry.counter("derand/batches"),
+        &registry.histogram("derand/trials_per_search",
+                            {1, 4, 16, 64, 256, 1024, 4096, 16384}),
+    };
+  }();
+  return metrics;
+}
+
+void record_search(const SearchResult& result) {
+  SearchMetrics& metrics = search_metrics();
+  metrics.searches->add(1);
+  metrics.candidates->add(result.trials);
+  metrics.batches->add(result.batches);
+  metrics.trials->observe(result.trials);
+}
 /// Charge one evaluation batch of `k` candidates over `terms` local terms:
 /// local evaluation is free; aggregating k partial sums up a fan-in-S tree
 /// and broadcasting the verdict back is 2 * tree_depth rounds.
@@ -76,6 +112,7 @@ SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
         span.arg("candidate_seeds", result.trials);
         span.arg("batches", result.batches);
         span.arg("committed_seed", result.seed);
+        record_search(result);
         return result;
       }
     }
@@ -126,6 +163,7 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
   span.arg("candidate_seeds", result.trials);
   span.arg("batches", result.batches);
   span.arg("committed_seed", result.seed);
+  record_search(result);
   return result;
 }
 

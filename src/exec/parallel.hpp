@@ -32,6 +32,11 @@
 
 namespace dmpc::exec {
 
+/// Host-section observability hooks (obs::MetricsRegistry::global()); see
+/// parallel.cpp. Out-of-line so this header stays registry-free.
+void note_inline_dispatch(std::uint64_t chunks);
+void note_pool_dispatch(std::uint64_t chunks);
+
 /// A copyable handle on an optional shared thread pool. Default-constructed
 /// (or with_threads(1)) it is serial: every helper runs inline with zero
 /// threading overhead. Cheap to copy; copies share the pool.
@@ -126,6 +131,7 @@ class Executor {
   template <typename ChunkFn>
   void run_chunks(std::uint64_t chunks, ChunkFn&& chunk_fn) const {
     if (pool_ == nullptr || chunks == 1 || ThreadPool::in_worker()) {
+      note_inline_dispatch(chunks);
       for (std::uint64_t c = 0; c < chunks; ++c) chunk_fn(c);
       return;
     }

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.hpp"
 
+#include "obs/metrics_registry.hpp"
+
 namespace dmpc::exec {
 
 namespace {
@@ -17,6 +19,13 @@ struct WorkerScope {
 bool ThreadPool::in_worker() { return t_in_worker; }
 
 ThreadPool::ThreadPool(std::uint32_t threads) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto host = obs::MetricSection::kHost;
+  tasks_metric_ = &registry.counter("exec/pool_tasks", host);
+  steals_metric_ = &registry.counter("exec/steals", host);
+  imbalance_metric_ = &registry.gauge("exec/imbalance_max_tasks", host);
+  registry.gauge("exec/pool_threads", host)
+      .record_max(static_cast<std::int64_t>(threads));
   const std::uint32_t workers = threads <= 1 ? 0 : threads - 1;
   workers_.reserve(workers);
   for (std::uint32_t i = 0; i < workers; ++i) {
@@ -34,15 +43,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::claim_tasks(const std::function<void(std::uint64_t)>& task,
-                             std::uint64_t tasks) {
+                             std::uint64_t tasks, bool is_worker) {
   WorkerScope scope;
+  std::uint64_t claimed = 0;
   while (true) {
     const std::uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
-    if (t >= tasks) return;
+    if (t >= tasks) break;
     task(t);
+    ++claimed;
     std::lock_guard<std::mutex> lock(mutex_);
     if (++completed_ == job_tasks_) done_cv_.notify_all();
   }
+  if (claimed == 0) return;
+  tasks_metric_->add(claimed);
+  if (is_worker) steals_metric_->add(claimed);
+  imbalance_metric_->record_max(static_cast<std::int64_t>(claimed));
 }
 
 void ThreadPool::worker_loop() {
@@ -65,7 +80,7 @@ void ThreadPool::worker_loop() {
       tasks = job_tasks_;
       ++active_claimers_;
     }
-    claim_tasks(*job, tasks);
+    claim_tasks(*job, tasks, /*is_worker=*/true);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_claimers_ == 0) done_cv_.notify_all();
@@ -91,7 +106,7 @@ void ThreadPool::run(std::uint64_t tasks,
     ++generation_;
   }
   work_cv_.notify_all();
-  claim_tasks(task, tasks);
+  claim_tasks(task, tasks, /*is_worker=*/false);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock,

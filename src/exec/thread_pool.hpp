@@ -29,6 +29,11 @@
 #include <thread>
 #include <vector>
 
+namespace dmpc::obs {
+class Counter;
+class Gauge;
+}
+
 namespace dmpc::exec {
 
 class ThreadPool {
@@ -59,7 +64,7 @@ class ThreadPool {
  private:
   void worker_loop();
   void claim_tasks(const std::function<void(std::uint64_t)>& task,
-                   std::uint64_t tasks);
+                   std::uint64_t tasks, bool is_worker);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -74,6 +79,14 @@ class ThreadPool {
   bool stop_ = false;
   std::atomic<std::uint64_t> next_{0};
   std::vector<std::thread> workers_;
+
+  // Host-section observability (obs::MetricsRegistry::global()): dynamic
+  // task claiming makes these scheduling-dependent, so they are non-golden
+  // by construction and never enter report JSON. Handles are resolved once
+  // here so the claim loop pays one relaxed add per batch per thread.
+  obs::Counter* tasks_metric_ = nullptr;    ///< exec/pool_tasks
+  obs::Counter* steals_metric_ = nullptr;   ///< exec/steals (worker-claimed)
+  obs::Gauge* imbalance_metric_ = nullptr;  ///< exec/imbalance_max_tasks
 };
 
 }  // namespace dmpc::exec

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics_registry.hpp"
 #include "support/parse_error.hpp"
 
 namespace dmpc::mpc {
@@ -193,6 +194,23 @@ void RecoveryStats::merge(const RecoveryStats& other) {
   checkpoint_words += other.checkpoint_words;
   for (const auto& [label, count] : other.retries_by_label) {
     retries_by_label[label] += count;
+  }
+}
+
+void RecoveryStats::export_to(obs::MetricsRegistry& registry) const {
+  const auto section = obs::MetricSection::kRecovery;
+  registry.counter("recovery/faults_injected", section).add(faults_injected);
+  registry.counter("recovery/crashes", section).add(crashes);
+  registry.counter("recovery/messages_dropped", section).add(messages_dropped);
+  registry.counter("recovery/duplicates_suppressed", section)
+      .add(duplicates_suppressed);
+  registry.counter("recovery/straggler_rounds", section).add(straggler_rounds);
+  registry.counter("recovery/retries", section).add(retries);
+  registry.counter("recovery/replayed_rounds", section).add(replayed_rounds);
+  registry.counter("recovery/checkpoints", section).add(checkpoints);
+  registry.counter("recovery/checkpoint_words", section).add(checkpoint_words);
+  for (const auto& [label, count] : retries_by_label) {
+    registry.counter("recovery/retries", label, section).add(count);
   }
 }
 

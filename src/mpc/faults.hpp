@@ -28,6 +28,10 @@
 
 #include "support/check.hpp"
 
+namespace dmpc::obs {
+class MetricsRegistry;
+}
+
 namespace dmpc::mpc {
 
 enum class FaultKind : std::uint8_t {
@@ -153,6 +157,14 @@ struct RecoveryStats {
 
   void reset() { *this = RecoveryStats{}; }
   void merge(const RecoveryStats& other);
+
+  /// Export this ledger into the *recovery* section of `registry` (counters
+  /// "recovery/<field>" plus the "recovery/retries/<label>" family). Like
+  /// Metrics::export_to this adds, so per-solve values are read back via
+  /// snapshot deltas. The recovery section is excluded from report JSON —
+  /// reports stay byte-identical across fault plans modulo their typed
+  /// "recovery" block.
+  void export_to(obs::MetricsRegistry& registry) const;
 };
 
 /// Thrown when a superstep cannot be recovered: the retry budget is

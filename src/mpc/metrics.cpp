@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.hpp"
+
 namespace dmpc::mpc {
 
 void Metrics::charge_rounds(std::uint64_t r, const std::string& label) {
@@ -42,6 +44,23 @@ void Metrics::merge(const Metrics& other) {
   for (const auto& [label, w] : other.peak_load_by_label_) {
     auto& peak = peak_load_by_label_[label];
     peak = std::max(peak, w);
+  }
+}
+
+void Metrics::export_to(obs::MetricsRegistry& registry) const {
+  const auto section = obs::MetricSection::kModel;
+  registry.counter("mpc/rounds", section).add(rounds_);
+  registry.counter("mpc/communication", section).add(communication_);
+  registry.counter("mpc/peak_load", section).add(peak_load_);
+  for (const auto& [label, r] : by_label_) {
+    if (label.empty()) continue;
+    registry.counter("mpc/rounds", label, section).add(r);
+  }
+  for (const auto& [label, w] : communication_by_label_) {
+    registry.counter("mpc/communication", label, section).add(w);
+  }
+  for (const auto& [label, w] : peak_load_by_label_) {
+    registry.counter("mpc/peak_load", label, section).add(w);
   }
 }
 

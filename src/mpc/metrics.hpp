@@ -15,6 +15,10 @@
 #include <map>
 #include <string>
 
+namespace dmpc::obs {
+class MetricsRegistry;
+}
+
 namespace dmpc::mpc {
 
 class Metrics {
@@ -47,6 +51,14 @@ class Metrics {
   /// Merge another metrics object into this one (for sub-phases): sums
   /// rounds and communication (globally and per label), maxes peak loads.
   void merge(const Metrics& other);
+
+  /// Export this run's totals into the model section of `registry` as
+  /// counters "mpc/rounds", "mpc/communication", "mpc/peak_load" plus the
+  /// per-label families "mpc/<quantity>/<label>". Each call *adds* this
+  /// object's values (peaks included — a cumulative registry is read back
+  /// per solve via snapshot deltas, so a peak exported as an addend
+  /// delta-reads as exactly this run's peak).
+  void export_to(obs::MetricsRegistry& registry) const;
 
  private:
   std::uint64_t rounds_ = 0;

@@ -1,0 +1,264 @@
+#include "obs/metrics_registry.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace dmpc::obs {
+
+const char* metric_section_name(MetricSection section) {
+  switch (section) {
+    case MetricSection::kModel: return "model";
+    case MetricSection::kRecovery: return "recovery";
+    case MetricSection::kHost: return "host";
+  }
+  return "unknown";
+}
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  DMPC_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow -> size()
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& after,
+                                       const MetricsSnapshot& before) {
+  std::unordered_map<std::string, const MetricValue*> base;
+  base.reserve(before.entries.size());
+  for (const auto& entry : before.entries) base.emplace(entry.name, &entry);
+
+  MetricsSnapshot out;
+  out.entries.reserve(after.entries.size());
+  for (const auto& entry : after.entries) {
+    MetricValue d = entry;
+    const auto it = base.find(entry.name);
+    if (it != base.end() && entry.kind != MetricKind::kGauge) {
+      const MetricValue& b = *it->second;
+      DMPC_CHECK_MSG(b.kind == entry.kind, "snapshot delta kind mismatch");
+      d.value = entry.value - b.value;
+      if (entry.kind == MetricKind::kHistogram) {
+        DMPC_CHECK_MSG(b.counts.size() == entry.counts.size(),
+                       "snapshot delta bucket mismatch");
+        for (std::size_t i = 0; i < d.counts.size(); ++i) {
+          d.counts[i] = entry.counts[i] - b.counts[i];
+        }
+        d.sum = entry.sum - b.sum;
+      }
+    }
+    out.entries.push_back(std::move(d));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: static-lifetime thread pools may still bump counters
+  // after main() returns; a destroyed registry would be UB.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, MetricSection section, MetricKind kind,
+    std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    DMPC_CHECK_MSG(entry.kind == kind,
+                   "metric re-registered with a different kind: " + name);
+    DMPC_CHECK_MSG(entry.section == section,
+                   "metric re-registered in a different section: " + name);
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->section = section;
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  MetricSection section) {
+  return *find_or_create(name, section, MetricKind::kCounter, {}).counter;
+}
+
+Counter& MetricsRegistry::counter(const std::string& family,
+                                  const std::string& label,
+                                  MetricSection section) {
+  return counter(family + "/" + label, section);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricSection section) {
+  return *find_or_create(name, section, MetricKind::kGauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds,
+                                      MetricSection section) {
+  return *find_or_create(name, section, MetricKind::kHistogram,
+                         std::move(bounds))
+              .histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.entries.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue v;
+    v.name = entry->name;
+    v.section = entry->section;
+    v.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        v.value = static_cast<std::int64_t>(entry->counter->value());
+        break;
+      case MetricKind::kGauge:
+        v.value = entry->gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        v.value = static_cast<std::int64_t>(entry->histogram->total());
+        v.bounds = entry->histogram->bounds();
+        v.counts = entry->histogram->counts();
+        v.sum = static_cast<std::int64_t>(entry->histogram->sum());
+        break;
+    }
+    out.entries.push_back(std::move(v));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case MetricKind::kCounter: entry->counter->reset(); break;
+      case MetricKind::kGauge: entry->gauge->reset(); break;
+      case MetricKind::kHistogram: entry->histogram->reset(); break;
+    }
+  }
+}
+
+std::uint64_t wall_time_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+void sample_host(MetricsRegistry& reg) {
+  reg.gauge("host/wall_ns", MetricSection::kHost)
+      .set(static_cast<std::int64_t>(wall_time_ns()));
+  reg.gauge("host/peak_rss_bytes", MetricSection::kHost)
+      .set(static_cast<std::int64_t>(peak_rss_bytes()));
+}
+
+namespace {
+
+Json metric_value_json(const MetricValue& v) {
+  if (v.kind != MetricKind::kHistogram) return Json(v.value);
+  Json h = Json::object();
+  h.set("total", Json(v.value));
+  h.set("sum", Json(v.sum));
+  Json bounds = Json::array();
+  for (const auto b : v.bounds) bounds.push(Json(b));
+  h.set("bounds", std::move(bounds));
+  Json counts = Json::array();
+  for (const auto c : v.counts) counts.push(Json(c));
+  h.set("counts", std::move(counts));
+  return h;
+}
+
+}  // namespace
+
+Json to_json_section(const MetricsSnapshot& snapshot, MetricSection section,
+                     bool include_zero) {
+  Json out = Json::object();
+  for (const auto& entry : snapshot.entries) {
+    if (entry.section != section) continue;
+    if (!include_zero && entry.value == 0) continue;
+    out.set(entry.name, metric_value_json(entry));
+  }
+  return out;
+}
+
+Json to_json(const MetricsSnapshot& snapshot) {
+  Json out = Json::object();
+  out.set("model", to_json_section(snapshot, MetricSection::kModel));
+  out.set("recovery", to_json_section(snapshot, MetricSection::kRecovery));
+  out.set("host", to_json_section(snapshot, MetricSection::kHost));
+  return out;
+}
+
+}  // namespace dmpc::obs

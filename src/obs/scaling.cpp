@@ -1,0 +1,94 @@
+#include "obs/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace dmpc::obs {
+
+namespace {
+
+double transform(double x, EnvelopeKind kind) {
+  DMPC_CHECK_MSG(x > 1.0, "envelope axis values must exceed 1");
+  const double lx = std::log2(x);
+  if (kind == EnvelopeKind::kLogX) return lx;
+  DMPC_CHECK_MSG(lx > 1.0, "log log envelope needs x > 2");
+  return std::log2(lx);
+}
+
+std::string format_point(double x, double y) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(x=%.10g, y=%.10g)", x, y);
+  return buf;
+}
+
+}  // namespace
+
+EnvelopeFit check_envelope(const std::vector<SeriesPoint>& series,
+                           EnvelopeKind kind, double slack) {
+  EnvelopeFit fit;
+  if (series.size() < 2) {
+    fit.pass = true;
+    fit.detail = "fewer than 2 points; envelope not checkable";
+    return fit;
+  }
+  std::vector<double> xs, ys;
+  xs.reserve(series.size());
+  ys.reserve(series.size());
+  for (const auto& p : series) {
+    xs.push_back(transform(p.x, kind));
+    ys.push_back(p.y);
+  }
+  const LinearFit lf = fit_linear(xs, ys);
+  fit.intercept = lf.intercept;
+  fit.slope = lf.slope;
+  fit.r_squared = lf.r_squared;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double predicted = lf.intercept + lf.slope * xs[i];
+    const double rel =
+        std::fabs(ys[i] - predicted) / std::max(1.0, std::fabs(predicted));
+    if (rel > fit.max_rel_residual) {
+      fit.max_rel_residual = rel;
+      fit.worst_index = i;
+    }
+  }
+  fit.pass = fit.max_rel_residual <= slack;
+  if (!fit.pass) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "residual %.4g exceeds slack %.4g at point %zu ",
+                  fit.max_rel_residual, slack, fit.worst_index);
+    fit.detail = std::string(buf) + format_point(series[fit.worst_index].x,
+                                                 series[fit.worst_index].y);
+  }
+  return fit;
+}
+
+EnvelopeFit check_cap(const std::vector<SeriesPoint>& series,
+                      const std::vector<double>& caps) {
+  DMPC_CHECK_MSG(series.size() == caps.size(),
+                 "check_cap series/cap size mismatch");
+  EnvelopeFit fit;
+  fit.pass = true;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double headroom = caps[i] <= 0 ? 0 : series[i].y / caps[i];
+    if (headroom > fit.max_rel_residual) {
+      fit.max_rel_residual = headroom;
+      fit.worst_index = i;
+    }
+    if (series[i].y > caps[i]) {
+      fit.pass = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " exceeds cap %.10g", caps[i]);
+      fit.detail = "point " + std::to_string(i) + " " +
+                   format_point(series[i].x, series[i].y) + buf;
+      return fit;
+    }
+  }
+  return fit;
+}
+
+}  // namespace dmpc::obs

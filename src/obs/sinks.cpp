@@ -55,6 +55,15 @@ void ChromeTraceSink::on_event(const TraceEvent& event) {
 }
 
 void ChromeTraceSink::finish() {
+  if (finished_) return;  // never write the document twice
+  finished_ = true;
+  if (events_.empty()) {
+    // dump(1) would still be valid here, but pin the canonical minimal
+    // document so empty traces are byte-stable and trivially greppable.
+    *out_ << "{\"traceEvents\": []}\n";
+    out_->flush();
+    return;
+  }
   Json trace_events = Json::array();
   for (const TraceEvent& event : events_) {
     Json e = Json::object().set("name", event.name).set("cat", "dmpc");

@@ -34,7 +34,10 @@ class JsonlTraceSink final : public TraceSink {
 
 /// Chrome trace-event format: {"traceEvents": [...]} with B/E duration
 /// events for spans, "i" instants, and "C" counters. Buffers events and
-/// writes the whole document in finish().
+/// writes the whole document exactly once, in the first finish() call —
+/// repeated finish() is a no-op, so the output cannot be duplicated into
+/// an invalid concatenation. A session with zero buffered events still
+/// produces the valid document {"traceEvents": []}.
 class ChromeTraceSink final : public TraceSink {
  public:
   explicit ChromeTraceSink(std::ostream* out) : out_(out) {}
@@ -45,18 +48,33 @@ class ChromeTraceSink final : public TraceSink {
  private:
   std::ostream* out_;
   std::vector<TraceEvent> events_;
+  bool finished_ = false;
 };
 
 /// Keeps every event in memory; tests assert on the stream directly and
-/// repro_report aggregates span statistics from it.
+/// benches aggregate span statistics from it. finish() freezes the stream
+/// (later events are dropped), so a collector attached to a finished
+/// session cannot be polluted by stray events from a later run; clear()
+/// empties and un-freezes it for reuse.
 class CollectorSink final : public TraceSink {
  public:
-  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+  void on_event(const TraceEvent& event) override {
+    if (!frozen_) events_.push_back(event);
+  }
+  void finish() override { frozen_ = true; }
 
+  /// Drop all collected events and accept new ones again.
+  void clear() {
+    events_.clear();
+    frozen_ = false;
+  }
+
+  bool frozen() const { return frozen_; }
   const std::vector<TraceEvent>& events() const { return events_; }
 
  private:
   std::vector<TraceEvent> events_;
+  bool frozen_ = false;
 };
 
 /// Per-span-name aggregate over a collected event stream.

@@ -1,9 +1,16 @@
 #include "support/json.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "support/check.hpp"
+#include "support/parse_error.hpp"
 
 namespace dmpc {
 
@@ -107,6 +114,356 @@ void Json::dump_to(std::string* out, int indent, int depth) const {
     append_newline_indent(out, indent, depth);
     out->push_back('}');
   }
+}
+
+bool Json::as_bool() const {
+  DMPC_CHECK_MSG(is_bool(), "Json::as_bool on non-bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int64() const {
+  DMPC_CHECK_MSG(is_int(), "Json::as_int64 on non-integer");
+  return std::get<std::int64_t>(value_);
+}
+
+double Json::as_double() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  DMPC_CHECK_MSG(is_double(), "Json::as_double on non-number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  DMPC_CHECK_MSG(is_string(), "Json::as_string on non-string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::items() const {
+  DMPC_CHECK_MSG(is_array(), "Json::items on non-array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::fields() const {
+  DMPC_CHECK_MSG(is_object(), "Json::fields on non-object");
+  return std::get<Object>(value_);
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  DMPC_CHECK_MSG(found != nullptr, "Json::at missing key: " + key);
+  return *found;
+}
+
+std::size_t Json::size() const {
+  if (const auto* a = std::get_if<Array>(&value_)) return a->size();
+  if (const auto* o = std::get_if<Object>(&value_)) return o->size();
+  DMPC_CHECK_MSG(false, "Json::size on non-container");
+  return 0;
+}
+
+namespace {
+
+// Recursive-descent parser. Tracks 1-based line/column for ParseError and
+// bounds nesting depth so adversarial input cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& message,
+                         ParseErrorCode code = ParseErrorCode::kMalformedLine) {
+    std::string token;
+    if (pos_ < text_.size()) token = parse::clip(text_.substr(pos_, 16));
+    throw ParseError(code, message, line_, column_, token);
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    advance();
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    for (std::size_t i = 0; i < len; ++i) advance();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting depth exceeds limit", ParseErrorCode::kLimitExceeded);
+    }
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal", ParseErrorCode::kBadToken);
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal", ParseErrorCode::kBadToken);
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal", ParseErrorCode::kBadToken);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      advance();
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.set(key, parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        advance();
+        continue;
+      }
+      if (next == '}') {
+        advance();
+        return out;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      advance();
+      return out;
+    }
+    while (true) {
+      out.push(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        advance();
+        continue;
+      }
+      if (next == ']') {
+        advance();
+        return out;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        advance();
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string", ParseErrorCode::kBadToken);
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        advance();
+        continue;
+      }
+      advance();  // backslash
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_];
+      advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': {
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) fail("unterminated \\u escape");
+            const char h = text_[pos_];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape", ParseErrorCode::kBadToken);
+            }
+            advance();
+          }
+          // Serializer only emits \u00xx for control bytes; decode the BMP
+          // subset as UTF-8 and reject surrogates.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escape unsupported", ParseErrorCode::kBadToken);
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape", ParseErrorCode::kBadToken);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') advance();
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected value", ParseErrorCode::kBadToken);
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      advance();
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      advance();
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number", ParseErrorCode::kBadToken);
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        advance();
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      advance();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        advance();
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad exponent", ParseErrorCode::kBadToken);
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        advance();
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    if (!is_double) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE) {
+        throw ParseError(ParseErrorCode::kOverflow, "integer out of range",
+                         line_, column_, parse::clip(token));
+      }
+      if (end == token.c_str() + token.size()) {
+        return Json(static_cast<std::int64_t>(v));
+      }
+      // Fall through defensively (cannot happen given the scan above).
+    }
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (errno == ERANGE || !std::isfinite(v)) {
+      throw ParseError(ParseErrorCode::kOverflow, "number out of range", line_,
+                       column_, parse::clip(token));
+    }
+    return Json(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::uint64_t line_ = 1;
+  std::uint64_t column_ = 1;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ParseError(ParseErrorCode::kIoError,
+                     "cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw ParseError(ParseErrorCode::kIoError, "read error on " + path);
+  }
+  return parse(buffer.str());
 }
 
 }  // namespace dmpc

@@ -1,6 +1,7 @@
-// Minimal JSON value + serializer for run reports and tooling output.
+// Minimal JSON value + serializer/parser for run reports and tooling output.
 // Deliberately small: objects preserve insertion order, numbers are stored
-// as double or int64, no parsing.
+// as double or int64 (a numeric token without '.', 'e', or 'E' parses as
+// int64, so integer-exact artifacts round-trip byte-identically).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,14 @@ class Json {
   static Json object() { return Json(Object{}); }
   static Json array() { return Json(Array{}); }
 
+  /// Parse a complete JSON document (trailing whitespace allowed, nothing
+  /// else). Throws dmpc::ParseError (kMalformedLine / kBadToken /
+  /// kLimitExceeded) with 1-based line/column on malformed input.
+  static Json parse(const std::string& text);
+
+  /// Read and parse a file; throws ParseError(kIoError) when unreadable.
+  static Json parse_file(const std::string& path);
+
   /// Object field (creates/overwrites); asserts this is an object.
   Json& set(const std::string& key, Json value);
 
@@ -41,6 +50,27 @@ class Json {
 
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+
+  /// Typed accessors; DMPC_CHECK on type mismatch. as_double accepts int64.
+  bool as_bool() const;
+  std::int64_t as_int64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& items() const;
+  const Object& fields() const;
+
+  /// Object member lookup (first match); nullptr when absent or non-object.
+  const Json* find(const std::string& key) const;
+  /// Object member lookup; DMPC_CHECK when absent.
+  const Json& at(const std::string& key) const;
+  /// Array / object element count; DMPC_CHECK otherwise.
+  std::size_t size() const;
 
   /// Serialize; indent > 0 pretty-prints.
   std::string dump(int indent = 0) const;

@@ -15,6 +15,7 @@
 #include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
 
@@ -25,10 +26,20 @@ using graph::Graph;
 
 const std::uint32_t kThreadCounts[] = {1, 2, 0};  // 0 = hardware concurrency
 
+/// The golden model section of a Solver's per-solve registry delta. One more
+/// byte-comparable artifact per run: the metrics-snapshot axis of the matrix.
+std::string registry_model_json(const Solver& solver) {
+  return obs::to_json_section(solver.metrics_snapshot(),
+                              obs::MetricSection::kModel,
+                              /*include_zero=*/false)
+      .dump();
+}
+
 struct RunArtifacts {
   std::vector<bool> mis_in_set;
   std::string mis_report_json;
   std::string mis_trace;
+  std::string mis_registry_json;
   std::vector<graph::EdgeId> matching;
   std::string matching_report_json;
   std::string matching_trace;
@@ -43,11 +54,13 @@ RunArtifacts run_all(const Graph& g, std::uint32_t threads) {
     SolveOptions options;
     options.threads = threads;
     options.trace = &session;
-    const auto solution = Solver(options).mis(g);
+    const Solver solver(options);
+    const auto solution = solver.mis(g);
     session.finish();
     out.mis_in_set = solution.in_set;
     out.mis_report_json = to_json(solution.report).dump();
     out.mis_trace = trace_out.str();
+    out.mis_registry_json = registry_model_json(solver);
   }
   {
     std::ostringstream trace_out;
@@ -69,6 +82,9 @@ void expect_matrix_identical(const Graph& g, const char* family) {
   const auto reference = run_all(g, /*threads=*/1);
   EXPECT_FALSE(reference.mis_trace.empty()) << family;
   EXPECT_FALSE(reference.matching_trace.empty()) << family;
+  EXPECT_NE(reference.mis_registry_json.find("\"mpc/rounds\""),
+            std::string::npos)
+      << family;
   for (std::uint32_t threads : kThreadCounts) {
     const auto run = run_all(g, threads);
     EXPECT_EQ(run.mis_in_set, reference.mis_in_set)
@@ -76,6 +92,8 @@ void expect_matrix_identical(const Graph& g, const char* family) {
     EXPECT_EQ(run.mis_report_json, reference.mis_report_json)
         << family << " threads=" << threads;
     EXPECT_EQ(run.mis_trace, reference.mis_trace)
+        << family << " threads=" << threads;
+    EXPECT_EQ(run.mis_registry_json, reference.mis_registry_json)
         << family << " threads=" << threads;
     EXPECT_EQ(run.matching, reference.matching)
         << family << " threads=" << threads;
@@ -103,6 +121,7 @@ struct FaultRun {
   std::vector<graph::EdgeId> matching;
   std::string report_json;  ///< MIS report with the recovery ledger zeroed.
   std::string trace;
+  std::string registry_json;  ///< Model section only — fault-plan-invariant.
   std::uint64_t faults_injected = 0;
 };
 
@@ -121,6 +140,7 @@ FaultRun run_with_faults(const Graph& g, std::uint32_t threads,
   const auto solution = solver.mis(g);
   session.finish();
   out.in_set = solution.in_set;
+  out.registry_json = registry_model_json(solver);
   out.faults_injected = solution.report.recovery.faults_injected;
   auto comparable = solution.report;
   comparable.recovery = mpc::RecoveryStats{};
@@ -156,6 +176,10 @@ void expect_fault_matrix_identical(const Graph& g, const char* family) {
       EXPECT_EQ(run.report_json, reference.report_json)
           << family << " faults=" << axis.name << " threads=" << threads;
       EXPECT_EQ(run.trace, reference.trace)
+          << family << " faults=" << axis.name << " threads=" << threads;
+      // kModel metrics are defined to be fault-plan-invariant: retries
+      // re-export the replayed pipeline's charges, not double-counted ones.
+      EXPECT_EQ(run.registry_json, reference.registry_json)
           << family << " faults=" << axis.name << " threads=" << threads;
       EXPECT_EQ(run.matching, reference.matching)
           << family << " faults=" << axis.name << " threads=" << threads;

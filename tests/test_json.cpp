@@ -1,5 +1,7 @@
-// Tests for the JSON writer and run-report serialization.
+// Tests for the JSON writer/parser and run-report serialization.
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "api/report_json.hpp"
 #include "graph/generators.hpp"
@@ -7,6 +9,7 @@
 #include "mis/det_mis.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
+#include "support/parse_error.hpp"
 
 namespace dmpc {
 namespace {
@@ -48,6 +51,84 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_THROW(arr.set("k", 1), CheckFailure);
   auto obj = Json::object();
   EXPECT_THROW(obj.push(1), CheckFailure);
+}
+
+// --- Parser (the read half of the round trip scaling_check and the bench
+// baselines depend on). ---
+
+TEST(JsonParse, RoundTripIsByteIdentical) {
+  const auto doc =
+      Json::object()
+          .set("schema_version", 1)
+          .set("points",
+               Json::array().push(Json::object().set("axis_value", 256).set(
+                   "model", Json::object().set("rounds", 42))))
+          .set("title", "e\"1\n")
+          .set("ratio", 2.5)
+          .set("flag", true)
+          .set("nothing", Json());
+  const std::string text = doc.dump();
+  EXPECT_EQ(Json::parse(text).dump(), text);
+  // Pretty-printing is whitespace-only: it collapses back to the same bytes.
+  EXPECT_EQ(Json::parse(doc.dump(2)).dump(), text);
+}
+
+TEST(JsonParse, IntAndDoubleTokensStayDistinct) {
+  // 2^53 + 1 is not representable as a double; the artifact contract
+  // (integer-exact model counters) needs the int64 path.
+  const Json big = Json::parse("9007199254740993");
+  ASSERT_TRUE(big.is_int());
+  EXPECT_EQ(big.as_int64(), std::int64_t{9007199254740993});
+  EXPECT_EQ(big.dump(), "9007199254740993");
+  EXPECT_TRUE(Json::parse("-7").is_int());
+  EXPECT_TRUE(Json::parse("2.5").is_double());
+  EXPECT_TRUE(Json::parse("1e3").is_double());
+  EXPECT_TRUE(Json::parse("[1]").items()[0].is_int());
+}
+
+TEST(JsonParse, MalformedInputThrowsTypedErrors) {
+  const struct {
+    const char* text;
+    ParseErrorCode code;
+  } cases[] = {
+      {"{\"a\":}", ParseErrorCode::kBadToken},     // '}' where a value starts
+      {"[1,2,]", ParseErrorCode::kBadToken},       // trailing comma
+      {"{\"a\":1", ParseErrorCode::kMalformedLine},  // truncated object
+      {"1 2", ParseErrorCode::kMalformedLine},     // trailing data
+      {"tru", ParseErrorCode::kBadToken},          // bad literal
+  };
+  for (const auto& c : cases) {
+    try {
+      Json::parse(c.text);
+      ADD_FAILURE() << "no error for: " << c.text;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.code(), c.code)
+          << c.text << " -> " << parse_error_code_name(e.code());
+    }
+  }
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": ]\n}");
+    ADD_FAILURE() << "no error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 8u);
+    EXPECT_FALSE(e.token().empty());
+  }
+}
+
+TEST(JsonParse, DepthCapRejectsPathologicalNesting) {
+  try {
+    Json::parse(std::string(200, '['));
+    ADD_FAILURE() << "no error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kLimitExceeded);
+  }
+  // Deep-but-bounded nesting still parses.
+  const Json ok = Json::parse(std::string(90, '[') + std::string(90, ']'));
+  EXPECT_TRUE(ok.is_array());
 }
 
 TEST(ReportJson, MatchingRunSerializes) {

@@ -3,16 +3,24 @@
 // golden-trace byte-identity, and the zero-overhead-when-disabled contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <map>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "mis/det_mis.hpp"
+#include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
+#include "support/json.hpp"
 
 namespace dmpc {
 namespace {
@@ -419,6 +427,44 @@ TEST(Sinks, ChromeTraceIsWellFormedAndBalanced) {
   EXPECT_EQ(begins, ends);
 }
 
+TEST(Sinks, CollectorFreezesOnFinishAndClearReopens) {
+  obs::CollectorSink sink;
+  obs::TraceSession first(&sink);
+  { obs::Span span(&first, "kept"); }
+  first.finish();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_TRUE(sink.frozen());
+
+  // A later session attached to the same (finished) sink must not pollute it.
+  obs::TraceSession stray(&sink);
+  { obs::Span span(&stray, "dropped"); }
+  stray.finish();
+  EXPECT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].name, "kept");
+
+  sink.clear();
+  EXPECT_FALSE(sink.frozen());
+  EXPECT_TRUE(sink.events().empty());
+  obs::TraceSession reuse(&sink);
+  { obs::Span span(&reuse, "fresh"); }
+  reuse.finish();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].name, "fresh");
+}
+
+TEST(Sinks, ChromeTraceEmptySessionIsValidAndDoubleFinishSafe) {
+  std::ostringstream out;
+  obs::ChromeTraceSink sink(&out);
+  obs::TraceSession session(&sink);
+  session.finish();
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // finish() is idempotent: a second call must not emit a second document.
+  sink.finish();
+  EXPECT_EQ(out.str(), text);
+}
+
 TEST(Sinks, SummarizeSpansAggregatesByName) {
   obs::CollectorSink sink;
   obs::TraceSession session(&sink);
@@ -436,6 +482,176 @@ TEST(Sinks, SummarizeSpansAggregatesByName) {
   EXPECT_EQ(stats[0].count, 3u);
   EXPECT_EQ(stats[0].rounds, 6u);
   EXPECT_EQ(stats[0].communication, 15u);
+}
+
+// --- Metrics registry (obs/metrics_registry.hpp). Tests use a local
+// registry so they cannot perturb the process-global one other tests'
+// Solver runs delta against. ---
+
+TEST(Registry, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("mpc/rounds");
+  c.add();
+  c.add(4);
+  auto& g = reg.gauge("host/pool", obs::MetricSection::kHost);
+  g.set(10);
+  g.add(-3);
+  g.record_max(5);   // below current 7: no-op
+  g.record_max(12);  // above: takes over
+  auto& h = reg.histogram("derand/batch", {1, 4, 16});
+  h.observe(0);
+  h.observe(4);
+  h.observe(100);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  // Registration order, not name order.
+  EXPECT_EQ(snap.entries[0].name, "mpc/rounds");
+  EXPECT_EQ(snap.entries[1].name, "host/pool");
+  EXPECT_EQ(snap.entries[2].name, "derand/batch");
+  EXPECT_EQ(snap.find("mpc/rounds")->value, 5);
+  EXPECT_EQ(snap.find("host/pool")->value, 12);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  const auto* hist = snap.find("derand/batch");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(hist->value, 3);  // observation count
+  EXPECT_EQ(hist->sum, 104);
+  EXPECT_EQ(hist->bounds, (std::vector<std::uint64_t>{1, 4, 16}));
+  // 0 -> [<=1], 4 -> [<=4], 100 -> overflow bucket.
+  EXPECT_EQ(hist->counts, (std::vector<std::uint64_t>{1, 1, 0, 1}));
+}
+
+TEST(Registry, ReRegistrationIsIdempotent) {
+  obs::MetricsRegistry reg;
+  auto& first = reg.counter("exec/tasks", obs::MetricSection::kHost);
+  first.add(2);
+  auto& again = reg.counter("exec/tasks", obs::MetricSection::kHost);
+  EXPECT_EQ(&first, &again);
+  again.add(3);
+  EXPECT_EQ(reg.snapshot().find("exec/tasks")->value, 5);
+  ASSERT_EQ(reg.snapshot().entries.size(), 1u);
+}
+
+TEST(Registry, LabeledFamilyMembersGetSlashNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("mpc/communication", "sparsify", obs::MetricSection::kModel)
+      .add(7);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.find("mpc/communication/sparsify"), nullptr);
+  EXPECT_EQ(snap.find("mpc/communication/sparsify")->value, 7);
+}
+
+TEST(Registry, DeltaSubtractsCountersAndKeepsGauges) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("mpc/rounds");
+  auto& g = reg.gauge("host/wall_ns", obs::MetricSection::kHost);
+  auto& h = reg.histogram("derand/batch", {8});
+  c.add(10);
+  g.set(100);
+  h.observe(3);
+  const auto before = reg.snapshot();
+  c.add(5);
+  g.set(250);
+  h.observe(20);
+  auto& late = reg.counter("derand/sweeps");  // registered mid-solve
+  late.add(2);
+  const auto delta =
+      obs::MetricsSnapshot::delta(reg.snapshot(), before);
+  // Counters and histograms subtract; gauges keep the after value; entries
+  // unknown to `before` pass through raw.
+  EXPECT_EQ(delta.find("mpc/rounds")->value, 5);
+  EXPECT_EQ(delta.find("host/wall_ns")->value, 250);
+  EXPECT_EQ(delta.find("derand/sweeps")->value, 2);
+  const auto* hist = delta.find("derand/batch");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->value, 1);
+  EXPECT_EQ(hist->sum, 20);
+  EXPECT_EQ(hist->counts, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(Registry, SectionsSerializeSeparatelyAndDropZeros) {
+  obs::MetricsRegistry reg;
+  reg.counter("mpc/rounds", obs::MetricSection::kModel).add(3);
+  reg.counter("recovery/retries", obs::MetricSection::kRecovery).add(1);
+  reg.gauge("host/wall_ns", obs::MetricSection::kHost).set(9);
+  reg.counter("mpc/idle", obs::MetricSection::kModel);  // stays zero
+  reg.histogram("mpc/empty_hist", {2}, obs::MetricSection::kModel);
+
+  const auto snap = reg.snapshot();
+  const auto model =
+      obs::to_json_section(snap, obs::MetricSection::kModel).dump();
+  EXPECT_NE(model.find("\"mpc/rounds\":3"), std::string::npos);
+  EXPECT_EQ(model.find("recovery/retries"), std::string::npos);
+  EXPECT_EQ(model.find("host/wall_ns"), std::string::npos);
+  EXPECT_NE(model.find("mpc/idle"), std::string::npos);  // include_zero=true
+
+  const auto lean =
+      obs::to_json_section(snap, obs::MetricSection::kModel, false).dump();
+  EXPECT_EQ(lean.find("mpc/idle"), std::string::npos);
+  EXPECT_EQ(lean.find("mpc/empty_hist"), std::string::npos);
+  EXPECT_NE(lean.find("\"mpc/rounds\":3"), std::string::npos);
+
+  const auto grouped = obs::to_json(snap).dump();
+  EXPECT_NE(grouped.find("\"model\""), std::string::npos);
+  EXPECT_NE(grouped.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(grouped.find("\"host\""), std::string::npos);
+}
+
+// --- Label attribution end-to-end: per-label charges must account for the
+// global totals exactly, and stay byte-stable across thread counts and
+// fault plans (labels are charged by the replayed pipeline, not the retry
+// engine). ---
+
+void expect_labels_cover_totals(const mpc::Metrics& m, const char* what) {
+  const auto sum = [](const std::map<std::string, std::uint64_t>& by_label) {
+    return std::accumulate(
+        by_label.begin(), by_label.end(), std::uint64_t{0},
+        [](std::uint64_t acc, const auto& kv) { return acc + kv.second; });
+  };
+  EXPECT_FALSE(m.communication_by_label().empty()) << what;
+  EXPECT_EQ(sum(m.communication_by_label()), m.total_communication()) << what;
+  EXPECT_EQ(sum(m.rounds_by_label()), m.rounds()) << what;
+  std::uint64_t peak = 0;
+  for (const auto& [label, v] : m.peak_load_by_label()) {
+    peak = std::max(peak, v);
+  }
+  EXPECT_EQ(peak, m.peak_machine_load()) << what;
+}
+
+TEST(Metrics, LabelsCoverTotalsAcrossThreadsAndFaults) {
+  const auto g = graph::gnm(300, 2400, 21);
+  mpc::FaultPlan crashes;
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/2, /*machine=*/0});
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/6, /*machine=*/1});
+
+  std::string reference;
+  for (const std::uint32_t threads : {1u, 2u, 0u}) {
+    for (const bool faulty : {false, true}) {
+      SolveOptions options;
+      options.threads = threads;
+      if (faulty) options.faults = crashes;
+      const auto solution = Solver(options).mis(g);
+      const auto what = std::string("threads=") + std::to_string(threads) +
+                        " faults=" + (faulty ? "crashes" : "none");
+      expect_labels_cover_totals(solution.report.metrics, what.c_str());
+      // The label breakdown itself is part of the golden report surface.
+      Json labels = Json::object();
+      for (const auto& [label, v] :
+           solution.report.metrics.communication_by_label()) {
+        labels.set(label, v);
+      }
+      for (const auto& [label, v] :
+           solution.report.metrics.rounds_by_label()) {
+        labels.set("rounds/" + label, v);
+      }
+      if (reference.empty()) {
+        reference = labels.dump();
+      } else {
+        EXPECT_EQ(labels.dump(), reference) << what;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -6,10 +6,10 @@
 //                 [--threads=N] [--out=mis.txt] [--trace=trace.json]
 //                 [--trace-format=jsonl|chrome] [--fault-plan=plan.txt]
 //                 [--max-retries=3] [--checkpoint=round|phase|off]
-//                 [--certify=off|answer|full]
+//                 [--certify=off|answer|full] [--metrics-out=metrics.json]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...] [--fault-plan=...]
-//                 [--certify=...]
+//                 [--certify=...] [--metrics-out=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -42,6 +42,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
@@ -99,7 +100,7 @@ Graph generate(const dmpc::ArgParser& args) {
   return {};
 }
 
-dmpc::SolveOptions solve_options(const dmpc::ArgParser& args) {
+dmpc::CliSolveOptions solve_options(const dmpc::ArgParser& args) {
   // Flag parsing is shared with the fuzz harness (api/cli_options.hpp);
   // only file IO — loading the fault plan — happens here.
   dmpc::CliSolveOptions cli = dmpc::parse_solve_options(args);
@@ -122,7 +123,20 @@ dmpc::SolveOptions solve_options(const dmpc::ArgParser& args) {
                               cli.fault_plan_path + ": " + e.what()));
     }
   }
-  return cli.options;
+  return cli;
+}
+
+// --metrics-out: full registry snapshot delta for the solve, all three
+// sections grouped (docs/OBSERVABILITY.md). The model subtree is golden;
+// host/recovery are diagnostic.
+void write_metrics(const std::string& path, const dmpc::Solver& solver) {
+  if (path.empty()) return;
+  auto out = dmpc::Json::object()
+                 .set("schema_version", dmpc::kReportSchemaVersion)
+                 .set("registry", dmpc::obs::to_json(solver.metrics_snapshot()));
+  auto f = std::ofstream(path);
+  DMPC_CHECK_MSG(f.good(), "cannot open " + path);
+  f << out.dump(2) << '\n';
 }
 
 void print_certificate(const dmpc::SolveReport& report) {
@@ -227,14 +241,15 @@ int cmd_stats(const dmpc::ArgParser& args) {
 int cmd_mis(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
   auto trace = make_trace(args);
-  auto options = solve_options(args);
-  options.trace = trace.session_or_null();
-  const dmpc::Solver solver(options);
+  auto cli = solve_options(args);
+  cli.options.trace = trace.session_or_null();
+  const dmpc::Solver solver(cli.options);
   if (auto status = solver.validate(); !status.ok()) {
     throw dmpc::OptionsError(std::move(status));
   }
   const auto solution = solver.mis(g);
   trace.finish();
+  write_metrics(cli.metrics_out_path, solver);
   std::size_t size = 0;
   for (bool b : solution.in_set) size += b;
   if (args.has("json")) {
@@ -259,14 +274,15 @@ int cmd_mis(const dmpc::ArgParser& args) {
 int cmd_matching(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
   auto trace = make_trace(args);
-  auto options = solve_options(args);
-  options.trace = trace.session_or_null();
-  const dmpc::Solver solver(options);
+  auto cli = solve_options(args);
+  cli.options.trace = trace.session_or_null();
+  const dmpc::Solver solver(cli.options);
   if (auto status = solver.validate(); !status.ok()) {
     throw dmpc::OptionsError(std::move(status));
   }
   const auto solution = solver.maximal_matching(g);
   trace.finish();
+  write_metrics(cli.metrics_out_path, solver);
   if (args.has("json")) {
     auto j = dmpc::to_json(solution.report);
     j.set("matching_size",
@@ -290,9 +306,9 @@ int cmd_matching(const dmpc::ArgParser& args) {
 int cmd_cover(const dmpc::ArgParser& args) {
   const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
   auto trace = make_trace(args);
-  auto options = solve_options(args);
-  options.trace = trace.session_or_null();
-  const auto result = dmpc::apps::vertex_cover_2approx(g, options);
+  auto cli = solve_options(args);
+  cli.options.trace = trace.session_or_null();
+  const auto result = dmpc::apps::vertex_cover_2approx(g, cli.options);
   trace.finish();
   std::printf("cover_size=%llu matching_lower_bound=%llu (<= 2x OPT)\n",
               (unsigned long long)result.cover_size,
@@ -324,9 +340,9 @@ int cmd_color(const dmpc::ArgParser& args) {
     used = result.colors_used;
   } else {
     auto trace = make_trace(args);
-    auto options = solve_options(args);
-    options.trace = trace.session_or_null();
-    auto result = dmpc::apps::delta_plus_one_coloring(g, options);
+    auto cli = solve_options(args);
+    cli.options.trace = trace.session_or_null();
+    auto result = dmpc::apps::delta_plus_one_coloring(g, cli.options);
     trace.finish();
     std::printf("colors_used=%u (palette Delta+1 = %u)\n",
                 result.colors_used, g.max_degree() + 1);

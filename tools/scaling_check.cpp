@@ -1,0 +1,228 @@
+// scaling_check — CI regression gate over BENCH_*.json artifacts.
+//
+//   ./scaling_check [--baseline-dir=bench/baselines] [--slack=0.25]
+//                   [--tolerance=0.10] BENCH_E1.json [BENCH_E2.json ...]
+//
+// Two independent gates, both judged on the artifacts' integer "model"
+// fields only (the "wall"/"toolchain" blocks are host-dependent by design):
+//
+//  1. Theorem envelopes (obs/scaling.hpp): the measured series must fit the
+//     paper's scaling shape within a relative residual `--slack`:
+//       e1/e2: mpc_rounds and iterations vs log2(n)     (Theorems 7 / 14)
+//       e6:    lowdeg_rounds vs log2(Delta)             (Theorem 1)
+//       e8:    peak_load <= s_budget, per point         (S = O(n^eps) cap)
+//     Experiments without a registered envelope are baseline-gated only.
+//
+//  2. Baseline comparison: when --baseline-dir holds a BENCH_<EXP>.json with
+//     the same name, every model field of every baseline point must match
+//     the measured value within relative `--tolerance` (absolute floor of 1
+//     for near-zero counters). Points are matched positionally and must
+//     agree on axis_value — a re-ordered or truncated sweep is a failure,
+//     not a skip.
+//
+// Exit 0 when every gate passes; exit 1 with one line per offending series
+// ("<exp>.<axis>=<value>.<field>: ..."); exit 2 on usage/parse errors.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/scaling.hpp"
+#include "support/json.hpp"
+#include "support/options.hpp"
+#include "support/parse_error.hpp"
+
+namespace {
+
+using dmpc::Json;
+using dmpc::obs::EnvelopeKind;
+using dmpc::obs::SeriesPoint;
+
+int g_failures = 0;
+
+void fail(const std::string& series, const std::string& message) {
+  std::fprintf(stderr, "FAIL %s: %s\n", series.c_str(), message.c_str());
+  ++g_failures;
+}
+
+std::string axis_value_str(const Json& point) {
+  const Json& v = point.at("axis_value");
+  if (v.is_string()) return v.as_string();
+  if (v.is_int()) return std::to_string(v.as_int64());
+  return std::to_string(v.as_double());
+}
+
+/// "<exp>.<axis>=<value>" — the series prefix used in failure lines.
+std::string series_name(const Json& doc, const Json& point) {
+  return doc.at("bench").as_string() + "." + doc.at("axis").as_string() + "=" +
+         axis_value_str(point);
+}
+
+/// Extract (axis_value, model.field) over all points; skips points whose
+/// axis_value is not numeric (string axes have no scaling shape to fit).
+std::vector<SeriesPoint> extract_series(const Json& doc,
+                                        const std::string& field) {
+  std::vector<SeriesPoint> series;
+  for (const Json& point : doc.at("points").items()) {
+    const Json& axis = point.at("axis_value");
+    if (!axis.is_number()) continue;
+    const Json* y = point.at("model").find(field);
+    if (y == nullptr || !y->is_number()) continue;
+    series.push_back({axis.as_double(), y->as_double()});
+  }
+  return series;
+}
+
+void check_log_envelope(const Json& doc, const std::string& field,
+                        EnvelopeKind kind, double slack) {
+  const auto series = extract_series(doc, field);
+  const std::string exp = doc.at("bench").as_string();
+  if (series.empty()) {
+    fail(exp + "." + field, "no numeric points to fit");
+    return;
+  }
+  const auto fit = dmpc::obs::check_envelope(series, kind, slack);
+  const char* shape = kind == EnvelopeKind::kLogX ? "log2(x)" : "log2(log2(x))";
+  if (!fit.pass) {
+    const auto& worst = series[fit.worst_index];
+    fail(exp + "." + doc.at("axis").as_string() + "=" +
+             std::to_string(static_cast<long long>(worst.x)) + "." + field,
+         fit.detail);
+    return;
+  }
+  std::printf("ok   %s.%s ~ %.2f + %.2f * %s (r^2=%.3f, max residual %.3f "
+              "<= slack %.2f)\n",
+              exp.c_str(), field.c_str(), fit.intercept, fit.slope, shape,
+              fit.r_squared, fit.max_rel_residual, slack);
+}
+
+void check_space_cap(const Json& doc) {
+  std::vector<SeriesPoint> series;
+  std::vector<double> caps;
+  std::vector<std::string> names;
+  for (const Json& point : doc.at("points").items()) {
+    const Json& model = point.at("model");
+    series.push_back({point.at("axis_value").as_double(),
+                      model.at("peak_load").as_double()});
+    caps.push_back(model.at("s_budget").as_double());
+    names.push_back(series_name(doc, point) + ".peak_load");
+  }
+  const auto fit = dmpc::obs::check_cap(series, caps);
+  if (!fit.pass) {
+    fail(names[fit.worst_index], fit.detail);
+    return;
+  }
+  std::printf("ok   %s.peak_load <= s_budget on all %zu points\n",
+              doc.at("bench").as_string().c_str(), series.size());
+}
+
+void check_envelopes(const Json& doc, double slack) {
+  const std::string exp = doc.at("bench").as_string();
+  if (exp == "e1" || exp == "e2") {
+    check_log_envelope(doc, "mpc_rounds", EnvelopeKind::kLogX, slack);
+    check_log_envelope(doc, "iterations", EnvelopeKind::kLogX, slack);
+  } else if (exp == "e6") {
+    check_log_envelope(doc, "lowdeg_rounds", EnvelopeKind::kLogX, slack);
+  } else if (exp == "e8") {
+    check_space_cap(doc);
+  }
+}
+
+/// Gate 2: every model field of every baseline point within `tolerance`
+/// (relative, absolute floor 1) of the measured artifact.
+void compare_to_baseline(const Json& measured, const Json& baseline,
+                         double tolerance) {
+  const int failures_before = g_failures;
+  const std::string exp = measured.at("bench").as_string();
+  const auto& measured_points = measured.at("points").items();
+  const auto& baseline_points = baseline.at("points").items();
+  if (measured_points.size() != baseline_points.size()) {
+    fail(exp + ".points",
+         "point count " + std::to_string(measured_points.size()) +
+             " != baseline " + std::to_string(baseline_points.size()));
+    return;
+  }
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < baseline_points.size(); ++i) {
+    const Json& bp = baseline_points[i];
+    const Json& mp = measured_points[i];
+    const std::string series = series_name(measured, mp);
+    if (axis_value_str(bp) != axis_value_str(mp)) {
+      fail(series, "axis_value mismatch vs baseline " + axis_value_str(bp));
+      continue;
+    }
+    for (const auto& [field, base_value] : bp.at("model").fields()) {
+      if (!base_value.is_number()) continue;
+      const Json* m = mp.at("model").find(field);
+      if (m == nullptr || !m->is_number()) {
+        fail(series + "." + field, "field missing from measured artifact");
+        continue;
+      }
+      const double base = base_value.as_double();
+      const double got = m->as_double();
+      const double limit = tolerance * std::max(1.0, std::fabs(base));
+      if (std::fabs(got - base) > limit) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "measured %.0f vs baseline %.0f (|delta| %.0f > "
+                      "allowed %.1f)",
+                      got, base, std::fabs(got - base), limit);
+        fail(series + "." + field, buf);
+      }
+      ++checked;
+    }
+  }
+  if (g_failures == failures_before) {
+    std::printf("ok   %s: %zu model fields within %.0f%% of baseline\n",
+                exp.c_str(), checked, tolerance * 100);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const double slack = args.get_double("slack", 0.25);
+  const double tolerance = args.get_double("tolerance", 0.10);
+  const std::string baseline_dir = args.get("baseline-dir", "");
+  const std::vector<std::string>& files = args.positional();
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: scaling_check [--baseline-dir=<dir>] [--slack=F] "
+                 "[--tolerance=F] BENCH_*.json...\n");
+    return 2;
+  }
+
+  for (const std::string& file : files) {
+    Json doc;
+    try {
+      doc = Json::parse_file(file);
+    } catch (const dmpc::ParseError& e) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+    std::printf("== %s (%s) ==\n", doc.at("bench").as_string().c_str(),
+                file.c_str());
+    check_envelopes(doc, slack);
+    if (!baseline_dir.empty()) {
+      std::string name = file;
+      const auto slash = name.find_last_of('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      const std::string baseline_path = baseline_dir + "/" + name;
+      try {
+        const Json baseline = Json::parse_file(baseline_path);
+        compare_to_baseline(doc, baseline, tolerance);
+      } catch (const dmpc::ParseError& e) {
+        fail(doc.at("bench").as_string() + ".baseline",
+             baseline_path + ": " + e.what());
+      }
+    }
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "scaling_check: %d failing series\n", g_failures);
+    return 1;
+  }
+  std::printf("scaling_check: all gates passed\n");
+  return 0;
+}
