@@ -12,7 +12,10 @@
 //               "model":    {<integer-exact, thread-independent values>},
 //               "registry": {<model section of the metrics-registry delta
 //                             for this point (obs/metrics_registry.hpp)>},
-//               "wall":     {"wall_ms", "peak_rss_bytes"}}, ...]
+//               "wall":     {"wall_ms", "peak_rss_bytes"},
+//               "profile":  {<per-round load-skew timeline; E1/E2 only
+//                             (obs/profiler.hpp); model-deterministic and
+//                             gated by tools/trace_analyze --gate>}}, ...]
 //
 // Determinism contract: for a fixed (--experiments, --quick) configuration
 // the "model" and "registry" subtrees are byte-identical across runs and
@@ -126,8 +129,9 @@ Json e1_points(const RunConfig& cfg) {
   for (const auto n : sweep_n(cfg)) {
     const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/1);
     PointScope scope;
-    const auto solution =
-        dmpc::Solver(solver_options(cfg)).maximal_matching(g);
+    auto options = solver_options(cfg);
+    options.profile = true;
+    const auto solution = dmpc::Solver(options).maximal_matching(g);
     const auto& r = solution.report;
     points.push(scope.finish(
         Json(n), Json::object()
@@ -136,7 +140,8 @@ Json e1_points(const RunConfig& cfg) {
                      .set("peak_load", r.metrics.peak_machine_load())
                      .set("communication", r.metrics.total_communication())
                      .set("matching_size",
-                          static_cast<std::uint64_t>(solution.matching.size()))));
+                          static_cast<std::uint64_t>(solution.matching.size())))
+                    .set("profile", to_json(r.profile)));
   }
   return points;
 }
@@ -146,7 +151,9 @@ Json e2_points(const RunConfig& cfg) {
   for (const auto n : sweep_n(cfg)) {
     const auto g = dmpc::bench::sweep_gnm(n, /*experiment=*/2);
     PointScope scope;
-    const auto solution = dmpc::Solver(solver_options(cfg)).mis(g);
+    auto options = solver_options(cfg);
+    options.profile = true;
+    const auto solution = dmpc::Solver(options).mis(g);
     const auto& r = solution.report;
     std::uint64_t size = 0;
     for (bool b : solution.in_set) size += b;
@@ -156,7 +163,8 @@ Json e2_points(const RunConfig& cfg) {
                      .set("mpc_rounds", r.metrics.rounds())
                      .set("peak_load", r.metrics.peak_machine_load())
                      .set("communication", r.metrics.total_communication())
-                     .set("mis_size", size)));
+                     .set("mis_size", size))
+                    .set("profile", to_json(r.profile)));
   }
   return points;
 }

@@ -61,6 +61,7 @@ CliSolveOptions parse_solve_options(const ArgParser& args) {
       require_u32_flag(args, "max-retries", options.recovery.max_retries);
   options.recovery.checkpoint =
       parse_checkpoint_mode(args.get("checkpoint", "round"));
+  options.profile = args.has("profile");
   cli.fault_plan_path = args.get("fault-plan", "");
   cli.metrics_out_path = args.get("metrics-out", "");
   return cli;

@@ -40,7 +40,7 @@ struct CliSolveOptions {
 };
 
 /// Parse --eps, --threads, --algorithm, --certify, --max-retries,
-/// --checkpoint, --fault-plan, --metrics-out. Numeric values are parsed
+/// --checkpoint, --profile, --fault-plan, --metrics-out. Numeric values are parsed
 /// strictly (ParseError on garbage/overflow); enum values raise OptionsError
 /// with the matching StatusCode. Flags not present keep SolveOptions
 /// defaults.

@@ -92,32 +92,42 @@ Json to_json(const SolveReport& report) {
   // Only the golden model section of the registry delta enters the report:
   // the recovery section would break the "identical modulo the recovery
   // block" fault contract, and the host section (wall/RSS, executor
-  // scheduling) is non-deterministic by nature.
-  return Json::object()
-      .set("schema_version", kReportSchemaVersion)
-      .set("algorithm", report.algorithm_used)
-      .set("iterations", report.iterations)
-      .set("metrics", to_json(report.metrics))
-      .set("recovery", to_json(report.recovery))
-      .set("sparsify_audit", to_json(report.sparsify))
-      .set("certificate", to_json(report.certificate))
-      .set("registry",
-           obs::to_json_section(report.registry, obs::MetricSection::kModel,
-                                /*include_zero=*/false));
+  // scheduling) is non-deterministic by nature. The optional `profile`
+  // block (and the schema_version 5 that announces it) appears only for
+  // profiled solves, keeping unprofiled output byte-identical to v4.
+  Json json =
+      Json::object()
+          .set("schema_version", report.profile.enabled
+                                     ? kProfiledReportSchemaVersion
+                                     : kReportSchemaVersion)
+          .set("algorithm", report.algorithm_used)
+          .set("iterations", report.iterations)
+          .set("metrics", to_json(report.metrics))
+          .set("recovery", to_json(report.recovery))
+          .set("sparsify_audit", to_json(report.sparsify))
+          .set("certificate", to_json(report.certificate))
+          .set("registry",
+               obs::to_json_section(report.registry, obs::MetricSection::kModel,
+                                    /*include_zero=*/false));
+  if (report.profile.enabled) json.set("profile", to_json(report.profile));
+  return json;
 }
 
 Json to_json(const Report& report) {
-  return Json::object()
-      .set("schema_version", report.schema_version)
-      .set("algorithm", report.algorithm)
-      .set("iterations", report.iterations)
-      .set("metrics", to_json(report.metrics))
-      .set("recovery", to_json(report.recovery))
-      .set("sparsify_audit", to_json(report.sparsify))
-      .set("certificate", to_json(report.certificate))
-      .set("registry",
-           obs::to_json_section(report.registry, obs::MetricSection::kModel,
-                                /*include_zero=*/false));
+  Json json =
+      Json::object()
+          .set("schema_version", report.schema_version)
+          .set("algorithm", report.algorithm)
+          .set("iterations", report.iterations)
+          .set("metrics", to_json(report.metrics))
+          .set("recovery", to_json(report.recovery))
+          .set("sparsify_audit", to_json(report.sparsify))
+          .set("certificate", to_json(report.certificate))
+          .set("registry",
+               obs::to_json_section(report.registry, obs::MetricSection::kModel,
+                                    /*include_zero=*/false));
+  if (report.profile.enabled) json.set("profile", to_json(report.profile));
+  return json;
 }
 
 std::string Solver::report_json(const SolveReport& solve_report) const {

@@ -16,6 +16,7 @@
 #include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
 #include "verify/certificate.hpp"
 
 namespace dmpc::obs {
@@ -61,6 +62,14 @@ struct SolveOptions {
   mpc::RecoveryOptions recovery;
   /// Optional tracing sink (non-owning; null = tracing off, zero cost).
   obs::TraceSession* trace = nullptr;
+  /// Round profiler: record the per-round load-skew timeline (per-machine
+  /// load observations folded into max/mean/Gini/top-k records — see
+  /// obs/profiler.hpp) and embed it as the report's `profile` block
+  /// (schema_version 5). The profile is model-deterministic: byte-identical
+  /// across thread counts and admissible fault plans. Off by default; when
+  /// off, reports and traces are byte-identical to a build without the
+  /// profiler.
+  bool profile = false;
   /// Checked mode: kOff returns the answer uncertified (zero cost); kAnswer
   /// certifies the answer itself (MIS/matching claims + space accounting);
   /// kFull additionally certifies the sparsifier invariants, metrics
@@ -89,6 +98,9 @@ struct SolveReport {
   /// report JSON (as the "registry" block); recovery/host sections are for
   /// benches and --metrics-out.
   obs::MetricsSnapshot registry;
+  /// Skew-timeline snapshot (enabled == false unless SolveOptions::profile
+  /// was set). Model-deterministic; serialized as the `profile` block.
+  obs::ProfileSnapshot profile;
 };
 
 /// Version of the serialized report schema. Bumped to 2 when the
@@ -96,7 +108,14 @@ struct SolveReport {
 /// "certificate" and "sparsify_audit" blocks were added, and to 4 when the
 /// "registry" block (model-section metrics-registry delta) was added;
 /// downstream parsers should branch on this rather than sniffing keys.
+/// Version 5 adds the optional `profile` block (round-profiler skew
+/// timeline): a report carries schema_version 5 exactly when it was solved
+/// with SolveOptions::profile on, so unprofiled output stays byte-identical
+/// to version 4.
 inline constexpr std::uint32_t kReportSchemaVersion = 4;
+
+/// Schema version of reports carrying the `profile` block.
+inline constexpr std::uint32_t kProfiledReportSchemaVersion = 5;
 
 /// The typed, versioned view of a SolveReport that Solver::report() returns;
 /// serialize with to_json(report) / Solver::report_json(). Downstream
@@ -110,6 +129,7 @@ struct Report {
   verify::SparsifyAudit sparsify;
   verify::Certificate certificate;  ///< Empty when certify == kOff.
   obs::MetricsSnapshot registry;    ///< Per-solve registry delta.
+  obs::ProfileSnapshot profile;     ///< Skew timeline (when profiled).
 };
 
 struct MisSolution {

@@ -79,6 +79,8 @@ const char* status_code_name(StatusCode code) {
       return "unrecoverable_fault";
     case StatusCode::kInvalidCertifyMode:
       return "invalid_certify_mode";
+    case StatusCode::kIoError:
+      return "io_error";
   }
   return "unknown";
 }
@@ -201,6 +203,10 @@ Report Solver::report(const SolveReport& solve_report) const {
   report.sparsify = solve_report.sparsify;
   report.certificate = solve_report.certificate;
   report.registry = solve_report.registry;
+  report.profile = solve_report.profile;
+  report.schema_version = solve_report.profile.enabled
+                              ? kProfiledReportSchemaVersion
+                              : kReportSchemaVersion;
   return report;
 }
 
@@ -209,6 +215,7 @@ void Solver::capture_registry_delta(const obs::MetricsSnapshot& before,
   auto& registry = obs::MetricsRegistry::global();
   report->metrics.export_to(registry);
   report->recovery.export_to(registry);
+  report->profile.export_to(registry);
   obs::sample_host(registry);
   report->registry = obs::MetricsSnapshot::delta(registry.snapshot(), before);
   last_snapshot_ = report->registry;
@@ -239,11 +246,14 @@ MisSolution Solver::mis(const graph::Graph& g) const {
   require_valid();
   const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   MisSolution solution;
+  obs::RoundProfiler profiler;
+  obs::RoundProfiler* prof = options_.profile ? &profiler : nullptr;
   const bool lowdeg =
       options_.algorithm == Algorithm::kLowDegree ||
       (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
   if (lowdeg) {
     auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
+    config.profiler = prof;
     auto result = lowdeg::lowdeg_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "lowdeg";
@@ -252,6 +262,7 @@ MisSolution Solver::mis(const graph::Graph& g) const {
     solution.report.recovery = result.recovery;
   } else {
     auto config = pipeline_config<mis::DetMisConfig>(options_);
+    config.profiler = prof;
     auto result = mis::det_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "sparsification";
@@ -264,6 +275,7 @@ MisSolution Solver::mis(const graph::Graph& g) const {
                  return r.qprime_max_degree;
                });
   }
+  if (prof != nullptr) solution.report.profile = prof->snapshot();
   capture_registry_delta(before, &solution.report);
   finalize_mis_certificate(g, &solution);
   return solution;
@@ -273,11 +285,14 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
   require_valid();
   const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   MatchingSolution solution;
+  obs::RoundProfiler profiler;
+  obs::RoundProfiler* prof = options_.profile ? &profiler : nullptr;
   const bool lowdeg =
       options_.algorithm == Algorithm::kLowDegree ||
       (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
   if (lowdeg) {
     auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
+    config.profiler = prof;
     auto result = lowdeg::lowdeg_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "lowdeg";
@@ -286,6 +301,7 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
     solution.report.recovery = result.line_mis.recovery;
   } else {
     auto config = pipeline_config<matching::DetMatchingConfig>(options_);
+    config.profiler = prof;
     auto result = matching::det_maximal_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "sparsification";
@@ -298,6 +314,7 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
                  return r.estar_max_degree;
                });
   }
+  if (prof != nullptr) solution.report.profile = prof->snapshot();
   capture_registry_delta(before, &solution.report);
   finalize_matching_certificate(g, &solution);
   return solution;

@@ -29,6 +29,7 @@ enum class StatusCode {
   kInvalidRetryBudget,   ///< max_retries/backoff_rounds out of range.
   kUnrecoverableFault,   ///< plan provably exceeds the recovery policy.
   kInvalidCertifyMode,   ///< unknown certify mode name (CLI parsing).
+  kIoError,              ///< cannot open an output file (--metrics-out, --trace).
 };
 
 /// Short stable name for a code ("invalid_eps", ...), for logs and tests.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
@@ -13,6 +14,9 @@ FixResult fix_seed(mpc::Cluster& cluster, const ConditionalObjective& objective,
   std::vector<std::uint64_t> prefix;
   prefix.reserve(space.chunk_count());
   FixResult result;
+  // The CE sweep dominates host cost (ROADMAP item 3): scope it so kHost
+  // counters (wall/cpu/alloc) and opted-in trace counter events record it.
+  obs::HostScope host_scope("derand/ce_sweep", cluster.trace());
   obs::Span span(cluster.trace(), options.label);
   std::uint64_t candidates_swept = 0;
   for (unsigned chunk = 0; chunk < space.chunk_count(); ++chunk) {

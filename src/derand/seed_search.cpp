@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 
@@ -76,6 +77,7 @@ std::uint64_t effective_stride(std::uint64_t stride, std::uint64_t seed_count) {
 SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
                        std::uint64_t seed_count, const SearchOptions& options) {
   DMPC_CHECK(seed_count >= 1);
+  obs::HostScope host_scope("derand/seed_search", cluster.trace());
   obs::Span span(cluster.trace(), options.label);
   const std::uint64_t k = std::max<std::uint64_t>(
       1, std::min(options.candidates_per_batch, cluster.space()));
@@ -130,6 +132,7 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
                             std::uint64_t seed_count, std::uint64_t budget,
                             const std::string& label) {
   DMPC_CHECK(seed_count >= 1 && budget >= 1);
+  obs::HostScope host_scope("derand/seed_search", cluster.trace());
   obs::Span span(cluster.trace(), label);
   const std::uint64_t limit = std::min(seed_count, budget);
   const std::uint64_t k =

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.hpp"
 
 #include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
 
 namespace dmpc::exec {
 
@@ -24,6 +25,9 @@ ThreadPool::ThreadPool(std::uint32_t threads) {
   tasks_metric_ = &registry.counter("exec/pool_tasks", host);
   steals_metric_ = &registry.counter("exec/steals", host);
   imbalance_metric_ = &registry.gauge("exec/imbalance_max_tasks", host);
+  cpu_metric_ = &registry.counter("exec/task_cpu_ns", host);
+  allocs_metric_ = &registry.counter("exec/task_allocs", host);
+  alloc_bytes_metric_ = &registry.counter("exec/task_alloc_bytes", host);
   registry.gauge("exec/pool_threads", host)
       .record_max(static_cast<std::int64_t>(threads));
   const std::uint32_t workers = threads <= 1 ? 0 : threads - 1;
@@ -45,6 +49,11 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::claim_tasks(const std::function<void(std::uint64_t)>& task,
                              std::uint64_t tasks, bool is_worker) {
   WorkerScope scope;
+  // Per-batch host profiling at the task boundary: thread-CPU time and
+  // allocation deltas for the claim loop land in kHost counters (one clock
+  // read + tally snapshot per batch per thread, not per task).
+  const std::uint64_t cpu_begin = obs::thread_cpu_time_ns();
+  const obs::AllocCounters alloc_begin = obs::thread_alloc_counters();
   std::uint64_t claimed = 0;
   while (true) {
     const std::uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
@@ -58,6 +67,10 @@ void ThreadPool::claim_tasks(const std::function<void(std::uint64_t)>& task,
   tasks_metric_->add(claimed);
   if (is_worker) steals_metric_->add(claimed);
   imbalance_metric_->record_max(static_cast<std::int64_t>(claimed));
+  const obs::AllocCounters alloc_end = obs::thread_alloc_counters();
+  cpu_metric_->add(obs::thread_cpu_time_ns() - cpu_begin);
+  allocs_metric_->add(alloc_end.allocations - alloc_begin.allocations);
+  alloc_bytes_metric_->add(alloc_end.bytes - alloc_begin.bytes);
 }
 
 void ThreadPool::worker_loop() {

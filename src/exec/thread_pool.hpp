@@ -87,6 +87,9 @@ class ThreadPool {
   obs::Counter* tasks_metric_ = nullptr;    ///< exec/pool_tasks
   obs::Counter* steals_metric_ = nullptr;   ///< exec/steals (worker-claimed)
   obs::Gauge* imbalance_metric_ = nullptr;  ///< exec/imbalance_max_tasks
+  obs::Counter* cpu_metric_ = nullptr;      ///< exec/task_cpu_ns
+  obs::Counter* allocs_metric_ = nullptr;   ///< exec/task_allocs
+  obs::Counter* alloc_bytes_metric_ = nullptr;  ///< exec/task_alloc_bytes
 };
 
 }  // namespace dmpc::exec

@@ -50,6 +50,7 @@ LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
       cluster_config_for(config, g.num_nodes(), g.num_edges(), g.max_degree()),
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   return lowdeg_mis(cluster, g, config);
@@ -58,6 +59,7 @@ LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
 LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
                            const LowDegConfig& config) {
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   LowDegMisResult result;
   result.in_set.assign(g.num_nodes(), false);
   if (g.num_nodes() == 0) return result;
@@ -151,6 +153,7 @@ LowDegMatchingResult lowdeg_matching(const Graph& g,
                          lg.max_degree()),
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   cluster.charge_recoverable(1, "lowdeg/line_graph");

@@ -18,6 +18,7 @@
 #include "mpc/metrics.hpp"
 
 namespace dmpc::obs {
+class RoundProfiler;
 class TraceSession;
 }
 
@@ -44,6 +45,9 @@ struct LowDegConfig {
   mpc::RecoveryOptions recovery;
   /// Optional trace session (non-owning); null = tracing off.
   obs::TraceSession* trace = nullptr;
+  /// Optional round profiler (non-owning; null = off); attached to the
+  /// cluster alongside `trace`.
+  obs::RoundProfiler* profiler = nullptr;
 };
 
 struct LowDegMisResult {

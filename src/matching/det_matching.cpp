@@ -181,6 +181,7 @@ DetMatchingResult det_maximal_matching(const Graph& g,
       cluster_config_for(config, g.num_nodes(), g.num_edges()),
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   return det_maximal_matching(cluster, g, config);
@@ -189,6 +190,7 @@ DetMatchingResult det_maximal_matching(const Graph& g,
 DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
                                        const DetMatchingConfig& config) {
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   const sparsify::Params params = params_for(config, g.num_nodes());
   DetMatchingResult result;
   std::vector<bool> alive(g.num_nodes(), true);

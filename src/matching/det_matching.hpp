@@ -27,6 +27,7 @@
 #include "sparsify/params.hpp"
 
 namespace dmpc::obs {
+class RoundProfiler;
 class TraceSession;
 }
 
@@ -81,6 +82,9 @@ struct DetMatchingConfig {
   /// Optional trace session (non-owning); spans and progress events are
   /// emitted when set. Null = tracing off (zero cost).
   obs::TraceSession* trace = nullptr;
+  /// Optional round profiler (non-owning; null = off); attached to the
+  /// cluster alongside `trace`.
+  obs::RoundProfiler* profiler = nullptr;
 };
 
 struct IterationReport {

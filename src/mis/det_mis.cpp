@@ -174,6 +174,7 @@ DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
       cluster_config_for(config, g.num_nodes(), g.num_edges()),
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   return det_mis(cluster, g, config);
@@ -182,6 +183,7 @@ DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
 DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
                      const DetMisConfig& config) {
   if (config.trace != nullptr) cluster.set_trace(config.trace);
+  if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   obs::Span pipeline_span(cluster.trace(), "mis/pipeline");
   const sparsify::Params params = params_for(config, g.num_nodes());
   DetMisResult result;

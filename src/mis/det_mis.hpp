@@ -25,6 +25,7 @@
 #include "sparsify/params.hpp"
 
 namespace dmpc::obs {
+class RoundProfiler;
 class TraceSession;
 }
 
@@ -56,6 +57,9 @@ struct DetMisConfig {
   mpc::RecoveryOptions recovery;
   /// Optional trace session (non-owning); null = tracing off.
   obs::TraceSession* trace = nullptr;
+  /// Optional round profiler (non-owning; null = off); attached to the
+  /// cluster alongside `trace`.
+  obs::RoundProfiler* profiler = nullptr;
 };
 
 struct MisIterationReport {

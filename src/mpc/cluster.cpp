@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/math.hpp"
 
@@ -74,6 +75,7 @@ std::string machine_tag(std::uint64_t machine) {
 void Cluster::check_load(std::uint64_t words, const std::string& what,
                          const std::string& label, std::uint64_t machine) {
   metrics_.observe_load(words, label);
+  if (profiler_ != nullptr) profiler_->observe_load(words, machine);
   if (config_.enforce_space) {
     DMPC_CHECK_MSG(words <= config_.machine_space,
                    what << ": machine load exceeds S [machine="
@@ -128,6 +130,10 @@ void Cluster::route_and_deliver(std::vector<std::vector<Message>>& outboxes,
                label, i);
   }
   metrics_.charge_rounds(1, label);
+  if (profiler_ != nullptr) {
+    profiler_->commit(label, metrics_.rounds(), 1,
+                      metrics_.total_communication());
+  }
 }
 
 void Cluster::note_checkpoint(const std::string& label, std::uint64_t words) {
@@ -241,6 +247,10 @@ void Cluster::charge_recoverable(std::uint64_t rounds, const std::string& label,
                                  std::uint64_t state_words) {
   run_with_recovery(label, rounds, state_words, [] {});
   metrics_.charge_rounds(rounds, label);
+  if (profiler_ != nullptr) {
+    profiler_->commit(label, metrics_.rounds(), rounds,
+                      metrics_.total_communication());
+  }
 }
 
 void Cluster::step(const std::function<void(MachineContext&)>& compute,

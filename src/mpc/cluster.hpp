@@ -34,6 +34,7 @@
 #include "support/check.hpp"
 
 namespace dmpc::obs {
+class RoundProfiler;
 class TraceSession;
 }
 
@@ -111,6 +112,15 @@ class Cluster {
   /// deltas; every instrumented call site reaches the session through here.
   void set_trace(obs::TraceSession* trace);
   obs::TraceSession* trace() const { return trace_; }
+
+  /// Attach a round profiler (non-owning; null detaches). check_load()
+  /// forwards every observation and each round charge commits a window, so
+  /// the profiler sees the skew timeline the aggregate Metrics erases. All
+  /// hooks run on the orchestrating thread, and faulted attempts never
+  /// charge Metrics, so the profile is byte-identical across thread counts
+  /// and admissible fault plans (same contract as kModel metrics).
+  void set_profiler(obs::RoundProfiler* profiler) { profiler_ = profiler; }
+  obs::RoundProfiler* profiler() const { return profiler_; }
 
   /// Host executor for per-machine local computation (default: serial). The
   /// model is unchanged — the simulated machines are independent within a
@@ -229,6 +239,7 @@ class Cluster {
   ClusterConfig config_;
   Metrics metrics_;
   obs::TraceSession* trace_ = nullptr;
+  obs::RoundProfiler* profiler_ = nullptr;
   exec::Executor executor_;
   std::vector<std::vector<Word>> locals_;
   FaultPlan fault_plan_;

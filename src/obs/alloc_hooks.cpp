@@ -1,0 +1,115 @@
+// Replaceable global operator new/delete that tally per-thread allocation
+// counts and bytes into obs::detail::g_alloc_tally (profiler.hpp).
+//
+// This TU is linked only in plain builds: CMake drops it when DMPC_SANITIZE
+// is set or DMPC_FUZZ is on, because ASan/TSan and libFuzzer intercept the
+// global allocator themselves and a second replacement either conflicts or
+// silently disables their bookkeeping. Without this TU the tally stays zero
+// and HostScope reports 0 allocs — a documented degradation, not an error.
+//
+// The tally is a constant-initialized thread_local POD, so bumping it never
+// allocates and is safe from the very first allocation in the process.
+#include <cstdlib>
+#include <new>
+
+#include "obs/profiler.hpp"
+
+namespace {
+
+void* tallied_alloc(std::size_t size) noexcept {
+  // malloc(0) may return nullptr legitimately; operator new must return a
+  // unique pointer, so round up.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) {
+    auto& tally = dmpc::obs::detail::g_alloc_tally;
+    tally.allocations += 1;
+    tally.bytes += size;
+  }
+  return p;
+}
+
+void* tallied_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  auto& tally = dmpc::obs::detail::g_alloc_tally;
+  tally.allocations += 1;
+  tally.bytes += size;
+  return p;
+}
+
+void tallied_free(void* p) noexcept {
+  if (p == nullptr) return;
+  dmpc::obs::detail::g_alloc_tally.frees += 1;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = tallied_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = tallied_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return tallied_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return tallied_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = tallied_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = tallied_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return tallied_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return tallied_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { tallied_free(p); }
+void operator delete[](void* p) noexcept { tallied_free(p); }
+void operator delete(void* p, std::size_t) noexcept { tallied_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { tallied_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  tallied_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  tallied_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { tallied_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { tallied_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  tallied_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  tallied_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  tallied_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  tallied_free(p);
+}

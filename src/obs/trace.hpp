@@ -100,6 +100,12 @@ class TraceSession {
   /// Counter sample (rendered as a counter track by the Chrome exporter).
   void counter(const std::string& name, std::vector<TraceArg> args);
 
+  /// Opt into host-side profiler counter events (HostScope). Off by
+  /// default: host counters are wall-clock/allocator noise and would break
+  /// the byte-identity of golden traces.
+  void enable_host_counters(bool on) { host_counters_ = on; }
+  bool host_counters_enabled() const { return active() && host_counters_; }
+
   /// Flush the sink. Call once after the traced run completes.
   void finish();
 
@@ -120,6 +126,7 @@ class TraceSession {
 
   TraceSink* sink_ = nullptr;
   const mpc::Metrics* metrics_ = nullptr;
+  bool host_counters_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_span_ = 1;
   std::vector<std::uint64_t> stack_;  ///< Open span ids, outermost first.

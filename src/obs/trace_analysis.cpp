@@ -1,0 +1,332 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/parse_error.hpp"
+
+namespace dmpc::obs {
+
+namespace {
+
+std::uint64_t arg_u64(const Json& args, const char* key) {
+  const Json* v = args.find(key);
+  if (v == nullptr || !v->is_number()) return 0;
+  return v->is_int() ? static_cast<std::uint64_t>(v->as_int64())
+                     : static_cast<std::uint64_t>(v->as_double());
+}
+
+struct Builder {
+  TraceAnalysis out;
+  std::vector<std::size_t> stack;
+
+  std::size_t open(std::string name, std::uint64_t begin_wall) {
+    AnalyzedSpan span;
+    span.name = std::move(name);
+    span.parent = stack.empty() ? kNoSpan : stack.back();
+    span.depth = static_cast<std::uint32_t>(stack.size());
+    span.wall_ns = begin_wall;  // holds the begin timestamp until close()
+    const std::size_t index = out.spans.size();
+    if (span.parent == kNoSpan) {
+      out.roots.push_back(index);
+    } else {
+      out.spans[span.parent].children.push_back(index);
+    }
+    out.spans.push_back(std::move(span));
+    stack.push_back(index);
+    return index;
+  }
+
+  void close(std::uint64_t end_wall, const Json* args) {
+    if (stack.empty()) return;  // truncated stream: ignore stray ends
+    AnalyzedSpan& span = out.spans[stack.back()];
+    stack.pop_back();
+    span.wall_ns = end_wall >= span.wall_ns ? end_wall - span.wall_ns : 0;
+    if (args != nullptr) {
+      span.rounds = arg_u64(*args, "rounds");
+      span.communication = arg_u64(*args, "communication");
+    }
+  }
+
+  /// Primitive instants (trace_primitive) carry their own round charge;
+  /// model them as zero-duration leaves so they can sit on the critical
+  /// path. Instants without a rounds arg are progress markers — skipped.
+  void leaf(std::string name, const Json* args) {
+    if (args == nullptr || arg_u64(*args, "rounds") == 0) return;
+    const std::size_t index = open(std::move(name), 0);
+    out.spans[index].from_instant = true;
+    AnalyzedSpan& span = out.spans[index];
+    span.rounds = arg_u64(*args, "rounds");
+    span.communication = arg_u64(*args, "communication");
+    span.wall_ns = 0;
+    stack.pop_back();
+  }
+
+  TraceAnalysis finish() {
+    while (!stack.empty()) close(0, nullptr);  // tolerate truncated traces
+    for (AnalyzedSpan& span : out.spans) {
+      std::uint64_t child_rounds = 0;
+      std::uint64_t child_wall = 0;
+      for (std::size_t c : span.children) {
+        child_rounds += out.spans[c].rounds;
+        child_wall += out.spans[c].wall_ns;
+      }
+      span.self_rounds = span.rounds >= child_rounds
+                             ? span.rounds - child_rounds
+                             : 0;
+      span.self_wall_ns = span.wall_ns >= child_wall
+                              ? span.wall_ns - child_wall
+                              : 0;
+      if (span.wall_ns > 0) out.has_wall = true;
+    }
+    for (std::size_t r : out.roots) {
+      out.total_rounds += out.spans[r].rounds;
+      out.total_wall_ns += out.spans[r].wall_ns;
+    }
+    return std::move(out);
+  }
+};
+
+TraceAnalysis analyze_jsonl(const std::string& text) {
+  Builder builder;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const Json event = Json::parse(line);
+    const std::string type = event.at("type").as_string();
+    const std::uint64_t ts = arg_u64(event, "ts_ns");
+    const Json* args = event.find("args");
+    if (type == "begin") {
+      builder.open(event.at("name").as_string(), ts);
+    } else if (type == "end") {
+      builder.close(ts, args);
+    } else if (type == "instant") {
+      builder.leaf(event.at("name").as_string(), args);
+    }  // counters carry no tree structure
+  }
+  return builder.finish();
+}
+
+TraceAnalysis analyze_chrome(const Json& doc) {
+  Builder builder;
+  for (const Json& event : doc.at("traceEvents").items()) {
+    const std::string ph = event.at("ph").as_string();
+    const Json* ts_field = event.find("ts");
+    const std::uint64_t ts =
+        ts_field != nullptr && ts_field->is_number()
+            ? static_cast<std::uint64_t>(ts_field->as_double() * 1000.0)
+            : 0;
+    const Json* args = event.find("args");
+    if (ph == "B") {
+      builder.open(event.at("name").as_string(), ts);
+    } else if (ph == "E") {
+      builder.close(ts, args);
+    } else if (ph == "i") {
+      builder.leaf(event.at("name").as_string(), args);
+    }  // "C" counter samples carry no tree structure
+  }
+  return builder.finish();
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace_text(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    throw ParseError(ParseErrorCode::kMalformedLine, "empty trace");
+  }
+  // A Chrome trace is one JSON document with a traceEvents array; JSONL
+  // lines are objects too, so sniff the key rather than the first byte.
+  if (text.compare(first, 1, "{") == 0 &&
+      text.find("\"traceEvents\"") != std::string::npos) {
+    return analyze_chrome(Json::parse(text));
+  }
+  return analyze_jsonl(text);
+}
+
+namespace {
+
+bool use_rounds_weight(const TraceAnalysis& analysis, PathWeight weight) {
+  if (weight == PathWeight::kRounds) return true;
+  if (weight == PathWeight::kWall) return false;
+  return analysis.total_rounds > 0;
+}
+
+std::uint64_t weight_of(const AnalyzedSpan& span, bool use_rounds, bool self) {
+  if (use_rounds) return self ? span.self_rounds : span.rounds;
+  return self ? span.self_wall_ns : span.wall_ns;
+}
+
+std::uint64_t weight_of(const TraceAnalysis& analysis, const AnalyzedSpan& span,
+                        bool self) {
+  return weight_of(span, use_rounds_weight(analysis, PathWeight::kAuto), self);
+}
+
+}  // namespace
+
+std::vector<CriticalPathEntry> critical_path(const TraceAnalysis& analysis,
+                                             PathWeight weight) {
+  std::vector<CriticalPathEntry> path;
+  if (analysis.spans.empty()) return path;
+  const bool use_rounds = use_rounds_weight(analysis, weight);
+  std::size_t current = kNoSpan;
+  std::uint64_t best = 0;
+  for (std::size_t r : analysis.roots) {
+    const std::uint64_t w = weight_of(analysis.spans[r], use_rounds, false);
+    if (current == kNoSpan || w > best) {
+      current = r;
+      best = w;
+    }
+  }
+  while (current != kNoSpan) {
+    const AnalyzedSpan& span = analysis.spans[current];
+    path.push_back({current, weight_of(span, use_rounds, false),
+                    weight_of(span, use_rounds, true)});
+    std::size_t next = kNoSpan;
+    std::uint64_t next_weight = 0;
+    for (std::size_t c : span.children) {
+      const std::uint64_t w = weight_of(analysis.spans[c], use_rounds, false);
+      if (next == kNoSpan || w > next_weight) {
+        next = c;
+        next_weight = w;
+      }
+    }
+    // Stop when the remaining weight is in this span's own work rather
+    // than any child: the path ends at the heaviest contributor.
+    if (next == kNoSpan || next_weight == 0) break;
+    current = next;
+  }
+  return path;
+}
+
+std::vector<HotSpan> hot_spans(const TraceAnalysis& analysis) {
+  std::map<std::string, HotSpan> by_name;
+  for (const AnalyzedSpan& span : analysis.spans) {
+    HotSpan& hot = by_name[span.name];
+    hot.name = span.name;
+    hot.count += 1;
+    hot.self_rounds += span.self_rounds;
+    hot.self_wall_ns += span.self_wall_ns;
+    hot.communication += span.communication;
+  }
+  std::vector<HotSpan> out;
+  out.reserve(by_name.size());
+  for (auto& [name, hot] : by_name) out.push_back(std::move(hot));
+  const bool use_rounds = analysis.total_rounds > 0;
+  std::sort(out.begin(), out.end(),
+            [use_rounds](const HotSpan& a, const HotSpan& b) {
+              const std::uint64_t wa = use_rounds ? a.self_rounds : a.self_wall_ns;
+              const std::uint64_t wb = use_rounds ? b.self_rounds : b.self_wall_ns;
+              if (wa != wb) return wa > wb;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string folded_stacks(const TraceAnalysis& analysis) {
+  std::map<std::string, std::uint64_t> folded;
+  std::vector<std::string> names(analysis.spans.size());
+  for (std::size_t i = 0; i < analysis.spans.size(); ++i) {
+    const AnalyzedSpan& span = analysis.spans[i];
+    names[i] = span.parent == kNoSpan ? span.name
+                                      : names[span.parent] + ";" + span.name;
+    const std::uint64_t self = weight_of(analysis, span, true);
+    if (self > 0) folded[names[i]] += self;
+  }
+  std::string out;
+  for (const auto& [stack, weight] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(weight);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Profile skew gate
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t gate_limit(const Json& thresholds, const std::string& label,
+                         const char* key, std::uint64_t fallback) {
+  std::uint64_t limit = fallback;
+  if (const Json* v = thresholds.find(key); v != nullptr && v->is_number()) {
+    limit = static_cast<std::uint64_t>(v->as_int64());
+  }
+  const Json* labels = thresholds.find("labels");
+  if (labels != nullptr && !label.empty()) {
+    if (const Json* entry = labels->find(label); entry != nullptr) {
+      if (const Json* v = entry->find(key); v != nullptr && v->is_number()) {
+        limit = static_cast<std::uint64_t>(v->as_int64());
+      }
+    }
+  }
+  return limit;
+}
+
+constexpr std::uint64_t kNoLimit = ~0ull;
+
+}  // namespace
+
+std::vector<GateViolation> check_profile_gate(const Json& profile,
+                                              const Json& thresholds,
+                                              const std::string& context) {
+  std::vector<GateViolation> violations;
+  const std::string prefix = context.empty() ? "" : context + ".";
+  if (const Json* labels = profile.find("by_label"); labels != nullptr) {
+    for (const auto& [label, summary] : labels->fields()) {
+      const std::uint64_t cap =
+          gate_limit(thresholds, label, "max_gini_ppm", kNoLimit);
+      const std::uint64_t gini = arg_u64(summary, "gini_max_ppm");
+      if (gini > cap) {
+        violations.push_back(
+            {prefix + label, "gini_max_ppm " + std::to_string(gini) +
+                                 " > limit " + std::to_string(cap)});
+      }
+    }
+  }
+  if (const Json* ring = profile.find("ring"); ring != nullptr) {
+    for (const Json& record : ring->items()) {
+      const std::string label =
+          record.find("label") != nullptr ? record.at("label").as_string() : "";
+      const std::string rounds = "rounds [" +
+                                 std::to_string(arg_u64(record, "round_begin")) +
+                                 ", " +
+                                 std::to_string(arg_u64(record, "round_end")) +
+                                 ")";
+      const std::uint64_t gini_cap =
+          gate_limit(thresholds, label, "max_gini_ppm", kNoLimit);
+      if (const std::uint64_t gini = arg_u64(record, "gini_ppm");
+          gini > gini_cap) {
+        violations.push_back({prefix + label + " " + rounds,
+                              "gini_ppm " + std::to_string(gini) + " > limit " +
+                                  std::to_string(gini_cap)});
+      }
+      const std::uint64_t load_cap =
+          gate_limit(thresholds, label, "max_load_max", kNoLimit);
+      if (const std::uint64_t load = arg_u64(record, "load_max");
+          load > load_cap) {
+        violations.push_back({prefix + label + " " + rounds,
+                              "load_max " + std::to_string(load) + " > limit " +
+                                  std::to_string(load_cap)});
+      }
+      const std::uint64_t comm_cap =
+          gate_limit(thresholds, label, "max_record_comm_words", kNoLimit);
+      if (const std::uint64_t comm = arg_u64(record, "comm_words");
+          comm > comm_cap) {
+        violations.push_back({prefix + label + " " + rounds,
+                              "comm_words " + std::to_string(comm) +
+                                  " > limit " + std::to_string(comm_cap)});
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dmpc::obs

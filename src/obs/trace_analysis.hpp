@@ -1,0 +1,111 @@
+// Offline trace analysis: span-tree reconstruction, round-DAG critical
+// path, hot-span aggregation, folded flamegraph stacks, and the profile
+// skew gate. This is the library behind tools/trace_analyze; it lives in
+// the obs layer so tests can drive it without shelling out.
+//
+// Both serialized trace formats are accepted:
+//  * JSONL (JsonlTraceSink): one event per line with explicit span/parent
+//    ids; golden traces omit ts_ns, so analysis weights default to the
+//    model-side `rounds` span args — deterministic on golden fixtures.
+//  * Chrome trace-event JSON (ChromeTraceSink): B/E nesting on one thread
+//    reconstructs the same tree.
+//
+// Weighting: a Span's end event reports the rounds/communication delta over
+// its whole lifetime, i.e. *inclusive* of nested spans; instants emitted by
+// trace_primitive carry their own rounds and become leaf nodes. Self weight
+// is inclusive minus the children's inclusive weights. The critical path
+// follows the max-inclusive-weight child from the heaviest root; rounds are
+// the primary weight and wall time the fallback when the trace has no round
+// args at all (a host-only trace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace dmpc::obs {
+
+constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+struct AnalyzedSpan {
+  std::string name;
+  std::size_t parent = kNoSpan;       ///< Index into TraceAnalysis::spans.
+  std::vector<std::size_t> children;  ///< In emission order.
+  std::uint64_t rounds = 0;           ///< Inclusive of children.
+  std::uint64_t communication = 0;    ///< Inclusive of children.
+  std::uint64_t wall_ns = 0;          ///< Inclusive duration (0 if no ts).
+  std::uint64_t self_rounds = 0;
+  std::uint64_t self_wall_ns = 0;
+  std::uint32_t depth = 0;
+  bool from_instant = false;  ///< Leaf synthesized from a primitive instant.
+};
+
+struct TraceAnalysis {
+  std::vector<AnalyzedSpan> spans;   ///< Emission order; parents precede.
+  std::vector<std::size_t> roots;
+  std::uint64_t total_rounds = 0;    ///< Sum of root-inclusive rounds.
+  std::uint64_t total_wall_ns = 0;
+  bool has_wall = false;             ///< Any nonzero timestamps seen.
+};
+
+/// Parse a serialized trace, auto-detecting JSONL vs Chrome JSON.
+/// Throws ParseError on malformed input.
+TraceAnalysis analyze_trace_text(const std::string& text);
+
+struct CriticalPathEntry {
+  std::size_t span = kNoSpan;
+  std::uint64_t inclusive = 0;  ///< Weight of the subtree rooted here.
+  std::uint64_t self = 0;       ///< Weight not covered by children.
+};
+
+/// What the critical path follows. kAuto uses rounds when the trace carries
+/// round args (the model-side DAG) and wall time otherwise; kWall forces the
+/// host-side view, which surfaces wall-dominant spans (e.g. the derand CE
+/// sweep) that charge few model rounds.
+enum class PathWeight { kAuto, kRounds, kWall };
+
+/// Heaviest root-to-leaf chain by inclusive weight. Ties break toward the
+/// earlier child, so the path is deterministic for a deterministic trace.
+std::vector<CriticalPathEntry> critical_path(
+    const TraceAnalysis& analysis, PathWeight weight = PathWeight::kAuto);
+
+struct HotSpan {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t self_rounds = 0;
+  std::uint64_t self_wall_ns = 0;
+  std::uint64_t communication = 0;  ///< Inclusive, summed over instances.
+};
+
+/// Aggregate spans by name, sorted by self weight descending (name
+/// ascending on ties).
+std::vector<HotSpan> hot_spans(const TraceAnalysis& analysis);
+
+/// Folded flamegraph stacks ("root;child;leaf <self-weight>" lines, one per
+/// distinct stack with nonzero self weight, sorted by stack string).
+/// Feed to any FlameGraph-compatible renderer.
+std::string folded_stacks(const TraceAnalysis& analysis);
+
+// ---------------------------------------------------------------------------
+// Profile skew gate
+// ---------------------------------------------------------------------------
+
+struct GateViolation {
+  std::string series;  ///< "<context>.<label>" or a round range.
+  std::string detail;
+};
+
+/// Evaluate a report's `profile` block against a threshold document:
+///   { "max_gini_ppm": N,            // per-label Gini cap (ppm)
+///     "max_load_max": N,            // optional peak single-window load cap
+///     "max_record_comm_words": N,   // optional per-record communication cap
+///     "labels": { "<label>": { "max_gini_ppm": N } } }  // overrides
+/// Violations name the offending label and — for ring records — the round
+/// range [round_begin, round_end). `context` prefixes the series names.
+std::vector<GateViolation> check_profile_gate(const Json& profile,
+                                              const Json& thresholds,
+                                              const std::string& context);
+
+}  // namespace dmpc::obs

@@ -8,18 +8,15 @@ namespace dmpc {
 
 namespace {
 
-/// Initial threshold: DMPC_LOG_LEVEL=debug|info|warn|error|off if set and
-/// recognized, else Warn. Read once, before any logging call.
+/// Initial threshold: DMPC_LOG_LEVEL if set and recognized, else Warn.
+/// Read once, before any logging call, so the unknown-value warning is
+/// emitted at most once per process.
 int initial_level() {
   const char* env = std::getenv("DMPC_LOG_LEVEL");
   if (env != nullptr) {
-    const std::string value(env);
-    if (value == "debug") return static_cast<int>(LogLevel::kDebug);
-    if (value == "info") return static_cast<int>(LogLevel::kInfo);
-    if (value == "warn") return static_cast<int>(LogLevel::kWarn);
-    if (value == "error") return static_cast<int>(LogLevel::kError);
-    if (value == "off") return static_cast<int>(LogLevel::kOff);
-    std::cerr << "[dmpc WARN] unknown DMPC_LOG_LEVEL '" << value
+    LogLevel level = LogLevel::kWarn;
+    if (parse_log_level(env, level)) return static_cast<int>(level);
+    std::cerr << "[dmpc WARN] unknown DMPC_LOG_LEVEL '" << env
               << "' (want debug|info|warn|error|off); using warn\n";
   }
   return static_cast<int>(LogLevel::kWarn);
@@ -40,6 +37,23 @@ const char* level_name(LogLevel level) {
   }
 }
 }  // namespace
+
+bool parse_log_level(const std::string& value, LogLevel& out) {
+  const std::size_t begin = value.find_first_not_of(" \t");
+  if (begin == std::string::npos) return false;
+  const std::size_t end = value.find_last_not_of(" \t");
+  std::string token = value.substr(begin, end - begin + 1);
+  for (char& c : token) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (token == "debug") out = LogLevel::kDebug;
+  else if (token == "info") out = LogLevel::kInfo;
+  else if (token == "warn") out = LogLevel::kWarn;
+  else if (token == "error") out = LogLevel::kError;
+  else if (token == "off") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
 
 void set_log_level(LogLevel level) {
   level_storage() = static_cast<int>(level);

@@ -15,6 +15,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses a DMPC_LOG_LEVEL value: debug|info|warn|error|off, case-insensitive,
+/// surrounding whitespace ignored. Returns true and sets `out` when
+/// recognized; returns false and leaves `out` untouched otherwise (the env
+/// reader then keeps the default and warns once). Exposed for tests.
+bool parse_log_level(const std::string& value, LogLevel& out);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
 }

@@ -282,5 +282,75 @@ TEST(DeterminismMatrix, PowerLaw) {
   expect_matrix_identical(graph::power_law(400, 1600, 2.5, 13), "power_law");
 }
 
+// ---- Profiler axis ----
+//
+// The round profiler (obs/profiler.hpp) extends the matrix: with
+// SolveOptions::profile on, the report's `profile` block — and the whole
+// schema_version-5 report around it — must stay byte-identical across
+// thread counts and admissible fault plans, because every observation and
+// commit happens on the orchestrating thread and only on committing
+// attempts.
+
+struct ProfiledRun {
+  std::vector<bool> in_set;
+  std::string report_json;   ///< Schema 5, recovery ledger zeroed.
+  std::string profile_json;  ///< The profile block alone.
+  std::string registry_json;
+};
+
+ProfiledRun run_profiled(const Graph& g, std::uint32_t threads,
+                         const mpc::FaultPlan& plan) {
+  SolveOptions options;
+  options.threads = threads;
+  options.faults = plan;
+  options.profile = true;
+  const Solver solver(options);
+  const auto solution = solver.mis(g);
+  ProfiledRun out;
+  out.in_set = solution.in_set;
+  out.profile_json = obs::to_json(solution.report.profile).dump();
+  out.registry_json = registry_model_json(solver);
+  auto comparable = solution.report;
+  comparable.recovery = mpc::RecoveryStats{};
+  out.report_json = to_json(comparable).dump();
+  return out;
+}
+
+TEST(DeterminismMatrix, ProfilerAxis) {
+  const auto g = graph::gnm(400, 3200, 14);
+  mpc::FaultPlan crashes;
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/2, /*machine=*/0});
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/7, /*machine=*/1});
+
+  const auto reference = run_profiled(g, /*threads=*/1, mpc::FaultPlan{});
+  EXPECT_NE(reference.report_json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(reference.report_json.find("\"schema_version\":5"),
+            std::string::npos);
+  EXPECT_NE(reference.profile_json.find("\"records_committed\""),
+            std::string::npos);
+  // The exported profile counters land in the golden registry section.
+  EXPECT_NE(reference.registry_json.find("\"profile/records\""),
+            std::string::npos);
+
+  const struct {
+    const char* name;
+    const mpc::FaultPlan* plan;
+  } axes[] = {{"none", nullptr}, {"crashes", &crashes}};
+  for (const auto& axis : axes) {
+    for (std::uint32_t threads : kThreadCounts) {
+      const auto run = run_profiled(
+          g, threads, axis.plan != nullptr ? *axis.plan : mpc::FaultPlan{});
+      EXPECT_EQ(run.in_set, reference.in_set)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.profile_json, reference.profile_json)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.report_json, reference.report_json)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.registry_json, reference.registry_json)
+          << "faults=" << axis.name << " threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dmpc

@@ -38,6 +38,31 @@ TEST(Logging, LevelGatingAndRestore) {
   set_log_level(before);
 }
 
+TEST(Logging, ParseLogLevelRecognizedValues) {
+  const struct {
+    const char* text;
+    LogLevel expected;
+  } cases[] = {{"debug", LogLevel::kDebug}, {"info", LogLevel::kInfo},
+               {"warn", LogLevel::kWarn},   {"error", LogLevel::kError},
+               {"off", LogLevel::kOff},     {"WARN", LogLevel::kWarn},
+               {"Error", LogLevel::kError}, {"  info  ", LogLevel::kInfo},
+               {"\tdebug", LogLevel::kDebug}};
+  for (const auto& c : cases) {
+    LogLevel out = LogLevel::kOff;
+    EXPECT_TRUE(parse_log_level(c.text, out)) << "'" << c.text << "'";
+    EXPECT_EQ(out, c.expected) << "'" << c.text << "'";
+  }
+}
+
+TEST(Logging, ParseLogLevelRejectsUnknownAndLeavesOutputUntouched) {
+  for (const char* bad : {"", "  ", "verbose", "warning", "2", "debugx",
+                          "de bug", "warn,info"}) {
+    LogLevel out = LogLevel::kError;  // sentinel
+    EXPECT_FALSE(parse_log_level(bad, out)) << "'" << bad << "'";
+    EXPECT_EQ(out, LogLevel::kError) << "'" << bad << "'";
+  }
+}
+
 TEST(Math, FloorLog2) {
   EXPECT_EQ(floor_log2(1), 0);
   EXPECT_EQ(floor_log2(2), 1);

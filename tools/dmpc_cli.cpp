@@ -7,9 +7,10 @@
 //                 [--trace-format=jsonl|chrome] [--fault-plan=plan.txt]
 //                 [--max-retries=3] [--checkpoint=round|phase|off]
 //                 [--certify=off|answer|full] [--metrics-out=metrics.json]
+//                 [--profile]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...] [--fault-plan=...]
-//                 [--certify=...] [--metrics-out=...]
+//                 [--certify=...] [--metrics-out=...] [--profile]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -19,7 +20,9 @@
 // checkpoint/replay; solutions are byte-identical to the fault-free run.
 // --certify runs checked mode (docs/ROBUSTNESS.md): the answer is verified
 // before it is reported, a one-line certificate verdict is printed, and a
-// failed certificate exits 3.
+// failed certificate exits 3. --profile records the per-round load-skew
+// timeline (docs/OBSERVABILITY.md): report JSON and --metrics-out gain a
+// `profile` block (schema_version 5), and traces gain hostprof counters.
 // Invalid options (bad eps, unknown algorithm or trace format, a malformed
 // input file or fault plan, ...) are reported with their typed status code
 // and exit 2; internal check failures exit 1.
@@ -128,14 +131,26 @@ dmpc::CliSolveOptions solve_options(const dmpc::ArgParser& args) {
 
 // --metrics-out: full registry snapshot delta for the solve, all three
 // sections grouped (docs/OBSERVABILITY.md). The model subtree is golden;
-// host/recovery are diagnostic.
-void write_metrics(const std::string& path, const dmpc::Solver& solver) {
+// host/recovery are diagnostic. Under --profile the skew timeline rides
+// along as a `profile` block and the document is stamped schema_version 5.
+void write_metrics(const std::string& path, const dmpc::Solver& solver,
+                   const dmpc::SolveReport& report) {
   if (path.empty()) return;
+  const bool profiled = report.profile.enabled;
   auto out = dmpc::Json::object()
-                 .set("schema_version", dmpc::kReportSchemaVersion)
+                 .set("schema_version", profiled
+                                            ? dmpc::kProfiledReportSchemaVersion
+                                            : dmpc::kReportSchemaVersion)
                  .set("registry", dmpc::obs::to_json(solver.metrics_snapshot()));
+  if (profiled) out.set("profile", to_json(report.profile));
+  errno = 0;
   auto f = std::ofstream(path);
-  DMPC_CHECK_MSG(f.good(), "cannot open " + path);
+  if (!f.good()) {
+    throw dmpc::OptionsError(dmpc::Status::error(
+        dmpc::StatusCode::kIoError,
+        "cannot open '" + path + "' for writing: " +
+            (errno != 0 ? std::strerror(errno) : "unknown error")));
+  }
   f << out.dump(2) << '\n';
 }
 
@@ -164,9 +179,18 @@ void print_report(const dmpc::SolveReport& report) {
   }
 }
 
+/// Opens an output file, or raises a typed option error (exit 2) carrying
+/// the OS detail — an unwritable --out/--trace/--metrics-out path is a user
+/// mistake, not an internal invariant violation.
 std::ofstream open_out(const std::string& path) {
+  errno = 0;
   std::ofstream out(path);
-  DMPC_CHECK_MSG(out.good(), "cannot open " + path);
+  if (!out.good()) {
+    throw dmpc::OptionsError(dmpc::Status::error(
+        dmpc::StatusCode::kIoError,
+        "cannot open '" + path + "' for writing: " +
+            (errno != 0 ? std::strerror(errno) : "unknown error")));
+  }
   return out;
 }
 
@@ -189,8 +213,14 @@ TraceSetup make_trace(const dmpc::ArgParser& args) {
   const std::string path = args.get("trace", "");
   if (path.empty()) return t;
   const std::string format = args.get("trace-format", "jsonl");
+  errno = 0;
   t.out = std::make_unique<std::ofstream>(path);
-  DMPC_CHECK_MSG(t.out->good(), "cannot open " + path);
+  if (!t.out->good()) {
+    throw dmpc::OptionsError(dmpc::Status::error(
+        dmpc::StatusCode::kIoError,
+        "cannot open '" + path + "' for writing: " +
+            (errno != 0 ? std::strerror(errno) : "unknown error")));
+  }
   if (format == "chrome") {
     t.sink = std::make_unique<dmpc::obs::ChromeTraceSink>(t.out.get());
   } else if (format == "jsonl") {
@@ -201,6 +231,9 @@ TraceSetup make_trace(const dmpc::ArgParser& args) {
         "unknown trace format '" + format + "' (expected jsonl|chrome)"));
   }
   t.session = std::make_unique<dmpc::obs::TraceSession>(t.sink.get());
+  // --profile additionally records hostprof/* counter samples (wall/CPU/alloc
+  // per host scope); without it the trace stream is unchanged.
+  if (args.has("profile")) t.session->enable_host_counters(true);
   return t;
 }
 
@@ -249,7 +282,7 @@ int cmd_mis(const dmpc::ArgParser& args) {
   }
   const auto solution = solver.mis(g);
   trace.finish();
-  write_metrics(cli.metrics_out_path, solver);
+  write_metrics(cli.metrics_out_path, solver, solution.report);
   std::size_t size = 0;
   for (bool b : solution.in_set) size += b;
   if (args.has("json")) {
@@ -282,7 +315,7 @@ int cmd_matching(const dmpc::ArgParser& args) {
   }
   const auto solution = solver.maximal_matching(g);
   trace.finish();
-  write_metrics(cli.metrics_out_path, solver);
+  write_metrics(cli.metrics_out_path, solver, solution.report);
   if (args.has("json")) {
     auto j = dmpc::to_json(solution.report);
     j.set("matching_size",

@@ -1,7 +1,8 @@
 // scaling_check — CI regression gate over BENCH_*.json artifacts.
 //
 //   ./scaling_check [--baseline-dir=bench/baselines] [--slack=0.25]
-//                   [--tolerance=0.10] BENCH_E1.json [BENCH_E2.json ...]
+//                   [--tolerance=0.10] [--gini-cap=PPM]
+//                   BENCH_E1.json [BENCH_E2.json ...]
 //
 // Two independent gates, both judged on the artifacts' integer "model"
 // fields only (the "wall"/"toolchain" blocks are host-dependent by design):
@@ -13,6 +14,11 @@
 //       e8:    peak_load <= s_budget, per point         (S = O(n^eps) cap)
 //     Experiments without a registered envelope are baseline-gated only.
 //
+//  1b. Skew band: points that embed a "profile" block (E1/E2 run with the
+//     round profiler on) must keep their worst per-round load Gini at or
+//     below --gini-cap parts-per-million. The profile block is
+//     model-deterministic, so this is a golden gate like the envelopes.
+//
 //  2. Baseline comparison: when --baseline-dir holds a BENCH_<EXP>.json with
 //     the same name, every model field of every baseline point must match
 //     the measured value within relative `--tolerance` (absolute floor of 1
@@ -22,7 +28,9 @@
 //
 // Exit 0 when every gate passes; exit 1 with one line per offending series
 // ("<exp>.<axis>=<value>.<field>: ..."); exit 2 on usage/parse errors.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -116,6 +124,39 @@ void check_space_cap(const Json& doc) {
               doc.at("bench").as_string().c_str(), series.size());
 }
 
+/// Gate 1b: worst per-round load Gini of every profiled point within the
+/// skew band. A regression here means some primitive started concentrating
+/// its communication on few machines even though totals still fit.
+void check_skew_band(const Json& doc, std::uint64_t gini_cap_ppm) {
+  std::size_t profiled = 0;
+  std::uint64_t worst = 0;
+  const int failures_before = g_failures;
+  for (const Json& point : doc.at("points").items()) {
+    const Json* profile = point.find("profile");
+    if (profile == nullptr) continue;
+    ++profiled;
+    const Json* gini = profile->find("gini_max_ppm");
+    if (gini == nullptr || !gini->is_number()) {
+      fail(series_name(doc, point) + ".profile", "gini_max_ppm missing");
+      continue;
+    }
+    const auto value = static_cast<std::uint64_t>(gini->as_int64());
+    worst = std::max(worst, value);
+    if (value > gini_cap_ppm) {
+      fail(series_name(doc, point) + ".profile.gini_max_ppm",
+           std::to_string(value) + " > skew band " +
+               std::to_string(gini_cap_ppm) + " ppm");
+    }
+  }
+  if (profiled > 0 && g_failures == failures_before) {
+    std::printf("ok   %s: load gini <= %llu ppm on all %zu profiled points "
+                "(worst %llu)\n",
+                doc.at("bench").as_string().c_str(),
+                static_cast<unsigned long long>(gini_cap_ppm), profiled,
+                static_cast<unsigned long long>(worst));
+  }
+}
+
 void check_envelopes(const Json& doc, double slack) {
   const std::string exp = doc.at("bench").as_string();
   if (exp == "e1" || exp == "e2") {
@@ -184,12 +225,14 @@ int main(int argc, char** argv) {
   const dmpc::ArgParser args(argc, argv);
   const double slack = args.get_double("slack", 0.25);
   const double tolerance = args.get_double("tolerance", 0.10);
+  const auto gini_cap_ppm =
+      static_cast<std::uint64_t>(args.get_int("gini-cap", 900000));
   const std::string baseline_dir = args.get("baseline-dir", "");
   const std::vector<std::string>& files = args.positional();
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: scaling_check [--baseline-dir=<dir>] [--slack=F] "
-                 "[--tolerance=F] BENCH_*.json...\n");
+                 "[--tolerance=F] [--gini-cap=PPM] BENCH_*.json...\n");
     return 2;
   }
 
@@ -204,6 +247,7 @@ int main(int argc, char** argv) {
     std::printf("== %s (%s) ==\n", doc.at("bench").as_string().c_str(),
                 file.c_str());
     check_envelopes(doc, slack);
+    check_skew_band(doc, gini_cap_ppm);
     if (!baseline_dir.empty()) {
       std::string name = file;
       const auto slash = name.find_last_of('/');
