@@ -10,7 +10,6 @@
 //   ./social_network [--n=20000] [--m=80000] [--beta=2.3]
 #include <cstdio>
 
-#include "api/solve.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
 #include "mis/det_mis.hpp"

@@ -10,7 +10,7 @@
 
 #include <string>
 
-#include "api/solve.hpp"
+#include "api/solve_types.hpp"
 #include "api/status.hpp"
 #include "support/options.hpp"
 

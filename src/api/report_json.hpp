@@ -1,7 +1,7 @@
 // JSON serialization of run reports, for tooling and experiment pipelines.
 #pragma once
 
-#include "api/solve.hpp"
+#include "api/solve_types.hpp"
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
 #include "mpc/metrics.hpp"

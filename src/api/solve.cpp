@@ -1,3 +1,8 @@
+// Definitions for the deprecated free-function shim (api/solve.hpp). The
+// attribute fires at call sites; defining the functions is not a "use".
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "api/solve.hpp"
 
 #include "api/solver.hpp"
@@ -18,3 +23,5 @@ MatchingSolution solve_maximal_matching(const graph::Graph& g,
 }
 
 }  // namespace dmpc
+
+#pragma GCC diagnostic pop

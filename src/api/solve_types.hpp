@@ -1,0 +1,146 @@
+// Public façade types: options, reports, and solution records for the
+// deterministic MIS / maximal matching API (consumed through dmpc::Solver,
+// api/solver.hpp).
+//
+// The API implements Theorem 1's dispatch: with Delta <= n^{delta} the §5
+// low-degree pipeline runs in O(log Delta + log log n) rounds; otherwise the
+// §3/§4 sparsification pipeline runs in O(log n) = O(log Delta) rounds. Both
+// are fully deterministic: same graph + same options => identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/faults.hpp"
+#include "mpc/metrics.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "verify/certificate.hpp"
+
+namespace dmpc::obs {
+class TraceSession;
+}
+
+namespace dmpc {
+
+enum class Algorithm {
+  kAuto,            ///< Theorem-1 dispatch on Delta vs n^{delta}.
+  kSparsification,  ///< §3/§4 pipeline (any Delta).
+  kLowDegree,       ///< §5 pipeline (requires small Delta).
+};
+
+struct SolveOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+  /// Machine-space exponent: S = Theta(n^eps) words. Valid range (0, 1).
+  double eps = 0.5;
+  /// Constant-factor headroom on S (absorbs the paper's O(n^{8 delta})).
+  /// Must be > 0.
+  double space_headroom = 8.0;
+  /// Theorem-1 dispatch threshold slack: the low-degree path is considered
+  /// when Delta <= dispatch_slack * n^{eps/8} + dispatch_slack (and the
+  /// 2-hop structures fit in S). Must be > 0.
+  double dispatch_slack = 4.0;
+  /// Host threads for per-machine local computation (seed evaluation,
+  /// conditional-expectation sweeps, degree scans): 0 = hardware
+  /// concurrency, 1 = serial. Model-level local computation is free, so
+  /// this changes wall time only — solutions, reports, and golden JSONL
+  /// traces are byte-identical for every value (see docs/API.md).
+  std::uint32_t threads = 1;
+  /// Cluster provisioning. The Solver owns the derivation (S and M are
+  /// auto-sized from n, eps, and space_headroom when this is default);
+  /// non-zero fields pin an exact geometry. Hand-building mpc::ClusterConfig
+  /// at call sites is deprecated in favor of these overrides.
+  mpc::ClusterOverrides cluster;
+  /// Deterministic fault schedule injected into the simulated cluster. The
+  /// default (empty) plan is the fault-free run; see docs/FAULTS.md for the
+  /// identical-output recovery contract.
+  mpc::FaultPlan faults;
+  /// Retry/checkpoint policy tolerating `faults` (validated against it:
+  /// a plan that provably exceeds the budget is kUnrecoverableFault).
+  mpc::RecoveryOptions recovery;
+  /// Optional tracing sink (non-owning; null = tracing off, zero cost).
+  obs::TraceSession* trace = nullptr;
+  /// Round profiler: record the per-round load-skew timeline (per-machine
+  /// load observations folded into max/mean/Gini/top-k records — see
+  /// obs/profiler.hpp) and embed it as the report's `profile` block
+  /// (schema_version 5). The profile is model-deterministic: byte-identical
+  /// across thread counts and admissible fault plans. Off by default; when
+  /// off, reports and traces are byte-identical to a build without the
+  /// profiler.
+  bool profile = false;
+  /// Checked mode: kOff returns the answer uncertified (zero cost); kAnswer
+  /// certifies the answer itself (MIS/matching claims + space accounting);
+  /// kFull additionally certifies the sparsifier invariants, metrics
+  /// consistency, and — under an active fault plan — replay identity
+  /// against a fault-free re-run. A failed certificate throws a typed
+  /// verify::CertificationError; certification never perturbs solutions,
+  /// metrics, or traces (it appends a verify/certify span after the
+  /// pipeline span and adds a report block).
+  verify::CertifyMode certify = verify::CertifyMode::kOff;
+};
+
+struct SolveReport {
+  std::string algorithm_used;     ///< "sparsification" or "lowdeg".
+  std::uint64_t iterations = 0;   ///< Outer iterations / stages.
+  mpc::Metrics metrics;           ///< Rounds, peak load, communication.
+  mpc::RecoveryStats recovery;    ///< Fault/retry ledger (all-zero clean).
+  /// Worst-case sparsifier stage measurements (sparsification path only;
+  /// zero-stage audit on the lowdeg path).
+  verify::SparsifyAudit sparsify;
+  /// The certificate produced in checked mode (empty when certify == kOff).
+  verify::Certificate certificate;
+  /// This solve's delta over the process-wide obs::MetricsRegistry (taken
+  /// around the pipeline, before any certification replay). The model
+  /// section is golden — byte-identical across runs, thread counts, and
+  /// admissible fault plans — and is the only section serialized into
+  /// report JSON (as the "registry" block); recovery/host sections are for
+  /// benches and --metrics-out.
+  obs::MetricsSnapshot registry;
+  /// Skew-timeline snapshot (enabled == false unless SolveOptions::profile
+  /// was set). Model-deterministic; serialized as the `profile` block.
+  obs::ProfileSnapshot profile;
+};
+
+/// Version of the serialized report schema. Bumped to 2 when the
+/// "schema_version" and "recovery" keys were added, to 3 when the
+/// "certificate" and "sparsify_audit" blocks were added, and to 4 when the
+/// "registry" block (model-section metrics-registry delta) was added;
+/// downstream parsers should branch on this rather than sniffing keys.
+/// Version 5 adds the optional `profile` block (round-profiler skew
+/// timeline): a report carries schema_version 5 exactly when it was solved
+/// with SolveOptions::profile on, so unprofiled output stays byte-identical
+/// to version 4.
+inline constexpr std::uint32_t kReportSchemaVersion = 4;
+
+/// Schema version of reports carrying the `profile` block.
+inline constexpr std::uint32_t kProfiledReportSchemaVersion = 5;
+
+/// The typed, versioned view of a SolveReport that Solver::report() returns;
+/// serialize with to_json(report) / Solver::report_json(). Downstream
+/// parsers consume this struct (or its JSON) instead of scraping strings.
+struct Report {
+  std::uint32_t schema_version = kReportSchemaVersion;
+  std::string algorithm;          ///< "sparsification" or "lowdeg".
+  std::uint64_t iterations = 0;
+  mpc::Metrics metrics;
+  mpc::RecoveryStats recovery;
+  verify::SparsifyAudit sparsify;
+  verify::Certificate certificate;  ///< Empty when certify == kOff.
+  obs::MetricsSnapshot registry;    ///< Per-solve registry delta.
+  obs::ProfileSnapshot profile;     ///< Skew timeline (when profiled).
+};
+
+struct MisSolution {
+  std::vector<bool> in_set;
+  SolveReport report;
+};
+
+struct MatchingSolution {
+  std::vector<graph::EdgeId> matching;
+  SolveReport report;
+};
+
+}  // namespace dmpc

@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "api/solve.hpp"
+#include "api/solve_types.hpp"
 #include "api/status.hpp"
 #include "exec/parallel.hpp"
 #include "graph/graph.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "api/solver.hpp"
 #include "graph/builder.hpp"
 #include "graph/validate.hpp"
 #include "support/check.hpp"
@@ -14,7 +15,7 @@ using graph::NodeId;
 VertexCoverResult vertex_cover_2approx(const Graph& g,
                                        const SolveOptions& options) {
   VertexCoverResult result;
-  auto matching = solve_maximal_matching(g, options);
+  auto matching = Solver(options).maximal_matching(g);
   result.in_cover.assign(g.num_nodes(), false);
   for (const auto e : matching.matching) {
     result.in_cover[g.edge(e).u] = true;
@@ -35,7 +36,7 @@ VertexCoverResult vertex_cover_2approx(const Graph& g,
 DominatingSetResult dominating_set(const Graph& g,
                                    const SolveOptions& options) {
   DominatingSetResult result;
-  auto mis = solve_mis(g, options);
+  auto mis = Solver(options).mis(g);
   result.in_set = std::move(mis.in_set);
   result.set_size = static_cast<std::uint64_t>(
       std::count(result.in_set.begin(), result.in_set.end(), true));
@@ -67,7 +68,7 @@ ColoringResult delta_plus_one_coloring(const Graph& g,
   }
   const Graph h = std::move(b).build();
 
-  auto mis = solve_mis(h, options);
+  auto mis = Solver(options).mis(h);
   std::vector<bool> colored(g.num_nodes(), false);
   std::uint32_t max_color = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

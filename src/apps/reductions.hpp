@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "api/solve.hpp"
+#include "api/solve_types.hpp"
 #include "graph/graph.hpp"
 
 namespace dmpc::apps {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "derand/engine_options.hpp"
 #include "derand/objective.hpp"
 #include "hash/seed.hpp"
 #include "mpc/cluster.hpp"
@@ -30,11 +31,17 @@ struct FixResult {
   std::uint64_t chunks = 0;    ///< Chunks fixed (== space.chunk_count()).
 };
 
-struct FixOptions {
+/// CE-sweep knobs on top of the shared engine surface: label names the
+/// round charges, candidates_per_batch bounds the digits dispatched per
+/// oracle call, and max_trials caps the total candidates swept across
+/// chunks (a violated cap is a CheckFailure — the chunked radix total is
+/// known up front, so hitting it means a misconfigured space).
+struct FixOptions : EngineOptions {
+  FixOptions() { label = "cond_expect"; }
+
   /// The proved lower bound Q on E[q]; the committed seed must achieve it
   /// (CheckFailure otherwise — that would falsify the conditional oracle).
   double guarantee = 0.0;
-  std::string label = "cond_expect";
 };
 
 /// Run the method of conditional expectations over the chunked seed space.
@@ -54,6 +61,14 @@ class ExhaustiveConditional final : public ConditionalObjective {
 
   double conditional_expectation(const std::vector<std::uint64_t>& prefix,
                                  std::uint64_t candidate) const override;
+
+  /// Routes the suffix enumeration through base->evaluate_batch (ascending
+  /// suffix order, so the floating-point sum matches the scalar oracle
+  /// bit-for-bit).
+  void conditional_expectation_batch(const std::vector<std::uint64_t>& prefix,
+                                     std::uint64_t digit_lo,
+                                     std::uint64_t count,
+                                     double* out) const override;
 
  private:
   const Objective* base_;

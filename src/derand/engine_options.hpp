@@ -1,0 +1,29 @@
+// Shared configuration surface for the derandomization engines.
+//
+// Both engines — the threshold seed search (seed_search.hpp) and the method
+// of conditional expectations (cond_expect.hpp) — used to duplicate their
+// label and budget knobs; new workloads (coloring, ruling sets) configure
+// one base instead. SearchOptions / FixOptions extend this with their
+// engine-specific fields and override the default label.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmpc::derand {
+
+struct EngineOptions {
+  /// Round-charge label (also the trace span name).
+  std::string label = "derand";
+
+  /// Candidate seeds (or CE digits) evaluated per O(1)-round batch — must
+  /// be <= S for the fan-in-S aggregation argument; engines clamp.
+  std::uint64_t candidates_per_batch = 64;
+
+  /// Hard cap on oracle evaluations; CheckFailure beyond it (a true
+  /// guarantee violation — the family provably contains a good seed, and a
+  /// CE sweep provably commits within the chunked radix total).
+  std::uint64_t max_trials = 1 << 20;
+};
+
+}  // namespace dmpc::derand

@@ -90,21 +90,27 @@ SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
                             options.seed_base % seed_count;
     return static_cast<std::uint64_t>(pos % seed_count);
   };
+  std::vector<std::uint64_t> seeds;
   std::vector<double> values;
+  BatchStats batch_stats;
   while (next < limit) {
     const std::uint64_t batch_end = std::min(limit, next + k);
     charge_batch(cluster, objective.term_count(), batch_end - next,
                  options.label);
     ++result.batches;
-    // Evaluate the whole batch (host-parallel; the objective is pure), then
-    // commit the first qualifying trial in enumeration order — identical to
-    // the serial search for every thread count. `trials` counts evaluations
-    // up to and including the committed one, matching the serial
-    // short-circuit count even though later candidates were also evaluated.
-    values.assign(batch_end - next, 0.0);
-    cluster.executor().for_each(0, batch_end - next, [&](std::uint64_t i) {
-      values[i] = objective.evaluate(seed_at(next + i));
-    });
+    // Evaluate the whole batch through the range oracle (host-parallel in
+    // fixed-width chunks; the objective is pure), then commit the first
+    // qualifying trial in enumeration order — identical to the serial
+    // search for every thread count and dispatch path. `trials` counts
+    // evaluations up to and including the committed one, matching the
+    // serial short-circuit count even though later candidates were also
+    // evaluated.
+    const std::uint64_t width = batch_end - next;
+    seeds.resize(width);
+    for (std::uint64_t i = 0; i < width; ++i) seeds[i] = seed_at(next + i);
+    values.assign(width, 0.0);
+    batch_stats += batch_evaluate(cluster.executor(), objective, seeds.data(),
+                                  width, values.data());
     for (std::uint64_t t = next; t < batch_end; ++t) {
       const double value = values[t - next];
       if (value >= options.threshold) {
@@ -115,6 +121,7 @@ SearchResult find_seed(mpc::Cluster& cluster, const Objective& objective,
         span.arg("batches", result.batches);
         span.arg("committed_seed", result.seed);
         record_search(result);
+        record_batch_stats(batch_stats);
         return result;
       }
     }
@@ -140,18 +147,22 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
   SearchResult result;
   bool have = false;
   std::uint64_t next = 0;
+  std::vector<std::uint64_t> seeds;
   std::vector<double> values;
+  BatchStats batch_stats;
   while (next < limit) {
     const std::uint64_t batch_end = std::min(limit, next + k);
     charge_batch(cluster, objective.term_count(), batch_end - next, label);
     ++result.batches;
-    // Host-parallel evaluation, then a serial lowest-seed-first scan with a
-    // strict improvement test: ties commit the lowest seed, exactly like the
-    // serial search.
-    values.assign(batch_end - next, 0.0);
-    cluster.executor().for_each(0, batch_end - next, [&](std::uint64_t i) {
-      values[i] = objective.evaluate(next + i);
-    });
+    // Host-parallel evaluation through the range oracle, then a serial
+    // lowest-seed-first scan with a strict improvement test: ties commit
+    // the lowest seed, exactly like the serial search.
+    const std::uint64_t width = batch_end - next;
+    seeds.resize(width);
+    for (std::uint64_t i = 0; i < width; ++i) seeds[i] = next + i;
+    values.assign(width, 0.0);
+    batch_stats += batch_evaluate(cluster.executor(), objective, seeds.data(),
+                                  width, values.data());
     for (std::uint64_t seed = next; seed < batch_end; ++seed) {
       ++result.trials;
       const double value = values[seed - next];
@@ -167,6 +178,7 @@ SearchResult find_best_seed(mpc::Cluster& cluster, const Objective& objective,
   span.arg("batches", result.batches);
   span.arg("committed_seed", result.seed);
   record_search(result);
+  record_batch_stats(batch_stats);
   return result;
 }
 

@@ -22,21 +22,19 @@
 #include <cstdint>
 #include <string>
 
+#include "derand/engine_options.hpp"
 #include "derand/objective.hpp"
 #include "mpc/cluster.hpp"
 
 namespace dmpc::derand {
 
-struct SearchOptions {
+/// Threshold-search knobs on top of the shared engine surface
+/// (label / candidates_per_batch / max_trials live in EngineOptions).
+struct SearchOptions : EngineOptions {
+  SearchOptions() { label = "seed_search"; }
+
   /// Commit to the first seed with objective >= threshold.
   double threshold = 0.0;
-  /// Candidates evaluated per O(1)-round batch (must be <= S; clamped).
-  std::uint64_t candidates_per_batch = 64;
-  /// Hard cap on evaluated seeds; CheckFailure beyond it (a true guarantee
-  /// violation — the family provably contains a good seed).
-  std::uint64_t max_trials = 1 << 20;
-  /// Round-charge label.
-  std::string label = "seed_search";
   /// Trial t evaluates seed (base + t * stride) mod seed_count. Plain
   /// counting order (base 0, stride 1) walks polynomials in increasing
   /// coefficient order, so consecutive derandomization steps that each

@@ -1,0 +1,591 @@
+#include "field/batch_eval.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/check.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define DMPC_BATCH_EVAL_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define DMPC_BATCH_EVAL_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace dmpc::field {
+
+namespace {
+
+// ------------------------------------------------------------------ scalar
+//
+// The scalar kernels are the reference: they are Modulus::poly_eval (and the
+// canonical-residue algebra behind it) verbatim, so every other path is
+// checked against them and against poly_eval itself.
+
+void horner_scalar(const Modulus& mod, const std::uint64_t* coeffs,
+                   std::size_t k, const std::uint64_t* xs, std::size_t count,
+                   std::uint64_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t x = mod.reduce(xs[i]);
+    std::uint64_t acc = 0;
+    for (std::size_t j = k; j-- > 0;) {
+      acc = mod.add(mod.mul(acc, x), coeffs[j]);
+    }
+    out[i] = acc;
+  }
+}
+
+// -------------------------------------------------------------------- Shoup
+//
+// Shoup multiplication: for a fixed multiplicand b < p < 2^63 precompute
+// bp = floor(b * 2^64 / p); then for any a < 2^64,
+//
+//   q = floor(a * bp / 2^64) is floor(a*b/p) or one less, so
+//   r = a*b - q*p (computed mod 2^64) lies in [0, 2p)
+//
+// and one conditional subtract yields the exact canonical residue — the same
+// value Modulus::mul computes via __uint128_t division, at the cost of two
+// 64-bit multiplies and one high-half multiply. Division happens once per
+// fixed operand instead of once per product.
+
+inline std::uint64_t shoup_precompute(std::uint64_t b, std::uint64_t p) {
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(b) << 64) / p);
+}
+
+inline std::uint64_t mulmod_shoup(std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t bp, std::uint64_t p) {
+  const std::uint64_t q =
+      static_cast<std::uint64_t>((static_cast<__uint128_t>(a) * bp) >> 64);
+  std::uint64_t r = a * b - q * p;
+  if (r >= p) r -= p;
+  return r;
+}
+
+inline std::uint64_t addmod_lt(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t p) {
+  std::uint64_t s = a + b;  // a, b < p < 2^63: no overflow
+  if (s >= p) s -= p;
+  return s;
+}
+
+/// Horner with a per-point Shoup multiplier: one division per point instead
+/// of one per Horner step. Exact for p < 2^63; identical to horner_scalar.
+void horner_shoup(const Modulus& mod, const std::uint64_t* coeffs,
+                  std::size_t k, const std::uint64_t* xs, std::size_t count,
+                  std::uint64_t* out) {
+  const std::uint64_t p = mod.value();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t x = mod.reduce(xs[i]);
+    const std::uint64_t xp = shoup_precompute(x, p);
+    std::uint64_t acc = coeffs[k - 1];
+    for (std::size_t j = k - 1; j-- > 0;) {
+      acc = addmod_lt(mulmod_shoup(acc, x, xp, p), coeffs[j], p);
+    }
+    out[i] = acc;
+  }
+}
+
+/// Column sweep over a power table with per-column Shoup multipliers.
+/// Exact for p < 2^63.
+void table_eval_shoup(const std::uint64_t* powers, std::size_t stride,
+                      std::size_t count, const std::uint64_t* coeffs,
+                      unsigned k, std::uint64_t p, std::uint64_t* out) {
+  std::uint64_t cp[16];
+  for (unsigned j = 1; j < k; ++j) cp[j] = shoup_precompute(coeffs[j], p);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t acc = coeffs[0];
+    for (unsigned j = 1; j < k; ++j) {
+      acc = addmod_lt(
+          acc, mulmod_shoup(powers[(j - 1) * stride + i], coeffs[j], cp[j], p),
+          p);
+    }
+    out[i] = acc;
+  }
+}
+
+// --------------------------------------------------------------------- AVX2
+//
+// Mersenne-61 lanes, 4 x u64. Products avoid the 128-bit intermediate via a
+// 31/30-bit limb split: for a, b < 2^61,
+//
+//   a*b = p11*2^62 + m*2^31 + p00     (p11 = a1*b1, m = a0*b1 + a1*b0)
+//       = 2*p11 + (m>>30) + (m&(2^30-1))*2^31 + p00   (mod 2^61-1),
+//
+// every addend < 2^62, the sum < 2^63 + 2^32 (no u64 overflow), and one
+// fold + one conditional subtract lands in the canonical range — the same
+// residue Modulus::mul computes through __uint128_t.
+
+#if DMPC_BATCH_EVAL_HAVE_AVX2
+
+__attribute__((target("avx2"))) inline __m256i mul61_avx2(__m256i a,
+                                                          __m256i b) {
+  const __m256i low31 = _mm256_set1_epi64x(0x7FFFFFFFLL);
+  const __m256i low30 = _mm256_set1_epi64x(0x3FFFFFFFLL);
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kMersenne61));
+  const __m256i a0 = _mm256_and_si256(a, low31);
+  const __m256i a1 = _mm256_srli_epi64(a, 31);
+  const __m256i b0 = _mm256_and_si256(b, low31);
+  const __m256i b1 = _mm256_srli_epi64(b, 31);
+  const __m256i p11 = _mm256_mul_epu32(a1, b1);
+  const __m256i m =
+      _mm256_add_epi64(_mm256_mul_epu32(a0, b1), _mm256_mul_epu32(a1, b0));
+  const __m256i p00 = _mm256_mul_epu32(a0, b0);
+  const __m256i r = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_slli_epi64(p11, 1), _mm256_srli_epi64(m, 30)),
+      _mm256_add_epi64(_mm256_slli_epi64(_mm256_and_si256(m, low30), 31),
+                       p00));
+  __m256i s =
+      _mm256_add_epi64(_mm256_and_si256(r, m61), _mm256_srli_epi64(r, 61));
+  // s <= M + 4 fits signed 64, so the signed compare is exact: s >= M.
+  const __m256i ge = _mm256_cmpgt_epi64(
+      s, _mm256_set1_epi64x(static_cast<long long>(kMersenne61 - 1)));
+  return _mm256_sub_epi64(s, _mm256_and_si256(ge, m61));
+}
+
+__attribute__((target("avx2"))) inline __m256i add61_avx2(__m256i a,
+                                                          __m256i b) {
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kMersenne61));
+  const __m256i s = _mm256_add_epi64(a, b);
+  const __m256i ge = _mm256_cmpgt_epi64(
+      s, _mm256_set1_epi64x(static_cast<long long>(kMersenne61 - 1)));
+  return _mm256_sub_epi64(s, _mm256_and_si256(ge, m61));
+}
+
+__attribute__((target("avx2"))) void horner_avx2_m61(
+    const std::uint64_t* coeffs, std::size_t k, const std::uint64_t* xs,
+    std::size_t count, std::uint64_t* out) {
+  const std::size_t main = count & ~std::size_t{3};
+  alignas(32) std::uint64_t xr[4];
+  for (std::size_t i = 0; i < main; i += 4) {
+    for (int l = 0; l < 4; ++l) xr[l] = xs[i + l] % kMersenne61;
+    const __m256i x = _mm256_load_si256(reinterpret_cast<const __m256i*>(xr));
+    __m256i acc = _mm256_set1_epi64x(static_cast<long long>(coeffs[k - 1]));
+    for (std::size_t j = k - 1; j-- > 0;) {
+      acc = add61_avx2(mul61_avx2(acc, x),
+                       _mm256_set1_epi64x(static_cast<long long>(coeffs[j])));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc);
+  }
+  if (main < count) {
+    horner_scalar(Modulus(kMersenne61), coeffs, k, xs + main, count - main,
+                  out + main);
+  }
+}
+
+__attribute__((target("avx2"))) void table_eval_avx2_m61(
+    const std::uint64_t* powers, std::size_t stride, std::size_t count,
+    const std::uint64_t* coeffs, unsigned k, std::uint64_t* out) {
+  const std::size_t main = count & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4) {
+    __m256i acc = _mm256_set1_epi64x(static_cast<long long>(coeffs[0]));
+    for (unsigned j = 1; j < k; ++j) {
+      const __m256i col = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          powers + (j - 1) * stride + i));
+      acc = add61_avx2(
+          acc, mul61_avx2(col, _mm256_set1_epi64x(
+                                   static_cast<long long>(coeffs[j]))));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc);
+  }
+  if (main < count) {
+    const Modulus mod(kMersenne61);
+    for (std::size_t i = main; i < count; ++i) {
+      std::uint64_t acc = coeffs[0];
+      for (unsigned j = 1; j < k; ++j) {
+        acc = mod.add(acc, mod.mul(powers[(j - 1) * stride + i], coeffs[j]));
+      }
+      out[i] = acc;
+    }
+  }
+}
+
+// Small-prime lanes (p <= 2^32 - 1), 4 x u64 holding 32-bit residues. Same
+// Shoup scheme as the scalar helper but with beta = 2^32 so every product is
+// a single 32x32->64 _mm256_mul_epu32: for fixed c < p precompute
+// cp = floor(c * 2^32 / p); then q = (x * cp) >> 32 is floor(x*c/p) or one
+// less (x < 2^32), r = x*c - q*p < 2p < 2^33, and one conditional subtract
+// lands in [0, p). q < p < 2^32 so q*p is again a single widening multiply.
+__attribute__((target("avx2"))) void table_eval_avx2_smallp(
+    const std::uint64_t* powers, std::size_t stride, std::size_t count,
+    const std::uint64_t* coeffs, unsigned k, std::uint64_t p,
+    std::uint64_t* out) {
+  std::uint64_t cp[16];
+  for (unsigned j = 1; j < k; ++j) {
+    cp[j] = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(coeffs[j]) << 32) / p);
+  }
+  const __m256i pv = _mm256_set1_epi64x(static_cast<long long>(p));
+  const __m256i pm1 = _mm256_set1_epi64x(static_cast<long long>(p - 1));
+  const std::size_t main = count & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4) {
+    __m256i acc = _mm256_set1_epi64x(static_cast<long long>(coeffs[0]));
+    for (unsigned j = 1; j < k; ++j) {
+      const __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(powers + (j - 1) * stride + i));
+      const __m256i t = _mm256_mul_epu32(
+          x, _mm256_set1_epi64x(static_cast<long long>(coeffs[j])));
+      const __m256i q = _mm256_srli_epi64(
+          _mm256_mul_epu32(x,
+                           _mm256_set1_epi64x(static_cast<long long>(cp[j]))),
+          32);
+      __m256i r = _mm256_sub_epi64(t, _mm256_mul_epu32(q, pv));
+      // r < 2p < 2^33 and acc + r < 2p: signed compares are exact.
+      r = _mm256_sub_epi64(r, _mm256_and_si256(_mm256_cmpgt_epi64(r, pm1), pv));
+      acc = _mm256_add_epi64(acc, r);
+      acc = _mm256_sub_epi64(
+          acc, _mm256_and_si256(_mm256_cmpgt_epi64(acc, pm1), pv));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc);
+  }
+  if (main < count) {
+    table_eval_shoup(powers + main, stride, count - main, coeffs, k, p,
+                     out + main);
+  }
+}
+
+bool avx2_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // DMPC_BATCH_EVAL_HAVE_AVX2
+
+// --------------------------------------------------------------------- NEON
+//
+// Mersenne-61 lanes, 2 x u64, same limb-split algebra as the AVX2 path
+// (vmull_u32 widens the 32-bit limb products).
+
+#if DMPC_BATCH_EVAL_HAVE_NEON
+
+inline uint64x2_t mul61_neon(uint64x2_t a, uint64x2_t b) {
+  const uint64x2_t low31 = vdupq_n_u64(0x7FFFFFFFULL);
+  const uint64x2_t low30 = vdupq_n_u64(0x3FFFFFFFULL);
+  const uint64x2_t m61 = vdupq_n_u64(kMersenne61);
+  const uint32x2_t a0 = vmovn_u64(vandq_u64(a, low31));
+  const uint32x2_t a1 = vmovn_u64(vshrq_n_u64(a, 31));
+  const uint32x2_t b0 = vmovn_u64(vandq_u64(b, low31));
+  const uint32x2_t b1 = vmovn_u64(vshrq_n_u64(b, 31));
+  const uint64x2_t p11 = vmull_u32(a1, b1);
+  const uint64x2_t m = vaddq_u64(vmull_u32(a0, b1), vmull_u32(a1, b0));
+  const uint64x2_t p00 = vmull_u32(a0, b0);
+  const uint64x2_t r =
+      vaddq_u64(vaddq_u64(vshlq_n_u64(p11, 1), vshrq_n_u64(m, 30)),
+                vaddq_u64(vshlq_n_u64(vandq_u64(m, low30), 31), p00));
+  const uint64x2_t s = vaddq_u64(vandq_u64(r, m61), vshrq_n_u64(r, 61));
+  const uint64x2_t ge = vcgeq_u64(s, m61);
+  return vsubq_u64(s, vandq_u64(ge, m61));
+}
+
+inline uint64x2_t add61_neon(uint64x2_t a, uint64x2_t b) {
+  const uint64x2_t m61 = vdupq_n_u64(kMersenne61);
+  const uint64x2_t s = vaddq_u64(a, b);
+  const uint64x2_t ge = vcgeq_u64(s, m61);
+  return vsubq_u64(s, vandq_u64(ge, m61));
+}
+
+void horner_neon_m61(const std::uint64_t* coeffs, std::size_t k,
+                     const std::uint64_t* xs, std::size_t count,
+                     std::uint64_t* out) {
+  const std::size_t main = count & ~std::size_t{1};
+  std::uint64_t xr[2];
+  for (std::size_t i = 0; i < main; i += 2) {
+    xr[0] = xs[i] % kMersenne61;
+    xr[1] = xs[i + 1] % kMersenne61;
+    const uint64x2_t x = vld1q_u64(xr);
+    uint64x2_t acc = vdupq_n_u64(coeffs[k - 1]);
+    for (std::size_t j = k - 1; j-- > 0;) {
+      acc = add61_neon(mul61_neon(acc, x), vdupq_n_u64(coeffs[j]));
+    }
+    vst1q_u64(out + i, acc);
+  }
+  if (main < count) {
+    horner_scalar(Modulus(kMersenne61), coeffs, k, xs + main, count - main,
+                  out + main);
+  }
+}
+
+void table_eval_neon_m61(const std::uint64_t* powers, std::size_t stride,
+                         std::size_t count, const std::uint64_t* coeffs,
+                         unsigned k, std::uint64_t* out) {
+  const std::size_t main = count & ~std::size_t{1};
+  for (std::size_t i = 0; i < main; i += 2) {
+    uint64x2_t acc = vdupq_n_u64(coeffs[0]);
+    for (unsigned j = 1; j < k; ++j) {
+      const uint64x2_t col = vld1q_u64(powers + (j - 1) * stride + i);
+      acc = add61_neon(acc, mul61_neon(col, vdupq_n_u64(coeffs[j])));
+    }
+    vst1q_u64(out + i, acc);
+  }
+  if (main < count) {
+    const Modulus mod(kMersenne61);
+    for (std::size_t i = main; i < count; ++i) {
+      std::uint64_t acc = coeffs[0];
+      for (unsigned j = 1; j < k; ++j) {
+        acc = mod.add(acc, mod.mul(powers[(j - 1) * stride + i], coeffs[j]));
+      }
+      out[i] = acc;
+    }
+  }
+}
+
+// Small-prime lanes: the same beta = 2^32 Shoup scheme as the AVX2 kernel,
+// with vmull_u32 as the widening multiply.
+void table_eval_neon_smallp(const std::uint64_t* powers, std::size_t stride,
+                            std::size_t count, const std::uint64_t* coeffs,
+                            unsigned k, std::uint64_t p, std::uint64_t* out) {
+  std::uint64_t cp[16];
+  for (unsigned j = 1; j < k; ++j) {
+    cp[j] = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(coeffs[j]) << 32) / p);
+  }
+  const uint64x2_t pv = vdupq_n_u64(p);
+  const uint32x2_t p32 = vdup_n_u32(static_cast<std::uint32_t>(p));
+  const std::size_t main = count & ~std::size_t{1};
+  for (std::size_t i = 0; i < main; i += 2) {
+    uint64x2_t acc = vdupq_n_u64(coeffs[0]);
+    for (unsigned j = 1; j < k; ++j) {
+      const uint64x2_t xw = vld1q_u64(powers + (j - 1) * stride + i);
+      const uint32x2_t x = vmovn_u64(xw);
+      const uint64x2_t t =
+          vmull_u32(x, vdup_n_u32(static_cast<std::uint32_t>(coeffs[j])));
+      const uint64x2_t qw = vshrq_n_u64(
+          vmull_u32(x, vdup_n_u32(static_cast<std::uint32_t>(cp[j]))), 32);
+      const uint32x2_t q = vmovn_u64(qw);
+      uint64x2_t r = vsubq_u64(t, vmull_u32(q, p32));
+      r = vsubq_u64(r, vandq_u64(vcgeq_u64(r, pv), pv));
+      acc = vaddq_u64(acc, r);
+      acc = vsubq_u64(acc, vandq_u64(vcgeq_u64(acc, pv), pv));
+    }
+    vst1q_u64(out + i, acc);
+  }
+  if (main < count) {
+    table_eval_shoup(powers + main, stride, count - main, coeffs, k, p,
+                     out + main);
+  }
+}
+
+#endif  // DMPC_BATCH_EVAL_HAVE_NEON
+
+// ----------------------------------------------------------------- dispatch
+
+bool dispatch_supported(BatchDispatch dispatch) {
+  switch (dispatch) {
+    case BatchDispatch::kScalar:
+      return true;
+    case BatchDispatch::kAvx2:
+#if DMPC_BATCH_EVAL_HAVE_AVX2
+      return avx2_supported();
+#else
+      return false;
+#endif
+    case BatchDispatch::kNeon:
+#if DMPC_BATCH_EVAL_HAVE_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+BatchDispatch widest_supported() {
+  if (dispatch_supported(BatchDispatch::kAvx2)) return BatchDispatch::kAvx2;
+  if (dispatch_supported(BatchDispatch::kNeon)) return BatchDispatch::kNeon;
+  return BatchDispatch::kScalar;
+}
+
+/// DMPC_BATCH_EVAL resolution, computed once. Unknown or unsupported values
+/// warn (once) and fall back to host detection rather than aborting, so a
+/// pinned CI environment variable is safe on every runner.
+BatchDispatch env_dispatch() {
+  static const BatchDispatch choice = [] {
+    const char* env = std::getenv("DMPC_BATCH_EVAL");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+      return widest_supported();
+    }
+    BatchDispatch requested = BatchDispatch::kScalar;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = BatchDispatch::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = BatchDispatch::kAvx2;
+    } else if (std::strcmp(env, "neon") == 0) {
+      requested = BatchDispatch::kNeon;
+    } else {
+      known = false;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "dmpc: unknown DMPC_BATCH_EVAL value '%s' "
+                   "(want scalar|avx2|neon|auto); using auto\n",
+                   env);
+      return widest_supported();
+    }
+    if (!dispatch_supported(requested)) {
+      std::fprintf(stderr,
+                   "dmpc: DMPC_BATCH_EVAL=%s unsupported on this host; "
+                   "using %s\n",
+                   env, batch_dispatch_name(widest_supported()));
+      return widest_supported();
+    }
+    return requested;
+  }();
+  return choice;
+}
+
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* batch_dispatch_name(BatchDispatch dispatch) {
+  switch (dispatch) {
+    case BatchDispatch::kScalar:
+      return "scalar";
+    case BatchDispatch::kAvx2:
+      return "avx2";
+    case BatchDispatch::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+BatchDispatch batch_dispatch() {
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<BatchDispatch>(forced);
+  return env_dispatch();
+}
+
+std::vector<BatchDispatch> supported_batch_dispatches() {
+  std::vector<BatchDispatch> paths{BatchDispatch::kScalar};
+  if (dispatch_supported(BatchDispatch::kAvx2)) {
+    paths.push_back(BatchDispatch::kAvx2);
+  }
+  if (dispatch_supported(BatchDispatch::kNeon)) {
+    paths.push_back(BatchDispatch::kNeon);
+  }
+  return paths;
+}
+
+void set_batch_dispatch(BatchDispatch dispatch) {
+  DMPC_CHECK_MSG(dispatch_supported(dispatch),
+                 "batch dispatch " << batch_dispatch_name(dispatch)
+                                   << " unsupported on this host");
+  g_forced.store(static_cast<int>(dispatch), std::memory_order_release);
+}
+
+void reset_batch_dispatch() {
+  g_forced.store(-1, std::memory_order_release);
+}
+
+void poly_eval_many(const Modulus& mod, const std::uint64_t* coeffs,
+                    std::size_t k, const std::uint64_t* xs, std::size_t count,
+                    std::uint64_t* out) {
+  DMPC_CHECK_MSG(k >= 1 && k <= 16, "coefficient count out of range");
+  if (count == 0) return;
+  // Reduce coefficients once (Modulus::poly_eval reduces per Horner step;
+  // same residues, hoisted out of the point loop).
+  std::uint64_t c[16];
+  for (std::size_t j = 0; j < k; ++j) c[j] = mod.reduce(coeffs[j]);
+  if (mod.value() == kMersenne61) {
+    switch (batch_dispatch()) {
+#if DMPC_BATCH_EVAL_HAVE_AVX2
+      case BatchDispatch::kAvx2:
+        horner_avx2_m61(c, k, xs, count, out);
+        return;
+#endif
+#if DMPC_BATCH_EVAL_HAVE_NEON
+      case BatchDispatch::kNeon:
+        horner_neon_m61(c, k, xs, count, out);
+        return;
+#endif
+      default:
+        break;
+    }
+    horner_scalar(mod, c, k, xs, count, out);
+    return;
+  }
+  if (mod.value() < (std::uint64_t{1} << 63)) {
+    // Exact for every p < 2^63 and dispatch-independent, so it serves the
+    // scalar-forced path too.
+    horner_shoup(mod, c, k, xs, count, out);
+    return;
+  }
+  horner_scalar(mod, c, k, xs, count, out);
+}
+
+void PowerTable::build(const Modulus& mod, const std::uint64_t* xs,
+                       std::size_t count, unsigned k) {
+  DMPC_CHECK_MSG(k >= 1 && k <= 16, "power table degree out of range");
+  p_ = mod.value();
+  k_ = k;
+  count_ = count;
+  stride_ = (count + 3) & ~std::size_t{3};  // widest lane count (AVX2: 4)
+  const std::size_t columns = k > 1 ? k - 1 : 0;
+  powers_.resize(columns * stride_);
+  if (columns == 0 || count == 0) return;
+  std::uint64_t* x1 = powers_.data();
+  for (std::size_t i = 0; i < count; ++i) x1[i] = mod.reduce(xs[i]);
+  for (std::size_t i = count; i < stride_; ++i) x1[i] = 0;  // padded lanes
+  for (unsigned j = 2; j <= columns; ++j) {
+    const std::uint64_t* prev = powers_.data() + (j - 2) * stride_;
+    std::uint64_t* cur = powers_.data() + (j - 1) * stride_;
+    for (std::size_t i = 0; i < stride_; ++i) cur[i] = mod.mul(prev[i], x1[i]);
+  }
+}
+
+void PowerTable::eval(const std::uint64_t* coeffs, std::uint64_t* out) const {
+  DMPC_CHECK_MSG(k_ >= 1, "power table not built");
+  if (count_ == 0) return;
+  const Modulus mod(p_);
+  std::uint64_t c[16];
+  for (unsigned j = 0; j < k_; ++j) c[j] = mod.reduce(coeffs[j]);
+  if (p_ == kMersenne61) {
+    switch (batch_dispatch()) {
+#if DMPC_BATCH_EVAL_HAVE_AVX2
+      case BatchDispatch::kAvx2:
+        table_eval_avx2_m61(powers_.data(), stride_, count_, c, k_, out);
+        return;
+#endif
+#if DMPC_BATCH_EVAL_HAVE_NEON
+      case BatchDispatch::kNeon:
+        table_eval_neon_m61(powers_.data(), stride_, count_, c, k_, out);
+        return;
+#endif
+      default:
+        break;
+    }
+  } else if (p_ <= 0xFFFFFFFFULL) {
+    // Hash families size their prime to the point domain, so small moduli
+    // are the common case; 32-bit residues get single-multiply lanes.
+    switch (batch_dispatch()) {
+#if DMPC_BATCH_EVAL_HAVE_AVX2
+      case BatchDispatch::kAvx2:
+        table_eval_avx2_smallp(powers_.data(), stride_, count_, c, k_, p_,
+                               out);
+        return;
+#endif
+#if DMPC_BATCH_EVAL_HAVE_NEON
+      case BatchDispatch::kNeon:
+        table_eval_neon_smallp(powers_.data(), stride_, count_, c, k_, p_,
+                               out);
+        return;
+#endif
+      default:
+        break;
+    }
+  }
+  if (p_ != kMersenne61 && p_ < (std::uint64_t{1} << 63)) {
+    table_eval_shoup(powers_.data(), stride_, count_, c, k_, p_, out);
+    return;
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::uint64_t acc = c[0];
+    for (unsigned j = 1; j < k_; ++j) {
+      acc = mod.add(acc, mod.mul(powers_[(j - 1) * stride_ + i], c[j]));
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace dmpc::field

@@ -1,0 +1,99 @@
+// Lane-parallel polynomial evaluation over Z_p (ROADMAP item 3).
+//
+// The derandomization inner loop evaluates one degree-(k-1) polynomial at
+// many points (every node/edge a machine owns) for many candidate seeds —
+// §2.3's h_s(x) = poly_s(x mod p), with p the Mersenne prime 2^61-1 for the
+// large families. This kernel batches the point dimension:
+//
+//   poly_eval_many : one coefficient vector, a contiguous array of points.
+//   PowerTable     : a fixed point set evaluated against MANY coefficient
+//                    vectors (one per candidate seed). build() reduces the
+//                    points and stores x^j column-major once; eval() is then
+//                    a dependency-free multiply-accumulate per column, which
+//                    vectorizes and pipelines where Horner's chain cannot.
+//
+// Three dispatch paths — AVX2 (x86-64), NEON (aarch64), portable scalar —
+// are selected at runtime and are BIT-IDENTICAL: every path returns the
+// canonical residue in [0, p), so results match Modulus::poly_eval exactly
+// (property-tested in tests/test_batch_eval.cpp). The SIMD paths apply only
+// to p = 2^61-1, whose branch-light split reduction (31/30-bit limbs, fold,
+// one conditional subtract) needs no 128-bit product; other moduli take the
+// scalar path under every dispatch, which keeps the identity trivial.
+//
+// Dispatch resolution order: the test override (set_batch_dispatch), then
+// the DMPC_BATCH_EVAL environment variable ("scalar" | "avx2" | "neon" |
+// "auto"), then the widest path the host supports. Unsupported requests
+// fall back to scalar with a one-time warning — never an abort, so a CI job
+// can pin DMPC_BATCH_EVAL=scalar on any host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "field/modulus.hpp"
+
+namespace dmpc::field {
+
+enum class BatchDispatch : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Stable lowercase name ("scalar" / "avx2" / "neon").
+const char* batch_dispatch_name(BatchDispatch dispatch);
+
+/// The path poly_eval_many / PowerTable::eval currently use for the
+/// Mersenne-61 fast lane (scalar for every other modulus).
+BatchDispatch batch_dispatch();
+
+/// Every dispatch the host can actually run (always includes kScalar) —
+/// tests iterate this to property-check bit-identity across paths.
+std::vector<BatchDispatch> supported_batch_dispatches();
+
+/// Force a dispatch path (tests / harnesses). Requesting an unsupported
+/// path is a CheckFailure; call reset_batch_dispatch() to return to the
+/// DMPC_BATCH_EVAL / host-detection resolution. Not thread-safe against
+/// concurrent kernel calls — flip it only between evaluations.
+void set_batch_dispatch(BatchDispatch dispatch);
+void reset_batch_dispatch();
+
+/// out[i] = poly(xs[i] mod p) for the k-coefficient polynomial
+/// sum_j coeffs[j] * x^j (coeffs[0] constant). Coefficients are reduced mod
+/// p on entry, points on load — exactly Modulus::poly_eval composed with
+/// Modulus::reduce, bit-for-bit, on every dispatch path. count may be 0.
+void poly_eval_many(const Modulus& mod, const std::uint64_t* coeffs,
+                    std::size_t k, const std::uint64_t* xs, std::size_t count,
+                    std::uint64_t* out);
+
+/// Precomputed powers x^j (j in [1, k)) of a fixed point set, column-major
+/// and padded to the widest lane count. Amortizes the point reduction and
+/// the power chain across every seed evaluated against the set; eval() per
+/// seed is then k-1 independent multiply-accumulate sweeps. build() reuses
+/// the existing allocation when called again (arena idiom — a per-stage
+/// objective rebuilds in place, and the steady-state sweep allocates
+/// nothing).
+class PowerTable {
+ public:
+  PowerTable() = default;
+
+  /// Bind the table to `count` points under `mod`, storing powers up to
+  /// x^(k-1). k >= 1, k <= 16 (hash family bound).
+  void build(const Modulus& mod, const std::uint64_t* xs, std::size_t count,
+             unsigned k);
+
+  std::size_t count() const { return count_; }
+  unsigned k() const { return k_; }
+  std::uint64_t p() const { return p_; }
+
+  /// out[i] = sum_j coeffs[j] * x_i^j mod p for all bound points.
+  /// Requires exactly k() coefficients (reduced mod p on entry). Results are
+  /// the canonical residues — bit-identical to Modulus::poly_eval.
+  void eval(const std::uint64_t* coeffs, std::uint64_t* out) const;
+
+ private:
+  std::uint64_t p_ = 0;
+  unsigned k_ = 0;
+  std::size_t count_ = 0;
+  std::size_t stride_ = 0;                // count padded to the lane width
+  std::vector<std::uint64_t> powers_;     // powers_[(j-1)*stride_ + i] = x_i^j
+};
+
+}  // namespace dmpc::field

@@ -1,0 +1,47 @@
+// Precomputed 64-bit remainder (Lemire, Kaser, Kurz: "Faster Remainder by
+// Direct Computation"). For a fixed divisor d, x % d becomes two widening
+// multiplies instead of a hardware divide — the hash range reduction in
+// hash::HashFn::operator() runs once per evaluated point, so the divide was
+// on the derand hot path.
+//
+// Exactness: with M = floor((2^128-1)/d) + 1, the identity
+// x % d == ((M * x mod 2^128) * d) >> 128 holds for ALL 64-bit x and d >= 1
+// (F = 128 fraction bits >= log2(d) + log2(x) always). d == 1 wraps M to 0
+// and yields 0, which is x % 1. Unit-tested against the modulo path in
+// tests/test_hash.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace dmpc::field {
+
+class FastDiv64 {
+ public:
+  /// Divisor 1 (every remainder is 0) until bound to a real divisor.
+  FastDiv64() = default;
+
+  explicit FastDiv64(std::uint64_t d)
+      : d_(d), m_(~__uint128_t{0} / d + 1) {
+    DMPC_CHECK_MSG(d >= 1, "divisor must be >= 1");
+  }
+
+  std::uint64_t divisor() const { return d_; }
+
+  /// x % divisor(), bit-identical to the hardware remainder.
+  std::uint64_t mod(std::uint64_t x) const {
+    const __uint128_t lowbits = m_ * x;
+    const std::uint64_t hi = static_cast<std::uint64_t>(lowbits >> 64);
+    const std::uint64_t lo = static_cast<std::uint64_t>(lowbits);
+    const __uint128_t top = static_cast<__uint128_t>(hi) * d_;
+    const __uint128_t bot = static_cast<__uint128_t>(lo) * d_;
+    return static_cast<std::uint64_t>((top + (bot >> 64)) >> 64);
+  }
+
+ private:
+  std::uint64_t d_ = 1;
+  __uint128_t m_ = 0;
+};
+
+}  // namespace dmpc::field

@@ -43,16 +43,21 @@ KWiseFamily::KWiseFamily(std::uint64_t domain, std::uint64_t range, unsigned k,
 }
 
 std::vector<std::uint64_t> KWiseFamily::coefficients(std::uint64_t seed) const {
-  const std::uint64_t p = mod_.value();
   std::vector<std::uint64_t> coeffs(k_, 0);
+  coefficients_into(seed, coeffs.data());
+  return coeffs;
+}
+
+void KWiseFamily::coefficients_into(std::uint64_t seed,
+                                    std::uint64_t* out) const {
+  const std::uint64_t p = mod_.value();
   // Base-p digits of the seed; digit j drives coefficient (j+1) mod k so the
   // linear term varies fastest (see header comment).
   for (unsigned j = 0; j < k_; ++j) {
     const std::uint64_t digit = seed % p;
     seed /= p;
-    coeffs[(j + 1) % k_] = digit;
+    out[(j + 1) % k_] = digit;
   }
-  return coeffs;
 }
 
 HashFn KWiseFamily::at(std::uint64_t seed) const {

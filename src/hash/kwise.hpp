@@ -20,9 +20,12 @@
 // guarantee in derand::SeedSearch relies on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "field/batch_eval.hpp"
+#include "field/fastmod.hpp"
 #include "field/modulus.hpp"
 
 namespace dmpc::hash {
@@ -32,11 +35,15 @@ class HashFn {
  public:
   HashFn(field::Modulus mod, std::vector<std::uint64_t> coeffs,
          std::uint64_t range)
-      : mod_(mod), coeffs_(std::move(coeffs)), range_(range) {}
+      : mod_(mod),
+        coeffs_(std::move(coeffs)),
+        range_(range),
+        fast_range_(range) {}
 
-  /// Value in [0, range).
+  /// Value in [0, range). The range reduction is a precomputed Lemire
+  /// remainder — bit-identical to raw(x) % range().
   std::uint64_t operator()(std::uint64_t x) const {
-    return raw(x) % range_;
+    return fast_range_.mod(raw(x));
   }
 
   /// Raw polynomial value in [0, p) — use with threshold tests for the
@@ -45,14 +52,24 @@ class HashFn {
     return mod_.poly_eval(coeffs_, mod_.reduce(x));
   }
 
+  /// out[i] = raw(xs[i]) for a contiguous point range, through the
+  /// lane-parallel kernel (bit-identical to per-point raw()).
+  void raw_many(const std::uint64_t* xs, std::size_t count,
+                std::uint64_t* out) const {
+    field::poly_eval_many(mod_, coeffs_.data(), coeffs_.size(), xs, count,
+                          out);
+  }
+
   std::uint64_t range() const { return range_; }
   std::uint64_t p() const { return mod_.value(); }
+  const field::Modulus& modulus() const { return mod_; }
   const std::vector<std::uint64_t>& coefficients() const { return coeffs_; }
 
  private:
   field::Modulus mod_;
   std::vector<std::uint64_t> coeffs_;
   std::uint64_t range_;
+  field::FastDiv64 fast_range_;
 };
 
 /// The family H = {h : [domain) -> [range)} of k-wise independent functions.
@@ -88,6 +105,12 @@ class KWiseFamily {
 
   /// Coefficients for a seed (base-p digits, linear coefficient first).
   std::vector<std::uint64_t> coefficients(std::uint64_t seed) const;
+
+  /// Allocation-free variant: writes exactly k() coefficients to `out`.
+  /// Sweep loops call this per candidate seed with a reused buffer.
+  void coefficients_into(std::uint64_t seed, std::uint64_t* out) const;
+
+  const field::Modulus& modulus() const { return mod_; }
 
  private:
   std::uint64_t domain_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "field/batch_eval.hpp"
 #include "field/primes.hpp"
 #include "graph/transforms.hpp"
 #include "graph/validate.hpp"
@@ -15,22 +17,76 @@ using graph::NodeId;
 
 namespace {
 
-/// Evaluate the degree-k polynomial encoding of `color` (base-q digits) at x.
-std::uint64_t poly_of_color(std::uint32_t color, unsigned k, std::uint64_t q,
-                            std::uint64_t x) {
-  // Horner over the base-q digit expansion: digit i is coefficient of x^i.
-  std::vector<std::uint64_t> digits(k + 1);
+/// Base-q digit expansion of `color`: digit i is the coefficient of x^i.
+/// k <= 8 (see reduction_step), so k + 1 digits always fit the buffer.
+void color_digits(std::uint32_t color, unsigned k, std::uint64_t q,
+                  std::uint64_t* digits) {
   std::uint64_t c = color;
   for (unsigned i = 0; i <= k; ++i) {
     digits[i] = c % q;
     c /= q;
   }
+}
+
+/// Evaluate the degree-k polynomial encoding of `color` (base-q digits) at x.
+std::uint64_t poly_of_color(std::uint32_t color, unsigned k, std::uint64_t q,
+                            std::uint64_t x) {
+  std::uint64_t digits[9];
+  color_digits(color, k, q, digits);
   std::uint64_t acc = 0;
   for (unsigned i = k + 1; i-- > 0;) {
     acc = (acc * x + digits[i]) % q;
   }
   return acc;
 }
+
+/// Per-color evaluation rows: row(c)[x] = f_c(x) for every x in [0, q),
+/// computed with the batched field kernel so a reduction step does one
+/// column sweep per distinct color instead of a digit expansion per
+/// (node, neighbor, x) probe. `(acc * x + digit) % q` in poly_of_color and
+/// `mod.add(mod.mul(acc, x), digit)` agree exactly (digits < q), so the
+/// table is bit-identical to the scalar probes it replaces.
+class ColorTable {
+ public:
+  /// Builds rows for every color present in `color`. Returns false (leaving
+  /// the table unusable) when the table would exceed the memory cap; callers
+  /// then keep the probe path.
+  bool build(const std::vector<std::uint32_t>& color, std::uint32_t num_colors,
+             unsigned k, std::uint64_t q) {
+    constexpr std::size_t kMaxEntries = std::size_t{1} << 27;  // 1 GiB of u64
+    q_ = q;
+    row_.assign(num_colors, kNoRow);
+    std::vector<std::uint32_t> distinct;
+    for (const std::uint32_t c : color) {
+      if (row_[c] == kNoRow) {
+        row_[c] = static_cast<std::uint32_t>(distinct.size());
+        distinct.push_back(c);
+      }
+    }
+    if (distinct.size() * q > kMaxEntries) return false;
+    std::vector<std::uint64_t> xs(q);
+    std::iota(xs.begin(), xs.end(), std::uint64_t{0});
+    const field::Modulus mod(q);
+    values_.resize(distinct.size() * q);
+    std::uint64_t digits[9];
+    for (std::size_t r = 0; r < distinct.size(); ++r) {
+      color_digits(distinct[r], k, q, digits);
+      field::poly_eval_many(mod, digits, k + 1, xs.data(), q,
+                            values_.data() + r * q);
+    }
+    return true;
+  }
+
+  std::uint64_t at(std::uint32_t color, std::uint64_t x) const {
+    return values_[static_cast<std::size_t>(row_[color]) * q_ + x];
+  }
+
+ private:
+  static constexpr std::uint32_t kNoRow = 0xFFFFFFFFu;
+  std::uint64_t q_ = 0;
+  std::vector<std::uint32_t> row_;
+  std::vector<std::uint64_t> values_;
+};
 
 /// One Linial reduction step: C colors -> q^2 colors. Returns the new color
 /// count, or 0 when the step would not shrink the space (fixed point).
@@ -58,17 +114,22 @@ std::uint32_t reduction_step(const Graph& g, std::vector<std::uint32_t>& color,
   }
   if (q * q >= num_colors) return 0;  // would not shrink — fixed point
 
+  ColorTable table;
+  const bool tabulated = table.build(color, num_colors, k, q);
   std::vector<std::uint32_t> next(color.size());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     // Forbidden x values: those where f_v agrees with some neighbor's f_u.
     // At most k*d < q of them, so a free x always exists.
     bool placed = false;
     for (std::uint64_t x = 0; x < q && !placed; ++x) {
-      const std::uint64_t fv = poly_of_color(color[v], k, q, x);
+      const std::uint64_t fv = tabulated ? table.at(color[v], x)
+                                         : poly_of_color(color[v], k, q, x);
       bool ok = true;
       for (NodeId u : g.neighbors(v)) {
         if (color[u] == color[v]) continue;  // cannot happen (proper input)
-        if (poly_of_color(color[u], k, q, x) == fv) {
+        const std::uint64_t fu = tabulated ? table.at(color[u], x)
+                                           : poly_of_color(color[u], k, q, x);
+        if (fu == fv) {
           ok = false;
           break;
         }

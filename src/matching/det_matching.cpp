@@ -9,6 +9,7 @@
 #include "graph/validate.hpp"
 #include "hash/kwise.hpp"
 #include "mpc/distribution.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sparsify/good_nodes.hpp"
 #include "support/check.hpp"
@@ -26,7 +27,14 @@ namespace {
 /// priority z_e = h_s(e); E_h = edges that are local minima among their E*
 /// neighbors (ties by id) — always a matching. Value = sum of alive-degrees
 /// of B-nodes covered by E_h.
-class SelectionObjective final : public derand::Objective {
+//
+// Range form: the E* edge list is the bound point universe, so every
+// priority z_e is computed once per seed by the lane-parallel kernel; the
+// local-min test then reads competitors' priorities by edge position instead
+// of re-evaluating the polynomial per incidence (previously O(sum deg^2)
+// hash evaluations per seed — the selection hotspot). The covered bitmap is
+// a per-seed prepass into thread-local scratch.
+class SelectionObjective final : public derand::RangeObjective {
  public:
   SelectionObjective(const Graph& g, const hash::KWiseFamily& family,
                      const std::vector<EdgeId>& estar_edges,
@@ -34,46 +42,72 @@ class SelectionObjective final : public derand::Objective {
                      const std::vector<bool>& in_B,
                      const std::vector<std::uint32_t>& alive_degree)
       : g_(&g),
-        family_(&family),
         estar_edges_(&estar_edges),
         estar_incident_(&estar_incident),
         in_B_(&in_B),
-        alive_degree_(&alive_degree) {}
+        alive_degree_(&alive_degree),
+        edge_pos_(g.num_edges(), 0) {
+    for (std::size_t i = 0; i < estar_edges.size(); ++i) {
+      edge_pos_[estar_edges[i]] = i;
+    }
+    bind_points(family, estar_edges.data(), estar_edges.size());
+  }
 
   /// The committed matching for a seed (used after the search picks one).
   std::vector<EdgeId> matching_for(std::uint64_t seed) const {
-    const auto fn = family_->at(seed);
+    const auto fn = family().at(seed);
+    std::vector<std::uint64_t> values(estar_edges_->size());
+    fn.raw_many(estar_edges_->data(), estar_edges_->size(), values.data());
     std::vector<EdgeId> matched;
-    for (EdgeId e : *estar_edges_) {
-      if (is_local_min(fn, e)) matched.push_back(e);
+    for (std::size_t i = 0; i < estar_edges_->size(); ++i) {
+      if (is_local_min(i, values.data())) matched.push_back((*estar_edges_)[i]);
     }
     return matched;
   }
 
-  double evaluate(std::uint64_t seed) const override {
-    const auto fn = family_->at(seed);
-    double q = 0.0;
-    std::vector<bool> covered(g_->num_nodes(), false);
-    for (EdgeId e : *estar_edges_) {
-      if (!is_local_min(fn, e)) continue;
-      covered[g_->edge(e).u] = true;
-      covered[g_->edge(e).v] = true;
+  void prepare_seed(std::uint64_t /*seed*/,
+                    const std::uint64_t* values) const override {
+    std::vector<std::uint8_t>& covered = covered_scratch();
+    covered.assign(g_->num_nodes(), 0);
+    for (std::size_t i = 0; i < estar_edges_->size(); ++i) {
+      if (!is_local_min(i, values)) continue;
+      const EdgeId e = (*estar_edges_)[i];
+      covered[g_->edge(e).u] = 1;
+      covered[g_->edge(e).v] = 1;
     }
-    for (NodeId v = 0; v < g_->num_nodes(); ++v) {
-      if ((*in_B_)[v] && covered[v]) {
+  }
+
+  double accumulate_terms(std::uint64_t range_begin, std::uint64_t range_end,
+                          std::uint64_t /*seed*/,
+                          const std::uint64_t* /*values*/) const override {
+    const std::vector<std::uint8_t>& covered = covered_scratch();
+    double q = 0.0;
+    for (std::uint64_t v = range_begin; v < range_end; ++v) {
+      if ((*in_B_)[v] && covered[v] != 0) {
         q += static_cast<double>((*alive_degree_)[v]);
       }
     }
     return q;
   }
 
+  /// Accumulable ranges partition the node set; term_count() stays the E*
+  /// edge count — the model aggregation size the round charges depend on.
+  std::uint64_t range_count() const override { return g_->num_nodes(); }
   std::uint64_t term_count() const override { return estar_edges_->size(); }
 
  private:
-  bool is_local_min(const hash::HashFn& fn, EdgeId e) const {
-    const std::uint64_t ze = fn.raw(e);
+  static std::vector<std::uint8_t>& covered_scratch() {
+    thread_local std::vector<std::uint8_t> covered;
+    return covered;
+  }
+
+  /// Local-min test over precomputed priorities; values is indexed by E*
+  /// edge position (identical comparisons to the former per-edge raw()).
+  bool is_local_min(std::size_t i, const std::uint64_t* values) const {
+    const EdgeId e = (*estar_edges_)[i];
+    const std::uint64_t ze = values[i];
     const auto beats = [&](EdgeId f) {
-      const std::uint64_t zf = fn.raw(f);
+      const std::uint64_t zf = values[edge_pos_[f]];
       return zf < ze || (zf == ze && f < e);
     };
     for (NodeId endpoint : {g_->edge(e).u, g_->edge(e).v}) {
@@ -85,11 +119,11 @@ class SelectionObjective final : public derand::Objective {
   }
 
   const Graph* g_;
-  const hash::KWiseFamily* family_;
   const std::vector<EdgeId>* estar_edges_;
   const std::vector<std::vector<EdgeId>>* estar_incident_;
   const std::vector<bool>* in_B_;
   const std::vector<std::uint32_t>* alive_degree_;
+  std::vector<std::size_t> edge_pos_;  ///< EdgeId -> position in estar_edges
 };
 
 /// Batched best-of search with threshold halving (header comment in
@@ -100,10 +134,12 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
                                            double threshold, std::uint64_t salt,
                                            const DetMatchingConfig& config) {
   derand::SearchResult best;
+  obs::HostScope host_scope("derand/selection", cluster.trace());
   obs::Span span(cluster.trace(), "matching/selection");
   bool have = false;
   std::uint64_t evaluated = 0;
   double t = threshold;
+  derand::BatchStats batch_stats;
   // Decorrelate committed priority functions across iterations: trial k of
   // iteration `salt` evaluates a stride-scrambled walk over the family
   // (same rationale as derand::SearchOptions::seed_stride).
@@ -122,13 +158,17 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
     cluster.charge_recoverable(2 * depth, "matching/selection");
     cluster.metrics().add_communication(budget * cluster.machines(),
                                         "matching/selection");
-    // Host-parallel batch evaluation (the objective is pure), then a serial
-    // lowest-trial-first scan with a strict improvement test — the committed
-    // seed is identical for every thread count.
+    // Host-parallel batch evaluation through the range oracle (the
+    // objective is pure), then a serial lowest-trial-first scan with a
+    // strict improvement test — the committed seed is identical for every
+    // thread count and dispatch path.
+    std::vector<std::uint64_t> seeds(budget);
+    for (std::uint64_t i = 0; i < budget; ++i) {
+      seeds[i] = seed_at(evaluated + i);
+    }
     std::vector<double> values(budget, 0.0);
-    cluster.executor().for_each(0, budget, [&](std::uint64_t i) {
-      values[i] = objective.evaluate(seed_at(evaluated + i));
-    });
+    batch_stats += derand::batch_evaluate(cluster.executor(), objective,
+                                          seeds.data(), budget, values.data());
     for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
       const double value = values[k - evaluated];
       if (!have || value > best.value) {
@@ -142,6 +182,7 @@ derand::SearchResult select_with_threshold(mpc::Cluster& cluster,
     if (have && best.value >= t) {
       span.arg("candidate_seeds", best.trials);
       span.arg("committed_seed", best.seed);
+      derand::record_batch_stats(batch_stats);
       return best;
     }
     if (evaluated % config.trials_per_threshold == 0) t /= 2.0;

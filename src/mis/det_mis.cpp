@@ -9,6 +9,7 @@
 #include "graph/validate.hpp"
 #include "hash/kwise.hpp"
 #include "mpc/distribution.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sparsify/good_nodes.hpp"
 #include "sparsify/node_sparsifier.hpp"
@@ -26,7 +27,14 @@ namespace {
 /// Lemma-21 selection objective. For seed s: z_v = h_s(v) for v in Q';
 /// I_h = local minima within the induced subgraph on Q' (ties by id).
 /// Value = sum of alive-degrees of B-nodes whose N_v window meets I_h.
-class MisSelectionObjective final : public derand::Objective {
+//
+// Range form: the Q' node list (widened to the 64-bit hash domain) is the
+// bound point universe, so every priority z_v is computed once per seed by
+// the lane-parallel kernel; the local-min test reads neighbors' priorities
+// by Q' position instead of re-evaluating the polynomial per adjacency (the
+// selection hotspot). The I_h bitmap is a per-seed prepass into thread-local
+// scratch.
+class MisSelectionObjective final : public derand::RangeObjective {
  public:
   MisSelectionObjective(const Graph& g, const hash::KWiseFamily& family,
                         const std::vector<NodeId>& q_nodes,
@@ -35,32 +43,48 @@ class MisSelectionObjective final : public derand::Objective {
                         const std::vector<NodeId>& b_nodes,
                         const std::vector<std::uint32_t>& alive_degree)
       : g_(&g),
-        family_(&family),
         q_nodes_(&q_nodes),
         q_adj_(&q_adj),
         nv_(&nv),
         b_nodes_(&b_nodes),
-        alive_degree_(&alive_degree) {}
+        alive_degree_(&alive_degree),
+        points_(q_nodes.begin(), q_nodes.end()),
+        node_pos_(g.num_nodes(), 0) {
+    for (std::size_t i = 0; i < q_nodes.size(); ++i) {
+      node_pos_[q_nodes[i]] = i;
+    }
+    bind_points(family, points_.data(), points_.size());
+  }
 
   std::vector<NodeId> independent_set_for(std::uint64_t seed) const {
-    const auto fn = family_->at(seed);
+    const auto fn = family().at(seed);
+    std::vector<std::uint64_t> values(points_.size());
+    fn.raw_many(points_.data(), points_.size(), values.data());
     std::vector<NodeId> set;
-    for (NodeId v : *q_nodes_) {
-      if (is_local_min(fn, v)) set.push_back(v);
+    for (std::size_t i = 0; i < q_nodes_->size(); ++i) {
+      if (is_local_min(i, values.data())) set.push_back((*q_nodes_)[i]);
     }
     return set;
   }
 
-  double evaluate(std::uint64_t seed) const override {
-    const auto fn = family_->at(seed);
-    std::vector<bool> in_ih(g_->num_nodes(), false);
-    for (NodeId v : *q_nodes_) {
-      if (is_local_min(fn, v)) in_ih[v] = true;
+  void prepare_seed(std::uint64_t /*seed*/,
+                    const std::uint64_t* values) const override {
+    std::vector<std::uint8_t>& in_ih = in_ih_scratch();
+    in_ih.assign(g_->num_nodes(), 0);
+    for (std::size_t i = 0; i < q_nodes_->size(); ++i) {
+      if (is_local_min(i, values)) in_ih[(*q_nodes_)[i]] = 1;
     }
+  }
+
+  double accumulate_terms(std::uint64_t range_begin, std::uint64_t range_end,
+                          std::uint64_t /*seed*/,
+                          const std::uint64_t* /*values*/) const override {
+    const std::vector<std::uint8_t>& in_ih = in_ih_scratch();
     double q = 0.0;
-    for (NodeId v : *b_nodes_) {
+    for (std::uint64_t idx = range_begin; idx < range_end; ++idx) {
+      const NodeId v = (*b_nodes_)[idx];
       for (NodeId u : (*nv_)[v]) {
-        if (in_ih[u]) {
+        if (in_ih[u] != 0) {
           q += static_cast<double>((*alive_degree_)[v]);
           break;
         }
@@ -69,25 +93,35 @@ class MisSelectionObjective final : public derand::Objective {
     return q;
   }
 
+  std::uint64_t range_count() const override { return b_nodes_->size(); }
   std::uint64_t term_count() const override { return b_nodes_->size(); }
 
  private:
-  bool is_local_min(const hash::HashFn& fn, NodeId v) const {
-    const std::uint64_t zv = fn.raw(v);
+  static std::vector<std::uint8_t>& in_ih_scratch() {
+    thread_local std::vector<std::uint8_t> in_ih;
+    return in_ih;
+  }
+
+  /// Local-min test over precomputed priorities; `i` is the Q' position of
+  /// the node (identical comparisons to the former per-node raw()).
+  bool is_local_min(std::size_t i, const std::uint64_t* values) const {
+    const NodeId v = (*q_nodes_)[i];
+    const std::uint64_t zv = values[i];
     for (NodeId u : (*q_adj_)[v]) {
-      const std::uint64_t zu = fn.raw(u);
+      const std::uint64_t zu = values[node_pos_[u]];
       if (zu < zv || (zu == zv && u < v)) return false;
     }
     return true;
   }
 
   const Graph* g_;
-  const hash::KWiseFamily* family_;
   const std::vector<NodeId>* q_nodes_;
   const std::vector<std::vector<NodeId>>* q_adj_;
   const std::vector<std::vector<NodeId>>* nv_;
   const std::vector<NodeId>* b_nodes_;
   const std::vector<std::uint32_t>* alive_degree_;
+  std::vector<std::uint64_t> points_;  ///< q_nodes widened to the hash domain
+  std::vector<std::size_t> node_pos_;  ///< NodeId -> position in q_nodes
 };
 
 derand::SearchResult select_with_threshold(
@@ -95,10 +129,12 @@ derand::SearchResult select_with_threshold(
     std::uint64_t seed_count, double threshold, std::uint64_t salt,
     const DetMisConfig& config) {
   derand::SearchResult best;
+  obs::HostScope host_scope("derand/selection", cluster.trace());
   obs::Span span(cluster.trace(), "mis/selection");
   bool have = false;
   std::uint64_t evaluated = 0;
   double t = threshold;
+  derand::BatchStats batch_stats;
   // Stride-scrambled deterministic enumeration; see the matching pipeline.
   auto seed_at = [&](std::uint64_t k) {
     const __uint128_t pos =
@@ -116,13 +152,16 @@ derand::SearchResult select_with_threshold(
     cluster.charge_recoverable(2 * depth, "mis/selection");
     cluster.metrics().add_communication(budget * cluster.machines(),
                                         "mis/selection");
-    // Host-parallel batch evaluation (the objective is pure), then a serial
-    // lowest-trial-first scan — the committed seed is identical for every
-    // thread count.
+    // Host-parallel batch evaluation through the range oracle (the
+    // objective is pure), then a serial lowest-trial-first scan — the
+    // committed seed is identical for every thread count and dispatch path.
+    std::vector<std::uint64_t> seeds(budget);
+    for (std::uint64_t i = 0; i < budget; ++i) {
+      seeds[i] = seed_at(evaluated + i);
+    }
     std::vector<double> values(budget, 0.0);
-    cluster.executor().for_each(0, budget, [&](std::uint64_t i) {
-      values[i] = objective.evaluate(seed_at(evaluated + i));
-    });
+    batch_stats += derand::batch_evaluate(cluster.executor(), objective,
+                                          seeds.data(), budget, values.data());
     for (std::uint64_t k = evaluated; k < evaluated + budget; ++k) {
       const double value = values[k - evaluated];
       if (!have || value > best.value) {
@@ -136,6 +175,7 @@ derand::SearchResult select_with_threshold(
     if (have && best.value >= t && best.value > 0) {
       span.arg("candidate_seeds", best.trials);
       span.arg("committed_seed", best.seed);
+      derand::record_batch_stats(batch_stats);
       return best;
     }
     if (evaluated % config.trials_per_threshold == 0) t /= 2.0;

@@ -71,29 +71,40 @@ void set_window(OwnerWindow& w, double q, double mult) {
 }
 
 /// Objective: number of good owners under the hash seed (threshold = all).
-class StageObjective final : public derand::Objective {
+//
+// Range form: the flat item array is the bound point universe (EdgeId is
+// already 64-bit), so each candidate seed costs one lane-parallel PowerTable
+// sweep and a branchy-but-hash-free window scan over the precomputed raw
+// values. Windows are read by pointer: the escalation loop rewrites lo/hi in
+// place without rebuilding the table (the item universe never changes within
+// a stage).
+class StageObjective final : public derand::RangeObjective {
  public:
   StageObjective(const hash::KWiseFamily& family, std::uint64_t cutoff,
                  const WindowSet& windows)
-      : family_(&family), cutoff_(cutoff), windows_(&windows) {}
+      : cutoff_(cutoff), windows_(&windows) {
+    bind_points(family, windows.items.data(), windows.items.size());
+  }
 
-  double evaluate(std::uint64_t seed) const override {
-    const auto fn = family_->at(seed);
+  double accumulate_terms(std::uint64_t range_begin, std::uint64_t range_end,
+                          std::uint64_t /*seed*/,
+                          const std::uint64_t* values) const override {
     std::uint64_t good = 0;
-    for (const OwnerWindow& w : windows_->owners) {
+    for (std::uint64_t o = range_begin; o < range_end; ++o) {
+      const OwnerWindow& w = windows_->owners[o];
       std::uint64_t kept = 0;
       for (std::uint64_t idx = w.begin; idx < w.end; ++idx) {
-        if (fn.raw(windows_->items[idx]) < cutoff_) ++kept;
+        if (values[idx] < cutoff_) ++kept;
       }
       if (kept >= w.lo && kept <= w.hi) ++good;
     }
     return static_cast<double>(good);
   }
 
+  std::uint64_t range_count() const override { return windows_->owners.size(); }
   std::uint64_t term_count() const override { return windows_->owners.size(); }
 
  private:
-  const hash::KWiseFamily* family_;
   std::uint64_t cutoff_;
   const WindowSet* windows_;
 };
@@ -195,6 +206,9 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
     // --- Derandomize the stage with adaptive window escalation. ---
     derand::SearchResult committed;
     std::uint64_t total_trials = 0;
+    // One objective (and one PowerTable build) per stage: escalation only
+    // widens lo/hi, which the objective reads through the WindowSet pointer.
+    StageObjective objective(family, cutoff, windows);
     for (std::uint32_t attempt = 0;; ++attempt) {
       DMPC_CHECK_MSG(attempt <= config.max_escalations,
                      "edge sparsifier: window escalation cap reached");
@@ -202,7 +216,6 @@ EdgeSparsifyResult sparsify_edges(mpc::Cluster& cluster, const Params& params,
         mult *= 2.0;
         for (OwnerWindow& w : windows.owners) set_window(w, q, mult);
       }
-      StageObjective objective(family, cutoff, windows);
       derand::SearchOptions opts;
       opts.threshold = static_cast<double>(windows.owners.size());
       opts.max_trials = config.trials_per_window;

@@ -73,26 +73,38 @@ void set_weight_window(NodeWindow& w, const NodeWindowSet& set, double q,
   w.w_lo = std::max(0.0, q * mass - slack);
 }
 
-class NodeStageObjective final : public derand::Objective {
+// Range form of the stage objective: the flat item array (widened to the
+// 64-bit hash domain) is the bound point universe, so each candidate seed is
+// one lane-parallel PowerTable sweep plus a hash-free window scan. Weighted
+// masses accumulate in ascending item order — the exact floating-point order
+// of the scalar path. Windows are read by pointer so the escalation loop can
+// rewrite the bounds without rebuilding the table.
+class NodeStageObjective final : public derand::RangeObjective {
  public:
   NodeStageObjective(const hash::KWiseFamily& family, std::uint64_t cutoff,
                      const NodeWindowSet& windows)
-      : family_(&family), cutoff_(cutoff), windows_(&windows) {}
+      : cutoff_(cutoff),
+        windows_(&windows),
+        points_(windows.items.begin(), windows.items.end()) {
+    bind_points(family, points_.data(), points_.size());
+  }
 
-  double evaluate(std::uint64_t seed) const override {
-    const auto fn = family_->at(seed);
+  double accumulate_terms(std::uint64_t range_begin, std::uint64_t range_end,
+                          std::uint64_t /*seed*/,
+                          const std::uint64_t* values) const override {
     std::uint64_t good = 0;
-    for (const NodeWindow& w : windows_->owners) {
+    for (std::uint64_t o = range_begin; o < range_end; ++o) {
+      const NodeWindow& w = windows_->owners[o];
       if (!w.weighted) {
         std::uint64_t kept = 0;
         for (std::uint64_t i = w.begin; i < w.end; ++i) {
-          if (fn.raw(windows_->items[i]) < cutoff_) ++kept;
+          if (values[i] < cutoff_) ++kept;
         }
         if (kept >= w.lo && kept <= w.hi) ++good;
       } else {
         double mass = 0.0;
         for (std::uint64_t i = w.begin; i < w.end; ++i) {
-          if (fn.raw(windows_->items[i]) < cutoff_) {
+          if (values[i] < cutoff_) {
             mass += windows_->weights[i];
           }
         }
@@ -102,12 +114,13 @@ class NodeStageObjective final : public derand::Objective {
     return static_cast<double>(good);
   }
 
+  std::uint64_t range_count() const override { return windows_->owners.size(); }
   std::uint64_t term_count() const override { return windows_->owners.size(); }
 
  private:
-  const hash::KWiseFamily* family_;
   std::uint64_t cutoff_;
   const NodeWindowSet* windows_;
+  std::vector<std::uint64_t> points_;  ///< items widened to the hash domain
 };
 
 }  // namespace
@@ -228,6 +241,9 @@ NodeSparsifyResult sparsify_nodes(mpc::Cluster& cluster, const Params& params,
     // --- Derandomize with adaptive window escalation. ---
     derand::SearchResult committed;
     std::uint64_t total_trials = 0;
+    // One objective (and one PowerTable build) per stage: escalation only
+    // rewrites the window bounds, read through the NodeWindowSet pointer.
+    NodeStageObjective objective(family, cutoff, windows);
     for (std::uint32_t attempt = 0;; ++attempt) {
       DMPC_CHECK_MSG(attempt <= config.max_escalations,
                      "node sparsifier: window escalation cap reached");
@@ -243,7 +259,6 @@ NodeSparsifyResult sparsify_nodes(mpc::Cluster& cluster, const Params& params,
           }
         }
       }
-      NodeStageObjective objective(family, cutoff, windows);
       derand::SearchOptions opts;
       opts.threshold = static_cast<double>(windows.owners.size());
       opts.max_trials = config.trials_per_window;

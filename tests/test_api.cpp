@@ -17,14 +17,14 @@ using graph::Graph;
 TEST(Api, RegimeDispatch) {
   SolveOptions options;
   // Degree-3 graph on many nodes: low-degree regime.
-  EXPECT_TRUE(low_degree_regime(graph::random_regular(4096, 3, 1), options));
+  EXPECT_TRUE(Solver(options).low_degree_regime(graph::random_regular(4096, 3, 1)));
   // Dense graph: high-degree regime.
-  EXPECT_FALSE(low_degree_regime(graph::gnm(256, 8000, 2), options));
+  EXPECT_FALSE(Solver(options).low_degree_regime(graph::gnm(256, 8000, 2)));
 }
 
 TEST(Api, MisAutoLowDegree) {
   const Graph g = graph::random_regular(500, 4, 3);
-  const auto solution = solve_mis(g);
+  const auto solution = Solver().mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, solution.in_set));
   EXPECT_EQ(solution.report.algorithm_used, "lowdeg");
   EXPECT_GT(solution.report.metrics.rounds(), 0u);
@@ -32,19 +32,19 @@ TEST(Api, MisAutoLowDegree) {
 
 TEST(Api, MisAutoSparsification) {
   const Graph g = graph::gnm(256, 4096, 4);
-  const auto solution = solve_mis(g);
+  const auto solution = Solver().mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, solution.in_set));
   EXPECT_EQ(solution.report.algorithm_used, "sparsification");
 }
 
 TEST(Api, MatchingBothPaths) {
   const Graph sparse = graph::random_regular(300, 4, 5);
-  const auto lowdeg = solve_maximal_matching(sparse);
+  const auto lowdeg = Solver().maximal_matching(sparse);
   EXPECT_TRUE(graph::is_maximal_matching(sparse, lowdeg.matching));
   EXPECT_EQ(lowdeg.report.algorithm_used, "lowdeg");
 
   const Graph dense = graph::gnm(256, 4096, 6);
-  const auto sp = solve_maximal_matching(dense);
+  const auto sp = Solver().maximal_matching(dense);
   EXPECT_TRUE(graph::is_maximal_matching(dense, sp.matching));
   EXPECT_EQ(sp.report.algorithm_used, "sparsification");
 }
@@ -53,24 +53,24 @@ TEST(Api, ForcedAlgorithmOverridesAuto) {
   const Graph g = graph::gnm(200, 2000, 7);  // dense: auto = sparsification
   SolveOptions options;
   options.algorithm = Algorithm::kSparsification;
-  const auto forced = solve_mis(g, options);
+  const auto forced = Solver(options).mis(g);
   EXPECT_EQ(forced.report.algorithm_used, "sparsification");
   EXPECT_TRUE(graph::is_maximal_independent_set(g, forced.in_set));
 }
 
 TEST(Api, Determinism) {
   const Graph g = graph::power_law(300, 1500, 2.5, 8);
-  const auto a = solve_mis(g);
-  const auto b = solve_mis(g);
+  const auto a = Solver().mis(g);
+  const auto b = Solver().mis(g);
   EXPECT_EQ(a.in_set, b.in_set);
   EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
 }
 
 TEST(Api, TrivialInputs) {
   const Graph empty = Graph::from_edges(3, {});
-  const auto mis = solve_mis(empty);
+  const auto mis = Solver().mis(empty);
   EXPECT_EQ(std::count(mis.in_set.begin(), mis.in_set.end(), true), 3);
-  const auto mm = solve_maximal_matching(empty);
+  const auto mm = Solver().maximal_matching(empty);
   EXPECT_TRUE(mm.matching.empty());
 }
 
@@ -162,7 +162,12 @@ TEST(Solver, StatusCodeNamesAreStable) {
   EXPECT_EQ(status.to_string().rfind("invalid_space_headroom:", 0), 0u);
 }
 
-TEST(Solver, MatchesFreeFunctionWrappers) {
+// The api/solve.hpp free functions are a deprecated compat shim over Solver;
+// this is the one test that still calls them, pinning wrapper == facade until
+// the shim is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Solver, DeprecatedShimMatchesSolver) {
   const Graph g = graph::gnm(256, 4096, 4);
   SolveOptions options;
   options.eps = 0.5;
@@ -177,6 +182,7 @@ TEST(Solver, MatchesFreeFunctionWrappers) {
   EXPECT_EQ(ma.matching, mb.matching);
   EXPECT_EQ(solver.low_degree_regime(g), low_degree_regime(g, options));
 }
+#pragma GCC diagnostic pop
 
 TEST(Solver, DispatchThresholdMovesWithSlack) {
   // A 4-regular graph sits in the low-degree regime at the default slack;

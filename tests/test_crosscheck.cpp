@@ -8,7 +8,7 @@
 
 #include <set>
 
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
 #include "hash/tabulation.hpp"
@@ -44,10 +44,10 @@ TEST(BruteForce, EveryFiveNodeGraph) {
   const auto pairs = all_pairs(5);  // 10 pairs -> 1024 graphs
   for (std::uint32_t mask = 0; mask < (1u << pairs.size()); ++mask) {
     const Graph g = graph_from_mask(5, pairs, mask);
-    const auto mis = solve_mis(g);
+    const auto mis = Solver().mis(g);
     ASSERT_TRUE(graph::is_maximal_independent_set(g, mis.in_set))
         << "mask " << mask;
-    const auto mm = solve_maximal_matching(g);
+    const auto mm = Solver().maximal_matching(g);
     ASSERT_TRUE(graph::is_maximal_matching(g, mm.matching))
         << "mask " << mask;
   }
@@ -60,10 +60,10 @@ TEST(BruteForce, SampledSixNodeGraphs) {
     const auto mask = static_cast<std::uint32_t>(
         rng.next_below(1u << pairs.size()));
     const Graph g = graph_from_mask(6, pairs, mask);
-    const auto mis = solve_mis(g);
+    const auto mis = Solver().mis(g);
     ASSERT_TRUE(graph::is_maximal_independent_set(g, mis.in_set))
         << "mask " << mask;
-    const auto mm = solve_maximal_matching(g);
+    const auto mm = Solver().maximal_matching(g);
     ASSERT_TRUE(graph::is_maximal_matching(g, mm.matching))
         << "mask " << mask;
   }

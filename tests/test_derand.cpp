@@ -271,5 +271,79 @@ TEST(CondExpect, InconsistentGuaranteeThrows) {
   EXPECT_THROW(fix_seed(cluster, conditional, space, options), CheckFailure);
 }
 
+// ---- Batched evaluation (range-based Objective API) ----
+
+/// Counts how the engine drives the batch entry points: an objective that
+/// does NOT override evaluate_batch exercises the default scalar fallback.
+class CountingObjective final : public Objective {
+ public:
+  double evaluate(std::uint64_t seed) const override {
+    ++scalar_calls;
+    return static_cast<double>(seed % 17);
+  }
+  std::uint64_t term_count() const override { return 1; }
+  mutable std::uint64_t scalar_calls = 0;
+};
+
+TEST(BatchEvaluate, DefaultFallbackMatchesScalarEvaluate) {
+  CountingObjective objective;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 37; ++s) seeds.push_back(s * 3 + 1);
+  std::vector<double> batched(seeds.size());
+  objective.evaluate_batch(seeds.data(), seeds.size(), batched.data());
+  EXPECT_EQ(objective.scalar_calls, seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(batched[i], static_cast<double>(seeds[i] % 17));
+  }
+}
+
+TEST(BatchEvaluate, ContiguousOverloadMatchesExplicitSeeds) {
+  CountingObjective objective;
+  std::vector<double> a(25);
+  objective.evaluate_batch(/*seed_lo=*/100, a.size(), a.data());
+  std::vector<std::uint64_t> seeds(25);
+  std::iota(seeds.begin(), seeds.end(), std::uint64_t{100});
+  std::vector<double> b(25);
+  objective.evaluate_batch(seeds.data(), seeds.size(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BatchEvaluate, ExecutorSweepChunksDeterministically) {
+  // batch_evaluate splits into fixed kBatchChunk chunks regardless of the
+  // executor, so BatchStats (and therefore the registry counters) are
+  // thread-count invariant.
+  CountingObjective objective;
+  const std::size_t count = 3 * kBatchChunk + 5;
+  std::vector<std::uint64_t> seeds(count);
+  std::iota(seeds.begin(), seeds.end(), std::uint64_t{7});
+  std::vector<double> serial_out(count);
+  exec::Executor serial = exec::Executor::serial();
+  const auto serial_stats = batch_evaluate(serial, objective, seeds.data(),
+                                           count, serial_out.data());
+  EXPECT_EQ(serial_stats.calls, (count + kBatchChunk - 1) / kBatchChunk);
+  EXPECT_EQ(serial_stats.lanes, count);
+  std::vector<double> parallel_out(count);
+  exec::Executor parallel = exec::Executor::with_threads(4);
+  const auto parallel_stats = batch_evaluate(
+      parallel, objective, seeds.data(), count, parallel_out.data());
+  EXPECT_EQ(parallel_stats.calls, serial_stats.calls);
+  EXPECT_EQ(parallel_stats.lanes, serial_stats.lanes);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(BatchEvaluate, EngineOptionsShareLabelAndBudgetFields) {
+  // SearchOptions and FixOptions consolidate label/batch/trial budgets in
+  // derand::EngineOptions; the defaults differ only in the label.
+  SearchOptions search;
+  FixOptions fix;
+  EXPECT_EQ(search.label, "seed_search");
+  EXPECT_EQ(fix.label, "cond_expect");
+  EXPECT_EQ(search.candidates_per_batch, fix.candidates_per_batch);
+  EXPECT_EQ(search.max_trials, fix.max_trials);
+  EngineOptions& base = search;
+  base.label = "custom";
+  EXPECT_EQ(search.label, "custom");
+}
+
 }  // namespace
 }  // namespace dmpc::derand

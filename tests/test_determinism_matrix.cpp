@@ -13,6 +13,7 @@
 
 #include "api/report_json.hpp"
 #include "api/solver.hpp"
+#include "field/batch_eval.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "obs/metrics_registry.hpp"
@@ -350,6 +351,41 @@ TEST(DeterminismMatrix, ProfilerAxis) {
           << "faults=" << axis.name << " threads=" << threads;
     }
   }
+}
+
+// ---- Batch-dispatch axis ----
+//
+// The batched field kernels (field/batch_eval.hpp) promise exact modular
+// arithmetic on every lane width, so forcing any supported dispatch path —
+// scalar, AVX2, NEON — crossed with any thread count must leave solutions,
+// reports, traces, and the golden registry section byte-identical.
+
+TEST(DeterminismMatrix, BatchDispatchAxis) {
+  const auto g = graph::gnm(600, 4800, 11);
+  field::set_batch_dispatch(field::BatchDispatch::kScalar);
+  const auto reference = run_all(g, /*threads=*/1);
+  for (const auto dispatch : field::supported_batch_dispatches()) {
+    field::set_batch_dispatch(dispatch);
+    for (std::uint32_t threads : kThreadCounts) {
+      const auto run = run_all(g, threads);
+      const char* name = field::batch_dispatch_name(dispatch);
+      EXPECT_EQ(run.mis_in_set, reference.mis_in_set)
+          << "dispatch=" << name << " threads=" << threads;
+      EXPECT_EQ(run.mis_report_json, reference.mis_report_json)
+          << "dispatch=" << name << " threads=" << threads;
+      EXPECT_EQ(run.mis_trace, reference.mis_trace)
+          << "dispatch=" << name << " threads=" << threads;
+      EXPECT_EQ(run.mis_registry_json, reference.mis_registry_json)
+          << "dispatch=" << name << " threads=" << threads;
+      EXPECT_EQ(run.matching, reference.matching)
+          << "dispatch=" << name << " threads=" << threads;
+      EXPECT_EQ(run.matching_report_json, reference.matching_report_json)
+          << "dispatch=" << name << " threads=" << threads;
+      EXPECT_EQ(run.matching_trace, reference.matching_trace)
+          << "dispatch=" << name << " threads=" << threads;
+    }
+  }
+  field::reset_batch_dispatch();
 }
 
 }  // namespace

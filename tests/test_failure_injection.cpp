@@ -79,7 +79,7 @@ TEST(FailureInjection, AutoDispatchAvoidsTheTrap) {
   // The same hub graph through the façade dispatches to the general
   // pipeline and succeeds.
   const Graph hub = graph::star(4000);
-  EXPECT_EQ(solve_mis(hub).report.algorithm_used, "sparsification");
+  EXPECT_EQ(Solver().mis(hub).report.algorithm_used, "sparsification");
 }
 
 TEST(FailureInjection, SpaceDisabledAblationRuns) {

@@ -5,7 +5,7 @@
 // say so in the commit.
 #include <gtest/gtest.h>
 
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
 
@@ -28,21 +28,21 @@ TEST(Golden, PetersenLikeFixedGraph) {
       10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},   // outer
            {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},   // inner
            {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}); // spokes
-  const auto mis = solve_mis(g);
+  const auto mis = Solver().mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, mis.in_set));
   // Golden output (recorded): deterministic forever. Petersen's maximum
   // independent set size is 4 and the solver finds one.
   EXPECT_EQ(mis_members(mis.in_set),
             (std::vector<std::uint32_t>{2, 4, 5, 6}));
-  const auto mm = solve_maximal_matching(g);
+  const auto mm = Solver().maximal_matching(g);
   EXPECT_TRUE(graph::is_maximal_matching(g, mm.matching));
   EXPECT_EQ(mm.matching.size(), 5u);  // Petersen has a perfect matching
 }
 
 TEST(Golden, FixedGnmRunsAreStable) {
   const Graph g = graph::gnm(64, 256, 123);
-  const auto a = solve_mis(g);
-  const auto b = solve_mis(g);
+  const auto a = Solver().mis(g);
+  const auto b = Solver().mis(g);
   EXPECT_EQ(a.in_set, b.in_set);
   EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
   EXPECT_EQ(a.report.metrics.total_communication(),
@@ -54,7 +54,7 @@ TEST(Golden, FixedGnmRunsAreStable) {
 
 TEST(Golden, CycleSixExact) {
   const Graph g = graph::cycle(6);
-  const auto mis = solve_mis(g);
+  const auto mis = Solver().mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, mis.in_set));
   const auto members = mis_members(mis.in_set);
   // C6 maximal independent sets have size 2 or 3; record the exact pick.
@@ -64,7 +64,7 @@ TEST(Golden, CycleSixExact) {
 
 TEST(Golden, MatchingOutputsSortedAndUnique) {
   const Graph g = graph::gnm(128, 512, 9);
-  const auto mm = solve_maximal_matching(g);
+  const auto mm = Solver().maximal_matching(g);
   auto sorted = mm.matching;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());

@@ -6,11 +6,13 @@
 #include <tuple>
 #include <vector>
 
+#include "field/fastmod.hpp"
 #include "field/primes.hpp"
 #include "hash/kwise.hpp"
 #include "hash/seed.hpp"
 #include "hash/small_family.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace dmpc::hash {
 namespace {
@@ -177,6 +179,65 @@ TEST(FunctionSequence, CapLimitsPerPhaseSeeds) {
   SmallFamily family(8);
   FunctionSequence seq(family, 2, 1ULL << 40);
   EXPECT_EQ(seq.per_phase_seeds(), family.seed_count());
+}
+
+TEST(FastDiv, MatchesModuloForRandomInputsAndDivisors) {
+  // HashFn's range reduction precomputes a Lemire magic; it must agree with
+  // plain % for every 64-bit input. Stress divisor classes: 1, powers of
+  // two, odd, near-2^32, near-2^64.
+  Rng rng(0xFA57D1FULL);
+  const std::uint64_t divisors[] = {1,
+                                    2,
+                                    3,
+                                    7,
+                                    256,
+                                    65537,
+                                    4294967291ULL,
+                                    (1ULL << 32),
+                                    (1ULL << 63) - 25,
+                                    ~0ULL};
+  for (const std::uint64_t d : divisors) {
+    const field::FastDiv64 fast(d);
+    for (int i = 0; i < 10000; ++i) {
+      const std::uint64_t x = rng.next_u64();
+      ASSERT_EQ(fast.mod(x), x % d) << "d=" << d << " x=" << x;
+    }
+    // Boundary inputs.
+    const std::uint64_t edges[] = {0, d - 1, d, d + 1, ~0ULL, ~0ULL - 1};
+    for (const std::uint64_t x : edges) {
+      ASSERT_EQ(fast.mod(x), x % d) << "d=" << d << " x=" << x;
+    }
+  }
+}
+
+TEST(KWiseFamily, HashFnRangeReductionMatchesRawModulo) {
+  KWiseFamily family(/*domain=*/5000, /*range=*/37, /*k=*/4);
+  const auto fn = family.at(12345 % family.seed_count());
+  for (std::uint64_t x = 0; x < 5000; x += 13) {
+    EXPECT_EQ(fn(x), fn.raw(x) % 37u);
+  }
+}
+
+TEST(KWiseFamily, RawManyMatchesRawPointwise) {
+  KWiseFamily family(/*domain=*/4096, /*range=*/4096, /*k=*/5);
+  const auto fn = family.at(99 % family.seed_count());
+  std::vector<std::uint64_t> xs;
+  for (std::uint64_t x = 0; x < 300; ++x) xs.push_back((x * 37) % 4096);
+  std::vector<std::uint64_t> out(xs.size());
+  fn.raw_many(xs.data(), xs.size(), out.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(out[i], fn.raw(xs[i])) << "i=" << i;
+  }
+}
+
+TEST(KWiseFamily, CoefficientsIntoMatchesCoefficients) {
+  KWiseFamily family(/*domain=*/1024, /*range=*/1024, /*k=*/4);
+  const std::uint64_t seed = 4242 % family.seed_count();
+  const auto vec = family.coefficients(seed);
+  std::uint64_t buf[16] = {};
+  family.coefficients_into(seed, buf);
+  ASSERT_EQ(vec.size(), family.k());
+  for (std::size_t j = 0; j < vec.size(); ++j) EXPECT_EQ(buf[j], vec[j]);
 }
 
 }  // namespace

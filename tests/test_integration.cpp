@@ -2,7 +2,7 @@
 // against the sequential ground truth, across generator families.
 #include <gtest/gtest.h>
 
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "baselines/greedy.hpp"
 #include "baselines/luby_matching.hpp"
 #include "baselines/luby_mis.hpp"
@@ -50,9 +50,9 @@ TEST(Integration, EverySolverValidOnEveryFamily) {
     EXPECT_TRUE(graph::is_maximal_matching(
         g, matching::det_maximal_matching(g, {}).matching));
     // Façade (auto dispatch).
-    EXPECT_TRUE(graph::is_maximal_independent_set(g, solve_mis(g).in_set));
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, Solver().mis(g).in_set));
     EXPECT_TRUE(
-        graph::is_maximal_matching(g, solve_maximal_matching(g).matching));
+        graph::is_maximal_matching(g, Solver().maximal_matching(g).matching));
   }
 }
 
@@ -92,7 +92,7 @@ TEST(Integration, DetPipelinesProgressMonotonically) {
 TEST(Integration, CongestedCliqueMatchesMpcValidity) {
   const Graph g = graph::random_regular(200, 4, 10);
   const auto cc = cclique::cc_mis(g);
-  const auto mpc = solve_mis(g);
+  const auto mpc = Solver().mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, cc.in_set));
   EXPECT_TRUE(graph::is_maximal_independent_set(g, mpc.in_set));
 }

@@ -6,7 +6,7 @@
 #include <string>
 #include <tuple>
 
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
 #include "matching/det_matching.hpp"
@@ -58,17 +58,17 @@ class SolverProperty : public ::testing::TestWithParam<Param> {
 
 TEST_P(SolverProperty, MisValidMaximalDeterministic) {
   const Graph g = make_graph();
-  const auto a = solve_mis(g);
+  const auto a = Solver().mis(g);
   ASSERT_TRUE(graph::is_maximal_independent_set(g, a.in_set));
-  const auto b = solve_mis(g);
+  const auto b = Solver().mis(g);
   EXPECT_EQ(a.in_set, b.in_set);
 }
 
 TEST_P(SolverProperty, MatchingValidMaximalDeterministic) {
   const Graph g = make_graph();
-  const auto a = solve_maximal_matching(g);
+  const auto a = Solver().maximal_matching(g);
   ASSERT_TRUE(graph::is_maximal_matching(g, a.matching));
-  const auto b = solve_maximal_matching(g);
+  const auto b = Solver().maximal_matching(g);
   EXPECT_EQ(a.matching, b.matching);
 }
 
@@ -111,14 +111,14 @@ class DegreeEdgeCases : public ::testing::TestWithParam<std::uint32_t> {};
 TEST_P(DegreeEdgeCases, StarOfEveryScaleSolves) {
   const auto leaves = GetParam();
   const Graph g = graph::star(leaves);
-  const auto mis = solve_mis(g);
+  const auto mis = Solver().mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, mis.in_set));
   // Either the hub alone or all leaves: both are maximal; solver must pick
   // one of the two.
   const auto members =
       std::count(mis.in_set.begin(), mis.in_set.end(), true);
   EXPECT_TRUE(members == 1 || members == static_cast<long>(leaves));
-  const auto mm = solve_maximal_matching(g);
+  const auto mm = Solver().maximal_matching(g);
   EXPECT_EQ(mm.matching.size(), 1u);
 }
 
@@ -135,9 +135,9 @@ TEST_P(EpsSweep, BothPipelinesValidAtEveryExponent) {
   const Graph g = kWorkloads[family].make(192, 3);
   SolveOptions options;
   options.eps = eps;
-  const auto mis = solve_mis(g, options);
+  const auto mis = Solver(options).mis(g);
   EXPECT_TRUE(graph::is_maximal_independent_set(g, mis.in_set));
-  const auto mm = solve_maximal_matching(g, options);
+  const auto mm = Solver(options).maximal_matching(g);
   EXPECT_TRUE(graph::is_maximal_matching(g, mm.matching));
 }
 

@@ -2,7 +2,7 @@
 // maximal solutions carry, verified against exact references.
 #include <gtest/gtest.h>
 
-#include "api/solve.hpp"
+#include "api/solver.hpp"
 #include "baselines/greedy.hpp"
 #include "baselines/luby_colored.hpp"
 #include "graph/algorithms.hpp"
@@ -20,7 +20,7 @@ TEST(Quality, MaximalMatchingIsHalfOfMaximumBipartite) {
   for (std::uint64_t seed : {1, 2, 3}) {
     const Graph g = graph::random_bipartite(60, 60, 400, seed);
     const auto maximum = graph::hopcroft_karp(g);
-    const auto solution = solve_maximal_matching(g);
+    const auto solution = Solver().maximal_matching(g);
     EXPECT_GE(2 * solution.matching.size(), maximum.size);
     EXPECT_LE(solution.matching.size(), maximum.size);
   }
@@ -31,7 +31,7 @@ TEST(Quality, MatchingOnStructuredBipartite) {
   const Graph g = graph::grid(10, 10);
   const auto maximum = graph::hopcroft_karp(g);
   EXPECT_EQ(maximum.size, 50u);
-  const auto solution = solve_maximal_matching(g);
+  const auto solution = Solver().maximal_matching(g);
   EXPECT_GE(2 * solution.matching.size(), maximum.size);
 }
 
@@ -39,7 +39,7 @@ TEST(Quality, MatchingOnStructuredBipartite) {
 TEST(Quality, MisSizeLowerBound) {
   for (std::uint64_t seed : {4, 5}) {
     const Graph g = graph::random_regular(300, 6, seed);
-    const auto solution = solve_mis(g);
+    const auto solution = Solver().mis(g);
     std::size_t size = 0;
     for (bool b : solution.in_set) size += b;
     EXPECT_GE(size * (g.max_degree() + 1), g.num_nodes());

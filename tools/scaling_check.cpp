@@ -2,6 +2,7 @@
 //
 //   ./scaling_check [--baseline-dir=bench/baselines] [--slack=0.25]
 //                   [--tolerance=0.10] [--gini-cap=PPM]
+//                   [--wall-tolerance=0.50] [--wall-floor-ms=50]
 //                   BENCH_E1.json [BENCH_E2.json ...]
 //
 // Two independent gates, both judged on the artifacts' integer "model"
@@ -25,6 +26,14 @@
 //     for near-zero counters). Points are matched positionally and must
 //     agree on axis_value — a re-ordered or truncated sweep is a failure,
 //     not a skip.
+//
+//  3. Wall-clock band (off by default; enable with --wall-tolerance=F > 0):
+//     each measured point's wall.wall_ms must stay at or below
+//     max(--wall-floor-ms, baseline wall_ms * (1 + F)). Upper bound only —
+//     getting faster always passes — and host-section (kHost) by nature, so
+//     it is meaningful only on a runner comparable to the one that wrote the
+//     baselines; hence opt-in, with a generous default band and an absolute
+//     floor absorbing timer noise on sub-floor benches.
 //
 // Exit 0 when every gate passes; exit 1 with one line per offending series
 // ("<exp>.<axis>=<value>.<field>: ..."); exit 2 on usage/parse errors.
@@ -219,12 +228,54 @@ void compare_to_baseline(const Json& measured, const Json& baseline,
   }
 }
 
+/// Gate 3: measured wall_ms at or below the tolerance band over baseline.
+/// Points without a wall block (on either side) are skipped, not failed:
+/// older artifacts predate the block.
+void compare_wall_to_baseline(const Json& measured, const Json& baseline,
+                              double wall_tolerance, double wall_floor_ms) {
+  const int failures_before = g_failures;
+  const std::string exp = measured.at("bench").as_string();
+  const auto& measured_points = measured.at("points").items();
+  const auto& baseline_points = baseline.at("points").items();
+  if (measured_points.size() != baseline_points.size()) return;  // gate 2 fails
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < baseline_points.size(); ++i) {
+    const Json* bw = baseline_points[i].find("wall");
+    const Json* mw = measured_points[i].find("wall");
+    if (bw == nullptr || mw == nullptr) continue;
+    const Json* base_ms = bw->find("wall_ms");
+    const Json* got_ms = mw->find("wall_ms");
+    if (base_ms == nullptr || !base_ms->is_number() || got_ms == nullptr ||
+        !got_ms->is_number()) {
+      continue;
+    }
+    const double base = base_ms->as_double();
+    const double got = got_ms->as_double();
+    const double limit =
+        std::max(wall_floor_ms, base * (1.0 + wall_tolerance));
+    if (got > limit) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "measured %.1f ms vs baseline %.1f ms (> allowed %.1f)",
+                    got, base, limit);
+      fail(series_name(measured, measured_points[i]) + ".wall_ms", buf);
+    }
+    ++checked;
+  }
+  if (g_failures == failures_before && checked > 0) {
+    std::printf("ok   %s: wall_ms within +%.0f%% of baseline on %zu points\n",
+                exp.c_str(), wall_tolerance * 100, checked);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const dmpc::ArgParser args(argc, argv);
   const double slack = args.get_double("slack", 0.25);
   const double tolerance = args.get_double("tolerance", 0.10);
+  const double wall_tolerance = args.get_double("wall-tolerance", 0.0);
+  const double wall_floor_ms = args.get_double("wall-floor-ms", 50.0);
   const auto gini_cap_ppm =
       static_cast<std::uint64_t>(args.get_int("gini-cap", 900000));
   const std::string baseline_dir = args.get("baseline-dir", "");
@@ -232,7 +283,8 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: scaling_check [--baseline-dir=<dir>] [--slack=F] "
-                 "[--tolerance=F] [--gini-cap=PPM] BENCH_*.json...\n");
+                 "[--tolerance=F] [--gini-cap=PPM] [--wall-tolerance=F] "
+                 "[--wall-floor-ms=F] BENCH_*.json...\n");
     return 2;
   }
 
@@ -256,6 +308,10 @@ int main(int argc, char** argv) {
       try {
         const Json baseline = Json::parse_file(baseline_path);
         compare_to_baseline(doc, baseline, tolerance);
+        if (wall_tolerance > 0.0) {
+          compare_wall_to_baseline(doc, baseline, wall_tolerance,
+                                   wall_floor_ms);
+        }
       } catch (const dmpc::ParseError& e) {
         fail(doc.at("bench").as_string() + ".baseline",
              baseline_path + ": " + e.what());
