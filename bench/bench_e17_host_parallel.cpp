@@ -134,7 +134,9 @@ void bench_graph_build(std::uint64_t n, std::uint32_t threads) {
                                       static_cast<dmpc::graph::EdgeId>(8 * n),
                                       /*seed=*/17);
   // Re-extract the edge list (from_edges re-sorts and re-validates it).
-  std::vector<dmpc::graph::Edge> edges = proto.edges();
+  const auto proto_edges = proto.edges();
+  std::vector<dmpc::graph::Edge> edges(proto_edges.begin(),
+                                       proto_edges.end());
 
   auto edges_a = edges;
   const auto t0 = Clock::now();

@@ -1,0 +1,219 @@
+// E19: out-of-core shard storage — bounded build RSS + backend identity.
+//
+// The streaming shard builder (mpc/shard_format.hpp) promises peak host
+// memory of O(n) words plus a fixed dirty-page budget, *never* O(m). This
+// bench sweeps m on circulant graphs whose edge lists are stream-written
+// (no in-memory graph is ever built for the sweep), records the process
+// peak RSS after each build, and reports it next to the exact byte size the
+// in-memory CSR would occupy — the quantity the builder's bound is measured
+// against. tools/scaling_check gates the ratio (bench "e19"): build peak RSS
+// must stay under a floor plus a fraction of csr_bytes, so regressing to an
+// in-memory build fails CI at the largest m.
+//
+//   ./bench_e19_storage [--quick] [--json] [--rss-budget-mb=16]
+//
+// A separate small instance is solved through both backends and must be
+// byte-identical (solutions + report JSON); it runs *after* the sweep so
+// its heap CSR cannot pollute the RSS samples (ru_maxrss is monotone).
+// With --json the artifact (bench/bench_json.hpp envelope, axis "m") is
+// printed to stdout; CI redirects it to BENCH_E19.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/report_json.hpp"
+#include "api/solver.hpp"
+#include "bench_json.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "mpc/shard_format.hpp"
+#include "mpc/storage.hpp"
+#include "obs/metrics_registry.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Stream-write the circulant graph C(n; 1..k): node v joined to v+d (mod n)
+/// for d = 1..k. Exactly m = n*k distinct edges (for 2k < n), no self-loops,
+/// uniform degree 2k — and O(1) writer memory, which is the point: the sweep
+/// must never hold a graph-sized structure on the heap.
+void write_circulant(const std::string& path, std::uint64_t n,
+                     std::uint64_t k) {
+  std::ofstream out(path);
+  out << n << ' ' << n * k << '\n';
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t d = 1; d <= k; ++d) {
+      out << v << ' ' << (v + d) % n << '\n';
+    }
+  }
+}
+
+/// Exact heap bytes Graph::from_edges would pin for (n, m): offsets
+/// (n+1)*u64, adjacency 2m*u32, incident 2m*u64, edges m*8B.
+std::uint64_t csr_bytes(std::uint64_t n, std::uint64_t m) {
+  return (n + 1) * 8 + 2 * m * (4 + 8) + m * 8;
+}
+
+struct SweepPoint {
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  dmpc::mpc::ShardBuildStats stats;
+  std::uint64_t peak_rss_after_build = 0;
+  double build_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const bool quick = args.has("quick");
+  const bool json = args.has("json");
+  const std::uint64_t rss_budget_mb =
+      static_cast<std::uint64_t>(args.get_int("rss-budget-mb", 16));
+
+  const fs::path dir = fs::temp_directory_path() / "dmpc_bench_e19";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Sweep sizes: degree 2k = 16 throughout, n doubling. The full sweep's
+  // largest point has a ~420 MB in-memory CSR; the builder must stay flat.
+  struct Size {
+    std::uint64_t n, k;
+  };
+  std::vector<Size> sizes = {{100000, 8}, {200000, 8}, {400000, 8}};
+  if (!quick) sizes.push_back({800000, 8});
+
+  if (!json) {
+    std::printf("== E19 out-of-core storage: %zu sweep points%s, "
+                "rss_budget=%lluMB ==\n",
+                sizes.size(), quick ? " (quick)" : "",
+                static_cast<unsigned long long>(rss_budget_mb));
+  }
+
+  dmpc::mpc::ShardBuildOptions build;
+  build.rss_budget_bytes = rss_budget_mb << 20;
+
+  std::vector<SweepPoint> sweep;
+  for (const auto& size : sizes) {
+    SweepPoint point;
+    point.n = size.n;
+    point.k = size.k;
+    const std::string edges = (dir / ("sweep_" + std::to_string(size.n) +
+                                      ".txt")).string();
+    const std::string shards = (dir / ("shards_" + std::to_string(size.n)))
+                                   .string();
+    write_circulant(edges, size.n, size.k);
+    const auto t0 = Clock::now();
+    point.stats = dmpc::mpc::shard_build(edges, shards, build);
+    point.build_ms = ms_since(t0);
+    point.peak_rss_after_build = dmpc::obs::peak_rss_bytes();
+    fs::remove(edges);  // keep scratch-disk footprint to one point's input
+    sweep.push_back(point);
+
+    if (!json) {
+      const auto csr = csr_bytes(point.stats.n, point.stats.m);
+      std::printf("m=%-9llu shards=%-3llu build=%8.1fms  csr=%7.1fMB  "
+                  "peak_rss=%7.1fMB  (%.0f%% of csr)\n",
+                  static_cast<unsigned long long>(point.stats.m),
+                  static_cast<unsigned long long>(point.stats.shards),
+                  point.build_ms, csr / 1048576.0,
+                  point.peak_rss_after_build / 1048576.0,
+                  100.0 * point.peak_rss_after_build / csr);
+    }
+  }
+
+  // Identity check — after every RSS sample: a heap CSR built here cannot
+  // retroactively inflate the sweep's ru_maxrss readings.
+  const std::uint64_t id_n = 2000, id_k = 8;
+  const std::string id_edges = (dir / "identity.txt").string();
+  const std::string id_shards = (dir / "identity_shards").string();
+  write_circulant(id_edges, id_n, id_k);
+  const auto id_stats = dmpc::mpc::shard_build(id_edges, id_shards, build);
+  const auto storage = dmpc::mpc::MmapShardStorage::open(id_shards);
+  const auto memory_graph = dmpc::graph::read_edge_list_file(id_edges);
+
+  const dmpc::Solver solver;
+  const auto t_solve = Clock::now();
+  const auto from_mmap = solver.mis(*storage);
+  const double solve_ms = ms_since(t_solve);
+  const auto from_memory = solver.mis(memory_graph);
+  const bool identical =
+      from_mmap.in_set == from_memory.in_set &&
+      to_json(from_mmap.report).dump() == to_json(from_memory.report).dump();
+  std::size_t mis_size = 0;
+  for (bool b : from_mmap.in_set) mis_size += b;
+
+  if (!json) {
+    std::printf("identity (n=%llu m=%llu): mis_size=%zu rounds=%llu "
+                "identical=%s\n",
+                static_cast<unsigned long long>(id_stats.n),
+                static_cast<unsigned long long>(id_stats.m), mis_size,
+                static_cast<unsigned long long>(
+                    from_mmap.report.metrics.rounds()),
+                identical ? "yes" : "NO");
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: mmap-backed solve differs from in-memory solve\n");
+    fs::remove_all(dir);
+    return 1;
+  }
+
+  if (json) {
+    dmpc::Json points = dmpc::Json::array();
+    points.push(
+        dmpc::Json::object()
+            .set("axis_value", id_stats.m)
+            .set("model",
+                 dmpc::Json::object()
+                     .set("n", id_stats.n)
+                     .set("m", id_stats.m)
+                     .set("csr_bytes", csr_bytes(id_stats.n, id_stats.m))
+                     .set("shard_bytes", id_stats.total_bytes)
+                     .set("shards", id_stats.shards)
+                     .set("mis_size", static_cast<std::uint64_t>(mis_size))
+                     .set("mpc_rounds", from_mmap.report.metrics.rounds())
+                     .set("identical", identical ? 1 : 0))
+            .set("wall", dmpc::bench::wall_stats(solve_ms)));
+    for (const auto& point : sweep) {
+      points.push(
+          dmpc::Json::object()
+              .set("axis_value", point.stats.m)
+              .set("model",
+                   dmpc::Json::object()
+                       .set("n", point.stats.n)
+                       .set("m", point.stats.m)
+                       .set("csr_bytes",
+                            csr_bytes(point.stats.n, point.stats.m))
+                       .set("shard_bytes", point.stats.total_bytes)
+                       .set("shards", point.stats.shards))
+              .set("rss",
+                   dmpc::Json::object()
+                       .set("build_peak_rss_bytes", point.peak_rss_after_build)
+                       .set("rss_budget_bytes", build.rss_budget_bytes))
+              .set("wall", dmpc::bench::wall_stats(point.build_ms)));
+    }
+    auto doc =
+        dmpc::bench::bench_envelope(
+            "e19", "Out-of-core shard storage: build RSS bound + identity",
+            quick, args.get("commit", ""))
+            .set("axis", "m")
+            .set("points", points);
+    std::printf("%s\n", doc.dump(2).c_str());
+  }
+
+  fs::remove_all(dir);
+  return 0;
+}

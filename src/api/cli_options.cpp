@@ -50,6 +50,14 @@ mpc::CheckpointMode parse_checkpoint_mode(const std::string& name) {
       "unknown checkpoint mode '" + name + "' (expected round|phase|off)"));
 }
 
+mpc::StorageBackend parse_storage_backend(const std::string& name) {
+  if (name == "memory") return mpc::StorageBackend::kMemory;
+  if (name == "mmap") return mpc::StorageBackend::kMmap;
+  throw OptionsError(Status::error(
+      StatusCode::kInvalidStorage,
+      "unknown storage backend '" + name + "' (expected memory|mmap)"));
+}
+
 CliSolveOptions parse_solve_options(const ArgParser& args) {
   CliSolveOptions cli;
   SolveOptions& options = cli.options;
@@ -62,6 +70,8 @@ CliSolveOptions parse_solve_options(const ArgParser& args) {
   options.recovery.checkpoint =
       parse_checkpoint_mode(args.get("checkpoint", "round"));
   options.profile = args.has("profile");
+  options.storage.backend = parse_storage_backend(args.get("storage", "memory"));
+  options.storage.shard_dir = args.get("shard-dir", "");
   cli.fault_plan_path = args.get("fault-plan", "");
   cli.metrics_out_path = args.get("metrics-out", "");
   return cli;

@@ -25,6 +25,9 @@ verify::CertifyMode parse_certify_mode(const std::string& name);
 /// --checkpoint=round|phase|off. Throws OptionsError(kInvalidRetryBudget).
 mpc::CheckpointMode parse_checkpoint_mode(const std::string& name);
 
+/// --storage=memory|mmap. Throws OptionsError(kInvalidStorage).
+mpc::StorageBackend parse_storage_backend(const std::string& name);
+
 /// SolveOptions parsed from flags, plus the side-channels the caller must
 /// resolve itself (file loading stays out of this layer so the fuzz harness
 /// can drive it hermetically).
@@ -40,10 +43,12 @@ struct CliSolveOptions {
 };
 
 /// Parse --eps, --threads, --algorithm, --certify, --max-retries,
-/// --checkpoint, --profile, --fault-plan, --metrics-out. Numeric values are parsed
-/// strictly (ParseError on garbage/overflow); enum values raise OptionsError
-/// with the matching StatusCode. Flags not present keep SolveOptions
-/// defaults.
+/// --checkpoint, --profile, --fault-plan, --metrics-out, --storage,
+/// --shard-dir. Numeric values are parsed strictly (ParseError on
+/// garbage/overflow); enum values raise OptionsError with the matching
+/// StatusCode. Flags not present keep SolveOptions defaults. Consistency of
+/// --storage/--shard-dir is left to Solver::validate (kInvalidStorage), so
+/// the CLI and library reject the same inputs with the same code.
 CliSolveOptions parse_solve_options(const ArgParser& args);
 
 }  // namespace dmpc

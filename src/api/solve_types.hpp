@@ -16,6 +16,7 @@
 #include "mpc/cluster.hpp"
 #include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
+#include "mpc/storage.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "verify/certificate.hpp"
@@ -54,6 +55,12 @@ struct SolveOptions {
   /// non-zero fields pin an exact geometry. Hand-building mpc::ClusterConfig
   /// at call sites is deprecated in favor of these overrides.
   mpc::ClusterOverrides cluster;
+  /// Graph residency selection: the in-memory CSR (default) or a mapped
+  /// shard directory built by tools/shard_build (backend == kMmap requires
+  /// storage.shard_dir, and vice versa — anything else is kInvalidStorage).
+  /// Residency never touches the model: solutions, kModel metrics, report
+  /// JSON, and traces are byte-identical across backends (docs/STORAGE.md).
+  mpc::StorageOptions storage;
   /// Deterministic fault schedule injected into the simulated cluster. The
   /// default (empty) plan is the fault-free run; see docs/FAULTS.md for the
   /// identical-output recovery contract.

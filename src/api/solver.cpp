@@ -7,6 +7,7 @@
 #include "lowdeg/lowdeg_solver.hpp"
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
+#include "mpc/storage.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "verify/certifier.hpp"
@@ -81,6 +82,8 @@ const char* status_code_name(StatusCode code) {
       return "invalid_certify_mode";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kInvalidStorage:
+      return "invalid_storage";
   }
   return "unknown";
 }
@@ -116,6 +119,20 @@ Status Solver::validate(const SolveOptions& options) {
     return Status::error(
         StatusCode::kInvalidClusterOverrides,
         "cluster.machine_space override must be 0 (auto) or >= 2, got 1");
+  }
+  if (options.storage.backend == mpc::StorageBackend::kMmap &&
+      options.storage.shard_dir.empty()) {
+    return Status::error(
+        StatusCode::kInvalidStorage,
+        "storage.backend = mmap requires storage.shard_dir (a directory "
+        "written by shard_build)");
+  }
+  if (options.storage.backend == mpc::StorageBackend::kMemory &&
+      !options.storage.shard_dir.empty()) {
+    return Status::error(
+        StatusCode::kInvalidStorage,
+        "storage.shard_dir is set but storage.backend is memory — pass "
+        "--storage=mmap or drop the shard directory");
   }
   if (const std::string problem = options.faults.check(); !problem.empty()) {
     return Status::error(StatusCode::kInvalidFaultPlan, problem);
@@ -216,6 +233,9 @@ void Solver::capture_registry_delta(const obs::MetricsSnapshot& before,
   report->metrics.export_to(registry);
   report->recovery.export_to(registry);
   report->profile.export_to(registry);
+  if (active_storage_ != nullptr) {
+    mpc::export_storage_host_stats(*active_storage_);
+  }
   obs::sample_host(registry);
   report->registry = obs::MetricsSnapshot::delta(registry.snapshot(), before);
   last_snapshot_ = report->registry;
@@ -254,6 +274,7 @@ MisSolution Solver::mis(const graph::Graph& g) const {
   if (lowdeg) {
     auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
     config.profiler = prof;
+    config.storage = active_storage_;
     auto result = lowdeg::lowdeg_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "lowdeg";
@@ -263,6 +284,7 @@ MisSolution Solver::mis(const graph::Graph& g) const {
   } else {
     auto config = pipeline_config<mis::DetMisConfig>(options_);
     config.profiler = prof;
+    config.storage = active_storage_;
     auto result = mis::det_mis(g, config);
     solution.in_set = std::move(result.in_set);
     solution.report.algorithm_used = "sparsification";
@@ -293,6 +315,7 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
   if (lowdeg) {
     auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
     config.profiler = prof;
+    config.storage = active_storage_;
     auto result = lowdeg::lowdeg_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "lowdeg";
@@ -302,6 +325,7 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
   } else {
     auto config = pipeline_config<matching::DetMatchingConfig>(options_);
     config.profiler = prof;
+    config.storage = active_storage_;
     auto result = matching::det_maximal_matching(g, config);
     solution.matching = std::move(result.matching);
     solution.report.algorithm_used = "sparsification";
@@ -318,6 +342,45 @@ MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
   capture_registry_delta(before, &solution.report);
   finalize_matching_certificate(g, &solution);
   return solution;
+}
+
+namespace {
+
+// Scope guard clearing Solver::active_storage_ even when the solve throws
+// (CertificationError, FaultError), so a later plain-graph solve on the same
+// Solver cannot pick up a dangling backend pointer.
+class ActiveStorageScope {
+ public:
+  ActiveStorageScope(const mpc::Storage** slot, const mpc::Storage* value)
+      : slot_(slot) {
+    *slot_ = value;
+  }
+  ~ActiveStorageScope() { *slot_ = nullptr; }
+  ActiveStorageScope(const ActiveStorageScope&) = delete;
+  ActiveStorageScope& operator=(const ActiveStorageScope&) = delete;
+
+ private:
+  const mpc::Storage** slot_;
+};
+
+}  // namespace
+
+MisSolution Solver::mis(const mpc::Storage& storage) const {
+  require_valid();
+  ActiveStorageScope scope(&active_storage_, &storage);
+  return mis(storage.graph());
+}
+
+MatchingSolution Solver::maximal_matching(const mpc::Storage& storage) const {
+  require_valid();
+  ActiveStorageScope scope(&active_storage_, &storage);
+  return maximal_matching(storage.graph());
+}
+
+std::unique_ptr<mpc::Storage> Solver::open_storage(
+    const std::string& input_path, const graph::EdgeListLimits& limits) const {
+  require_valid();
+  return mpc::open_storage(options_.storage, input_path, limits);
 }
 
 const verify::Certificate& Solver::certificate() const {

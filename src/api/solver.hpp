@@ -10,14 +10,17 @@
 //      executor) stateless across calls.
 //
 // Determinism contract: for a fixed graph and fixed options *excluding
-// `threads`*, solutions, SolveReports, and golden JSONL traces are
-// byte-identical for every threads value (see docs/API.md, "Determinism
-// under parallelism"). The free functions solve_mis / solve_maximal_matching
-// remain as convenience wrappers over a temporary Solver.
+// `threads` and `storage`*, solutions, SolveReports, and golden JSONL traces
+// are byte-identical for every threads value and storage backend (see
+// docs/API.md, "Determinism under parallelism", and docs/STORAGE.md).
+// The Solver is the only solve entry point: the former free-function
+// wrappers (solve_mis / solve_maximal_matching) were removed — see the
+// migration table in docs/API.md.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -72,6 +75,22 @@ class Solver {
   /// Deterministic maximal matching (Theorem 1).
   /// Throws OptionsError if validate() fails.
   MatchingSolution maximal_matching(const graph::Graph& g) const;
+
+  /// Storage-seam entry points: solve the graph owned by `storage`, attach
+  /// the backend to the pipeline's cluster (mpc::Cluster::set_storage), and
+  /// export its residency stats into the registry's kHost section (so
+  /// --metrics-out and benches see storage/bytes_mapped etc.). The answer
+  /// and every kModel byte are identical to the plain-graph overloads.
+  MisSolution mis(const mpc::Storage& storage) const;
+  MatchingSolution maximal_matching(const mpc::Storage& storage) const;
+
+  /// Open the backend selected by options().storage: kMemory parses
+  /// `input_path` as a text edge list, kMmap maps storage.shard_dir
+  /// (ignoring `input_path`). Throws OptionsError on invalid storage
+  /// options, ParseError on malformed input.
+  std::unique_ptr<mpc::Storage> open_storage(
+      const std::string& input_path,
+      const graph::EdgeListLimits& limits = {}) const;
 
   /// The host executor the solve entry points will use (threads resolved:
   /// 0 -> hardware concurrency). Exposed so callers can reuse it for
@@ -140,6 +159,11 @@ class Solver {
                               SolveReport* report) const;
 
   SolveOptions options_;
+  /// Storage backend attached for the duration of a storage-overload solve
+  /// (mutable output-slot style, like the certificate): pipeline configs
+  /// pick it up so the cluster sees its residency seam, and
+  /// capture_registry_delta exports its host stats.
+  mutable const mpc::Storage* active_storage_ = nullptr;
   /// The last solve's certificate (see certificate()). Mutable: solves are
   /// logically const — the certificate is an output slot, not solver state.
   mutable verify::Certificate last_certificate_;

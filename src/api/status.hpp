@@ -30,6 +30,7 @@ enum class StatusCode {
   kUnrecoverableFault,   ///< plan provably exceeds the recovery policy.
   kInvalidCertifyMode,   ///< unknown certify mode name (CLI parsing).
   kIoError,              ///< cannot open an output file (--metrics-out, --trace).
+  kInvalidStorage,       ///< storage backend/shard_dir combination invalid.
 };
 
 /// Short stable name for a code ("invalid_eps", ...), for logs and tests.

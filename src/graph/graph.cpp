@@ -7,6 +7,29 @@
 
 namespace dmpc::graph {
 
+namespace {
+
+/// Heap residency for graphs built by from_edges: the four CSR arrays,
+/// referenced by a single extent.
+struct HeapCsr {
+  std::vector<std::uint64_t> offsets;  // n+1
+  std::vector<NodeId> adjacency;       // 2m
+  std::vector<EdgeId> incident;        // 2m
+  std::vector<Edge> edges;             // m, canonical order
+};
+
+}  // namespace
+
+bool operator==(const EdgeRange& a, const EdgeRange& b) {
+  if (a.m_ != b.m_) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool operator==(const EdgeRange& a, const std::vector<Edge>& b) {
+  if (a.m_ != b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
 Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
   return from_edges(n, std::move(edges), exec::Executor::serial());
 }
@@ -29,27 +52,41 @@ Graph Graph::from_edges(NodeId n, std::vector<Edge> edges,
   exec::parallel_sort(ex, edges);
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
-  Graph g;
-  g.n_ = n;
-  g.edges_ = std::move(edges);
-  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (const Edge& e : g.edges_) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+  auto csr = std::make_shared<HeapCsr>();
+  csr->edges = std::move(edges);
+  csr->offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : csr->edges) {
+    ++csr->offsets[e.u + 1];
+    ++csr->offsets[e.v + 1];
   }
-  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  for (NodeId v = 0; v < n; ++v) csr->offsets[v + 1] += csr->offsets[v];
 
-  const std::size_t deg_sum = g.offsets_[n];
-  g.adjacency_.resize(deg_sum);
-  g.incident_.resize(deg_sum);
-  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
-    const Edge& e = g.edges_[id];
-    g.adjacency_[cursor[e.u]] = e.v;
-    g.incident_[cursor[e.u]++] = id;
-    g.adjacency_[cursor[e.v]] = e.u;
-    g.incident_[cursor[e.v]++] = id;
+  const std::size_t deg_sum = csr->offsets[n];
+  csr->adjacency.resize(deg_sum);
+  csr->incident.resize(deg_sum);
+  std::vector<std::uint64_t> cursor(csr->offsets.begin(),
+                                    csr->offsets.end() - 1);
+  for (EdgeId id = 0; id < csr->edges.size(); ++id) {
+    const Edge& e = csr->edges[id];
+    csr->adjacency[cursor[e.u]] = e.v;
+    csr->incident[cursor[e.u]++] = id;
+    csr->adjacency[cursor[e.v]] = e.u;
+    csr->incident[cursor[e.v]++] = id;
   }
+
+  GraphExtent part;
+  part.node_begin = 0;
+  part.node_end = n;
+  part.edge_begin = 0;
+  part.edge_end = static_cast<EdgeId>(csr->edges.size());
+  part.slot_begin = 0;
+  part.slot_end = deg_sum;
+  part.offsets = csr->offsets.data();
+  part.adjacency = csr->adjacency.data();
+  part.incident = csr->incident.data();
+  part.edges = csr->edges.data();
+
+  Graph g = from_extents(n, part.edge_end, 0, {part}, std::move(csr));
   // Canonical edge order already sorts each adjacency row ascending:
   // edges are sorted by (u, v), so row u receives v's in increasing order,
   // and row v receives u's in increasing order of u. Verify cheaply once
@@ -65,6 +102,60 @@ Graph Graph::from_edges(NodeId n, std::vector<Edge> edges,
   return g;
 }
 
+Graph Graph::from_extents(NodeId n, EdgeId m, std::uint32_t max_degree,
+                          std::vector<GraphExtent> parts,
+                          std::shared_ptr<const void> residency) {
+  // Structural sanity: extents tile the node/edge/slot ranges contiguously.
+  NodeId node_cursor = 0;
+  EdgeId edge_cursor = 0;
+  std::uint64_t slot_cursor = 0;
+  for (const GraphExtent& p : parts) {
+    DMPC_CHECK_MSG(p.node_begin == node_cursor, "extent node range gap");
+    DMPC_CHECK_MSG(p.node_end >= p.node_begin, "extent node range inverted");
+    DMPC_CHECK_MSG(p.edge_begin == edge_cursor, "extent edge range gap");
+    DMPC_CHECK_MSG(p.edge_end >= p.edge_begin, "extent edge range inverted");
+    DMPC_CHECK_MSG(p.slot_begin == slot_cursor, "extent slot range gap");
+    DMPC_CHECK_MSG(p.slot_end >= p.slot_begin, "extent slot range inverted");
+    if (p.node_end > p.node_begin) {
+      DMPC_CHECK_MSG(p.offsets != nullptr, "extent missing offsets");
+      DMPC_CHECK_MSG(p.offsets[0] == p.slot_begin, "extent offsets unanchored");
+      DMPC_CHECK_MSG(p.offsets[p.node_end - p.node_begin] == p.slot_end,
+                     "extent offsets do not span slots");
+    }
+    node_cursor = p.node_end;
+    edge_cursor = p.edge_end;
+    slot_cursor = p.slot_end;
+  }
+  DMPC_CHECK_MSG(node_cursor == n, "extents do not cover all nodes");
+  DMPC_CHECK_MSG(edge_cursor == m, "extents do not cover all edges");
+  DMPC_CHECK_MSG(slot_cursor == 2 * m, "extents do not cover all slots");
+
+  Graph g;
+  g.n_ = n;
+  g.m_ = m;
+  g.max_degree_ = max_degree;
+  g.parts_ = std::move(parts);
+  g.residency_ = std::move(residency);
+  return g;
+}
+
+const GraphExtent* Graph::find_part_for_node(NodeId v) const {
+  // First extent with node_end > v.
+  auto it = std::partition_point(
+      parts_.begin(), parts_.end(),
+      [v](const GraphExtent& p) { return p.node_end <= v; });
+  DMPC_CHECK(it != parts_.end());
+  return &*it;
+}
+
+const GraphExtent* Graph::find_part_for_edge(EdgeId e) const {
+  auto it = std::partition_point(
+      parts_.begin(), parts_.end(),
+      [e](const GraphExtent& p) { return p.edge_end <= e; });
+  DMPC_CHECK(it != parts_.end());
+  return &*it;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   return find_edge(u, v) != kNoEdge;
 }
@@ -78,7 +169,7 @@ EdgeId Graph::find_edge(NodeId u, NodeId v) const {
 }
 
 NodeId Graph::other_endpoint(EdgeId e, NodeId v) const {
-  const Edge& ed = edges_[e];
+  const Edge& ed = edge(e);
   DMPC_CHECK(ed.u == v || ed.v == v);
   return ed.u == v ? ed.v : ed.u;
 }
@@ -87,10 +178,12 @@ std::vector<std::uint32_t> masked_degrees(const Graph& g,
                                           const std::vector<bool>& edge_mask) {
   DMPC_CHECK(edge_mask.size() == g.num_edges());
   std::vector<std::uint32_t> deg(g.num_nodes(), 0);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (!edge_mask[e]) continue;
-    ++deg[g.edge(e).u];
-    ++deg[g.edge(e).v];
+  EdgeId e = 0;
+  for (const Edge& ed : g.edges()) {
+    if (edge_mask[e++]) {
+      ++deg[ed.u];
+      ++deg[ed.v];
+    }
   }
   return deg;
 }

@@ -29,15 +29,17 @@ std::string errno_detail() {
 
 }  // namespace
 
-Graph read_edge_list(std::istream& in, const EdgeListLimits& limits) {
+void scan_edge_list(
+    std::istream& in, const EdgeListLimits& limits,
+    const std::function<void(const EdgeListHeader&)>& on_header,
+    const std::function<void(NodeId, NodeId, std::uint64_t, std::uint64_t)>&
+        on_edge) {
   std::string line;
   std::uint64_t line_no = 0;
   bool header_seen = false;
   NodeId n = 0;
   std::uint64_t declared_m = 0;
   std::uint64_t data_lines = 0;
-  std::vector<Edge> edges;
-  std::unordered_set<std::uint64_t> seen;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.size() > limits.max_line_bytes) {
@@ -82,10 +84,7 @@ Graph read_edge_list(std::istream& in, const EdgeListLimits& limits) {
       }
       n = static_cast<NodeId>(a);
       declared_m = b;
-      // Reserve only a bounded prefix: allocation must track bytes actually
-      // read, never an adversarial header.
-      edges.reserve(static_cast<std::size_t>(
-          std::min<std::uint64_t>(declared_m, 1ull << 20)));
+      on_header(EdgeListHeader{n, declared_m});
       continue;
     }
     ++data_lines;
@@ -112,15 +111,8 @@ Graph read_edge_list(std::istream& in, const EdgeListLimits& limits) {
       throw ParseError(ParseErrorCode::kSelfLoop, "self-loop edge", line_no,
                        toks[0].column, clip(toks[0].text));
     }
-    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
-    if (!seen.insert((lo << 32) | hi).second) {
-      if (limits.duplicates == DuplicatePolicy::kDedupe) continue;
-      throw ParseError(ParseErrorCode::kDuplicateEdge,
-                       "duplicate edge {" + std::to_string(lo) + ", " +
-                           std::to_string(hi) + "}",
-                       line_no, toks[0].column);
-    }
-    edges.push_back({static_cast<NodeId>(a), static_cast<NodeId>(b)});
+    on_edge(static_cast<NodeId>(a), static_cast<NodeId>(b), line_no,
+            toks[0].column);
   }
   if (in.bad()) {
     throw ParseError(ParseErrorCode::kIoError,
@@ -136,6 +128,32 @@ Graph read_edge_list(std::istream& in, const EdgeListLimits& limits) {
                          std::to_string(data_lines),
                      line_no);
   }
+}
+
+Graph read_edge_list(std::istream& in, const EdgeListLimits& limits) {
+  NodeId n = 0;
+  std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> seen;
+  scan_edge_list(
+      in, limits,
+      [&](const EdgeListHeader& header) {
+        n = header.n;
+        // Reserve only a bounded prefix: allocation must track bytes
+        // actually read, never an adversarial header.
+        edges.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(header.declared_m, 1ull << 20)));
+      },
+      [&](NodeId a, NodeId b, std::uint64_t line_no, std::uint64_t column) {
+        const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+        if (!seen.insert((lo << 32) | hi).second) {
+          if (limits.duplicates == DuplicatePolicy::kDedupe) return;
+          throw ParseError(ParseErrorCode::kDuplicateEdge,
+                           "duplicate edge {" + std::to_string(lo) + ", " +
+                               std::to_string(hi) + "}",
+                           line_no, column);
+        }
+        edges.push_back({a, b});
+      });
   return Graph::from_edges(n, std::move(edges));
 }
 

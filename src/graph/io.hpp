@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -42,6 +43,29 @@ struct EdgeListLimits {
   /// Require the declared header m to equal the number of data lines.
   bool check_edge_count = true;
 };
+
+/// The "n m" header of an edge-list input, validated against the limits.
+struct EdgeListHeader {
+  NodeId n = 0;
+  std::uint64_t declared_m = 0;
+};
+
+/// Streaming scan of a text edge list: the same hardened parse (header and
+/// line validation, caps, out-of-range and self-loop rejection, count
+/// checks, typed errors) as read_edge_list, but delivering callbacks instead
+/// of materializing an edge vector, so out-of-core builders (shard_build)
+/// can ingest inputs far larger than RAM. `on_edge(u, v, line, column)`
+/// receives each validated data line in input order (u, v already
+/// range-checked, u != v unless a kDedupe self-loop was dropped before the
+/// call). Duplicate-edge detection is NOT performed here — it needs
+/// per-node state; callers wanting kReject semantics detect duplicates
+/// downstream (read_edge_list via a hash set, shard_build at shard
+/// finalization).
+void scan_edge_list(
+    std::istream& in, const EdgeListLimits& limits,
+    const std::function<void(const EdgeListHeader&)>& on_header,
+    const std::function<void(NodeId, NodeId, std::uint64_t, std::uint64_t)>&
+        on_edge);
 
 /// Read an edge list. Throws dmpc::ParseError (derives CheckFailure) on any
 /// malformed input; never aborts, never allocates proportionally to an

@@ -53,6 +53,7 @@ LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
+  if (config.storage != nullptr) cluster.set_storage(config.storage);
   return lowdeg_mis(cluster, g, config);
 }
 
@@ -156,6 +157,7 @@ LowDegMatchingResult lowdeg_matching(const Graph& g,
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
+  if (config.storage != nullptr) cluster.set_storage(config.storage);
   cluster.charge_recoverable(1, "lowdeg/line_graph");
   result.line_mis = lowdeg_mis(cluster, lg, config);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {

@@ -48,6 +48,10 @@ struct LowDegConfig {
   /// Optional round profiler (non-owning; null = off); attached to the
   /// cluster alongside `trace`.
   obs::RoundProfiler* profiler = nullptr;
+  /// Storage backend the input graph resides on (non-owning; null for plain
+  /// in-memory graphs). Only the cluster-creating overloads attach it; the
+  /// seam carries no model semantics (see mpc/storage.hpp).
+  const mpc::Storage* storage = nullptr;
 };
 
 struct LowDegMisResult {

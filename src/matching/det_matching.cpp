@@ -225,6 +225,7 @@ DetMatchingResult det_maximal_matching(const Graph& g,
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
+  if (config.storage != nullptr) cluster.set_storage(config.storage);
   return det_maximal_matching(cluster, g, config);
 }
 

@@ -217,6 +217,7 @@ DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
+  if (config.storage != nullptr) cluster.set_storage(config.storage);
   return det_mis(cluster, g, config);
 }
 

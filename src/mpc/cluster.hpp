@@ -40,6 +40,8 @@ class TraceSession;
 
 namespace dmpc::mpc {
 
+class Storage;
+
 using Word = std::uint64_t;
 
 struct ClusterConfig {
@@ -129,6 +131,16 @@ class Cluster {
   /// exec/parallel.hpp, so results are identical for any executor.
   void set_executor(exec::Executor executor) { executor_ = std::move(executor); }
   const exec::Executor& executor() const { return executor_; }
+
+  /// Attach the storage backend whose residency this cluster's input graph
+  /// lives in (non-owning; null = unattached). The seam carries no model
+  /// semantics — rounds, loads, and traces are byte-identical with and
+  /// without it — but it is where host-side residency is observable from
+  /// pipeline code (Solver exports its stats to the kHost registry section),
+  /// and where a future multi-process backend will hand machines their
+  /// per-shard slices instead of a shared address space.
+  void set_storage(const Storage* storage) { storage_ = storage; }
+  const Storage* storage() const { return storage_; }
 
   // ---- Fault injection & recovery ----
 
@@ -240,6 +252,7 @@ class Cluster {
   Metrics metrics_;
   obs::TraceSession* trace_ = nullptr;
   obs::RoundProfiler* profiler_ = nullptr;
+  const Storage* storage_ = nullptr;
   exec::Executor executor_;
   std::vector<std::vector<Word>> locals_;
   FaultPlan fault_plan_;

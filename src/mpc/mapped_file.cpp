@@ -1,0 +1,119 @@
+#include "mpc/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "support/parse_error.hpp"
+
+namespace dmpc::mpc {
+
+namespace {
+
+std::string errno_detail() {
+  const int err = errno;
+  return err != 0 ? std::strerror(err) : "unknown error";
+}
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw ParseError(ParseErrorCode::kIoError,
+                   what + " '" + path + "': " + errno_detail());
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    if (fd_ >= 0) ::close(fd_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    writable_ = std::exchange(other.writable_, false);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+MappedFile MappedFile::open_readonly(const std::string& path,
+                                     std::uint64_t expected_bytes) {
+  errno = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_io("cannot open", path);
+  MappedFile mf;
+  mf.fd_ = fd;
+  mf.path_ = path;
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) throw_io("cannot stat", path);
+  mf.size_ = static_cast<std::uint64_t>(st.st_size);
+  if (expected_bytes != 0 && mf.size_ != expected_bytes) {
+    throw ParseError(ParseErrorCode::kCountMismatch,
+                     "shard file '" + path + "' is " +
+                         std::to_string(mf.size_) + " bytes, expected " +
+                         std::to_string(expected_bytes) +
+                         " (truncated or corrupt)");
+  }
+  if (mf.size_ == 0) return mf;
+  void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p == MAP_FAILED) throw_io("cannot map", path);
+  mf.data_ = static_cast<unsigned char*>(p);
+  return mf;
+}
+
+MappedFile MappedFile::create_readwrite(const std::string& path,
+                                        std::uint64_t bytes) {
+  errno = 0;
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_io("cannot create", path);
+  MappedFile mf;
+  mf.fd_ = fd;
+  mf.path_ = path;
+  mf.writable_ = true;
+  mf.size_ = bytes;
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    throw_io("cannot size", path);
+  }
+  if (bytes == 0) return mf;
+  void* p =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) throw_io("cannot map", path);
+  mf.data_ = static_cast<unsigned char*>(p);
+  return mf;
+}
+
+void MappedFile::sync_and_drop() {
+  if (data_ == nullptr) return;
+  if (writable_) {
+    errno = 0;
+    if (::msync(data_, size_, MS_SYNC) != 0) throw_io("cannot sync", path_);
+  }
+  // Best-effort residency drop; failure only costs memory, not correctness.
+  ::madvise(data_, size_, MADV_DONTNEED);
+}
+
+std::uint64_t MappedFile::resident_bytes() const {
+  if (data_ == nullptr) return 0;
+  const std::uint64_t page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> vec(static_cast<std::size_t>(pages));
+  if (::mincore(data_, size_, vec.data()) != 0) return 0;
+  std::uint64_t resident = 0;
+  for (unsigned char b : vec) {
+    if (b & 1) ++resident;
+  }
+  return resident * page;
+}
+
+}  // namespace dmpc::mpc

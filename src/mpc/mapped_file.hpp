@@ -1,0 +1,54 @@
+// Move-only RAII wrapper over an mmap'd file (POSIX). Used by the shard
+// builder (read-write scatter target) and MmapShardStorage (read-only
+// views). Open/map failures throw dmpc::ParseError with kIoError and
+// strerror detail, matching the text-IO boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmpc::mpc {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  /// Map an existing file read-only. `expected_bytes` != 0 additionally
+  /// requires the file size to match exactly (ParseError kCountMismatch —
+  /// a truncated or padded shard).
+  static MappedFile open_readonly(const std::string& path,
+                                  std::uint64_t expected_bytes = 0);
+
+  /// Create (or truncate) a file of exactly `bytes` and map it read-write
+  /// (MAP_SHARED, so dropped pages persist to disk).
+  static MappedFile create_readwrite(const std::string& path,
+                                     std::uint64_t bytes);
+
+  const unsigned char* data() const { return data_; }
+  unsigned char* mutable_data() { return data_; }
+  std::uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Flush dirty pages to disk (MS_SYNC) and drop the page-cache residency
+  /// of this mapping (MADV_DONTNEED) — the RSS valve for bounded-memory
+  /// builds. No-op on an empty mapping.
+  void sync_and_drop();
+
+  /// Bytes of this mapping currently resident in memory (mincore sample);
+  /// host-only observability, never part of the model.
+  std::uint64_t resident_bytes() const;
+
+ private:
+  unsigned char* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  int fd_ = -1;
+  bool writable_ = false;
+  std::string path_;
+};
+
+}  // namespace dmpc::mpc

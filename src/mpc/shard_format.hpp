@@ -1,0 +1,141 @@
+// Partition-aware binary CSR shard format ("dshard") and its streaming
+// builder.
+//
+// A shard directory holds one `manifest.dshard` plus `shard-NNNNNN.dshard`
+// files. Each shard is a contiguous CSR slice — a node range with its
+// offsets/adjacency/incident rows and the canonical edges whose lower
+// endpoint falls in the range — cut so a shard's word count matches the
+// simulator's per-machine space S (the same ClusterConfig::for_input formula
+// the Solver provisions with), i.e. shards are keyed by the machine
+// assignment of the MPC model. `MmapShardStorage` (mpc/storage.hpp) maps the
+// shards read-only and exposes them to algorithms as `graph::GraphExtent`s,
+// so solving out of core never materializes the full CSR in RAM.
+//
+// Every field is little-endian (the only supported host order; enforced at
+// compile time). The manifest is an untrusted-input boundary with the same
+// contract as the text reader: malformed bytes of any kind — bad magic,
+// unknown version, inconsistent ranges, truncated files — raise a typed
+// dmpc::ParseError, and `graph::EdgeListLimits` caps are enforced on the
+// declared n/m via ParseErrorCode::kShardLimitExceeded so both ingest paths
+// reject oversized inputs identically.
+//
+// On-disk layout (all offsets in bytes):
+//
+//   manifest.dshard
+//     0   8  magic "DSHARDm1"
+//     8   4  version (= 1)
+//     12  4  flags (= 0)
+//     16  8  n (node count; 1 <= n <= 2^32 - 2)
+//     24  8  m (canonical edge count)
+//     32  8  total_slots (= 2m)
+//     40  4  max_degree
+//     44  4  reserved (= 0)
+//     48  8  shard_count (>= 1, <= n)
+//     56  8  shard_words (target words per shard the build used)
+//     64  shard_count x 56-byte entries:
+//           node_begin, node_end, edge_begin, edge_end,
+//           slot_begin, slot_end, file_bytes   (all u64)
+//
+//   shard-NNNNNN.dshard
+//     0   8  magic "DSHARDs1"
+//     8   8  shard index
+//     16      offsets   (node_count + 1) x u64   -- global slot values
+//             incident  slot_count x u64         -- EdgeIds, row-aligned
+//             edges     edge_count x {u32 u, u32 v}  -- canonical order
+//             adjacency slot_count x u32         -- sorted per row
+//
+// The 8-byte arrays precede the 4-byte ones so every array is naturally
+// aligned at its mapped address (the 16-byte header keeps 8-alignment).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+
+namespace dmpc::mpc {
+
+inline constexpr char kManifestMagic[8] = {'D', 'S', 'H', 'A',
+                                           'R', 'D', 'm', '1'};
+inline constexpr char kShardMagic[8] = {'D', 'S', 'H', 'A', 'R', 'D', 's', '1'};
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+inline constexpr std::size_t kManifestHeaderBytes = 64;
+inline constexpr std::size_t kManifestEntryBytes = 56;
+inline constexpr std::size_t kShardHeaderBytes = 16;
+inline constexpr char kManifestFileName[] = "manifest.dshard";
+
+/// One shard's ranges, as recorded in the manifest. Ranges are half-open and
+/// must tile [0, n) / [0, m) / [0, 2m) contiguously across entries.
+struct ShardEntry {
+  std::uint64_t node_begin = 0;
+  std::uint64_t node_end = 0;
+  std::uint64_t edge_begin = 0;
+  std::uint64_t edge_end = 0;
+  std::uint64_t slot_begin = 0;
+  std::uint64_t slot_end = 0;
+  std::uint64_t file_bytes = 0;  ///< Exact size of the shard's file.
+};
+
+struct ShardManifest {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint32_t max_degree = 0;
+  std::uint64_t shard_words = 0;
+  std::vector<ShardEntry> shards;
+};
+
+/// The exact file size a shard with these ranges must have.
+std::uint64_t shard_file_bytes(const ShardEntry& entry);
+
+/// Name of shard i's file within the directory ("shard-000042.dshard").
+std::string shard_file_name(std::uint64_t index);
+
+/// Parse and fully validate manifest bytes. Throws ParseError on any defect:
+/// kBadHeader (magic/version/field ranges), kShardLimitExceeded (n/m exceed
+/// `limits`), kCountMismatch (ranges do not tile, totals disagree, size
+/// wrong), kOutOfRange (inverted ranges). Allocation is bounded by `size`.
+ShardManifest parse_shard_manifest(const unsigned char* data, std::size_t size,
+                                   const graph::EdgeListLimits& limits = {});
+
+/// Serialize a manifest (inverse of parse for valid manifests).
+std::vector<unsigned char> encode_shard_manifest(const ShardManifest& manifest);
+
+/// Streaming shard-build options.
+struct ShardBuildOptions {
+  /// Caps applied to the text input. `duplicates` must be kReject: dedupe
+  /// would shift offsets computed in pass 1, so the builder rejects
+  /// duplicate edges (at shard finalization) instead of dropping them.
+  graph::EdgeListLimits limits;
+  /// Target words per shard; 0 derives S from (eps, space_headroom) exactly
+  /// like Solver provisioning: S = ClusterConfig::for_input with
+  /// total = space_headroom * (n + 2m).
+  std::uint64_t shard_words = 0;
+  double eps = 0.5;
+  double space_headroom = 8.0;
+  /// Approximate dirty-page budget for pass 2: mapped shard writes are
+  /// msync'd and dropped (madvise DONTNEED) whenever the estimate crosses
+  /// this, bounding peak RSS at O(n) + this budget regardless of m.
+  std::uint64_t rss_budget_bytes = 256ull << 20;
+};
+
+struct ShardBuildStats {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t total_bytes = 0;  ///< Manifest + shard files.
+};
+
+/// Build a shard directory from a text edge list in two streaming passes
+/// (count/provision, then scatter/finalize). Peak host memory is O(n) words
+/// plus the rss_budget — never O(m); edges live only in the mapped files.
+/// The resulting shards reproduce Graph::from_edges byte-for-byte: same
+/// offsets, sorted adjacency rows, canonical edge order, and incident
+/// EdgeIds. Throws ParseError for malformed input (including duplicate
+/// edges) and filesystem failures (kIoError).
+ShardBuildStats shard_build(const std::string& input_path,
+                            const std::string& out_dir,
+                            const ShardBuildOptions& options = {});
+
+}  // namespace dmpc::mpc

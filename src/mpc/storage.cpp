@@ -1,0 +1,189 @@
+#include "mpc/storage.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "mpc/mapped_file.hpp"
+#include "mpc/shard_format.hpp"
+#include "obs/metrics_registry.hpp"
+#include "support/parse_error.hpp"
+
+namespace dmpc::mpc {
+
+namespace fs = std::filesystem;
+
+const char* storage_backend_name(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kMemory:
+      return "memory";
+    case StorageBackend::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+StorageStats InMemoryStorage::stats() const {
+  StorageStats s;
+  const graph::Graph& g = graph_;
+  // Exact heap CSR footprint: offsets + adjacency + incident + edges.
+  s.bytes_total = (static_cast<std::uint64_t>(g.num_nodes()) + 1) * 8 +
+                  2 * g.num_edges() * (8 + 4) + g.num_edges() * 8;
+  s.shards = g.extents().size();
+  s.resident_bytes = s.bytes_total;  // heap memory is always resident
+  return s;
+}
+
+struct MmapShardStorage::Mappings {
+  std::vector<MappedFile> files;
+};
+
+std::unique_ptr<MmapShardStorage> MmapShardStorage::open(
+    const std::string& dir, const graph::EdgeListLimits& limits) {
+  const std::string manifest_path =
+      (fs::path(dir) / kManifestFileName).string();
+  std::vector<unsigned char> bytes;
+  {
+    errno = 0;
+    std::ifstream in(manifest_path, std::ios::binary);
+    if (!in.good()) {
+      throw ParseError(ParseErrorCode::kIoError,
+                       "cannot open '" + manifest_path + "' for reading: " +
+                           std::strerror(errno ? errno : EINVAL));
+    }
+    // Bound the read before trusting any header field: a valid manifest for
+    // a graph within the caps cannot exceed this many bytes.
+    const std::uint64_t cap =
+        kManifestHeaderBytes + limits.max_nodes * kManifestEntryBytes;
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    if (size > cap) {
+      throw ParseError(ParseErrorCode::kShardLimitExceeded,
+                       "shard manifest: file size " + std::to_string(size) +
+                           " exceeds the cap implied by max_nodes");
+    }
+    in.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!in.good() && !in.eof()) {
+      throw ParseError(ParseErrorCode::kIoError,
+                       "read failure on '" + manifest_path + "'");
+    }
+  }
+  const ShardManifest manifest =
+      parse_shard_manifest(bytes.data(), bytes.size(), limits);
+
+  auto mappings = std::make_shared<Mappings>();
+  std::vector<graph::GraphExtent> parts;
+  parts.reserve(manifest.shards.size());
+  std::uint32_t seen_max_degree = 0;
+  for (std::uint64_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardEntry& e = manifest.shards[i];
+    MappedFile map = MappedFile::open_readonly(
+        (fs::path(dir) / shard_file_name(i)).string(), e.file_bytes);
+    const unsigned char* base = map.data();
+    if (std::memcmp(base, kShardMagic, sizeof(kShardMagic)) != 0) {
+      throw ParseError(ParseErrorCode::kBadHeader,
+                       "shard " + std::to_string(i) + ": bad magic");
+    }
+    std::uint64_t index = 0;
+    std::memcpy(&index, base + 8, sizeof(index));
+    if (index != i) {
+      throw ParseError(ParseErrorCode::kBadHeader,
+                       "shard " + std::to_string(i) + ": header names shard " +
+                           std::to_string(index));
+    }
+    const std::uint64_t nodes = e.node_end - e.node_begin;
+    const std::uint64_t slots = e.slot_end - e.slot_begin;
+    const std::uint64_t edges = e.edge_end - e.edge_begin;
+    const auto* offsets =
+        reinterpret_cast<const std::uint64_t*>(base + kShardHeaderBytes);
+    // Structural validation of the offsets slice: anchored at the manifest
+    // ranges, monotone, rows within degree bounds. O(nodes) — the payload
+    // arrays stay untouched so no page beyond the offsets faults in here.
+    if (offsets[0] != e.slot_begin || offsets[nodes] != e.slot_end) {
+      throw ParseError(ParseErrorCode::kCountMismatch,
+                       "shard " + std::to_string(i) +
+                           ": offsets slice is not anchored at the "
+                           "manifest's slot range");
+    }
+    for (std::uint64_t v = 0; v < nodes; ++v) {
+      if (offsets[v + 1] < offsets[v] ||
+          offsets[v + 1] - offsets[v] > manifest.n - 1) {
+        throw ParseError(ParseErrorCode::kOutOfRange,
+                         "shard " + std::to_string(i) + ": corrupt offsets");
+      }
+      seen_max_degree = std::max(
+          seen_max_degree, static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]));
+    }
+    graph::GraphExtent part;
+    part.node_begin = static_cast<graph::NodeId>(e.node_begin);
+    part.node_end = static_cast<graph::NodeId>(e.node_end);
+    part.edge_begin = e.edge_begin;
+    part.edge_end = e.edge_end;
+    part.slot_begin = e.slot_begin;
+    part.slot_end = e.slot_end;
+    part.offsets = offsets;
+    part.incident = offsets + nodes + 1;
+    part.edges = reinterpret_cast<const graph::Edge*>(part.incident + slots);
+    part.adjacency =
+        reinterpret_cast<const graph::NodeId*>(part.edges + edges);
+    parts.push_back(part);
+    mappings->files.push_back(std::move(map));
+  }
+  if (seen_max_degree != manifest.max_degree) {
+    throw ParseError(ParseErrorCode::kCountMismatch,
+                     "manifest max_degree " +
+                         std::to_string(manifest.max_degree) +
+                         " disagrees with offsets (" +
+                         std::to_string(seen_max_degree) + ")");
+  }
+
+  auto storage = std::unique_ptr<MmapShardStorage>(new MmapShardStorage());
+  storage->graph_ = graph::Graph::from_extents(
+      static_cast<graph::NodeId>(manifest.n), manifest.m, manifest.max_degree,
+      std::move(parts), mappings);
+  storage->mappings_ = std::move(mappings);
+  return storage;
+}
+
+StorageStats MmapShardStorage::stats() const {
+  StorageStats s;
+  s.shards = mappings_->files.size();
+  for (const MappedFile& f : mappings_->files) {
+    s.bytes_total += f.size();
+    s.resident_bytes += f.resident_bytes();
+  }
+  return s;
+}
+
+std::unique_ptr<Storage> open_storage(const StorageOptions& options,
+                                      const std::string& input_path,
+                                      const graph::EdgeListLimits& limits) {
+  switch (options.backend) {
+    case StorageBackend::kMemory:
+      return std::make_unique<InMemoryStorage>(
+          graph::read_edge_list_file(input_path, limits));
+    case StorageBackend::kMmap:
+      return MmapShardStorage::open(options.shard_dir, limits);
+  }
+  return nullptr;
+}
+
+void export_storage_host_stats(const Storage& storage) {
+  auto& registry = obs::MetricsRegistry::global();
+  const StorageStats s = storage.stats();
+  registry.gauge("storage/bytes_mapped", obs::MetricSection::kHost)
+      .set(static_cast<std::int64_t>(s.bytes_total));
+  registry.gauge("storage/shards", obs::MetricSection::kHost)
+      .set(static_cast<std::int64_t>(s.shards));
+  registry.gauge("storage/resident_bytes", obs::MetricSection::kHost)
+      .set(static_cast<std::int64_t>(s.resident_bytes));
+  registry.gauge("storage/backend", obs::MetricSection::kHost)
+      .set(static_cast<std::int64_t>(storage.backend()));
+}
+
+}  // namespace dmpc::mpc

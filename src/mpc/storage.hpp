@@ -1,0 +1,124 @@
+// The storage seam: who owns graph residency.
+//
+// Algorithms above this interface (sparsifiers, derand objectives, MIS /
+// matching solvers, Certifier claims) pull neighbor ranges through
+// graph::Graph accessors; a Graph is a view over `GraphExtent`s whose
+// backing memory a Storage owns. Two backends:
+//
+//  - InMemoryStorage: today's behavior byte-for-byte — a heap CSR built by
+//    Graph::from_edges (one extent).
+//  - MmapShardStorage: the out-of-core path — a shard directory written by
+//    shard_build (mpc/shard_format.hpp) is mapped read-only, one extent per
+//    shard, and pages fault in on first touch. Peak RSS tracks the working
+//    set, not the graph.
+//
+// The backend choice is host-side residency only: every kModel metric,
+// report byte, and trace byte is identical across backends (proven by the
+// storage axis of test_determinism_matrix). Backend observability (bytes
+// mapped, shards, resident sample) is exported as kHost registry gauges.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace dmpc::mpc {
+
+enum class StorageBackend : std::uint8_t {
+  kMemory,  ///< Heap CSR (Graph::from_edges / read_edge_list).
+  kMmap,    ///< Mapped shard directory (shard_build output).
+};
+
+/// Stable name ("memory", "mmap") for logs and CLI parsing.
+const char* storage_backend_name(StorageBackend backend);
+
+/// User-facing storage selection, carried by SolveOptions and the CLI
+/// (--storage=memory|mmap --shard-dir=...).
+struct StorageOptions {
+  StorageBackend backend = StorageBackend::kMemory;
+  /// Shard directory; required iff backend == kMmap.
+  std::string shard_dir;
+
+  bool is_default() const {
+    return backend == StorageBackend::kMemory && shard_dir.empty();
+  }
+};
+
+/// Host-side residency snapshot. Never part of the model.
+struct StorageStats {
+  std::uint64_t bytes_total = 0;     ///< CSR bytes owned (heap or files).
+  std::uint64_t shards = 0;          ///< Extent count (1 for in-memory).
+  std::uint64_t resident_bytes = 0;  ///< Sampled residency (mincore / heap).
+};
+
+/// Owns graph residency and exposes the storage-agnostic Graph view.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+  Storage() = default;
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  /// The graph view. Valid for the Storage's lifetime; the view (and its
+  /// copies) also keeps the backing memory alive via its residency handle,
+  /// so a Graph may safely outlive the Storage that produced it.
+  virtual const graph::Graph& graph() const = 0;
+  virtual StorageBackend backend() const = 0;
+  /// Residency sampled at call time (kHost observability only).
+  virtual StorageStats stats() const = 0;
+};
+
+/// Heap-resident backend wrapping an already-built Graph (cheap: a Graph is
+/// a view sharing residency with its source).
+class InMemoryStorage final : public Storage {
+ public:
+  explicit InMemoryStorage(graph::Graph g) : graph_(std::move(g)) {}
+
+  const graph::Graph& graph() const override { return graph_; }
+  StorageBackend backend() const override { return StorageBackend::kMemory; }
+  StorageStats stats() const override;
+
+ private:
+  graph::Graph graph_;
+};
+
+/// Out-of-core backend over a shard directory. open() parses and fully
+/// validates the manifest (typed ParseError on any defect; EdgeListLimits
+/// caps via kShardLimitExceeded), maps every shard read-only, verifies each
+/// shard's header, size, and offsets slice (anchored, monotone, max_degree
+/// cross-check), and assembles the extent view. Adjacency/incident/edge
+/// payloads are trusted after structural validation — full content
+/// verification is what --certify is for.
+class MmapShardStorage final : public Storage {
+ public:
+  static std::unique_ptr<MmapShardStorage> open(
+      const std::string& dir, const graph::EdgeListLimits& limits = {});
+
+  const graph::Graph& graph() const override { return graph_; }
+  StorageBackend backend() const override { return StorageBackend::kMmap; }
+  StorageStats stats() const override;
+
+ private:
+  struct Mappings;
+  MmapShardStorage() = default;
+
+  graph::Graph graph_;
+  std::shared_ptr<Mappings> mappings_;
+};
+
+/// Open the backend selected by `options`: kMemory reads `input_path` as a
+/// text edge list (read_edge_list_file), kMmap opens options.shard_dir and
+/// ignores `input_path`. Shared by the CLI and benches.
+std::unique_ptr<Storage> open_storage(const StorageOptions& options,
+                                      const std::string& input_path,
+                                      const graph::EdgeListLimits& limits = {});
+
+/// Export a storage's host-side residency into the global registry's kHost
+/// section (gauges storage/bytes_mapped, storage/shards,
+/// storage/resident_bytes, storage/backend).
+void export_storage_host_stats(const Storage& storage);
+
+}  // namespace dmpc::mpc

@@ -27,6 +27,8 @@ const char* parse_error_code_name(ParseErrorCode code) {
       return "duplicate_edge";
     case ParseErrorCode::kCountMismatch:
       return "count_mismatch";
+    case ParseErrorCode::kShardLimitExceeded:
+      return "shard_limit_exceeded";
   }
   return "unknown";
 }

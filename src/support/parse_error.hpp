@@ -34,6 +34,7 @@ enum class ParseErrorCode : std::uint8_t {
   kSelfLoop,          ///< An edge with identical endpoints.
   kDuplicateEdge,     ///< An edge listed more than once.
   kCountMismatch,     ///< Declared count disagrees with the data.
+  kShardLimitExceeded,  ///< A binary shard manifest exceeds EdgeListLimits.
 };
 
 /// Short stable name for a code ("bad_token", ...), for logs and tests.

@@ -4,7 +4,6 @@
 
 #include <cmath>
 
-#include "api/solve.hpp"
 #include "api/solver.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
@@ -162,27 +161,18 @@ TEST(Solver, StatusCodeNamesAreStable) {
   EXPECT_EQ(status.to_string().rfind("invalid_space_headroom:", 0), 0u);
 }
 
-// The api/solve.hpp free functions are a deprecated compat shim over Solver;
-// this is the one test that still calls them, pinning wrapper == facade until
-// the shim is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Solver, DeprecatedShimMatchesSolver) {
-  const Graph g = graph::gnm(256, 4096, 4);
+TEST(Solver, RejectsInconsistentStorageOptions) {
+  // mmap without a shard directory is unprovisionable...
   SolveOptions options;
-  options.eps = 0.5;
-  const Solver solver(options);
-  const auto a = solver.mis(g);
-  const auto b = solve_mis(g, options);
-  EXPECT_EQ(a.in_set, b.in_set);
-  EXPECT_EQ(a.report.algorithm_used, b.report.algorithm_used);
-  EXPECT_EQ(a.report.metrics.rounds(), b.report.metrics.rounds());
-  const auto ma = solver.maximal_matching(g);
-  const auto mb = solve_maximal_matching(g, options);
-  EXPECT_EQ(ma.matching, mb.matching);
-  EXPECT_EQ(solver.low_degree_regime(g), low_degree_regime(g, options));
+  options.storage.backend = mpc::StorageBackend::kMmap;
+  EXPECT_EQ(Solver::validate(options).code(), StatusCode::kInvalidStorage);
+  // ...and a shard directory is meaningless for the memory backend.
+  options.storage.backend = mpc::StorageBackend::kMemory;
+  options.storage.shard_dir = "/tmp/shards";
+  EXPECT_EQ(Solver::validate(options).code(), StatusCode::kInvalidStorage);
+  options.storage.shard_dir.clear();
+  EXPECT_TRUE(Solver::validate(options).ok());
 }
-#pragma GCC diagnostic pop
 
 TEST(Solver, DispatchThresholdMovesWithSlack) {
   // A 4-regular graph sits in the low-degree regime at the default slack;

@@ -7,6 +7,7 @@
 // {1, 2, hardware}.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,6 +17,9 @@
 #include "field/batch_eval.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "mpc/shard_format.hpp"
+#include "mpc/storage.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
@@ -46,7 +50,11 @@ struct RunArtifacts {
   std::string matching_trace;
 };
 
-RunArtifacts run_all(const Graph& g, std::uint32_t threads) {
+/// When `storage` is non-null the Solver's storage overloads run (attaching
+/// the backend to the cluster and exporting kHost residency gauges) on
+/// storage->graph(); otherwise the plain-graph overloads run on `g`.
+RunArtifacts run_all(const Graph& g, std::uint32_t threads,
+                     const mpc::Storage* storage = nullptr) {
   RunArtifacts out;
   {
     std::ostringstream trace_out;
@@ -56,7 +64,8 @@ RunArtifacts run_all(const Graph& g, std::uint32_t threads) {
     options.threads = threads;
     options.trace = &session;
     const Solver solver(options);
-    const auto solution = solver.mis(g);
+    const auto solution =
+        storage != nullptr ? solver.mis(*storage) : solver.mis(g);
     session.finish();
     out.mis_in_set = solution.in_set;
     out.mis_report_json = to_json(solution.report).dump();
@@ -70,7 +79,10 @@ RunArtifacts run_all(const Graph& g, std::uint32_t threads) {
     SolveOptions options;
     options.threads = threads;
     options.trace = &session;
-    const auto solution = Solver(options).maximal_matching(g);
+    const Solver solver(options);
+    const auto solution = storage != nullptr
+                              ? solver.maximal_matching(*storage)
+                              : solver.maximal_matching(g);
     session.finish();
     out.matching = solution.matching;
     out.matching_report_json = to_json(solution.report).dump();
@@ -351,6 +363,64 @@ TEST(DeterminismMatrix, ProfilerAxis) {
           << "faults=" << axis.name << " threads=" << threads;
     }
   }
+}
+
+// ---- Storage axis ----
+//
+// Residency is host-side only (docs/STORAGE.md): solving out of a mapped
+// shard directory — single-shard or many — must leave solutions, reports,
+// traces, and the golden registry section byte-identical to the in-memory
+// CSR, crossed with every thread count.
+
+TEST(DeterminismMatrix, StorageAxis) {
+  namespace fs = std::filesystem;
+  const Graph g = graph::gnm(600, 4800, 11);
+  const fs::path dir =
+      fs::temp_directory_path() / "dmpc_determinism_storage_axis";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string edge_path = (dir / "g.txt").string();
+  graph::write_edge_list_file(g, edge_path);
+
+  // Backend instances: the heap CSR, a single mapped shard (default target
+  // sizing), and a many-shard layout (forced small shards).
+  mpc::InMemoryStorage memory(graph::read_edge_list_file(edge_path));
+  mpc::shard_build(edge_path, (dir / "one").string(), {});
+  mpc::ShardBuildOptions small;
+  small.shard_words = 2048;
+  mpc::shard_build(edge_path, (dir / "many").string(), small);
+  const auto one = mpc::MmapShardStorage::open((dir / "one").string());
+  const auto many = mpc::MmapShardStorage::open((dir / "many").string());
+  ASSERT_EQ(one->stats().shards, 1u);
+  ASSERT_GT(many->stats().shards, 1u);
+
+  const auto reference = run_all(g, /*threads=*/1);
+  const struct {
+    const char* name;
+    const mpc::Storage* storage;
+  } backends[] = {{"memory", &memory}, {"mmap1", one.get()},
+                  {"mmapN", many.get()}};
+  for (const auto& backend : backends) {
+    for (std::uint32_t threads : kThreadCounts) {
+      const auto run =
+          run_all(backend.storage->graph(), threads, backend.storage);
+      EXPECT_EQ(run.mis_in_set, reference.mis_in_set)
+          << backend.name << " threads=" << threads;
+      EXPECT_EQ(run.mis_report_json, reference.mis_report_json)
+          << backend.name << " threads=" << threads;
+      EXPECT_EQ(run.mis_trace, reference.mis_trace)
+          << backend.name << " threads=" << threads;
+      EXPECT_EQ(run.mis_registry_json, reference.mis_registry_json)
+          << backend.name << " threads=" << threads;
+      EXPECT_EQ(run.matching, reference.matching)
+          << backend.name << " threads=" << threads;
+      EXPECT_EQ(run.matching_report_json, reference.matching_report_json)
+          << backend.name << " threads=" << threads;
+      EXPECT_EQ(run.matching_trace, reference.matching_trace)
+          << backend.name << " threads=" << threads;
+    }
+  }
+  fs::remove_all(dir);
 }
 
 // ---- Batch-dispatch axis ----

@@ -1,0 +1,416 @@
+// The storage seam: shard format, streaming builder, and backends.
+//
+// The contract under test (docs/STORAGE.md): a shard directory written by
+// shard_build, opened through MmapShardStorage, exposes *exactly* the graph
+// Graph::from_edges builds from the same edge list — identical offsets,
+// adjacency rows, incident EdgeIds, canonical edge order, stats, and solve
+// results — while the manifest is an untrusted-input boundary rejecting
+// every malformed byte with a typed ParseError.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/report_json.hpp"
+#include "api/solver.hpp"
+#include "exec/parallel.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/io.hpp"
+#include "mpc/shard_format.hpp"
+#include "mpc/storage.hpp"
+#include "support/parse_error.hpp"
+
+namespace dmpc::mpc {
+namespace {
+
+namespace fs = std::filesystem;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// Fresh scratch directory under the system temp root, removed on scope
+/// exit so failed assertions cannot poison later runs.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+  std::string str(const std::string& child = {}) const {
+    return child.empty() ? path_.string() : (path_ / child).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+/// Every observable CSR byte must agree between the two views.
+void expect_identical_graphs(const Graph& expected, const Graph& actual) {
+  ASSERT_EQ(expected.num_nodes(), actual.num_nodes());
+  ASSERT_EQ(expected.num_edges(), actual.num_edges());
+  EXPECT_EQ(expected.max_degree(), actual.max_degree());
+  for (NodeId v = 0; v < expected.num_nodes(); ++v) {
+    ASSERT_EQ(expected.degree(v), actual.degree(v)) << "node " << v;
+    const auto en = expected.neighbors(v);
+    const auto an = actual.neighbors(v);
+    const auto ei = expected.incident_edges(v);
+    const auto ai = actual.incident_edges(v);
+    for (std::uint32_t i = 0; i < expected.degree(v); ++i) {
+      ASSERT_EQ(en[i], an[i]) << "adjacency of node " << v << " slot " << i;
+      ASSERT_EQ(ei[i], ai[i]) << "incident of node " << v << " slot " << i;
+    }
+  }
+  for (EdgeId e = 0; e < expected.num_edges(); ++e) {
+    ASSERT_EQ(expected.edge(e).u, actual.edge(e).u) << "edge " << e;
+    ASSERT_EQ(expected.edge(e).v, actual.edge(e).v) << "edge " << e;
+  }
+  EXPECT_TRUE(expected.edges() == actual.edges());
+}
+
+void expect_round_trip(const Graph& g, std::uint64_t shard_words,
+                       const char* label) {
+  TempDir dir(std::string("dmpc_storage_roundtrip_") + label);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  ShardBuildOptions options;
+  options.shard_words = shard_words;
+  const auto stats = shard_build(dir.str("g.txt"), dir.str("shards"), options);
+  EXPECT_EQ(stats.n, g.num_nodes()) << label;
+  EXPECT_EQ(stats.m, g.num_edges()) << label;
+  const auto storage = MmapShardStorage::open(dir.str("shards"));
+  EXPECT_EQ(storage->stats().shards, stats.shards) << label;
+  expect_identical_graphs(g, storage->graph());
+
+  // Derived stats and solve artifacts must agree too: the mmap view feeds
+  // the same algorithms the heap CSR does.
+  const auto ex = exec::Executor::with_threads(1);
+  const auto expected_stats = graph::compute_stats(g, ex);
+  const auto actual_stats = graph::compute_stats(storage->graph(), ex);
+  EXPECT_EQ(expected_stats.triangles, actual_stats.triangles) << label;
+  EXPECT_EQ(expected_stats.components, actual_stats.components) << label;
+  const Solver solver;
+  const auto expected_mis = solver.mis(g);
+  const auto actual_mis = solver.mis(*storage);
+  EXPECT_EQ(expected_mis.in_set, actual_mis.in_set) << label;
+  EXPECT_EQ(to_json(expected_mis.report).dump(),
+            to_json(actual_mis.report).dump())
+      << label;
+}
+
+TEST(ShardRoundTrip, SingleShard) {
+  expect_round_trip(graph::gnm(800, 6400, 3), /*shard_words=*/0, "single");
+}
+
+TEST(ShardRoundTrip, ManyShards) {
+  expect_round_trip(graph::gnm(800, 6400, 3), /*shard_words=*/1024, "many");
+}
+
+TEST(ShardRoundTrip, PowerLawSkewedDegrees) {
+  expect_round_trip(graph::power_law(500, 3000, 2.2, 9), /*shard_words=*/2048,
+                    "power_law");
+}
+
+TEST(ShardRoundTrip, StarHighDegreeHub) {
+  // One node owns every edge: the greedy packer must handle a single node
+  // whose row exceeds the target shard size.
+  expect_round_trip(graph::star(300), /*shard_words=*/64, "star");
+}
+
+TEST(ShardRoundTrip, EdgelessGraph) {
+  TempDir dir("dmpc_storage_edgeless");
+  std::ofstream(dir.str("g.txt")) << "5 0\n";
+  const auto stats = shard_build(dir.str("g.txt"), dir.str("shards"));
+  EXPECT_EQ(stats.n, 5u);
+  EXPECT_EQ(stats.m, 0u);
+  const auto storage = MmapShardStorage::open(dir.str("shards"));
+  EXPECT_EQ(storage->graph().num_nodes(), 5u);
+  EXPECT_EQ(storage->graph().num_edges(), 0u);
+  EXPECT_EQ(storage->graph().max_degree(), 0u);
+}
+
+TEST(ShardBuild, RejectsDuplicateEdges) {
+  TempDir dir("dmpc_storage_dup");
+  std::ofstream(dir.str("g.txt")) << "4 3\n0 1\n2 3\n1 0\n";
+  try {
+    shard_build(dir.str("g.txt"), dir.str("shards"));
+    FAIL() << "duplicate edge accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kDuplicateEdge);
+  }
+}
+
+TEST(ShardBuild, RejectsDedupePolicy) {
+  TempDir dir("dmpc_storage_policy");
+  std::ofstream(dir.str("g.txt")) << "2 1\n0 1\n";
+  ShardBuildOptions options;
+  options.limits.duplicates = graph::DuplicatePolicy::kDedupe;
+  EXPECT_THROW(shard_build(dir.str("g.txt"), dir.str("shards"), options),
+               CheckFailure);
+}
+
+TEST(ShardBuild, MissingInputIsIoError) {
+  TempDir dir("dmpc_storage_noinput");
+  try {
+    shard_build(dir.str("absent.txt"), dir.str("shards"));
+    FAIL() << "missing input accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kIoError);
+  }
+}
+
+// ---- Manifest codec ----
+
+ShardManifest build_manifest_fixture(const std::string& dir_name,
+                                     std::string* shard_dir) {
+  static TempDir dir("dmpc_storage_manifest_fixture");
+  const std::string out = dir.str(dir_name);
+  const Graph g = graph::gnm(200, 1600, 5);
+  graph::write_edge_list_file(g, dir.str(dir_name + ".txt"));
+  ShardBuildOptions options;
+  options.shard_words = 1024;
+  shard_build(dir.str(dir_name + ".txt"), out, options);
+  std::ifstream in(out + "/" + kManifestFileName, std::ios::binary);
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (shard_dir != nullptr) *shard_dir = out;
+  return parse_shard_manifest(bytes.data(), bytes.size());
+}
+
+TEST(ShardManifestCodec, EncodeParseRoundTrip) {
+  const ShardManifest manifest = build_manifest_fixture("codec", nullptr);
+  EXPECT_EQ(manifest.n, 200u);
+  EXPECT_EQ(manifest.m, 1600u);
+  EXPECT_GT(manifest.shards.size(), 1u);
+  const auto bytes = encode_shard_manifest(manifest);
+  const ShardManifest reparsed =
+      parse_shard_manifest(bytes.data(), bytes.size());
+  EXPECT_EQ(reparsed.n, manifest.n);
+  EXPECT_EQ(reparsed.m, manifest.m);
+  EXPECT_EQ(reparsed.max_degree, manifest.max_degree);
+  EXPECT_EQ(reparsed.shard_words, manifest.shard_words);
+  ASSERT_EQ(reparsed.shards.size(), manifest.shards.size());
+  for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+    EXPECT_EQ(reparsed.shards[i].node_begin, manifest.shards[i].node_begin);
+    EXPECT_EQ(reparsed.shards[i].node_end, manifest.shards[i].node_end);
+    EXPECT_EQ(reparsed.shards[i].edge_begin, manifest.shards[i].edge_begin);
+    EXPECT_EQ(reparsed.shards[i].edge_end, manifest.shards[i].edge_end);
+    EXPECT_EQ(reparsed.shards[i].slot_begin, manifest.shards[i].slot_begin);
+    EXPECT_EQ(reparsed.shards[i].slot_end, manifest.shards[i].slot_end);
+    EXPECT_EQ(reparsed.shards[i].file_bytes, manifest.shards[i].file_bytes);
+  }
+}
+
+ParseErrorCode parse_code(const std::vector<unsigned char>& bytes,
+                          const graph::EdgeListLimits& limits = {}) {
+  try {
+    parse_shard_manifest(bytes.data(), bytes.size(), limits);
+  } catch (const ParseError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "manifest accepted";
+  return ParseErrorCode::kIoError;
+}
+
+TEST(ShardManifestCodec, RejectsMalformedBytes) {
+  const ShardManifest manifest = build_manifest_fixture("reject", nullptr);
+  const auto valid = encode_shard_manifest(manifest);
+
+  auto corrupt = valid;
+  corrupt[0] = 'X';  // magic
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kBadHeader);
+
+  corrupt = valid;
+  corrupt[8] = 99;  // version
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kBadHeader);
+
+  corrupt = valid;
+  corrupt[12] = 1;  // flags must be zero
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kBadHeader);
+
+  corrupt = valid;
+  corrupt.resize(corrupt.size() - 1);  // truncated entry table
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kCountMismatch);
+
+  corrupt = valid;
+  corrupt.resize(kManifestHeaderBytes - 8);  // shorter than the header
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kBadHeader);
+
+  corrupt = valid;
+  corrupt[32] += 1;  // total_slots != 2m
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kCountMismatch);
+
+  // First entry's node_begin bumped: ranges no longer tile [0, n).
+  corrupt = valid;
+  corrupt[kManifestHeaderBytes] += 1;
+  EXPECT_EQ(parse_code(corrupt), ParseErrorCode::kCountMismatch);
+
+  // Inverted node range in the first entry (node_end < node_begin).
+  corrupt = valid;
+  std::uint64_t inverted = manifest.shards[0].node_end + 1;
+  std::memcpy(corrupt.data() + kManifestHeaderBytes, &inverted, 8);
+  EXPECT_NE(parse_code(corrupt), ParseErrorCode::kIoError);
+}
+
+TEST(ShardManifestCodec, EnforcesEdgeListLimits) {
+  const ShardManifest manifest = build_manifest_fixture("limits", nullptr);
+  const auto valid = encode_shard_manifest(manifest);
+  graph::EdgeListLimits tight;
+  tight.max_nodes = manifest.n - 1;
+  EXPECT_EQ(parse_code(valid, tight), ParseErrorCode::kShardLimitExceeded);
+  tight = {};
+  tight.max_edges = manifest.m - 1;
+  EXPECT_EQ(parse_code(valid, tight), ParseErrorCode::kShardLimitExceeded);
+  // At exactly the caps the manifest is accepted.
+  tight = {};
+  tight.max_nodes = manifest.n;
+  tight.max_edges = manifest.m;
+  EXPECT_NO_THROW(parse_shard_manifest(valid.data(), valid.size(), tight));
+}
+
+// ---- MmapShardStorage open-time validation ----
+
+TEST(MmapShardStorage, RejectsTruncatedShardFile) {
+  TempDir dir("dmpc_storage_truncated");
+  const Graph g = graph::gnm(200, 1600, 6);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  ShardBuildOptions options;
+  options.shard_words = 1024;
+  shard_build(dir.str("g.txt"), dir.str("shards"), options);
+  fs::resize_file(dir.path() / "shards" / shard_file_name(1), 40);
+  try {
+    MmapShardStorage::open(dir.str("shards"));
+    FAIL() << "truncated shard accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kCountMismatch);
+  }
+}
+
+TEST(MmapShardStorage, RejectsCorruptShardMagic) {
+  TempDir dir("dmpc_storage_badmagic");
+  const Graph g = graph::gnm(100, 400, 6);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  shard_build(dir.str("g.txt"), dir.str("shards"));
+  {
+    std::fstream f(dir.path() / "shards" / shard_file_name(0),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.put('Z');
+  }
+  try {
+    MmapShardStorage::open(dir.str("shards"));
+    FAIL() << "corrupt shard magic accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kBadHeader);
+  }
+}
+
+TEST(MmapShardStorage, RejectsCorruptOffsets) {
+  TempDir dir("dmpc_storage_badoffsets");
+  const Graph g = graph::gnm(100, 400, 6);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  shard_build(dir.str("g.txt"), dir.str("shards"));
+  {
+    // Scribble over the first offset (bytes 16..24): the slice is no longer
+    // anchored at slot_begin.
+    std::fstream f(dir.path() / "shards" / shard_file_name(0),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16);
+    const std::uint64_t garbage = ~0ull;
+    f.write(reinterpret_cast<const char*>(&garbage), 8);
+  }
+  try {
+    MmapShardStorage::open(dir.str("shards"));
+    FAIL() << "corrupt offsets accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kCountMismatch);
+  }
+}
+
+TEST(MmapShardStorage, RejectsMissingDirectory) {
+  try {
+    MmapShardStorage::open("/nonexistent/dmpc_shards");
+    FAIL() << "missing directory accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kIoError);
+  }
+}
+
+TEST(MmapShardStorage, GraphOutlivesStorage) {
+  TempDir dir("dmpc_storage_outlive");
+  const Graph g = graph::gnm(100, 400, 6);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  shard_build(dir.str("g.txt"), dir.str("shards"));
+  Graph view;
+  {
+    const auto storage = MmapShardStorage::open(dir.str("shards"));
+    view = storage->graph();
+  }
+  // The residency handle keeps the mappings alive after the Storage dies.
+  expect_identical_graphs(g, view);
+}
+
+// ---- open_storage dispatch & host stats ----
+
+TEST(OpenStorage, DispatchesOnBackend) {
+  TempDir dir("dmpc_storage_dispatch");
+  const Graph g = graph::gnm(100, 400, 6);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  shard_build(dir.str("g.txt"), dir.str("shards"));
+
+  StorageOptions memory;
+  const auto mem = open_storage(memory, dir.str("g.txt"));
+  EXPECT_EQ(mem->backend(), StorageBackend::kMemory);
+  EXPECT_EQ(mem->stats().shards, 1u);
+  EXPECT_GT(mem->stats().bytes_total, 0u);
+
+  StorageOptions mmap_opts;
+  mmap_opts.backend = StorageBackend::kMmap;
+  mmap_opts.shard_dir = dir.str("shards");
+  const auto mapped = open_storage(mmap_opts, "ignored");
+  EXPECT_EQ(mapped->backend(), StorageBackend::kMmap);
+  expect_identical_graphs(mem->graph(), mapped->graph());
+}
+
+TEST(OpenStorage, BackendNames) {
+  EXPECT_STREQ(storage_backend_name(StorageBackend::kMemory), "memory");
+  EXPECT_STREQ(storage_backend_name(StorageBackend::kMmap), "mmap");
+}
+
+// ---- Solver seam ----
+
+TEST(SolverStorage, OpenStorageHonorsOptions) {
+  TempDir dir("dmpc_storage_solver");
+  const Graph g = graph::gnm(300, 2400, 6);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  shard_build(dir.str("g.txt"), dir.str("shards"));
+
+  SolveOptions options;
+  options.storage.backend = StorageBackend::kMmap;
+  options.storage.shard_dir = dir.str("shards");
+  const Solver solver(options);
+  const auto storage = solver.open_storage("ignored");
+  EXPECT_EQ(storage->backend(), StorageBackend::kMmap);
+
+  const auto from_storage = solver.maximal_matching(*storage);
+  const auto from_graph = Solver().maximal_matching(g);
+  EXPECT_EQ(from_storage.matching, from_graph.matching);
+  EXPECT_EQ(to_json(from_storage.report).dump(),
+            to_json(from_graph.report).dump());
+
+  // The storage solve's host section carries the residency gauges.
+  const auto host = obs::to_json_section(solver.metrics_snapshot(),
+                                         obs::MetricSection::kHost,
+                                         /*include_zero=*/true)
+                        .dump();
+  EXPECT_NE(host.find("\"storage/bytes_mapped\""), std::string::npos);
+  EXPECT_NE(host.find("\"storage/shards\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmpc::mpc

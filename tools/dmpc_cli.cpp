@@ -7,10 +7,11 @@
 //                 [--trace-format=jsonl|chrome] [--fault-plan=plan.txt]
 //                 [--max-retries=3] [--checkpoint=round|phase|off]
 //                 [--certify=off|answer|full] [--metrics-out=metrics.json]
-//                 [--profile]
+//                 [--profile] [--storage=memory|mmap] [--shard-dir=dir]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...] [--fault-plan=...]
 //                 [--certify=...] [--metrics-out=...] [--profile]
+//                 [--storage=...] [--shard-dir=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -23,6 +24,9 @@
 // failed certificate exits 3. --profile records the per-round load-skew
 // timeline (docs/OBSERVABILITY.md): report JSON and --metrics-out gain a
 // `profile` block (schema_version 5), and traces gain hostprof counters.
+// --storage=mmap --shard-dir=<dir> solves out of a shard directory built by
+// tools/shard_build instead of parsing --in (docs/STORAGE.md); answers and
+// report JSON are byte-identical to the in-memory backend.
 // Invalid options (bad eps, unknown algorithm or trace format, a malformed
 // input file or fault plan, ...) are reported with their typed status code
 // and exit 2; internal check failures exit 1.
@@ -272,7 +276,6 @@ int cmd_stats(const dmpc::ArgParser& args) {
 }
 
 int cmd_mis(const dmpc::ArgParser& args) {
-  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
   auto trace = make_trace(args);
   auto cli = solve_options(args);
   cli.options.trace = trace.session_or_null();
@@ -280,7 +283,9 @@ int cmd_mis(const dmpc::ArgParser& args) {
   if (auto status = solver.validate(); !status.ok()) {
     throw dmpc::OptionsError(std::move(status));
   }
-  const auto solution = solver.mis(g);
+  const auto storage = solver.open_storage(args.get("in", "graph.txt"));
+  const auto& g = storage->graph();
+  const auto solution = solver.mis(*storage);
   trace.finish();
   write_metrics(cli.metrics_out_path, solver, solution.report);
   std::size_t size = 0;
@@ -305,7 +310,6 @@ int cmd_mis(const dmpc::ArgParser& args) {
 }
 
 int cmd_matching(const dmpc::ArgParser& args) {
-  const auto g = dmpc::graph::read_edge_list_file(args.get("in", "graph.txt"));
   auto trace = make_trace(args);
   auto cli = solve_options(args);
   cli.options.trace = trace.session_or_null();
@@ -313,7 +317,9 @@ int cmd_matching(const dmpc::ArgParser& args) {
   if (auto status = solver.validate(); !status.ok()) {
     throw dmpc::OptionsError(std::move(status));
   }
-  const auto solution = solver.maximal_matching(g);
+  const auto storage = solver.open_storage(args.get("in", "graph.txt"));
+  const auto& g = storage->graph();
+  const auto solution = solver.maximal_matching(*storage);
   trace.finish();
   write_metrics(cli.metrics_out_path, solver, solution.report);
   if (args.has("json")) {

@@ -8,6 +8,7 @@
 #include "api/status.hpp"
 #include "graph/io.hpp"
 #include "mpc/faults.hpp"
+#include "mpc/shard_format.hpp"
 #include "support/options.hpp"
 #include "support/parse_error.hpp"
 
@@ -84,6 +85,30 @@ int drive_cli_args(const std::uint8_t* data, std::size_t size) {
     (void)parse_solve_options(args);
   } catch (const ParseError&) {
   } catch (const OptionsError&) {
+  }
+  return 0;
+}
+
+int drive_shard_header(const std::uint8_t* data, std::size_t size) {
+  // Same cap philosophy as fuzz_limits: small n/m ceilings steer the fuzzer
+  // into the limit checks rather than huge well-formed declarations (the
+  // parser's allocation is bounded by `size` regardless).
+  graph::EdgeListLimits limits;
+  limits.max_nodes = 1u << 16;
+  limits.max_edges = 1u << 16;
+  try {
+    const mpc::ShardManifest manifest =
+        mpc::parse_shard_manifest(data, size, limits);
+    // An accepted manifest must survive an encode/re-parse round trip with
+    // its totals intact (the codec is a bijection on valid manifests).
+    const auto bytes = mpc::encode_shard_manifest(manifest);
+    const mpc::ShardManifest back =
+        mpc::parse_shard_manifest(bytes.data(), bytes.size(), limits);
+    if (back.n != manifest.n || back.m != manifest.m ||
+        back.shards.size() != manifest.shards.size()) {
+      __builtin_trap();
+    }
+  } catch (const ParseError&) {
   }
   return 0;
 }

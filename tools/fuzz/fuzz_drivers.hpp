@@ -27,4 +27,9 @@ int drive_fault_plan(const std::uint8_t* data, std::size_t size);
 /// exact flag-parsing surface of the dmpc CLI.
 int drive_cli_args(const std::uint8_t* data, std::size_t size);
 
+/// mpc::parse_shard_manifest over raw bytes (the binary header/entry-table
+/// validator of the dshard storage format), with an encode/re-parse round
+/// trip on accepted manifests.
+int drive_shard_header(const std::uint8_t* data, std::size_t size);
+
 }  // namespace dmpc::fuzz

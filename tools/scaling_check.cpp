@@ -2,6 +2,7 @@
 //
 //   ./scaling_check [--baseline-dir=bench/baselines] [--slack=0.25]
 //                   [--tolerance=0.10] [--gini-cap=PPM]
+//                   [--rss-factor=0.5] [--rss-floor-mb=96]
 //                   [--wall-tolerance=0.50] [--wall-floor-ms=50]
 //                   BENCH_E1.json [BENCH_E2.json ...]
 //
@@ -13,6 +14,9 @@
 //       e1/e2: mpc_rounds and iterations vs log2(n)     (Theorems 7 / 14)
 //       e6:    lowdeg_rounds vs log2(Delta)             (Theorem 1)
 //       e8:    peak_load <= s_budget, per point         (S = O(n^eps) cap)
+//       e19:   shard-build peak RSS <= --rss-floor-mb MB
+//              + --rss-factor * model.csr_bytes, per sweep point (the
+//              streaming builder's O(n)+budget bound vs an O(m) regression)
 //     Experiments without a registered envelope are baseline-gated only.
 //
 //  1b. Skew band: points that embed a "profile" block (E1/E2 run with the
@@ -166,7 +170,51 @@ void check_skew_band(const Json& doc, std::uint64_t gini_cap_ppm) {
   }
 }
 
-void check_envelopes(const Json& doc, double slack) {
+/// E19 gate: the streaming shard build's peak RSS must stay below an
+/// absolute floor plus a fraction of the in-memory CSR footprint at every
+/// point. The builder is O(n) + dirty-page budget, so as m grows the ratio
+/// falls; a regression to materializing the graph (O(m) resident) blows the
+/// cap at the largest point. Points without an "rss" block (the identity
+/// point) are exempt. The RSS reading is a host measurement, but the bound
+/// is coarse enough (floor + factor * csr) to be runner-independent.
+void check_rss_bound(const Json& doc, double rss_factor,
+                     double rss_floor_mb) {
+  const int failures_before = g_failures;
+  std::size_t checked = 0;
+  for (const Json& point : doc.at("points").items()) {
+    const Json* rss = point.find("rss");
+    if (rss == nullptr) continue;
+    const Json* peak = rss->find("build_peak_rss_bytes");
+    const Json* csr = point.at("model").find("csr_bytes");
+    if (peak == nullptr || !peak->is_number() || csr == nullptr ||
+        !csr->is_number()) {
+      fail(series_name(doc, point) + ".rss",
+           "build_peak_rss_bytes / model.csr_bytes missing");
+      continue;
+    }
+    const double cap = rss_floor_mb * 1048576.0 + rss_factor * csr->as_double();
+    if (peak->as_double() > cap) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "build peak RSS %.1f MB > cap %.1f MB (floor %.0f MB + "
+                    "%.2f * csr %.1f MB)",
+                    peak->as_double() / 1048576.0, cap / 1048576.0,
+                    rss_floor_mb, rss_factor, csr->as_double() / 1048576.0);
+      fail(series_name(doc, point) + ".build_peak_rss_bytes", buf);
+    }
+    ++checked;
+  }
+  if (checked == 0) {
+    fail(doc.at("bench").as_string() + ".rss", "no points carry an rss block");
+  } else if (g_failures == failures_before) {
+    std::printf("ok   %s: build peak RSS under floor+%.2f*csr cap on all %zu "
+                "sweep points\n",
+                doc.at("bench").as_string().c_str(), rss_factor, checked);
+  }
+}
+
+void check_envelopes(const Json& doc, double slack, double rss_factor,
+                     double rss_floor_mb) {
   const std::string exp = doc.at("bench").as_string();
   if (exp == "e1" || exp == "e2") {
     check_log_envelope(doc, "mpc_rounds", EnvelopeKind::kLogX, slack);
@@ -175,6 +223,8 @@ void check_envelopes(const Json& doc, double slack) {
     check_log_envelope(doc, "lowdeg_rounds", EnvelopeKind::kLogX, slack);
   } else if (exp == "e8") {
     check_space_cap(doc);
+  } else if (exp == "e19") {
+    check_rss_bound(doc, rss_factor, rss_floor_mb);
   }
 }
 
@@ -278,12 +328,15 @@ int main(int argc, char** argv) {
   const double wall_floor_ms = args.get_double("wall-floor-ms", 50.0);
   const auto gini_cap_ppm =
       static_cast<std::uint64_t>(args.get_int("gini-cap", 900000));
+  const double rss_factor = args.get_double("rss-factor", 0.5);
+  const double rss_floor_mb = args.get_double("rss-floor-mb", 96.0);
   const std::string baseline_dir = args.get("baseline-dir", "");
   const std::vector<std::string>& files = args.positional();
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: scaling_check [--baseline-dir=<dir>] [--slack=F] "
-                 "[--tolerance=F] [--gini-cap=PPM] [--wall-tolerance=F] "
+                 "[--tolerance=F] [--gini-cap=PPM] [--rss-factor=F] "
+                 "[--rss-floor-mb=F] [--wall-tolerance=F] "
                  "[--wall-floor-ms=F] BENCH_*.json...\n");
     return 2;
   }
@@ -298,7 +351,7 @@ int main(int argc, char** argv) {
     }
     std::printf("== %s (%s) ==\n", doc.at("bench").as_string().c_str(),
                 file.c_str());
-    check_envelopes(doc, slack);
+    check_envelopes(doc, slack, rss_factor, rss_floor_mb);
     check_skew_band(doc, gini_cap_ppm);
     if (!baseline_dir.empty()) {
       std::string name = file;

@@ -1,0 +1,56 @@
+// shard_build — convert a text edge list into a .dshard directory for the
+// mmap storage backend (mpc/shard_format.hpp, docs/STORAGE.md).
+//
+//   shard_build --in=g.txt --out=shards/ [--eps=0.5] [--space-headroom=8]
+//               [--shard-words=N] [--rss-budget-mb=256]
+//
+// The build is a streaming two-pass over the input: peak resident memory is
+// O(n) host arrays plus a bounded dirty-page budget, never O(m). Shard
+// boundaries follow the simulator's machine-space derivation for (n, eps)
+// unless --shard-words pins an exact size. A malformed input (or an input
+// that changes between the passes) is reported as a typed parse error with
+// exit 2, matching the dmpc CLI's exit-code contract; nothing is left
+// mapped on failure.
+#include <cstdio>
+#include <string>
+
+#include "mpc/shard_format.hpp"
+#include "support/check.hpp"
+#include "support/options.hpp"
+#include "support/parse_error.hpp"
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "usage: shard_build --in=<edge list> --out=<dir> "
+                 "[--eps=0.5] [--space-headroom=8] [--shard-words=N] "
+                 "[--rss-budget-mb=256]\n");
+    return 2;
+  }
+  try {
+    dmpc::mpc::ShardBuildOptions options;
+    options.eps = args.require_double("eps", options.eps);
+    options.space_headroom =
+        args.require_double("space-headroom", options.space_headroom);
+    options.shard_words = static_cast<std::uint64_t>(
+        args.require_int("shard-words", 0));
+    options.rss_budget_bytes =
+        static_cast<std::uint64_t>(args.require_int("rss-budget-mb", 256))
+        << 20;
+    const auto stats = dmpc::mpc::shard_build(in, out, options);
+    std::printf("sharded n=%llu m=%llu shards=%llu bytes=%llu -> %s\n",
+                (unsigned long long)stats.n, (unsigned long long)stats.m,
+                (unsigned long long)stats.shards,
+                (unsigned long long)stats.total_bytes, out.c_str());
+    return 0;
+  } catch (const dmpc::ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const dmpc::CheckFailure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
