@@ -1,0 +1,228 @@
+// E20: storage-fault recovery — overhead and identity under injected I/O
+// faults.
+//
+// The storage recovery ladder (docs/STORAGE.md, "Integrity & degraded
+// mode") promises that any admissible IoFaultPlan whose events resolve
+// within the RecoveryOptions budget yields byte-identical solutions and
+// reports (modulo the recovery ledger) to the fault-free open. This bench
+// walks the ladder end to end on one shard directory: a clean verified
+// open, transient open-time failures absorbed by retries, an injected
+// checksum flip that heals on retry, persistent verify-time corruption
+// forcing a quarantine re-read, and an exhausted mmap budget degrading to
+// the in-memory backend. Every scenario's solution is checked against the
+// clean run, and the (fully deterministic) recovery ledger counters are the
+// model fields tools/scaling_check gates against the committed baseline;
+// the "identical" flag is gated by the e20 envelope (it must be 1 — a 0
+// means recovery changed an answer, which is the one unforgivable
+// regression).
+//
+//   ./bench_e20_storage_faults [--quick] [--json] [--commit=<sha>]
+//
+// With --json the artifact (bench_json.hpp envelope, string axis
+// "scenario") goes to stdout; CI redirects it to BENCH_E20.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/report_json.hpp"
+#include "api/solver.hpp"
+#include "bench_json.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "mpc/io_faults.hpp"
+#include "mpc/shard_format.hpp"
+#include "mpc/storage.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using dmpc::mpc::IoFaultKind;
+using dmpc::mpc::IoFaultPlan;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Scenario {
+  const char* name;
+  IoFaultPlan plan;
+  bool degrade = false;  ///< Open through the fallback path, not mmap.
+};
+
+struct ScenarioResult {
+  std::string name;
+  dmpc::mpc::IoRecoveryStats ledger;
+  bool identical = false;
+  std::size_t mis_size = 0;
+  std::uint64_t mpc_rounds = 0;
+  double wall_ms = 0.0;
+};
+
+/// Report JSON with the recovery ledger zeroed: the identity the ladder
+/// promises is "everything except the recovery block".
+std::string comparable_report(const dmpc::MisSolution& solution) {
+  auto report = solution.report;
+  report.recovery = dmpc::mpc::RecoveryStats{};
+  return to_json(report).dump();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dmpc::ArgParser args(argc, argv);
+  const bool quick = args.has("quick");
+  const bool json = args.has("json");
+
+  const fs::path dir = fs::temp_directory_path() / "dmpc_bench_e20";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // One deterministic instance, sharded small enough that every scenario
+  // touches several shard files. Sized so the full run exercises more
+  // verify work; model fields stay identical either way because only the
+  // instance below is gated (quick == full graph for determinism).
+  const std::uint64_t n = 4000, m = 32000;
+  const dmpc::graph::Graph g = dmpc::graph::gnm(n, m, 20);
+  const std::string edge_path = (dir / "g.txt").string();
+  dmpc::graph::write_edge_list_file(g, edge_path);
+  dmpc::mpc::ShardBuildOptions build;
+  build.shard_words = 8192;
+  const std::string shard_dir = (dir / "shards").string();
+  const auto build_stats = dmpc::mpc::shard_build(edge_path, shard_dir, build);
+
+  IoFaultPlan transient;
+  transient.add({IoFaultKind::kEio, /*shard=*/0, dmpc::mpc::kAccessOpen,
+                 /*delay=*/1, /*attempts=*/2});
+  transient.add({IoFaultKind::kShortRead, /*shard=*/1, dmpc::mpc::kAccessOpen,
+                 /*delay=*/1, /*attempts=*/1});
+  transient.add({IoFaultKind::kSlow, /*shard=*/0, dmpc::mpc::kAccessVerify,
+                 /*delay=*/3, /*attempts=*/1});
+  IoFaultPlan heal;
+  heal.add({IoFaultKind::kCorrupt, /*shard=*/0, dmpc::mpc::kAccessVerify,
+            /*delay=*/1, /*attempts=*/1});
+  IoFaultPlan quarantine;
+  quarantine.add({IoFaultKind::kCorrupt, /*shard=*/1, dmpc::mpc::kAccessVerify,
+                  /*delay=*/1, /*attempts=*/4});
+  IoFaultPlan exhaust_mmap;
+  exhaust_mmap.add({IoFaultKind::kMapFail, /*shard=*/0, dmpc::mpc::kAccessOpen,
+                    /*delay=*/1,
+                    /*attempts=*/dmpc::mpc::RecoveryOptions::kMaxRetries + 1});
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"clean", IoFaultPlan{}, false});
+  scenarios.push_back({"transient", transient, false});
+  scenarios.push_back({"heal", heal, false});
+  scenarios.push_back({"quarantine", quarantine, false});
+  scenarios.push_back({"degraded", exhaust_mmap, true});
+
+  // The fault-free reference every scenario must reproduce byte-for-byte.
+  const dmpc::Solver solver;
+  const auto reference = solver.mis(g);
+  const std::string reference_report = comparable_report(reference);
+
+  if (!json) {
+    std::printf("== E20 storage-fault recovery: n=%llu m=%llu shards=%llu "
+                "%s==\n",
+                static_cast<unsigned long long>(build_stats.n),
+                static_cast<unsigned long long>(build_stats.m),
+                static_cast<unsigned long long>(build_stats.shards),
+                quick ? "(quick) " : "");
+  }
+
+  std::vector<ScenarioResult> results;
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult result;
+    result.name = scenario.name;
+    const auto t0 = Clock::now();
+    std::unique_ptr<dmpc::mpc::Storage> storage;
+    if (scenario.degrade) {
+      dmpc::mpc::StorageOptions options;
+      options.backend = dmpc::mpc::StorageBackend::kMmap;
+      options.shard_dir = shard_dir;
+      options.verify = dmpc::mpc::VerifyMode::kOpen;
+      options.fallback = dmpc::mpc::FallbackMode::kMemory;
+      storage = dmpc::mpc::open_storage(options, edge_path, {}, scenario.plan);
+    } else {
+      storage = dmpc::mpc::MmapShardStorage::open(
+          shard_dir, {}, dmpc::mpc::VerifyMode::kOpen, scenario.plan);
+    }
+    const auto solution = solver.mis(*storage);
+    result.wall_ms = ms_since(t0);
+    result.ledger = storage->io_recovery();
+    result.identical = solution.in_set == reference.in_set &&
+                       comparable_report(solution) == reference_report;
+    for (bool b : solution.in_set) result.mis_size += b;
+    result.mpc_rounds = solution.report.metrics.rounds();
+    results.push_back(result);
+
+    if (!json) {
+      std::printf(
+          "%-10s open+solve=%7.1fms  faults=%llu retries=%llu backoff=%llu "
+          "checksum_fail=%llu quarantined=%llu degraded=%llu verified=%llu "
+          "identical=%s\n",
+          result.name.c_str(), result.wall_ms,
+          static_cast<unsigned long long>(result.ledger.io_faults_injected),
+          static_cast<unsigned long long>(result.ledger.retries),
+          static_cast<unsigned long long>(result.ledger.backoff_units),
+          static_cast<unsigned long long>(result.ledger.checksum_failures),
+          static_cast<unsigned long long>(result.ledger.quarantined_shards),
+          static_cast<unsigned long long>(result.ledger.degraded),
+          static_cast<unsigned long long>(result.ledger.shards_verified),
+          result.identical ? "yes" : "NO");
+    }
+  }
+
+  bool all_identical = true;
+  for (const auto& result : results) all_identical &= result.identical;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: a recovered solve differs from the fault-free run\n");
+    fs::remove_all(dir);
+    return 1;
+  }
+
+  if (json) {
+    dmpc::Json points = dmpc::Json::array();
+    for (const auto& result : results) {
+      points.push(
+          dmpc::Json::object()
+              .set("axis_value", result.name)
+              .set("model",
+                   dmpc::Json::object()
+                       .set("n", build_stats.n)
+                       .set("m", build_stats.m)
+                       .set("shards", build_stats.shards)
+                       .set("io_faults_injected",
+                            result.ledger.io_faults_injected)
+                       .set("retries", result.ledger.retries)
+                       .set("backoff_units", result.ledger.backoff_units)
+                       .set("checksum_failures",
+                            result.ledger.checksum_failures)
+                       .set("quarantined_shards",
+                            result.ledger.quarantined_shards)
+                       .set("degraded", result.ledger.degraded)
+                       .set("shards_verified", result.ledger.shards_verified)
+                       .set("mis_size",
+                            static_cast<std::uint64_t>(result.mis_size))
+                       .set("mpc_rounds", result.mpc_rounds)
+                       .set("identical", result.identical ? 1 : 0))
+              .set("wall", dmpc::bench::wall_stats(result.wall_ms)));
+    }
+    auto doc = dmpc::bench::bench_envelope(
+                   "e20",
+                   "Storage-fault recovery: ladder overhead + identity",
+                   quick, args.get("commit", ""))
+                   .set("axis", "scenario")
+                   .set("points", points);
+    std::printf("%s\n", doc.dump(2).c_str());
+  }
+
+  fs::remove_all(dir);
+  return 0;
+}

@@ -58,6 +58,24 @@ mpc::StorageBackend parse_storage_backend(const std::string& name) {
       "unknown storage backend '" + name + "' (expected memory|mmap)"));
 }
 
+mpc::VerifyMode parse_verify_mode(const std::string& name) {
+  if (name == "off") return mpc::VerifyMode::kOff;
+  if (name == "open") return mpc::VerifyMode::kOpen;
+  if (name == "paranoid") return mpc::VerifyMode::kParanoid;
+  throw OptionsError(Status::error(
+      StatusCode::kInvalidStorage,
+      "unknown storage verify mode '" + name +
+          "' (expected off|open|paranoid)"));
+}
+
+mpc::FallbackMode parse_fallback_mode(const std::string& name) {
+  if (name == "none") return mpc::FallbackMode::kNone;
+  if (name == "memory") return mpc::FallbackMode::kMemory;
+  throw OptionsError(Status::error(
+      StatusCode::kInvalidStorage,
+      "unknown storage fallback mode '" + name + "' (expected none|memory)"));
+}
+
 CliSolveOptions parse_solve_options(const ArgParser& args) {
   CliSolveOptions cli;
   SolveOptions& options = cli.options;
@@ -72,7 +90,12 @@ CliSolveOptions parse_solve_options(const ArgParser& args) {
   options.profile = args.has("profile");
   options.storage.backend = parse_storage_backend(args.get("storage", "memory"));
   options.storage.shard_dir = args.get("shard-dir", "");
+  options.storage.verify =
+      parse_verify_mode(args.get("storage-verify", "off"));
+  options.storage.fallback =
+      parse_fallback_mode(args.get("storage-fallback", "none"));
   cli.fault_plan_path = args.get("fault-plan", "");
+  cli.io_fault_plan_path = args.get("io-fault-plan", "");
   cli.metrics_out_path = args.get("metrics-out", "");
   return cli;
 }

@@ -28,6 +28,12 @@ mpc::CheckpointMode parse_checkpoint_mode(const std::string& name);
 /// --storage=memory|mmap. Throws OptionsError(kInvalidStorage).
 mpc::StorageBackend parse_storage_backend(const std::string& name);
 
+/// --storage-verify=off|open|paranoid. Throws OptionsError(kInvalidStorage).
+mpc::VerifyMode parse_verify_mode(const std::string& name);
+
+/// --storage-fallback=none|memory. Throws OptionsError(kInvalidStorage).
+mpc::FallbackMode parse_fallback_mode(const std::string& name);
+
 /// SolveOptions parsed from flags, plus the side-channels the caller must
 /// resolve itself (file loading stays out of this layer so the fuzz harness
 /// can drive it hermetically).
@@ -36,6 +42,9 @@ struct CliSolveOptions {
   /// --fault-plan=<path>; empty = no plan. The caller loads the file and
   /// applies mpc::FaultPlan::parse(text) to options.faults.
   std::string fault_plan_path;
+  /// --io-fault-plan=<path>; empty = no plan. The caller loads the file and
+  /// applies mpc::IoFaultPlan::parse(text) to options.io_faults.
+  std::string io_fault_plan_path;
   /// --metrics-out=<path>; empty = no metrics dump. After a successful
   /// solve the caller writes the solve's full registry snapshot delta
   /// (all sections, grouped) there as JSON.
@@ -43,8 +52,9 @@ struct CliSolveOptions {
 };
 
 /// Parse --eps, --threads, --algorithm, --certify, --max-retries,
-/// --checkpoint, --profile, --fault-plan, --metrics-out, --storage,
-/// --shard-dir. Numeric values are parsed strictly (ParseError on
+/// --checkpoint, --profile, --fault-plan, --io-fault-plan, --metrics-out,
+/// --storage, --shard-dir, --storage-verify, --storage-fallback. Numeric
+/// values are parsed strictly (ParseError on
 /// garbage/overflow); enum values raise OptionsError with the matching
 /// StatusCode. Flags not present keep SolveOptions defaults. Consistency of
 /// --storage/--shard-dir is left to Solver::validate (kInvalidStorage), so

@@ -26,6 +26,17 @@ Json to_json(const mpc::Metrics& metrics) {
       .set("peak_load_by_label", std::move(peak));
 }
 
+Json to_json(const mpc::IoRecoveryStats& stats) {
+  return Json::object()
+      .set("io_faults_injected", stats.io_faults_injected)
+      .set("retries", stats.retries)
+      .set("backoff_units", stats.backoff_units)
+      .set("checksum_failures", stats.checksum_failures)
+      .set("quarantined_shards", stats.quarantined_shards)
+      .set("degraded", stats.degraded)
+      .set("shards_verified", stats.shards_verified);
+}
+
 Json to_json(const mpc::RecoveryStats& stats) {
   Json retries = Json::object();
   for (const auto& [label, count] : stats.retries_by_label) {
@@ -41,7 +52,8 @@ Json to_json(const mpc::RecoveryStats& stats) {
       .set("replayed_rounds", stats.replayed_rounds)
       .set("checkpoints", stats.checkpoints)
       .set("checkpoint_words", stats.checkpoint_words)
-      .set("retries_by_label", std::move(retries));
+      .set("retries_by_label", std::move(retries))
+      .set("storage", to_json(stats.storage));
 }
 
 Json to_json(const verify::Witness& witness) {

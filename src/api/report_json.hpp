@@ -11,6 +11,7 @@
 namespace dmpc {
 
 Json to_json(const mpc::Metrics& metrics);
+Json to_json(const mpc::IoRecoveryStats& stats);
 Json to_json(const mpc::RecoveryStats& stats);
 Json to_json(const verify::Witness& witness);
 Json to_json(const verify::ClaimResult& result);

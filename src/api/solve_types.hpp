@@ -65,6 +65,13 @@ struct SolveOptions {
   /// default (empty) plan is the fault-free run; see docs/FAULTS.md for the
   /// identical-output recovery contract.
   mpc::FaultPlan faults;
+  /// Deterministic host-I/O fault schedule injected into the storage layer
+  /// (short reads, EIO, checksum corruption, mmap failures, slow I/O keyed
+  /// on shard index and access ordinal — mpc/io_faults.hpp). A no-op for
+  /// the in-memory backend. The recovery ladder (retry -> quarantine ->
+  /// degrade) guarantees byte-identical solutions, reports (modulo the
+  /// recovery block), and traces for any admissible plan within budget.
+  mpc::IoFaultPlan io_faults;
   /// Retry/checkpoint policy tolerating `faults` (validated against it:
   /// a plan that provably exceeds the budget is kUnrecoverableFault).
   mpc::RecoveryOptions recovery;
@@ -73,7 +80,8 @@ struct SolveOptions {
   /// Round profiler: record the per-round load-skew timeline (per-machine
   /// load observations folded into max/mean/Gini/top-k records — see
   /// obs/profiler.hpp) and embed it as the report's `profile` block
-  /// (schema_version 5). The profile is model-deterministic: byte-identical
+  /// (kProfiledReportSchemaVersion). The profile is model-deterministic:
+  /// byte-identical
   /// across thread counts and admissible fault plans. Off by default; when
   /// off, reports and traces are byte-identical to a build without the
   /// profiler.
@@ -116,14 +124,18 @@ struct SolveReport {
 /// "certificate" and "sparsify_audit" blocks were added, and to 4 when the
 /// "registry" block (model-section metrics-registry delta) was added;
 /// downstream parsers should branch on this rather than sniffing keys.
-/// Version 5 adds the optional `profile` block (round-profiler skew
-/// timeline): a report carries schema_version 5 exactly when it was solved
-/// with SolveOptions::profile on, so unprofiled output stays byte-identical
-/// to version 4.
-inline constexpr std::uint32_t kReportSchemaVersion = 4;
+/// Version 5 added the optional `profile` block (round-profiler skew
+/// timeline). Version 6 adds the recovery block's "storage" sub-object
+/// (host storage-layer recovery ledger: io-fault injections, retries,
+/// checksum failures, quarantines, degradation) and the storage_integrity
+/// certificate claim; like the rest of the recovery block it is all-zero on
+/// a clean run, so reports stay byte-identical across io-fault plans modulo
+/// the typed "recovery" key.
+inline constexpr std::uint32_t kReportSchemaVersion = 6;
 
-/// Schema version of reports carrying the `profile` block.
-inline constexpr std::uint32_t kProfiledReportSchemaVersion = 5;
+/// Schema version of reports carrying the `profile` block (a report carries
+/// this exactly when it was solved with SolveOptions::profile on).
+inline constexpr std::uint32_t kProfiledReportSchemaVersion = 7;
 
 /// The typed, versioned view of a SolveReport that Solver::report() returns;
 /// serialize with to_json(report) / Solver::report_json(). Downstream

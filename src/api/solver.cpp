@@ -74,6 +74,8 @@ const char* status_code_name(StatusCode code) {
       return "invalid_cluster_overrides";
     case StatusCode::kInvalidFaultPlan:
       return "invalid_fault_plan";
+    case StatusCode::kInvalidIoFaultPlan:
+      return "invalid_io_fault_plan";
     case StatusCode::kInvalidRetryBudget:
       return "invalid_retry_budget";
     case StatusCode::kUnrecoverableFault:
@@ -136,6 +138,10 @@ Status Solver::validate(const SolveOptions& options) {
   }
   if (const std::string problem = options.faults.check(); !problem.empty()) {
     return Status::error(StatusCode::kInvalidFaultPlan, problem);
+  }
+  if (const std::string problem = options.io_faults.check();
+      !problem.empty()) {
+    return Status::error(StatusCode::kInvalidIoFaultPlan, problem);
   }
   if (options.recovery.backoff_rounds < 1) {
     return Status::error(StatusCode::kInvalidRetryBudget,
@@ -230,6 +236,11 @@ Report Solver::report(const SolveReport& solve_report) const {
 void Solver::capture_registry_delta(const obs::MetricsSnapshot& before,
                                     SolveReport* report) const {
   auto& registry = obs::MetricsRegistry::global();
+  if (active_storage_ != nullptr) {
+    // The backend's cumulative recovery ledger (open-time retries and
+    // quarantines included) rides in the report's recovery.storage block.
+    report->recovery.storage.merge(active_storage_->io_recovery());
+  }
   report->metrics.export_to(registry);
   report->recovery.export_to(registry);
   report->profile.export_to(registry);
@@ -365,22 +376,57 @@ class ActiveStorageScope {
 
 }  // namespace
 
+void Solver::storage_gate(const mpc::Storage& storage) const {
+  storage_integrity_ = verify::Certifier::skipped(
+      verify::Claim::kStorageIntegrity);
+  const bool paranoid =
+      storage.verify_mode() == mpc::VerifyMode::kParanoid;
+  const bool certifying = options_.certify != verify::CertifyMode::kOff;
+  if (!paranoid && !certifying) return;
+  // Run the integrity pass before the pipeline ever dereferences the
+  // adjacency: a corrupt shard must fail the gate, never feed the solve.
+  const mpc::IntegrityReport integrity = storage.verify_integrity();
+  storage_integrity_ = verify::Certifier::check_storage_integrity(integrity);
+  if (integrity.status != mpc::IntegrityReport::Status::kFailed) return;
+  if (certifying) {
+    verify::Certificate certificate;
+    certificate.mode = options_.certify;
+    certificate.claims.push_back(storage_integrity_);
+    last_certificate_ = certificate;
+    throw verify::CertificationError(std::move(certificate));
+  }
+  throw mpc::StorageError(mpc::StorageErrorCode::kChecksumMismatch,
+                          "paranoid re-verification failed: " +
+                              integrity.detail,
+                          integrity.bad_shard);
+}
+
+verify::ClaimResult Solver::storage_claim() const {
+  if (active_storage_ == nullptr) {
+    return verify::Certifier::skipped(verify::Claim::kStorageIntegrity);
+  }
+  return storage_integrity_;
+}
+
 MisSolution Solver::mis(const mpc::Storage& storage) const {
   require_valid();
   ActiveStorageScope scope(&active_storage_, &storage);
+  storage_gate(storage);
   return mis(storage.graph());
 }
 
 MatchingSolution Solver::maximal_matching(const mpc::Storage& storage) const {
   require_valid();
   ActiveStorageScope scope(&active_storage_, &storage);
+  storage_gate(storage);
   return maximal_matching(storage.graph());
 }
 
 std::unique_ptr<mpc::Storage> Solver::open_storage(
     const std::string& input_path, const graph::EdgeListLimits& limits) const {
   require_valid();
-  return mpc::open_storage(options_.storage, input_path, limits);
+  return mpc::open_storage(options_.storage, input_path, limits,
+                           options_.io_faults, options_.recovery);
 }
 
 const verify::Certificate& Solver::certificate() const {
@@ -422,6 +468,10 @@ verify::Certificate Solver::certify_common(
     certificate.claims.push_back(verify::Certifier::replay_claim(
         identical, compared, diff_index, detail));
   }
+  // The pre-solve storage gate's verdict (skipped for plain-graph solves
+  // and backends without checksums): a certified answer speaks to the
+  // integrity of the bytes it was computed from.
+  certificate.claims.push_back(storage_claim());
   return certificate;
 }
 

@@ -81,6 +81,15 @@ class Solver {
   /// export its residency stats into the registry's kHost section (so
   /// --metrics-out and benches see storage/bytes_mapped etc.). The answer
   /// and every kModel byte are identical to the plain-graph overloads.
+  ///
+  /// When the backend was opened with VerifyMode::kParanoid, or certify is
+  /// on, the attach runs a pre-solve integrity gate
+  /// (Storage::verify_integrity — retries and quarantine engaged): a backend
+  /// that still fails surfaces as CertificationError (failed
+  /// storage_integrity claim) in checked mode, else as mpc::StorageError —
+  /// before the pipeline ever dereferences a corrupt adjacency. The report's
+  /// recovery.storage sub-block carries the backend's cumulative recovery
+  /// ledger.
   MisSolution mis(const mpc::Storage& storage) const;
   MatchingSolution maximal_matching(const mpc::Storage& storage) const;
 
@@ -132,6 +141,14 @@ class Solver {
  private:
   void require_valid() const;
 
+  /// The pre-solve integrity gate for the storage overloads (see their doc
+  /// comment). Stashes the storage_integrity claim for certify_common.
+  void storage_gate(const mpc::Storage& storage) const;
+
+  /// The storage_integrity claim certify_common appends: the gate's stashed
+  /// result when a backend is attached, else a fresh skipped claim.
+  verify::ClaimResult storage_claim() const;
+
   /// Run the shared claim set (space accounting + full-mode pipeline claims
   /// + replay identity) and append to `answer_claims`.
   verify::Certificate certify_common(
@@ -164,6 +181,9 @@ class Solver {
   /// pick it up so the cluster sees its residency seam, and
   /// capture_registry_delta exports its host stats.
   mutable const mpc::Storage* active_storage_ = nullptr;
+  /// The attached backend's integrity verdict from the pre-solve gate
+  /// (meaningful only while active_storage_ is set).
+  mutable verify::ClaimResult storage_integrity_;
   /// The last solve's certificate (see certificate()). Mutable: solves are
   /// logically const — the certificate is an output slot, not solver state.
   mutable verify::Certificate last_certificate_;

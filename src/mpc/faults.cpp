@@ -195,6 +195,7 @@ void RecoveryStats::merge(const RecoveryStats& other) {
   for (const auto& [label, count] : other.retries_by_label) {
     retries_by_label[label] += count;
   }
+  storage.merge(other.storage);
 }
 
 void RecoveryStats::export_to(obs::MetricsRegistry& registry) const {
@@ -212,6 +213,7 @@ void RecoveryStats::export_to(obs::MetricsRegistry& registry) const {
   for (const auto& [label, count] : retries_by_label) {
     registry.counter("recovery/retries", label, section).add(count);
   }
+  storage.export_to(registry);
 }
 
 }  // namespace dmpc::mpc

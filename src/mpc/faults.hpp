@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "mpc/io_faults.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::obs {
@@ -148,11 +149,15 @@ struct RecoveryStats {
   std::uint64_t checkpoints = 0;
   std::uint64_t checkpoint_words = 0;       ///< Words snapshotted.
   std::map<std::string, std::uint64_t> retries_by_label;
+  /// Host storage-layer recovery (mpc/io_faults.hpp): retries, checksum
+  /// failures, quarantines, and backend degradation, serialized as the
+  /// report's recovery.storage sub-block (schema 6).
+  IoRecoveryStats storage;
 
   /// True when no fault fired and no recovery work happened.
   bool clean() const {
     return faults_injected == 0 && retries == 0 && checkpoints == 0 &&
-           straggler_rounds == 0;
+           straggler_rounds == 0 && storage.clean();
   }
 
   void reset() { *this = RecoveryStats{}; }

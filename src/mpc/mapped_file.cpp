@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "mpc/storage_error.hpp"
 #include "support/parse_error.hpp"
 
 namespace dmpc::mpc {
@@ -26,7 +27,51 @@ std::string errno_detail() {
                    what + " '" + path + "': " + errno_detail());
 }
 
+/// mmap/ftruncate refusals are StorageError, not ParseError: the bytes may
+/// be fine, the *mapping* failed, and the recovery ladder can degrade to
+/// another backend (docs/STORAGE.md "Integrity & degraded mode").
+[[noreturn]] void throw_map(const std::string& what, const std::string& path) {
+  throw StorageError(StorageErrorCode::kMapFailed,
+                     what + " '" + path + "': " + errno_detail());
+}
+
+/// A signal between the call and the kernel's return must not surface as a
+/// storage failure: retry EINTR like every hardened POSIX loop.
+int open_retry_eintr(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    errno = 0;
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int fstat_retry_eintr(int fd, struct stat* st) {
+  for (;;) {
+    errno = 0;
+    const int rc = ::fstat(fd, st);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
 }  // namespace
+
+std::int64_t pread_retry_eintr(int fd, void* buf, std::size_t bytes,
+                               std::int64_t offset) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    errno = 0;
+    const ::ssize_t got =
+        ::pread(fd, static_cast<unsigned char*>(buf) + done, bytes - done,
+                static_cast<off_t>(offset + static_cast<std::int64_t>(done)));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (got == 0) break;  // EOF short of the request
+    done += static_cast<std::size_t>(got);
+  }
+  return static_cast<std::int64_t>(done);
+}
 
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this != &other) {
@@ -48,14 +93,13 @@ MappedFile::~MappedFile() {
 
 MappedFile MappedFile::open_readonly(const std::string& path,
                                      std::uint64_t expected_bytes) {
-  errno = 0;
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = open_retry_eintr(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) throw_io("cannot open", path);
   MappedFile mf;
   mf.fd_ = fd;
   mf.path_ = path;
   struct stat st = {};
-  if (::fstat(fd, &st) != 0) throw_io("cannot stat", path);
+  if (fstat_retry_eintr(fd, &st) != 0) throw_io("cannot stat", path);
   mf.size_ = static_cast<std::uint64_t>(st.st_size);
   if (expected_bytes != 0 && mf.size_ != expected_bytes) {
     throw ParseError(ParseErrorCode::kCountMismatch,
@@ -66,16 +110,16 @@ MappedFile MappedFile::open_readonly(const std::string& path,
   }
   if (mf.size_ == 0) return mf;
   void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
-  if (p == MAP_FAILED) throw_io("cannot map", path);
+  if (p == MAP_FAILED) throw_map("cannot map", path);
   mf.data_ = static_cast<unsigned char*>(p);
   return mf;
 }
 
 MappedFile MappedFile::create_readwrite(const std::string& path,
                                         std::uint64_t bytes) {
-  errno = 0;
-  const int fd =
-      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  const int fd = open_retry_eintr(path.c_str(),
+                                  O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                                  0644);
   if (fd < 0) throw_io("cannot create", path);
   MappedFile mf;
   mf.fd_ = fd;
@@ -83,12 +127,12 @@ MappedFile MappedFile::create_readwrite(const std::string& path,
   mf.writable_ = true;
   mf.size_ = bytes;
   if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
-    throw_io("cannot size", path);
+    throw_map("cannot size", path);
   }
   if (bytes == 0) return mf;
   void* p =
       ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  if (p == MAP_FAILED) throw_io("cannot map", path);
+  if (p == MAP_FAILED) throw_map("cannot map", path);
   mf.data_ = static_cast<unsigned char*>(p);
   return mf;
 }

@@ -4,10 +4,18 @@
 // strerror detail, matching the text-IO boundary.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace dmpc::mpc {
+
+/// pread(2) the full `bytes` at `offset`, retrying EINTR and partial reads.
+/// Returns the byte count actually read (< bytes only at EOF) or -1 with
+/// errno set on a real I/O failure. Shared by the quarantine re-read path in
+/// storage.cpp.
+std::int64_t pread_retry_eintr(int fd, void* buf, std::size_t bytes,
+                               std::int64_t offset);
 
 class MappedFile {
  public:

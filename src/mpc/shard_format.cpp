@@ -1,6 +1,7 @@
 #include "mpc/shard_format.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cerrno>
 #include <cmath>
@@ -58,7 +59,44 @@ std::uint64_t node_words(std::uint64_t deg, std::uint64_t cdeg) {
   return 1 + deg + cdeg + (deg + 1) / 2;
 }
 
+/// CRC-64/XZ lookup table (ECMA-182 polynomial 0x42F0E1EBA9EA3693,
+/// reflected form 0xC96C5795D7870F42), built once at first use.
+const std::uint64_t* crc64_table() {
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
 }  // namespace
+
+std::uint64_t crc64_update(std::uint64_t crc, const unsigned char* data,
+                           std::size_t size) {
+  const std::uint64_t* table = crc64_table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint64_t crc64(const unsigned char* data, std::size_t size) {
+  return crc64_update(0, data, size);
+}
+
+std::uint64_t manifest_digest(const unsigned char* data, std::size_t size) {
+  DMPC_CHECK(size >= kManifestDigestBytes);
+  return crc64(data, size - kManifestDigestBytes);
+}
 
 std::uint64_t shard_file_bytes(const ShardEntry& entry) {
   const std::uint64_t nodes = entry.node_end - entry.node_begin;
@@ -86,7 +124,7 @@ ShardManifest parse_shard_manifest(const unsigned char* data, std::size_t size,
     bad_manifest(ParseErrorCode::kBadHeader, "bad magic");
   }
   const std::uint32_t version = read_u32(data + 8);
-  if (version != kShardFormatVersion) {
+  if (version != 1 && version != kShardFormatVersion) {
     bad_manifest(ParseErrorCode::kBadHeader,
                  "unsupported version " + std::to_string(version));
   }
@@ -96,6 +134,7 @@ ShardManifest parse_shard_manifest(const unsigned char* data, std::size_t size,
                  "unknown flags " + std::to_string(flags));
   }
   ShardManifest manifest;
+  manifest.version = version;
   manifest.n = read_u64(data + 16);
   manifest.m = read_u64(data + 24);
   const std::uint64_t total_slots = read_u64(data + 32);
@@ -132,19 +171,22 @@ ShardManifest parse_shard_manifest(const unsigned char* data, std::size_t size,
                  "shard count " + std::to_string(shard_count) +
                      " not in [1, n]");
   }
+  const std::size_t entry_bytes =
+      version >= 2 ? kManifestEntryBytes : kManifestEntryBytesV1;
+  const std::size_t trailer_bytes = version >= 2 ? kManifestDigestBytes : 0;
   const std::uint64_t expected_size =
-      kManifestHeaderBytes + shard_count * kManifestEntryBytes;
+      kManifestHeaderBytes + shard_count * entry_bytes + trailer_bytes;
   if (size != expected_size) {
     bad_manifest(ParseErrorCode::kCountMismatch,
                  "file is " + std::to_string(size) + " bytes, expected " +
                      std::to_string(expected_size) + " for " +
-                     std::to_string(shard_count) + " shards");
+                     std::to_string(shard_count) + " v" +
+                     std::to_string(version) + " shards");
   }
   manifest.shards.reserve(static_cast<std::size_t>(shard_count));
   std::uint64_t node_cursor = 0, edge_cursor = 0, slot_cursor = 0;
   for (std::uint64_t i = 0; i < shard_count; ++i) {
-    const unsigned char* p =
-        data + kManifestHeaderBytes + i * kManifestEntryBytes;
+    const unsigned char* p = data + kManifestHeaderBytes + i * entry_bytes;
     ShardEntry e;
     e.node_begin = read_u64(p);
     e.node_end = read_u64(p + 8);
@@ -153,6 +195,7 @@ ShardManifest parse_shard_manifest(const unsigned char* data, std::size_t size,
     e.slot_begin = read_u64(p + 32);
     e.slot_end = read_u64(p + 40);
     e.file_bytes = read_u64(p + 48);
+    if (version >= 2) e.crc64 = read_u64(p + 56);
     const std::string at = "shard " + std::to_string(i) + ": ";
     if (e.node_end < e.node_begin || e.edge_end < e.edge_begin ||
         e.slot_end < e.slot_begin) {
@@ -192,6 +235,9 @@ ShardManifest parse_shard_manifest(const unsigned char* data, std::size_t size,
                  "max_degree " + std::to_string(manifest.max_degree) +
                      " exceeds n - 1");
   }
+  // The stored digest is recorded, not enforced: checksum verification is a
+  // storage-layer policy (StorageOptions::verify), not a parse defect.
+  if (version >= 2) manifest.digest = read_u64(data + size - 8);
   return manifest;
 }
 
@@ -218,7 +264,9 @@ std::vector<unsigned char> encode_shard_manifest(
     append_u64(out, e.slot_begin);
     append_u64(out, e.slot_end);
     append_u64(out, e.file_bytes);
+    append_u64(out, e.crc64);
   }
+  append_u64(out, crc64(out.data(), out.size()));
   return out;
 }
 
@@ -483,12 +531,23 @@ ShardBuildStats shard_build(const std::string& input_path,
     }
   }
 
+  // Stamp each shard's CRC64 into its manifest entry. Synced shards are
+  // streamed back through the CRC and dropped one at a time, so peak RSS
+  // stays bounded by a single shard, not the whole directory.
   std::uint64_t total_bytes = 0;
-  for (ShardTarget& t : shards) {
+  for (std::uint64_t i = 0; i < shards.size(); ++i) {
+    ShardTarget& t = shards[i];
+    t.map.sync_and_drop();
+    manifest.shards[i].crc64 = crc64(
+        reinterpret_cast<const unsigned char*>(t.map.data()),
+        static_cast<std::size_t>(t.entry.file_bytes));
     t.map.sync_and_drop();
     total_bytes += t.entry.file_bytes;
   }
   shards.clear();  // unmap + close before the manifest commits the build
+
+  // Crash-simulation point: every shard is on disk, the manifest is not.
+  if (options.abort_before_manifest) options.abort_before_manifest();
 
   const std::vector<unsigned char> bytes = encode_shard_manifest(manifest);
   const std::string manifest_path =

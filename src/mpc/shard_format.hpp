@@ -21,9 +21,9 @@
 //
 // On-disk layout (all offsets in bytes):
 //
-//   manifest.dshard
+//   manifest.dshard (version 2; version-1 files remain readable)
 //     0   8  magic "DSHARDm1"
-//     8   4  version (= 1)
+//     8   4  version (= 2; 1 accepted, reported unverified)
 //     12  4  flags (= 0)
 //     16  8  n (node count; 1 <= n <= 2^32 - 2)
 //     24  8  m (canonical edge count)
@@ -32,9 +32,11 @@
 //     44  4  reserved (= 0)
 //     48  8  shard_count (>= 1, <= n)
 //     56  8  shard_words (target words per shard the build used)
-//     64  shard_count x 56-byte entries:
+//     64  shard_count x entries (64 bytes in v2, 56 in v1):
 //           node_begin, node_end, edge_begin, edge_end,
 //           slot_begin, slot_end, file_bytes   (all u64)
+//           crc64 of the shard's whole file    (u64, v2 only)
+//     then (v2 only) 8 bytes: CRC64 of every preceding manifest byte.
 //
 //   shard-NNNNNN.dshard
 //     0   8  magic "DSHARDs1"
@@ -46,10 +48,17 @@
 //
 // The 8-byte arrays precede the 4-byte ones so every array is naturally
 // aligned at its mapped address (the 16-byte header keeps 8-alignment).
+//
+// The checksums are CRC-64/XZ (ECMA-182 polynomial, reflected). Parsing
+// validates *structure* only — checksum enforcement is the storage layer's
+// job (StorageOptions::verify, docs/STORAGE.md "Integrity & degraded
+// mode"), so `parse_shard_manifest` stays a pure ParseError surface that
+// fuzzers can hammer.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,11 +69,22 @@ namespace dmpc::mpc {
 inline constexpr char kManifestMagic[8] = {'D', 'S', 'H', 'A',
                                            'R', 'D', 'm', '1'};
 inline constexpr char kShardMagic[8] = {'D', 'S', 'H', 'A', 'R', 'D', 's', '1'};
-inline constexpr std::uint32_t kShardFormatVersion = 1;
+inline constexpr std::uint32_t kShardFormatVersion = 2;
 inline constexpr std::size_t kManifestHeaderBytes = 64;
-inline constexpr std::size_t kManifestEntryBytes = 56;
+inline constexpr std::size_t kManifestEntryBytesV1 = 56;
+inline constexpr std::size_t kManifestEntryBytes = 64;
+inline constexpr std::size_t kManifestDigestBytes = 8;
 inline constexpr std::size_t kShardHeaderBytes = 16;
 inline constexpr char kManifestFileName[] = "manifest.dshard";
+
+/// CRC-64/XZ (ECMA-182, reflected) over `size` bytes. The shard builder
+/// stamps one per shard file plus a whole-manifest digest; the storage layer
+/// re-computes them under verify=open|paranoid.
+std::uint64_t crc64(const unsigned char* data, std::size_t size);
+
+/// Streaming form: feed chunks with `crc` carried between calls (start at 0).
+std::uint64_t crc64_update(std::uint64_t crc, const unsigned char* data,
+                           std::size_t size);
 
 /// One shard's ranges, as recorded in the manifest. Ranges are half-open and
 /// must tile [0, n) / [0, m) / [0, 2m) contiguously across entries.
@@ -76,6 +96,7 @@ struct ShardEntry {
   std::uint64_t slot_begin = 0;
   std::uint64_t slot_end = 0;
   std::uint64_t file_bytes = 0;  ///< Exact size of the shard's file.
+  std::uint64_t crc64 = 0;       ///< CRC-64/XZ of the whole file; 0 in v1.
 };
 
 struct ShardManifest {
@@ -83,8 +104,23 @@ struct ShardManifest {
   std::uint64_t m = 0;
   std::uint32_t max_degree = 0;
   std::uint64_t shard_words = 0;
+  /// Format version the bytes carried (1 or 2). v1 manifests have no
+  /// checksums: integrity verification reports them as `unverified` instead
+  /// of failing (docs/STORAGE.md trust model).
+  std::uint32_t version = kShardFormatVersion;
+  /// Stored whole-manifest digest (v2; 0 for v1). Parsing records it
+  /// without enforcing it — compare against `manifest_digest` of the raw
+  /// bytes to verify.
+  std::uint64_t digest = 0;
   std::vector<ShardEntry> shards;
+
+  bool has_checksums() const { return version >= 2; }
 };
+
+/// The digest a well-formed manifest buffer of `size` bytes must trail with:
+/// CRC64 over its first `size - kManifestDigestBytes` bytes. Call only on
+/// buffers that already parsed as v2.
+std::uint64_t manifest_digest(const unsigned char* data, std::size_t size);
 
 /// The exact file size a shard with these ranges must have.
 std::uint64_t shard_file_bytes(const ShardEntry& entry);
@@ -118,6 +154,11 @@ struct ShardBuildOptions {
   /// msync'd and dropped (madvise DONTNEED) whenever the estimate crosses
   /// this, bounding peak RSS at O(n) + this budget regardless of m.
   std::uint64_t rss_budget_bytes = 256ull << 20;
+  /// Test-only crash hook, invoked after every shard file is written and
+  /// synced but *before* the manifest commits the build. A hook that throws
+  /// simulates the builder dying mid-way; the manifest-last design
+  /// guarantees the partial directory is never openable.
+  std::function<void()> abort_before_manifest;
 };
 
 struct ShardBuildStats {

@@ -1,0 +1,90 @@
+// Typed errors for the host storage layer (mpc/storage.hpp).
+//
+// ParseError covers malformed *bytes* (an adversary wrote the file wrong);
+// StorageError covers a filesystem that *misbehaves* while the bytes were
+// supposed to be fine: checksum mismatches against the manifest's CRC64,
+// short reads, transient EIO, mmap failures, and shards that exhausted their
+// quarantine budget. The distinction matters to callers: a ParseError will
+// never succeed on retry, a StorageError might (and the recovery ladder in
+// storage.cpp retries/quarantines/degrades before letting one escape).
+//
+// StorageError derives from CheckFailure so pre-existing catch sites keep
+// working; new code should catch StorageError first and inspect code().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace dmpc::mpc {
+
+/// Stable identifier for each class of storage failure.
+enum class StorageErrorCode : std::uint8_t {
+  kChecksumMismatch = 1,  ///< Shard/manifest bytes disagree with their CRC64.
+  kShortRead,             ///< Fewer bytes arrived than the entry promises.
+  kIoTransient,           ///< A read failed with a retryable errno (EIO...).
+  kMapFailed,             ///< mmap/ftruncate refused the mapping.
+  kQuarantined,           ///< A shard kept failing after quarantine re-reads.
+};
+
+/// Short stable name for a code ("checksum_mismatch", ...), for logs/tests.
+inline const char* storage_error_code_name(StorageErrorCode code) {
+  switch (code) {
+    case StorageErrorCode::kChecksumMismatch:
+      return "checksum_mismatch";
+    case StorageErrorCode::kShortRead:
+      return "short_read";
+    case StorageErrorCode::kIoTransient:
+      return "io_transient";
+    case StorageErrorCode::kMapFailed:
+      return "map_failed";
+    case StorageErrorCode::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+/// Sentinel `shard()` value for failures on the manifest (or not tied to any
+/// one shard at all).
+inline constexpr std::uint64_t kManifestShard =
+    ~static_cast<std::uint64_t>(0);
+
+/// Thrown by the storage layer when the filesystem misbehaves. Recoverable
+/// by construction: the throw site leaves no partial mapping behind, so
+/// callers can retry, quarantine, or degrade to another backend.
+class StorageError : public CheckFailure {
+ public:
+  StorageError(StorageErrorCode code, std::string detail,
+               std::uint64_t shard = kManifestShard)
+      : CheckFailure(format(code, detail, shard)),
+        code_(code),
+        shard_(shard),
+        detail_(std::move(detail)) {}
+
+  StorageErrorCode code() const { return code_; }
+  /// Shard index the failure is attributed to; kManifestShard for the
+  /// manifest or backend-wide failures.
+  std::uint64_t shard() const { return shard_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  static std::string format(StorageErrorCode code, const std::string& detail,
+                            std::uint64_t shard) {
+    std::string out = "storage error [";
+    out += storage_error_code_name(code);
+    out += "]";
+    if (shard != kManifestShard) {
+      out += " shard " + std::to_string(shard);
+    }
+    out += ": ";
+    out += detail;
+    return out;
+  }
+
+  StorageErrorCode code_;
+  std::uint64_t shard_;
+  std::string detail_;
+};
+
+}  // namespace dmpc::mpc

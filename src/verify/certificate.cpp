@@ -40,6 +40,8 @@ const char* claim_name(Claim claim) {
       return "metrics_consistency";
     case Claim::kReplayIdentity:
       return "replay_identity";
+    case Claim::kStorageIntegrity:
+      return "storage_integrity";
   }
   return "unknown";
 }

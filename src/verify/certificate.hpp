@@ -44,6 +44,7 @@ enum class Claim : std::uint8_t {
   kSpaceAccounting,       ///< peak_load <= machine_space.
   kMetricsConsistency,    ///< Per-label charges consistent with totals.
   kReplayIdentity,        ///< Faulted run == fault-free replay, bytewise.
+  kStorageIntegrity,      ///< Backend shard checksums match the manifest.
 };
 
 const char* claim_name(Claim claim);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "mpc/storage.hpp"
 #include "support/check.hpp"
 
 namespace dmpc::verify {
@@ -379,6 +380,23 @@ ClaimResult Certifier::replay_claim(bool identical, std::uint64_t compared,
   w.index = diff_index;
   w.detail = detail;
   return fail(Claim::kReplayIdentity, compared, std::move(w));
+}
+
+ClaimResult Certifier::check_storage_integrity(
+    const mpc::IntegrityReport& report) {
+  switch (report.status) {
+    case mpc::IntegrityReport::Status::kVerified:
+      return pass(Claim::kStorageIntegrity, report.shards_checked);
+    case mpc::IntegrityReport::Status::kUnverified:
+      return skipped(Claim::kStorageIntegrity);
+    case mpc::IntegrityReport::Status::kFailed:
+      break;
+  }
+  Witness w;
+  w.kind = report.bad_shard == mpc::kManifestShard ? "manifest" : "shard";
+  w.index = report.bad_shard == mpc::kManifestShard ? 0 : report.bad_shard;
+  w.detail = report.detail;
+  return fail(Claim::kStorageIntegrity, report.shards_checked, std::move(w));
 }
 
 ClaimResult Certifier::skipped(Claim claim) {

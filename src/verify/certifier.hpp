@@ -18,6 +18,10 @@
 #include "mpc/metrics.hpp"
 #include "verify/certificate.hpp"
 
+namespace dmpc::mpc {
+struct IntegrityReport;
+}
+
 namespace dmpc::verify {
 
 /// Finite-n acceptance bounds for the measured §3.2/§4.2 invariant ratios.
@@ -105,6 +109,13 @@ class Certifier {
   static ClaimResult replay_claim(bool identical, std::uint64_t compared,
                                   std::uint64_t diff_index,
                                   const std::string& detail);
+
+  /// kStorageIntegrity result from a backend integrity pass the Solver ran
+  /// before attaching (mpc::Storage::verify_integrity): kVerified -> pass,
+  /// kUnverified -> skipped (nothing checksummed to check), kFailed -> fail
+  /// with the first bad shard as witness.
+  static ClaimResult check_storage_integrity(
+      const mpc::IntegrityReport& report);
 
   /// A kSkipped result (claim recorded but not applicable to this run).
   static ClaimResult skipped(Claim claim);

@@ -219,13 +219,18 @@ TEST(SolverCertify, AnswerModeCertifiesMisAndMatching) {
   const auto mis = solver.mis(g);
   EXPECT_TRUE(mis.report.certificate.ok());
   EXPECT_EQ(mis.report.certificate.mode, verify::CertifyMode::kAnswer);
-  // Answer mode: independence + maximality + space accounting.
-  EXPECT_EQ(mis.report.certificate.claims.size(), 3u);
-  EXPECT_EQ(solver.certificate().claims.size(), 3u);
+  // Answer mode: independence + maximality + space accounting + the
+  // storage-integrity verdict (skipped for a plain-graph solve).
+  EXPECT_EQ(mis.report.certificate.claims.size(), 4u);
+  EXPECT_EQ(solver.certificate().claims.size(), 4u);
+  EXPECT_EQ(mis.report.certificate.claims.back().claim,
+            verify::Claim::kStorageIntegrity);
+  EXPECT_EQ(mis.report.certificate.claims.back().verdict,
+            verify::Verdict::kSkipped);
 
   const auto matching = solver.maximal_matching(g);
   EXPECT_TRUE(matching.report.certificate.ok());
-  EXPECT_EQ(matching.report.certificate.claims.size(), 3u);
+  EXPECT_EQ(matching.report.certificate.claims.size(), 4u);
   EXPECT_EQ(matching.report.certificate.claims[0].claim,
             verify::Claim::kMatchingValidity);
 }
@@ -237,7 +242,7 @@ TEST(SolverCertify, FullModeCertifiesAllClaimsOnBothRegimes) {
   // Sparsification regime: the audit claims are checked, not skipped.
   const auto dense = solver.mis(graph::gnm(256, 4096, 12));
   EXPECT_TRUE(dense.report.certificate.ok());
-  EXPECT_EQ(dense.report.certificate.claims.size(), 7u);
+  EXPECT_EQ(dense.report.certificate.claims.size(), 8u);
   for (const auto& claim : dense.report.certificate.claims) {
     EXPECT_NE(verify::verdict_name(claim.verdict), std::string("fail"));
   }
@@ -245,7 +250,7 @@ TEST(SolverCertify, FullModeCertifiesAllClaimsOnBothRegimes) {
   // certificate still passes.
   const auto sparse = solver.mis(graph::random_regular(500, 4, 13));
   EXPECT_TRUE(sparse.report.certificate.ok());
-  EXPECT_EQ(sparse.report.certificate.claims.size(), 7u);
+  EXPECT_EQ(sparse.report.certificate.claims.size(), 8u);
 }
 
 TEST(SolverCertify, FullModeDoesNotPerturbTheSolve) {

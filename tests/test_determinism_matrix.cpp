@@ -18,6 +18,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "mpc/io_faults.hpp"
 #include "mpc/shard_format.hpp"
 #include "mpc/storage.hpp"
 #include "obs/metrics_registry.hpp"
@@ -299,7 +300,7 @@ TEST(DeterminismMatrix, PowerLaw) {
 //
 // The round profiler (obs/profiler.hpp) extends the matrix: with
 // SolveOptions::profile on, the report's `profile` block — and the whole
-// schema_version-5 report around it — must stay byte-identical across
+// profiled-schema report around it — must stay byte-identical across
 // thread counts and admissible fault plans, because every observation and
 // commit happens on the orchestrating thread and only on committing
 // attempts.
@@ -337,7 +338,7 @@ TEST(DeterminismMatrix, ProfilerAxis) {
 
   const auto reference = run_profiled(g, /*threads=*/1, mpc::FaultPlan{});
   EXPECT_NE(reference.report_json.find("\"profile\""), std::string::npos);
-  EXPECT_NE(reference.report_json.find("\"schema_version\":5"),
+  EXPECT_NE(reference.report_json.find("\"schema_version\":7"),
             std::string::npos);
   EXPECT_NE(reference.profile_json.find("\"records_committed\""),
             std::string::npos);
@@ -418,6 +419,120 @@ TEST(DeterminismMatrix, StorageAxis) {
           << backend.name << " threads=" << threads;
       EXPECT_EQ(run.matching_trace, reference.matching_trace)
           << backend.name << " threads=" << threads;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// ---- I/O fault axis ----
+//
+// The storage recovery ladder (docs/STORAGE.md, "Integrity & degraded
+// mode") extends the matrix once more: for a fixed shard directory, any
+// admissible IoFaultPlan whose events resolve within the retry/quarantine
+// budget must leave solutions, reports (modulo the recovery ledger),
+// traces, and the golden registry section byte-identical to the fault-free
+// open, crossed with thread counts.
+
+struct IoFaultRun {
+  std::vector<bool> in_set;
+  std::vector<graph::EdgeId> matching;
+  std::string report_json;  ///< Recovery ledger (host + storage) zeroed.
+  std::string trace;
+  std::string registry_json;
+};
+
+IoFaultRun run_with_io_faults(const mpc::Storage& storage,
+                              std::uint32_t threads) {
+  IoFaultRun out;
+  std::ostringstream trace_out;
+  obs::JsonlTraceSink sink(&trace_out, /*include_wall_time=*/false);
+  obs::TraceSession session(&sink);
+  SolveOptions options;
+  options.threads = threads;
+  options.trace = &session;
+  const Solver solver(options);
+  const auto solution = solver.mis(storage);
+  session.finish();
+  out.in_set = solution.in_set;
+  out.registry_json = registry_model_json(solver);
+  auto comparable = solution.report;
+  comparable.recovery = mpc::RecoveryStats{};
+  out.report_json = to_json(comparable).dump();
+  out.trace = trace_out.str();
+  out.matching = Solver(options).maximal_matching(storage).matching;
+  return out;
+}
+
+TEST(DeterminismMatrix, IoFaultAxis) {
+  namespace fs = std::filesystem;
+  const Graph g = graph::gnm(600, 4800, 11);
+  const fs::path dir =
+      fs::temp_directory_path() / "dmpc_determinism_io_fault_axis";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string edge_path = (dir / "g.txt").string();
+  graph::write_edge_list_file(g, edge_path);
+  mpc::ShardBuildOptions small;
+  small.shard_words = 2048;
+  const std::string shard_dir = (dir / "shards").string();
+  mpc::shard_build(edge_path, shard_dir, small);
+
+  // Transient open-time failures, an injected checksum flip that heals on
+  // retry, and persistent verify-time corruption that forces a quarantine
+  // re-read — all within the default RecoveryOptions budget.
+  mpc::IoFaultPlan transient;
+  transient.add({mpc::IoFaultKind::kEio, /*shard=*/0, mpc::kAccessOpen,
+                 /*delay=*/1, /*attempts=*/2});
+  transient.add({mpc::IoFaultKind::kShortRead, /*shard=*/1, mpc::kAccessOpen,
+                 /*delay=*/1, /*attempts=*/1});
+  transient.add({mpc::IoFaultKind::kSlow, /*shard=*/0, mpc::kAccessVerify,
+                 /*delay=*/3, /*attempts=*/1});
+  mpc::IoFaultPlan heal;
+  heal.add({mpc::IoFaultKind::kCorrupt, /*shard=*/0, mpc::kAccessVerify,
+            /*delay=*/1, /*attempts=*/1});
+  mpc::IoFaultPlan quarantine;
+  quarantine.add({mpc::IoFaultKind::kCorrupt, /*shard=*/1, mpc::kAccessVerify,
+                  /*delay=*/1, /*attempts=*/4});
+
+  const auto clean =
+      mpc::MmapShardStorage::open(shard_dir, {}, mpc::VerifyMode::kOpen);
+  ASSERT_GT(clean->stats().shards, 1u);
+  const auto reference = run_with_io_faults(*clean, /*threads=*/1);
+
+  const struct {
+    const char* name;
+    const mpc::IoFaultPlan* plan;
+  } axes[] = {{"none", nullptr},
+              {"transient", &transient},
+              {"heal", &heal},
+              {"quarantine", &quarantine}};
+  const std::uint32_t fault_threads[] = {1, 0};
+  for (const auto& axis : axes) {
+    for (std::uint32_t threads : fault_threads) {
+      // A fresh open per cell: injected faults fire against the open/verify
+      // access ordinals, so the recovery ladder runs in every cell.
+      const auto storage = mpc::MmapShardStorage::open(
+          shard_dir, {}, mpc::VerifyMode::kOpen,
+          axis.plan != nullptr ? *axis.plan : mpc::IoFaultPlan{});
+      if (axis.plan != nullptr) {
+        EXPECT_GT(storage->io_recovery().io_faults_injected, 0u)
+            << "io_faults=" << axis.name << " threads=" << threads
+            << ": plan did not fire";
+      }
+      if (axis.plan == &quarantine) {
+        EXPECT_EQ(storage->io_recovery().quarantined_shards, 1u);
+      }
+      const auto run = run_with_io_faults(*storage, threads);
+      EXPECT_EQ(run.in_set, reference.in_set)
+          << "io_faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.report_json, reference.report_json)
+          << "io_faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.trace, reference.trace)
+          << "io_faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.registry_json, reference.registry_json)
+          << "io_faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.matching, reference.matching)
+          << "io_faults=" << axis.name << " threads=" << threads;
     }
   }
   fs::remove_all(dir);

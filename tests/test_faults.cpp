@@ -457,10 +457,11 @@ TEST(FaultSolverApi, ReportCarriesSchemaVersionAndRecovery) {
   EXPECT_EQ(typed.recovery.retries, solution.report.recovery.retries);
 
   const std::string json = solver.report_json(solution.report);
-  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos) << json;
   EXPECT_NE(json.find("\"recovery\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"retries_by_label\""), std::string::npos) << json;
-  // Schema 4: the golden model section of the registry delta rides along.
+  // Schema >= 4: the golden model section of the registry delta rides
+  // along; schema 6 additionally types the storage recovery sub-block.
   EXPECT_NE(json.find("\"registry\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"mpc/rounds\""), std::string::npos) << json;
 }

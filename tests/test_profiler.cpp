@@ -1,6 +1,6 @@
 // Tests for the round profiler (obs/profiler.hpp): integer-exact Gini,
 // window/commit semantics, ring eviction, top-k attribution, registry
-// export, the report JSON profile block (schema_version 5 behind
+// export, the report JSON profile block (profiled schema version behind
 // SolveOptions::profile, 4 without), and host-side scope accounting.
 #include <gtest/gtest.h>
 
@@ -229,7 +229,7 @@ TEST(ProfileSnapshot, JsonBlockIsIntegerOnlyAndComplete) {
 
 // ---- Solver integration ----
 
-TEST(ProfiledSolve, ReportCarriesProfileBlockAndSchema5) {
+TEST(ProfiledSolve, ReportCarriesProfileBlockAndProfiledSchema) {
   const auto g = graph::gnm(300, 2400, 9);
   SolveOptions options;
   options.profile = true;
@@ -249,16 +249,16 @@ TEST(ProfiledSolve, ReportCarriesProfileBlockAndSchema5) {
     }
   }
   const std::string json = to_json(solution.report).dump();
-  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":7"), std::string::npos);
   EXPECT_NE(json.find("\"profile\""), std::string::npos);
 }
 
-TEST(ProfiledSolve, OffByDefaultKeepsSchema4AndNoProfileKey) {
+TEST(ProfiledSolve, OffByDefaultKeepsBaseSchemaAndNoProfileKey) {
   const auto g = graph::gnm(300, 2400, 9);
   const auto solution = Solver(SolveOptions{}).mis(g);
   EXPECT_FALSE(solution.report.profile.enabled);
   const std::string json = to_json(solution.report).dump();
-  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
   EXPECT_EQ(json.find("\"profile\""), std::string::npos);
 }
 

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,10 @@
 #include "graph/graph.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
+#include "mpc/io_faults.hpp"
 #include "mpc/shard_format.hpp"
 #include "mpc/storage.hpp"
+#include "mpc/storage_error.hpp"
 #include "support/parse_error.hpp"
 
 namespace dmpc::mpc {
@@ -410,6 +413,357 @@ TEST(SolverStorage, OpenStorageHonorsOptions) {
                         .dump();
   EXPECT_NE(host.find("\"storage/bytes_mapped\""), std::string::npos);
   EXPECT_NE(host.find("\"storage/shards\""), std::string::npos);
+}
+
+// ---- Integrity: checksummed shards, fault injection, recovery ladder ----
+
+/// XOR one byte of `path` at `offset` (from the start; negative = from the
+/// end). Payload bytes at the file tail are adjacency words — corrupting
+/// them never trips the structural offsets validation, so the checksum layer
+/// is the only line of defense.
+void corrupt_byte(const fs::path& path, std::int64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  if (offset < 0) {
+    f.seekg(0, std::ios::end);
+    offset += static_cast<std::int64_t>(f.tellg());
+  }
+  f.seekg(offset);
+  char byte = 0;
+  f.get(byte);
+  f.seekp(offset);
+  f.put(static_cast<char>(byte ^ 0x1));
+}
+
+/// Build a shard directory for a deterministic reference graph.
+Graph build_shards(const TempDir& dir, std::uint64_t shard_words = 1024) {
+  const Graph g = graph::gnm(200, 1600, 7);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  ShardBuildOptions options;
+  options.shard_words = shard_words;
+  shard_build(dir.str("g.txt"), dir.str("shards"), options);
+  return g;
+}
+
+TEST(StorageIntegrity, BuilderStampsV2ChecksumsThatVerify) {
+  TempDir dir("dmpc_integrity_v2");
+  build_shards(dir);
+  const auto storage =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen);
+  EXPECT_EQ(storage->manifest().version, 2u);
+  EXPECT_TRUE(storage->manifest().has_checksums());
+  for (const ShardEntry& e : storage->manifest().shards) {
+    EXPECT_NE(e.crc64, 0u);
+  }
+  EXPECT_EQ(storage->io_recovery().shards_verified,
+            storage->manifest().shards.size());
+
+  const IntegrityReport report = storage->verify_integrity();
+  EXPECT_EQ(report.status, IntegrityReport::Status::kVerified);
+  EXPECT_EQ(report.shards_checked, storage->manifest().shards.size());
+}
+
+TEST(StorageIntegrity, SingleCorruptByteIsDetectedAtOpen) {
+  TempDir dir("dmpc_integrity_corrupt");
+  build_shards(dir);
+  corrupt_byte(dir.path() / "shards" / shard_file_name(1), -1);
+  try {
+    MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen);
+    FAIL() << "corrupt shard byte accepted under verify=open";
+  } catch (const StorageError& e) {
+    // The mapped bytes fail, the quarantine re-read of the same corrupt
+    // file fails too: the shard is reported quarantine-exhausted.
+    EXPECT_EQ(e.code(), StorageErrorCode::kQuarantined);
+    EXPECT_EQ(e.shard(), 1u);
+  }
+}
+
+TEST(StorageIntegrity, CorruptManifestDigestIsDetected) {
+  TempDir dir("dmpc_integrity_manifest");
+  build_shards(dir);
+  // Flip a byte of the stored digest itself: parsing still succeeds
+  // (structure is intact), but verification must fail on the manifest.
+  corrupt_byte(dir.path() / "shards" / kManifestFileName, -1);
+  try {
+    MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen);
+    FAIL() << "corrupt manifest digest accepted under verify=open";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.code(), StorageErrorCode::kChecksumMismatch);
+    EXPECT_EQ(e.shard(), kManifestShard);
+  }
+}
+
+TEST(StorageIntegrity, VerifyOffTrustsBytesButIntegrityPassFails) {
+  TempDir dir("dmpc_integrity_offmode");
+  build_shards(dir);
+  corrupt_byte(dir.path() / "shards" / shard_file_name(0), -1);
+  // Legacy behavior: verify=off opens the directory (structure is valid).
+  const auto storage = MmapShardStorage::open(dir.str("shards"));
+  // But an explicit integrity pass pinpoints the bad shard, never throws.
+  const IntegrityReport report = storage->verify_integrity();
+  EXPECT_EQ(report.status, IntegrityReport::Status::kFailed);
+  EXPECT_EQ(report.bad_shard, 0u);
+  EXPECT_FALSE(report.detail.empty());
+  EXPECT_GT(storage->io_recovery().checksum_failures, 0u);
+}
+
+TEST(StorageIntegrity, V1ManifestOpensAndReportsUnverified) {
+  TempDir dir("dmpc_integrity_v1");
+  const Graph g = build_shards(dir);
+  // Rewrite the manifest as version 1: 56-byte entries, no digest.
+  const fs::path manifest_path = dir.path() / "shards" / kManifestFileName;
+  std::vector<unsigned char> bytes;
+  {
+    std::ifstream in(manifest_path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  const ShardManifest manifest =
+      parse_shard_manifest(bytes.data(), bytes.size());
+  std::vector<unsigned char> v1(bytes.begin(),
+                                bytes.begin() + kManifestHeaderBytes);
+  const std::uint32_t version = 1;
+  std::memcpy(v1.data() + 8, &version, sizeof(version));
+  for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+    const unsigned char* entry =
+        bytes.data() + kManifestHeaderBytes + i * kManifestEntryBytes;
+    v1.insert(v1.end(), entry, entry + kManifestEntryBytesV1);
+  }
+  {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(v1.data()),
+              static_cast<std::streamsize>(v1.size()));
+  }
+  // verify=open on a v1 directory is a no-op (nothing checksummed), the
+  // graph is served as before, and the integrity pass says "unverified".
+  const auto storage =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen);
+  EXPECT_FALSE(storage->manifest().has_checksums());
+  expect_identical_graphs(g, storage->graph());
+  const IntegrityReport report = storage->verify_integrity();
+  EXPECT_EQ(report.status, IntegrityReport::Status::kUnverified);
+}
+
+TEST(StorageIntegrity, TransientInjectedFaultsRecoverIdentically) {
+  TempDir dir("dmpc_integrity_transient");
+  build_shards(dir);
+  const auto clean = MmapShardStorage::open(dir.str("shards"));
+
+  IoFaultPlan plan;
+  plan.add({IoFaultKind::kEio, /*shard=*/0, kAccessOpen, /*delay=*/1,
+            /*attempts=*/2});
+  plan.add({IoFaultKind::kShortRead, /*shard=*/1, kAccessOpen, /*delay=*/1,
+            /*attempts=*/1});
+  plan.add({IoFaultKind::kSlow, /*shard=*/2, kAccessOpen, /*delay=*/3,
+            /*attempts=*/1});
+  plan.add({IoFaultKind::kEio, kManifestShard, kAccessOpen, /*delay=*/1,
+            /*attempts=*/1});
+  const auto faulted =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOff, plan);
+  expect_identical_graphs(clean->graph(), faulted->graph());
+
+  const IoRecoveryStats& ledger = faulted->io_recovery();
+  EXPECT_EQ(ledger.io_faults_injected, 5u);
+  EXPECT_EQ(ledger.retries, 4u);         // 2 eio + 1 short_read + 1 eio
+  EXPECT_GE(ledger.backoff_units, 3u);   // slow delay + retry backoff
+  EXPECT_EQ(ledger.quarantined_shards, 0u);
+  EXPECT_EQ(ledger.degraded, 0u);
+}
+
+TEST(StorageIntegrity, InjectedCorruptionHealsOnRetry) {
+  TempDir dir("dmpc_integrity_heal");
+  build_shards(dir);
+  IoFaultPlan plan;
+  plan.add({IoFaultKind::kCorrupt, /*shard=*/0, kAccessVerify, /*delay=*/1,
+            /*attempts=*/1});
+  const auto storage =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen, plan);
+  const IoRecoveryStats& ledger = storage->io_recovery();
+  EXPECT_EQ(ledger.checksum_failures, 1u);
+  EXPECT_EQ(ledger.retries, 1u);
+  EXPECT_EQ(ledger.quarantined_shards, 0u);
+  EXPECT_EQ(ledger.shards_verified, storage->manifest().shards.size());
+}
+
+TEST(StorageIntegrity, PersistentInjectedCorruptionQuarantines) {
+  TempDir dir("dmpc_integrity_quarantine");
+  const Graph g = build_shards(dir);
+  // The mapped view of shard 0 reads corrupt on every in-budget verify
+  // attempt (initial + max_retries retries = 4 with the default budget),
+  // but the quarantine re-read (a different access ordinal) is clean: the
+  // ladder must fall through to the heap copy and then verify it.
+  IoFaultPlan plan;
+  plan.add({IoFaultKind::kCorrupt, /*shard=*/0, kAccessVerify, /*delay=*/1,
+            /*attempts=*/4});
+  const auto storage =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen, plan);
+  const IoRecoveryStats& ledger = storage->io_recovery();
+  EXPECT_EQ(ledger.quarantined_shards, 1u);
+  EXPECT_GE(ledger.checksum_failures, 4u);
+  // The quarantined heap copy serves byte-identical content.
+  expect_identical_graphs(g, storage->graph());
+  const auto quarantined_mis = Solver().mis(*storage);
+  const auto clean_mis = Solver().mis(g);
+  EXPECT_EQ(quarantined_mis.in_set, clean_mis.in_set);
+  // Residency accounting includes the heap copy.
+  EXPECT_GT(storage->stats().resident_bytes, 0u);
+}
+
+TEST(StorageIntegrity, FallbackDegradesToMemoryBackend) {
+  TempDir dir("dmpc_integrity_fallback");
+  const Graph g = build_shards(dir);
+  IoFaultPlan plan;
+  plan.add({IoFaultKind::kMapFail, /*shard=*/0, kAccessOpen, /*delay=*/1,
+            /*attempts=*/mpc::RecoveryOptions::kMaxRetries + 1});
+
+  StorageOptions options;
+  options.backend = StorageBackend::kMmap;
+  options.shard_dir = dir.str("shards");
+  // Without a fallback the exhausted ladder surfaces the typed error.
+  try {
+    open_storage(options, dir.str("g.txt"), {}, plan);
+    FAIL() << "exhausted map failures accepted";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.code(), StorageErrorCode::kMapFailed);
+  }
+  // With fallback=memory the same failure degrades to the text re-read.
+  options.fallback = FallbackMode::kMemory;
+  const auto degraded = open_storage(options, dir.str("g.txt"), {}, plan);
+  EXPECT_EQ(degraded->backend(), StorageBackend::kMemory);
+  EXPECT_EQ(degraded->io_recovery().degraded, 1u);
+  expect_identical_graphs(g, degraded->graph());
+  const auto fallback_mis = Solver().mis(*degraded);
+  EXPECT_EQ(fallback_mis.in_set, Solver().mis(g).in_set);
+  EXPECT_EQ(fallback_mis.report.recovery.storage.degraded, 1u);
+}
+
+TEST(StorageIntegrity, ParanoidGateCatchesPostOpenCorruption) {
+  TempDir dir("dmpc_integrity_paranoid");
+  build_shards(dir);
+  const auto storage =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kParanoid);
+  // The directory was clean at open; corrupt it afterwards. The shared page
+  // cache makes the write visible through the existing mapping.
+  corrupt_byte(dir.path() / "shards" / shard_file_name(0), -1);
+  EXPECT_THROW(Solver().mis(*storage), StorageError);
+}
+
+TEST(StorageIntegrity, CertifyGateFailsStorageIntegrityClaim) {
+  TempDir dir("dmpc_integrity_certify");
+  build_shards(dir);
+  // verify=off: the open trusts the bytes, but checked mode must still
+  // refuse to compute from them — the gate runs before the solve.
+  corrupt_byte(dir.path() / "shards" / shard_file_name(0), -1);
+  const auto storage = MmapShardStorage::open(dir.str("shards"));
+  SolveOptions options;
+  options.certify = verify::CertifyMode::kAnswer;
+  const Solver solver(options);
+  try {
+    solver.mis(*storage);
+    FAIL() << "corrupt backend certified";
+  } catch (const verify::CertificationError& e) {
+    ASSERT_EQ(e.certificate().claims.size(), 1u);
+    EXPECT_EQ(e.certificate().claims[0].claim,
+              verify::Claim::kStorageIntegrity);
+    EXPECT_EQ(e.certificate().claims[0].verdict, verify::Verdict::kFail);
+    EXPECT_TRUE(e.certificate().claims[0].has_witness);
+  }
+}
+
+TEST(StorageIntegrity, CertifiedCleanStorageSolveCarriesPassClaim) {
+  TempDir dir("dmpc_integrity_certify_pass");
+  build_shards(dir);
+  const auto storage =
+      MmapShardStorage::open(dir.str("shards"), {}, VerifyMode::kOpen);
+  SolveOptions options;
+  options.certify = verify::CertifyMode::kAnswer;
+  const Solver solver(options);
+  const auto solution = solver.mis(*storage);
+  EXPECT_TRUE(solution.report.certificate.ok());
+  const auto& claim = solution.report.certificate.claims.back();
+  EXPECT_EQ(claim.claim, verify::Claim::kStorageIntegrity);
+  EXPECT_EQ(claim.verdict, verify::Verdict::kPass);
+  EXPECT_EQ(claim.checked, storage->manifest().shards.size());
+}
+
+TEST(StorageIntegrity, CrashedBuilderLeavesNoOpenableDirectory) {
+  TempDir dir("dmpc_integrity_crash");
+  const Graph g = graph::gnm(200, 1600, 7);
+  graph::write_edge_list_file(g, dir.str("g.txt"));
+  ShardBuildOptions options;
+  options.shard_words = 1024;
+  options.abort_before_manifest = [] {
+    throw std::runtime_error("simulated builder crash");
+  };
+  EXPECT_THROW(shard_build(dir.str("g.txt"), dir.str("shards"), options),
+               std::runtime_error);
+  // Shard files exist, but the manifest-last commit protocol means the
+  // partial directory can never be opened (missing manifest = kIoError).
+  EXPECT_TRUE(fs::exists(dir.path() / "shards" / shard_file_name(0)));
+  try {
+    MmapShardStorage::open(dir.str("shards"));
+    FAIL() << "partial (crashed) build accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kIoError);
+  }
+}
+
+TEST(IoFaultPlanText, ParsePrintRoundTrip) {
+  const std::string text =
+      "# storage chaos schedule\n"
+      "eio shard=0 access=0 attempts=2\n"
+      "short_read shard=1 access=0\n"
+      "slow shard=2 access=1 delay=5\n"
+      "corrupt shard=manifest access=1\n"
+      "map_fail shard=3 access=0 attempts=4\n";
+  const IoFaultPlan plan = IoFaultPlan::parse(text);
+  ASSERT_EQ(plan.events().size(), 5u);
+  EXPECT_EQ(plan.events()[0].kind, IoFaultKind::kEio);
+  EXPECT_EQ(plan.events()[0].attempts, 2u);
+  EXPECT_EQ(plan.events()[2].delay, 5u);
+  EXPECT_EQ(plan.events()[3].shard, kManifestShard);
+  EXPECT_TRUE(plan.check().empty());
+  // The printed form re-parses to the same plan.
+  const IoFaultPlan reparsed = IoFaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+  ASSERT_EQ(reparsed.events().size(), plan.events().size());
+}
+
+TEST(IoFaultPlanText, RejectsMalformedLines) {
+  const auto code = [](const std::string& text) -> std::string {
+    try {
+      IoFaultPlan::parse(text);
+    } catch (const ParseError& e) {
+      return parse_error_code_name(e.code());
+    }
+    return "";
+  };
+  EXPECT_EQ(code("explode shard=0 access=0\n"), "bad_token");
+  EXPECT_EQ(code("eio shard=0 nonsense\n"), "malformed_line");
+  EXPECT_EQ(code("eio shard=0 mode=7\n"), "bad_token");
+  EXPECT_EQ(code("eio shard=x access=0\n"), "bad_token");
+  EXPECT_EQ(code("eio shard=0 access=0 attempts=0\n"), "out_of_range");
+  EXPECT_EQ(code("eio shard=0 access=0 attempts=999\n"), "out_of_range");
+  EXPECT_EQ(code("slow shard=0 delay=0\n"), "out_of_range");
+  EXPECT_EQ(code("eio access=0\n"), "");  // shard defaults to 0: admissible
+}
+
+TEST(StorageIntegrity, NamesAreStable) {
+  EXPECT_STREQ(verify_mode_name(VerifyMode::kOff), "off");
+  EXPECT_STREQ(verify_mode_name(VerifyMode::kOpen), "open");
+  EXPECT_STREQ(verify_mode_name(VerifyMode::kParanoid), "paranoid");
+  EXPECT_STREQ(fallback_mode_name(FallbackMode::kNone), "none");
+  EXPECT_STREQ(fallback_mode_name(FallbackMode::kMemory), "memory");
+  EXPECT_STREQ(storage_error_code_name(StorageErrorCode::kChecksumMismatch),
+               "checksum_mismatch");
+  EXPECT_STREQ(storage_error_code_name(StorageErrorCode::kShortRead),
+               "short_read");
+  EXPECT_STREQ(storage_error_code_name(StorageErrorCode::kIoTransient),
+               "io_transient");
+  EXPECT_STREQ(storage_error_code_name(StorageErrorCode::kMapFailed),
+               "map_failed");
+  EXPECT_STREQ(storage_error_code_name(StorageErrorCode::kQuarantined),
+               "quarantined");
 }
 
 }  // namespace

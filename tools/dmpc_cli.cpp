@@ -8,10 +8,13 @@
 //                 [--max-retries=3] [--checkpoint=round|phase|off]
 //                 [--certify=off|answer|full] [--metrics-out=metrics.json]
 //                 [--profile] [--storage=memory|mmap] [--shard-dir=dir]
+//                 [--storage-verify=off|open|paranoid]
+//                 [--storage-fallback=none|memory] [--io-fault-plan=plan.txt]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...] [--fault-plan=...]
 //                 [--certify=...] [--metrics-out=...] [--profile]
-//                 [--storage=...] [--shard-dir=...]
+//                 [--storage=...] [--shard-dir=...] [--storage-verify=...]
+//                 [--storage-fallback=...] [--io-fault-plan=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -23,10 +26,17 @@
 // before it is reported, a one-line certificate verdict is printed, and a
 // failed certificate exits 3. --profile records the per-round load-skew
 // timeline (docs/OBSERVABILITY.md): report JSON and --metrics-out gain a
-// `profile` block (schema_version 5), and traces gain hostprof counters.
+// `profile` block (kProfiledReportSchemaVersion), and traces gain hostprof
+// counters.
 // --storage=mmap --shard-dir=<dir> solves out of a shard directory built by
 // tools/shard_build instead of parsing --in (docs/STORAGE.md); answers and
 // report JSON are byte-identical to the in-memory backend.
+// --storage-verify re-computes the v2 manifest's shard CRC64s (open: once at
+// open; paranoid: again when the solve attaches); a mismatch that survives
+// the retry/quarantine ladder exits 2, or degrades to the in-memory backend
+// under --storage-fallback=memory. --io-fault-plan injects a deterministic
+// host-I/O fault schedule into the storage layer (docs/FAULTS.md); solutions
+// are byte-identical to the fault-free run for any plan within budget.
 // Invalid options (bad eps, unknown algorithm or trace format, a malformed
 // input file or fault plan, ...) are reported with their typed status code
 // and exit 2; internal check failures exit 1.
@@ -130,13 +140,33 @@ dmpc::CliSolveOptions solve_options(const dmpc::ArgParser& args) {
                               cli.fault_plan_path + ": " + e.what()));
     }
   }
+  if (!cli.io_fault_plan_path.empty()) {
+    errno = 0;
+    std::ifstream in(cli.io_fault_plan_path);
+    if (!in.good()) {
+      throw dmpc::ParseError(
+          dmpc::ParseErrorCode::kIoError,
+          "cannot open io fault plan '" + cli.io_fault_plan_path +
+              "': " + (errno != 0 ? std::strerror(errno) : "unknown error"));
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      cli.options.io_faults = dmpc::mpc::IoFaultPlan::parse(text.str());
+    } catch (const dmpc::ParseError& e) {
+      throw dmpc::OptionsError(
+          dmpc::Status::error(dmpc::StatusCode::kInvalidIoFaultPlan,
+                              cli.io_fault_plan_path + ": " + e.what()));
+    }
+  }
   return cli;
 }
 
 // --metrics-out: full registry snapshot delta for the solve, all three
 // sections grouped (docs/OBSERVABILITY.md). The model subtree is golden;
 // host/recovery are diagnostic. Under --profile the skew timeline rides
-// along as a `profile` block and the document is stamped schema_version 5.
+// along as a `profile` block and the document is stamped with the profiled
+// schema version.
 void write_metrics(const std::string& path, const dmpc::Solver& solver,
                    const dmpc::SolveReport& report) {
   if (path.empty()) return;
@@ -180,6 +210,16 @@ void print_report(const dmpc::SolveReport& report) {
                 (unsigned long long)report.recovery.retries,
                 (unsigned long long)report.recovery.replayed_rounds,
                 (unsigned long long)report.recovery.checkpoints);
+  }
+  if (!report.recovery.storage.clean()) {
+    const auto& s = report.recovery.storage;
+    std::printf("storage recovery: io_faults=%llu retries=%llu "
+                "checksum_failures=%llu quarantined=%llu degraded=%llu\n",
+                (unsigned long long)s.io_faults_injected,
+                (unsigned long long)s.retries,
+                (unsigned long long)s.checksum_failures,
+                (unsigned long long)s.quarantined_shards,
+                (unsigned long long)s.degraded);
   }
 }
 
@@ -431,6 +471,12 @@ int main(int argc, char** argv) {
     // The fault plan exceeded the recovery policy at runtime: typed
     // unrecoverable-fault outcome, same exit class as option errors.
     std::fprintf(stderr, "error: unrecoverable_fault: %s\n", e.what());
+    return 2;
+  } catch (const dmpc::mpc::StorageError& e) {
+    // The storage backend is unusable after the full recovery ladder
+    // (retries, quarantine, fallback): a host-environment failure, same
+    // exit class as input errors — never a silent wrong answer.
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const dmpc::CheckFailure& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

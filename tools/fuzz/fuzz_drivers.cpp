@@ -8,6 +8,7 @@
 #include "api/status.hpp"
 #include "graph/io.hpp"
 #include "mpc/faults.hpp"
+#include "mpc/io_faults.hpp"
 #include "mpc/shard_format.hpp"
 #include "support/options.hpp"
 #include "support/parse_error.hpp"
@@ -100,7 +101,9 @@ int drive_shard_header(const std::uint8_t* data, std::size_t size) {
     const mpc::ShardManifest manifest =
         mpc::parse_shard_manifest(data, size, limits);
     // An accepted manifest must survive an encode/re-parse round trip with
-    // its totals intact (the codec is a bijection on valid manifests).
+    // its totals intact. The encoder always emits the current (checksummed)
+    // version, so a v1 input upgrades to v2 with zero shard checksums and a
+    // freshly stamped digest; a v2 input must keep its checksums verbatim.
     const auto bytes = mpc::encode_shard_manifest(manifest);
     const mpc::ShardManifest back =
         mpc::parse_shard_manifest(bytes.data(), bytes.size(), limits);
@@ -108,8 +111,39 @@ int drive_shard_header(const std::uint8_t* data, std::size_t size) {
         back.shards.size() != manifest.shards.size()) {
       __builtin_trap();
     }
+    if (back.version != mpc::kShardFormatVersion || !back.has_checksums()) {
+      __builtin_trap();
+    }
+    if (back.digest != mpc::manifest_digest(bytes.data(), bytes.size())) {
+      __builtin_trap();
+    }
+    for (std::size_t i = 0; i < back.shards.size(); ++i) {
+      const std::uint64_t want =
+          manifest.has_checksums() ? manifest.shards[i].crc64 : 0;
+      if (back.shards[i].crc64 != want) __builtin_trap();
+    }
   } catch (const ParseError&) {
   }
+  return 0;
+}
+
+int drive_io_fault_plan(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const mpc::IoFaultPlan plan = mpc::IoFaultPlan::parse(text);
+    // An accepted plan must be internally consistent, and its printed form
+    // must re-parse to the same plan (print/parse is the identity on
+    // admissible plans — the CLI round-trips --io-fault-plan files).
+    if (!plan.check().empty()) __builtin_trap();
+    const std::string printed = plan.to_string();
+    const mpc::IoFaultPlan back = mpc::IoFaultPlan::parse(printed);
+    if (back.events().size() != plan.events().size()) __builtin_trap();
+    if (back.to_string() != printed) __builtin_trap();
+  } catch (const ParseError&) {
+  }
+  // The non-throwing overload must agree with the throwing one.
+  std::string error;
+  (void)mpc::IoFaultPlan::parse(text, &error);
   return 0;
 }
 

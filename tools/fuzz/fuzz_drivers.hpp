@@ -28,8 +28,12 @@ int drive_fault_plan(const std::uint8_t* data, std::size_t size);
 int drive_cli_args(const std::uint8_t* data, std::size_t size);
 
 /// mpc::parse_shard_manifest over raw bytes (the binary header/entry-table
-/// validator of the dshard storage format), with an encode/re-parse round
-/// trip on accepted manifests.
+/// validator of the dshard storage format, v1 and checksummed v2), with an
+/// encode/re-parse round trip on accepted manifests.
 int drive_shard_header(const std::uint8_t* data, std::size_t size);
+
+/// mpc::IoFaultPlan::parse (the throwing overload), with a print/re-parse
+/// round trip on admissible plans.
+int drive_io_fault_plan(const std::uint8_t* data, std::size_t size);
 
 }  // namespace dmpc::fuzz

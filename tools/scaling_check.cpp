@@ -17,6 +17,8 @@
 //       e19:   shard-build peak RSS <= --rss-floor-mb MB
 //              + --rss-factor * model.csr_bytes, per sweep point (the
 //              streaming builder's O(n)+budget bound vs an O(m) regression)
+//       e20:   model.identical == 1 on every storage-fault scenario (I/O
+//              recovery must never change a solution or comparable report)
 //     Experiments without a registered envelope are baseline-gated only.
 //
 //  1b. Skew band: points that embed a "profile" block (E1/E2 run with the
@@ -213,6 +215,34 @@ void check_rss_bound(const Json& doc, double rss_factor,
   }
 }
 
+/// E20 gate: every storage-fault scenario must report model.identical == 1
+/// — recovery is only allowed to add ledger entries, never to change an
+/// answer or a comparable report byte. The ledger counters themselves are
+/// deterministic and covered by the baseline comparison (gate 2); this
+/// envelope is the absolute floor that holds even without a baseline.
+void check_recovery_identity(const Json& doc) {
+  const int failures_before = g_failures;
+  std::size_t checked = 0;
+  for (const Json& point : doc.at("points").items()) {
+    const Json* identical = point.at("model").find("identical");
+    if (identical == nullptr || !identical->is_number()) {
+      fail(series_name(doc, point) + ".identical", "field missing");
+      continue;
+    }
+    if (identical->as_int64() != 1) {
+      fail(series_name(doc, point) + ".identical",
+           "recovered solve differs from the fault-free run");
+    }
+    ++checked;
+  }
+  if (checked == 0) {
+    fail(doc.at("bench").as_string() + ".identical", "no points to check");
+  } else if (g_failures == failures_before) {
+    std::printf("ok   %s: recovery identity holds on all %zu scenarios\n",
+                doc.at("bench").as_string().c_str(), checked);
+  }
+}
+
 void check_envelopes(const Json& doc, double slack, double rss_factor,
                      double rss_floor_mb) {
   const std::string exp = doc.at("bench").as_string();
@@ -225,6 +255,8 @@ void check_envelopes(const Json& doc, double slack, double rss_factor,
     check_space_cap(doc);
   } else if (exp == "e19") {
     check_rss_bound(doc, rss_factor, rss_floor_mb);
+  } else if (exp == "e20") {
+    check_recovery_identity(doc);
   }
 }
 
