@@ -2,7 +2,7 @@
 // writes one machine-readable BENCH_<EXP>.json artifact per experiment.
 //
 //   ./bench_runner --experiments=e1,e2,e8 --out=artifacts
-//                  [--quick] [--threads=1] [--commit=<sha>]
+//                  [--quick] [--threads=1] [--commit=<sha>] [--progress]
 //   ./bench_runner --experiments=all --out=artifacts --quick
 //
 // Each artifact uses the bench_json.hpp envelope plus:
@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +54,7 @@
 #include "mpc/cluster.hpp"
 #include "mpc/lowlevel.hpp"
 #include "mpc/primitives.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
@@ -74,8 +76,23 @@ using dmpc::graph::NodeId;
 
 struct RunConfig {
   bool quick = false;
+  bool progress = false;
   std::uint32_t threads = 1;
 };
+
+// With --progress, every solver-driven sweep point streams throttled
+// lifecycle lines to stderr (full runs take minutes; this shows which
+// point is live). The bus is deliberately process-long: it never touches
+// the registry or the report's model/registry blocks, so artifacts stay
+// byte-identical with the flag on or off.
+dmpc::obs::EventBus* progress_bus(const RunConfig& cfg) {
+  if (!cfg.progress) return nullptr;
+  static dmpc::obs::ProgressLineSink sink(&std::cerr);
+  static dmpc::obs::EventBus bus;
+  static const bool subscribed = bus.subscribe(&sink);
+  (void)subscribed;
+  return &bus;
+}
 
 /// Wraps one sweep point: snapshots the global registry before the body so
 /// the point's "registry" block is exactly this point's model-section delta.
@@ -119,6 +136,7 @@ std::vector<std::uint64_t> sweep_n(const RunConfig& cfg) {
 dmpc::SolveOptions solver_options(const RunConfig& cfg) {
   dmpc::SolveOptions options;
   options.threads = cfg.threads;
+  options.events = progress_bus(cfg);
   return options;
 }
 
@@ -850,6 +868,7 @@ int main(int argc, char** argv) {
   const dmpc::ArgParser args(argc, argv);
   RunConfig cfg;
   cfg.quick = args.has("quick");
+  cfg.progress = args.has("progress");
   cfg.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
   const std::string out_dir = args.get("out", ".");
   const std::string commit = args.get("commit", "");
@@ -857,7 +876,7 @@ int main(int argc, char** argv) {
   if (experiments_csv.empty()) {
     std::fprintf(stderr,
                  "usage: bench_runner --experiments=e1,e2,...|all --out=<dir> "
-                 "[--quick] [--threads=N] [--commit=<sha>]\n");
+                 "[--quick] [--threads=N] [--commit=<sha>] [--progress]\n");
     return 2;
   }
 

@@ -100,18 +100,36 @@ Json to_json(const verify::SparsifyAudit& audit) {
       .set("max_window_multiplier", audit.max_window_multiplier);
 }
 
+Json to_json(const obs::EventsSummary& events) {
+  return Json::object()
+      .set("stream_version", events.stream_version)
+      .set("model_events", events.model_events)
+      .set("recovery_events", events.recovery_events)
+      .set("filtered_events", events.filtered_events);
+}
+
+namespace {
+
+std::uint32_t solve_report_schema_version(const SolveReport& report) {
+  if (report.events.enabled) return kEventsReportSchemaVersion;
+  if (report.profile.enabled) return kProfiledReportSchemaVersion;
+  return kReportSchemaVersion;
+}
+
+}  // namespace
+
 Json to_json(const SolveReport& report) {
   // Only the golden model section of the registry delta enters the report:
   // the recovery section would break the "identical modulo the recovery
   // block" fault contract, and the host section (wall/RSS, executor
   // scheduling) is non-deterministic by nature. The optional `profile`
   // block (and the schema_version 5 that announces it) appears only for
-  // profiled solves, keeping unprofiled output byte-identical to v4.
+  // profiled solves, keeping unprofiled output byte-identical to v4; the
+  // optional `events_summary` block (schema_version 8) likewise appears
+  // only for solves with an event bus attached.
   Json json =
       Json::object()
-          .set("schema_version", report.profile.enabled
-                                     ? kProfiledReportSchemaVersion
-                                     : kReportSchemaVersion)
+          .set("schema_version", solve_report_schema_version(report))
           .set("algorithm", report.algorithm_used)
           .set("iterations", report.iterations)
           .set("metrics", to_json(report.metrics))
@@ -122,6 +140,9 @@ Json to_json(const SolveReport& report) {
                obs::to_json_section(report.registry, obs::MetricSection::kModel,
                                     /*include_zero=*/false));
   if (report.profile.enabled) json.set("profile", to_json(report.profile));
+  if (report.events.enabled) {
+    json.set("events_summary", to_json(report.events));
+  }
   return json;
 }
 
@@ -139,6 +160,9 @@ Json to_json(const Report& report) {
                obs::to_json_section(report.registry, obs::MetricSection::kModel,
                                     /*include_zero=*/false));
   if (report.profile.enabled) json.set("profile", to_json(report.profile));
+  if (report.events.enabled) {
+    json.set("events_summary", to_json(report.events));
+  }
   return json;
 }
 

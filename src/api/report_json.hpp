@@ -17,6 +17,7 @@ Json to_json(const verify::Witness& witness);
 Json to_json(const verify::ClaimResult& result);
 Json to_json(const verify::Certificate& certificate);
 Json to_json(const verify::SparsifyAudit& audit);
+Json to_json(const obs::EventsSummary& events);
 Json to_json(const SolveReport& report);
 Json to_json(const Report& report);
 Json to_json(const matching::IterationReport& report);

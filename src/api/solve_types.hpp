@@ -17,6 +17,7 @@
 #include "mpc/faults.hpp"
 #include "mpc/metrics.hpp"
 #include "mpc/storage.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "verify/certificate.hpp"
@@ -77,6 +78,16 @@ struct SolveOptions {
   mpc::RecoveryOptions recovery;
   /// Optional tracing sink (non-owning; null = tracing off, zero cost).
   obs::TraceSession* trace = nullptr;
+  /// Optional progress-event bus (non-owning; null = events off, zero
+  /// cost). When attached, the solve emits the typed live-telemetry stream
+  /// (obs/events.hpp): solve/phase/round lifecycle in the model section —
+  /// byte-identical across thread counts, fault plans, and storage backends
+  /// — and checkpoint/retry/storage rungs in the recovery section. The
+  /// report then carries an `events_summary` block and stamps
+  /// kEventsReportSchemaVersion; without a bus, reports are byte-identical
+  /// to pre-events output. The Solver finishes (flushes) the bus before
+  /// returning — including on CertificationError/FaultError unwind paths.
+  obs::EventBus* events = nullptr;
   /// Round profiler: record the per-round load-skew timeline (per-machine
   /// load observations folded into max/mean/Gini/top-k records — see
   /// obs/profiler.hpp) and embed it as the report's `profile` block
@@ -117,6 +128,10 @@ struct SolveReport {
   /// Skew-timeline snapshot (enabled == false unless SolveOptions::profile
   /// was set). Model-deterministic; serialized as the `profile` block.
   obs::ProfileSnapshot profile;
+  /// Event-stream summary (enabled == false unless SolveOptions::events
+  /// was attached). Serialized as the `events_summary` block; model_events
+  /// is model-deterministic, recovery/filtered counts are plan-scoped.
+  obs::EventsSummary events;
 };
 
 /// Version of the serialized report schema. Bumped to 2 when the
@@ -137,6 +152,12 @@ inline constexpr std::uint32_t kReportSchemaVersion = 6;
 /// this exactly when it was solved with SolveOptions::profile on).
 inline constexpr std::uint32_t kProfiledReportSchemaVersion = 7;
 
+/// Schema version of reports carrying the `events_summary` block (a report
+/// carries this exactly when it was solved with an EventBus attached).
+/// An events-enabled report also carries the `profile` block when profiling
+/// was on; the stamp is the highest enabled tier (events > profile > base).
+inline constexpr std::uint32_t kEventsReportSchemaVersion = 8;
+
 /// The typed, versioned view of a SolveReport that Solver::report() returns;
 /// serialize with to_json(report) / Solver::report_json(). Downstream
 /// parsers consume this struct (or its JSON) instead of scraping strings.
@@ -150,6 +171,7 @@ struct Report {
   verify::Certificate certificate;  ///< Empty when certify == kOff.
   obs::MetricsSnapshot registry;    ///< Per-solve registry delta.
   obs::ProfileSnapshot profile;     ///< Skew timeline (when profiled).
+  obs::EventsSummary events;        ///< Event-stream summary (when attached).
 };
 
 struct MisSolution {

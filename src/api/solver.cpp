@@ -8,7 +8,9 @@
 #include "matching/det_matching.hpp"
 #include "mis/det_mis.hpp"
 #include "mpc/storage.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/openmetrics.hpp"
 #include "obs/trace.hpp"
 #include "verify/certifier.hpp"
 
@@ -23,6 +25,7 @@ template <typename Config>
 Config pipeline_config(const SolveOptions& options) {
   Config config;
   config.trace = options.trace;
+  config.events = options.events;
   config.eps = options.eps;
   config.space_headroom = options.space_headroom;
   config.threads = options.threads;
@@ -86,6 +89,10 @@ const char* status_code_name(StatusCode code) {
       return "io_error";
     case StatusCode::kInvalidStorage:
       return "invalid_storage";
+    case StatusCode::kInvalidEventFilter:
+      return "invalid_event_filter";
+    case StatusCode::kInvalidMetricsFormat:
+      return "invalid_metrics_format";
   }
   return "unknown";
 }
@@ -227,10 +234,94 @@ Report Solver::report(const SolveReport& solve_report) const {
   report.certificate = solve_report.certificate;
   report.registry = solve_report.registry;
   report.profile = solve_report.profile;
-  report.schema_version = solve_report.profile.enabled
-                              ? kProfiledReportSchemaVersion
-                              : kReportSchemaVersion;
+  report.events = solve_report.events;
+  // Highest enabled tier wins: events > profile > base. An unobserved solve
+  // therefore serializes byte-identically to pre-events output.
+  report.schema_version = solve_report.events.enabled
+                              ? kEventsReportSchemaVersion
+                              : (solve_report.profile.enabled
+                                     ? kProfiledReportSchemaVersion
+                                     : kReportSchemaVersion);
   return report;
+}
+
+void Solver::emit_solve_started(const char* algorithm,
+                                const graph::Graph& g) const {
+  if (!obs::events_enabled(options_.events)) return;
+  obs::ProgressEvent e;
+  e.type = obs::EventType::kSolveStarted;
+  e.label = algorithm;
+  e.value = static_cast<std::int64_t>(g.num_nodes());
+  e.detail = "m=" + std::to_string(g.num_edges());
+  options_.events->emit(std::move(e));
+}
+
+void Solver::emit_solve_finished(SolveReport* report) const {
+  obs::EventBus* bus = options_.events;
+  if (bus == nullptr) return;
+  if (!bus->finished()) {
+    obs::ProgressEvent e;
+    e.type = obs::EventType::kSolveFinished;
+    e.label = report->algorithm_used;
+    e.round = report->metrics.rounds();
+    e.rounds = report->metrics.rounds();
+    e.comm_words = report->metrics.total_communication();
+    e.value = static_cast<std::int64_t>(report->iterations);
+    bus->emit(std::move(e));
+  }
+  report->events.enabled = true;
+  report->events.stream_version = obs::kEventStreamVersion;
+  report->events.model_events = bus->model_events();
+  report->events.recovery_events = bus->recovery_events();
+  report->events.filtered_events = bus->filtered_events();
+  // The bus is per-solve: flush and close it here so sinks are complete the
+  // moment the entry point returns (the unwind path does the same).
+  bus->finish();
+}
+
+void Solver::emit_storage_events(const mpc::Storage& storage) const {
+  if (!obs::events_enabled(options_.events)) return;
+  // Storage recovery rungs fire at open/verify time, before any cluster
+  // (and hence any streaming hook) exists; summarize the backend's ledger
+  // into the recovery section instead.
+  const mpc::IoRecoveryStats& io = storage.io_recovery();
+  const std::string backend =
+      mpc::storage_backend_name(storage.backend());
+  if (io.retries > 0) {
+    obs::ProgressEvent e;
+    e.type = obs::EventType::kRecoveryAttempt;
+    e.label = "storage/io";
+    e.value = static_cast<std::int64_t>(io.retries);
+    e.detail = backend;
+    options_.events->emit(std::move(e));
+  }
+  if (io.quarantined_shards > 0) {
+    obs::ProgressEvent e;
+    e.type = obs::EventType::kRecovered;
+    e.label = "storage/quarantine";
+    e.value = static_cast<std::int64_t>(io.quarantined_shards);
+    e.detail = backend;
+    options_.events->emit(std::move(e));
+  }
+  if (io.degraded > 0) {
+    obs::ProgressEvent e;
+    e.type = obs::EventType::kStorageDegraded;
+    e.label = "storage/degraded";
+    e.value = static_cast<std::int64_t>(io.degraded);
+    e.detail = backend;
+    options_.events->emit(std::move(e));
+  }
+}
+
+void Solver::flush_observers_on_unwind() const {
+  // Order matters for the unwind contract: the event bus first (the stream
+  // consumer learns the solve died), then the trace session (ChromeTraceSink
+  // buffers its whole document until finish — without this, a
+  // CertificationError/FaultError would leave a truncated or empty trace
+  // file). Both finishes are idempotent, so the CLI's own finish() calls
+  // after catching remain safe.
+  if (options_.events != nullptr) options_.events->finish();
+  if (options_.trace != nullptr) options_.trace->finish();
 }
 
 void Solver::capture_registry_delta(const obs::MetricsSnapshot& before,
@@ -275,84 +366,100 @@ bool Solver::low_degree_regime(const graph::Graph& g) const {
 
 MisSolution Solver::mis(const graph::Graph& g) const {
   require_valid();
-  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
-  MisSolution solution;
-  obs::RoundProfiler profiler;
-  obs::RoundProfiler* prof = options_.profile ? &profiler : nullptr;
-  const bool lowdeg =
-      options_.algorithm == Algorithm::kLowDegree ||
-      (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
-  if (lowdeg) {
-    auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
-    config.profiler = prof;
-    config.storage = active_storage_;
-    auto result = lowdeg::lowdeg_mis(g, config);
-    solution.in_set = std::move(result.in_set);
-    solution.report.algorithm_used = "lowdeg";
-    solution.report.iterations = result.stages;
-    solution.report.metrics = result.metrics;
-    solution.report.recovery = result.recovery;
-  } else {
-    auto config = pipeline_config<mis::DetMisConfig>(options_);
-    config.profiler = prof;
-    config.storage = active_storage_;
-    auto result = mis::det_mis(g, config);
-    solution.in_set = std::move(result.in_set);
-    solution.report.algorithm_used = "sparsification";
-    solution.report.iterations = result.iterations;
-    solution.report.metrics = result.metrics;
-    solution.report.recovery = result.recovery;
-    fill_audit(&solution.report.sparsify, result.reports,
-               mis::params_for(config, g.num_nodes()).degree_cap(),
-               [](const mis::MisIterationReport& r) {
-                 return r.qprime_max_degree;
-               });
+  emit_solve_started("mis", g);
+  try {
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+    MisSolution solution;
+    obs::RoundProfiler profiler;
+    obs::RoundProfiler* prof = options_.profile ? &profiler : nullptr;
+    const bool lowdeg =
+        options_.algorithm == Algorithm::kLowDegree ||
+        (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
+    if (lowdeg) {
+      auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
+      config.profiler = prof;
+      config.storage = active_storage_;
+      auto result = lowdeg::lowdeg_mis(g, config);
+      solution.in_set = std::move(result.in_set);
+      solution.report.algorithm_used = "lowdeg";
+      solution.report.iterations = result.stages;
+      solution.report.metrics = result.metrics;
+      solution.report.recovery = result.recovery;
+    } else {
+      auto config = pipeline_config<mis::DetMisConfig>(options_);
+      config.profiler = prof;
+      config.storage = active_storage_;
+      auto result = mis::det_mis(g, config);
+      solution.in_set = std::move(result.in_set);
+      solution.report.algorithm_used = "sparsification";
+      solution.report.iterations = result.iterations;
+      solution.report.metrics = result.metrics;
+      solution.report.recovery = result.recovery;
+      fill_audit(&solution.report.sparsify, result.reports,
+                 mis::params_for(config, g.num_nodes()).degree_cap(),
+                 [](const mis::MisIterationReport& r) {
+                   return r.qprime_max_degree;
+                 });
+    }
+    if (prof != nullptr) solution.report.profile = prof->snapshot();
+    capture_registry_delta(before, &solution.report);
+    finalize_mis_certificate(g, &solution);
+    emit_solve_finished(&solution.report);
+    return solution;
+  } catch (...) {
+    flush_observers_on_unwind();
+    throw;
   }
-  if (prof != nullptr) solution.report.profile = prof->snapshot();
-  capture_registry_delta(before, &solution.report);
-  finalize_mis_certificate(g, &solution);
-  return solution;
 }
 
 MatchingSolution Solver::maximal_matching(const graph::Graph& g) const {
   require_valid();
-  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
-  MatchingSolution solution;
-  obs::RoundProfiler profiler;
-  obs::RoundProfiler* prof = options_.profile ? &profiler : nullptr;
-  const bool lowdeg =
-      options_.algorithm == Algorithm::kLowDegree ||
-      (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
-  if (lowdeg) {
-    auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
-    config.profiler = prof;
-    config.storage = active_storage_;
-    auto result = lowdeg::lowdeg_matching(g, config);
-    solution.matching = std::move(result.matching);
-    solution.report.algorithm_used = "lowdeg";
-    solution.report.iterations = result.line_mis.stages;
-    solution.report.metrics = result.line_mis.metrics;
-    solution.report.recovery = result.line_mis.recovery;
-  } else {
-    auto config = pipeline_config<matching::DetMatchingConfig>(options_);
-    config.profiler = prof;
-    config.storage = active_storage_;
-    auto result = matching::det_maximal_matching(g, config);
-    solution.matching = std::move(result.matching);
-    solution.report.algorithm_used = "sparsification";
-    solution.report.iterations = result.iterations;
-    solution.report.metrics = result.metrics;
-    solution.report.recovery = result.recovery;
-    fill_audit(&solution.report.sparsify, result.reports,
-               matching::params_for(config, g.num_nodes()).degree_cap(),
-               [](const matching::IterationReport& r) {
-                 return r.estar_max_degree;
-               });
+  emit_solve_started("matching", g);
+  try {
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+    MatchingSolution solution;
+    obs::RoundProfiler profiler;
+    obs::RoundProfiler* prof = options_.profile ? &profiler : nullptr;
+    const bool lowdeg =
+        options_.algorithm == Algorithm::kLowDegree ||
+        (options_.algorithm == Algorithm::kAuto && low_degree_regime(g));
+    if (lowdeg) {
+      auto config = pipeline_config<lowdeg::LowDegConfig>(options_);
+      config.profiler = prof;
+      config.storage = active_storage_;
+      auto result = lowdeg::lowdeg_matching(g, config);
+      solution.matching = std::move(result.matching);
+      solution.report.algorithm_used = "lowdeg";
+      solution.report.iterations = result.line_mis.stages;
+      solution.report.metrics = result.line_mis.metrics;
+      solution.report.recovery = result.line_mis.recovery;
+    } else {
+      auto config = pipeline_config<matching::DetMatchingConfig>(options_);
+      config.profiler = prof;
+      config.storage = active_storage_;
+      auto result = matching::det_maximal_matching(g, config);
+      solution.matching = std::move(result.matching);
+      solution.report.algorithm_used = "sparsification";
+      solution.report.iterations = result.iterations;
+      solution.report.metrics = result.metrics;
+      solution.report.recovery = result.recovery;
+      fill_audit(&solution.report.sparsify, result.reports,
+                 matching::params_for(config, g.num_nodes()).degree_cap(),
+                 [](const matching::IterationReport& r) {
+                   return r.estar_max_degree;
+                 });
+    }
+    if (prof != nullptr) solution.report.profile = prof->snapshot();
+    capture_registry_delta(before, &solution.report);
+    finalize_matching_certificate(g, &solution);
+    emit_solve_finished(&solution.report);
+    return solution;
+  } catch (...) {
+    flush_observers_on_unwind();
+    throw;
   }
-  if (prof != nullptr) solution.report.profile = prof->snapshot();
-  capture_registry_delta(before, &solution.report);
-  finalize_matching_certificate(g, &solution);
-  return solution;
 }
 
 namespace {
@@ -411,14 +518,29 @@ verify::ClaimResult Solver::storage_claim() const {
 MisSolution Solver::mis(const mpc::Storage& storage) const {
   require_valid();
   ActiveStorageScope scope(&active_storage_, &storage);
-  storage_gate(storage);
+  try {
+    storage_gate(storage);
+  } catch (...) {
+    // The gate throws before the graph solve's own unwind handler exists;
+    // close the sinks here so a failed integrity gate still leaves complete
+    // artifacts.
+    flush_observers_on_unwind();
+    throw;
+  }
+  emit_storage_events(storage);
   return mis(storage.graph());
 }
 
 MatchingSolution Solver::maximal_matching(const mpc::Storage& storage) const {
   require_valid();
   ActiveStorageScope scope(&active_storage_, &storage);
-  storage_gate(storage);
+  try {
+    storage_gate(storage);
+  } catch (...) {
+    flush_observers_on_unwind();
+    throw;
+  }
+  emit_storage_events(storage);
   return maximal_matching(storage.graph());
 }
 
@@ -435,6 +557,10 @@ const verify::Certificate& Solver::certificate() const {
 
 const obs::MetricsSnapshot& Solver::metrics_snapshot() const {
   return last_snapshot_;
+}
+
+std::string Solver::metrics_openmetrics() const {
+  return obs::to_openmetrics(last_snapshot_);
 }
 
 verify::Certificate Solver::certify_common(
@@ -488,6 +614,20 @@ void Solver::record_certificate(verify::Certificate certificate,
     span.arg("claims", static_cast<std::uint64_t>(certificate.claims.size()));
     span.arg("failures", certificate.failures());
   }
+  // One model-section certificate_claim event per claim, emitted before the
+  // failure throw below so a failing certificate is visible in the stream.
+  // Claim order is the fixed certificate order, so the sequence is golden
+  // for a fixed certify mode.
+  if (obs::events_enabled(options_.events)) {
+    for (const verify::ClaimResult& claim : certificate.claims) {
+      obs::ProgressEvent e;
+      e.type = obs::EventType::kCertificateClaim;
+      e.label = verify::claim_name(claim.claim);
+      e.value = claim.verdict == verify::Verdict::kFail ? 0 : 1;
+      e.detail = verify::verdict_name(claim.verdict);
+      options_.events->emit(std::move(e));
+    }
+  }
   report->certificate = certificate;
   last_certificate_ = std::move(certificate);
   if (!last_certificate_.ok()) {
@@ -510,6 +650,7 @@ void Solver::finalize_mis_certificate(const graph::Graph& g,
     SolveOptions replay_options = options_;
     replay_options.faults = mpc::FaultPlan{};
     replay_options.trace = nullptr;
+    replay_options.events = nullptr;  // replay must not pollute the stream
     replay_options.certify = verify::CertifyMode::kOff;
     const MisSolution clean = Solver(replay_options).mis(g);
     *compared = solution->in_set.size();
@@ -543,6 +684,7 @@ void Solver::finalize_matching_certificate(const graph::Graph& g,
     SolveOptions replay_options = options_;
     replay_options.faults = mpc::FaultPlan{};
     replay_options.trace = nullptr;
+    replay_options.events = nullptr;  // replay must not pollute the stream
     replay_options.certify = verify::CertifyMode::kOff;
     const MatchingSolution clean = Solver(replay_options).maximal_matching(g);
     *compared = solution->matching.size();

@@ -138,8 +138,31 @@ class Solver {
   /// synchronization caveat as certificate().
   const obs::MetricsSnapshot& metrics_snapshot() const;
 
+  /// OpenMetrics v1.0 text exposition of the most recent solve's registry
+  /// delta (obs::to_openmetrics over metrics_snapshot()): what a scrape
+  /// endpoint would serve. Empty-registry exposition ("# EOF\n" only)
+  /// before the first solve.
+  std::string metrics_openmetrics() const;
+
  private:
   void require_valid() const;
+
+  /// Emit solve_started for `algorithm` over `g` on the attached bus.
+  void emit_solve_started(const char* algorithm, const graph::Graph& g) const;
+
+  /// Emit solve_finished and fill the report's events summary.
+  void emit_solve_finished(SolveReport* report) const;
+
+  /// Surface the attached storage backend's recovery ledger as
+  /// recovery-section events (retry/quarantine/degradation rungs happen at
+  /// open/verify time, before any cluster exists, so they are summarized
+  /// here rather than streamed).
+  void emit_storage_events(const mpc::Storage& storage) const;
+
+  /// Satellite of the unwind contract: flush and close the event bus (and
+  /// finish the trace session) so partially written sinks are never
+  /// truncated mid-record when CertificationError/FaultError escapes.
+  void flush_observers_on_unwind() const;
 
   /// The pre-solve integrity gate for the storage overloads (see their doc
   /// comment). Stashes the storage_integrity claim for certify_common.

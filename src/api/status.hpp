@@ -32,6 +32,8 @@ enum class StatusCode {
   kInvalidCertifyMode,   ///< unknown certify mode name (CLI parsing).
   kIoError,              ///< cannot open an output file (--metrics-out, --trace).
   kInvalidStorage,       ///< storage backend/shard_dir combination invalid.
+  kInvalidEventFilter,   ///< malformed --events-filter category list.
+  kInvalidMetricsFormat, ///< metrics format not json|openmetrics.
 };
 
 /// Short stable name for a code ("invalid_eps", ...), for logs and tests.

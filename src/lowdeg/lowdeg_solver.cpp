@@ -51,6 +51,7 @@ LowDegMisResult lowdeg_mis(const Graph& g, const LowDegConfig& config) {
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   if (config.storage != nullptr) cluster.set_storage(config.storage);
@@ -61,6 +62,7 @@ LowDegMisResult lowdeg_mis(mpc::Cluster& cluster, const Graph& g,
                            const LowDegConfig& config) {
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   LowDegMisResult result;
   result.in_set.assign(g.num_nodes(), false);
   if (g.num_nodes() == 0) return result;
@@ -155,6 +157,7 @@ LowDegMatchingResult lowdeg_matching(const Graph& g,
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   if (config.storage != nullptr) cluster.set_storage(config.storage);

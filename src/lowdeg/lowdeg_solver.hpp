@@ -18,6 +18,7 @@
 #include "mpc/metrics.hpp"
 
 namespace dmpc::obs {
+class EventBus;
 class RoundProfiler;
 class TraceSession;
 }
@@ -48,6 +49,10 @@ struct LowDegConfig {
   /// Optional round profiler (non-owning; null = off); attached to the
   /// cluster alongside `trace`.
   obs::RoundProfiler* profiler = nullptr;
+
+  /// Optional progress-event bus (non-owning); forwarded to every cluster
+  /// this pipeline creates.
+  obs::EventBus* events = nullptr;
   /// Storage backend the input graph resides on (non-owning; null for plain
   /// in-memory graphs). Only the cluster-creating overloads attach it; the
   /// seam carries no model semantics (see mpc/storage.hpp).

@@ -223,6 +223,7 @@ DetMatchingResult det_maximal_matching(const Graph& g,
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   if (config.storage != nullptr) cluster.set_storage(config.storage);
@@ -233,6 +234,7 @@ DetMatchingResult det_maximal_matching(mpc::Cluster& cluster, const Graph& g,
                                        const DetMatchingConfig& config) {
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   const sparsify::Params params = params_for(config, g.num_nodes());
   DetMatchingResult result;
   std::vector<bool> alive(g.num_nodes(), true);

@@ -27,6 +27,7 @@
 #include "sparsify/params.hpp"
 
 namespace dmpc::obs {
+class EventBus;
 class RoundProfiler;
 class TraceSession;
 }
@@ -85,6 +86,10 @@ struct DetMatchingConfig {
   /// Optional round profiler (non-owning; null = off); attached to the
   /// cluster alongside `trace`.
   obs::RoundProfiler* profiler = nullptr;
+
+  /// Optional progress-event bus (non-owning); forwarded to every cluster
+  /// this pipeline creates.
+  obs::EventBus* events = nullptr;
   /// Storage backend the input graph resides on (non-owning; null for plain
   /// in-memory graphs). Only the cluster-creating overload attaches it; the
   /// seam carries no model semantics (see mpc/storage.hpp).

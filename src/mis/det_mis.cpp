@@ -215,6 +215,7 @@ DetMisResult det_mis(const Graph& g, const DetMisConfig& config) {
       config.cluster));
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   cluster.set_executor(exec::Executor::with_threads(config.threads));
   if (!config.faults.empty()) cluster.set_faults(config.faults, config.recovery);
   if (config.storage != nullptr) cluster.set_storage(config.storage);
@@ -225,6 +226,7 @@ DetMisResult det_mis(mpc::Cluster& cluster, const Graph& g,
                      const DetMisConfig& config) {
   if (config.trace != nullptr) cluster.set_trace(config.trace);
   if (config.profiler != nullptr) cluster.set_profiler(config.profiler);
+  if (config.events != nullptr) cluster.set_events(config.events);
   obs::Span pipeline_span(cluster.trace(), "mis/pipeline");
   const sparsify::Params params = params_for(config, g.num_nodes());
   DetMisResult result;

@@ -25,6 +25,7 @@
 #include "sparsify/params.hpp"
 
 namespace dmpc::obs {
+class EventBus;
 class RoundProfiler;
 class TraceSession;
 }
@@ -60,6 +61,10 @@ struct DetMisConfig {
   /// Optional round profiler (non-owning; null = off); attached to the
   /// cluster alongside `trace`.
   obs::RoundProfiler* profiler = nullptr;
+
+  /// Optional progress-event bus (non-owning); forwarded to every cluster
+  /// this pipeline creates.
+  obs::EventBus* events = nullptr;
   /// Storage backend the input graph resides on (non-owning; null for plain
   /// in-memory graphs). Only the cluster-creating overload attaches it; the
   /// seam carries no model semantics (see mpc/storage.hpp).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/events.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/math.hpp"
@@ -35,6 +36,72 @@ ClusterConfig apply_overrides(ClusterConfig base,
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   DMPC_CHECK_MSG(config_.machine_space >= 2, "machine space must be >= 2");
   if (config_.num_machines == 0) config_.num_machines = 1;
+}
+
+Cluster::~Cluster() { close_open_phase(); }
+
+Cluster::Cluster(Cluster&& other) noexcept
+    : config_(other.config_),
+      metrics_(std::move(other.metrics_)),
+      trace_(other.trace_),
+      profiler_(other.profiler_),
+      events_(other.events_),
+      open_phase_(std::move(other.open_phase_)),
+      phase_open_(other.phase_open_),
+      storage_(other.storage_),
+      executor_(std::move(other.executor_)),
+      locals_(std::move(other.locals_)),
+      fault_plan_(std::move(other.fault_plan_)),
+      recovery_(other.recovery_),
+      recovery_stats_(other.recovery_stats_),
+      phase_round_(other.phase_round_),
+      fault_covered_round_(other.fault_covered_round_) {
+  other.phase_open_ = false;
+  other.events_ = nullptr;
+}
+
+void Cluster::close_open_phase() {
+  if (!phase_open_) return;
+  phase_open_ = false;
+  if (!obs::events_enabled(events_)) return;
+  obs::ProgressEvent e;
+  e.type = obs::EventType::kPhaseFinished;
+  e.label = open_phase_;
+  e.round = metrics_.rounds();
+  e.comm_words = metrics_.total_communication();
+  events_->emit(std::move(e));
+}
+
+void Cluster::emit_round_completed(const std::string& label,
+                                   std::uint64_t rounds) {
+  if (!obs::events_enabled(events_)) return;
+  obs::ProgressEvent e;
+  e.type = obs::EventType::kRoundCompleted;
+  e.label = label;
+  e.round = metrics_.rounds();
+  e.rounds = rounds;
+  e.comm_words = metrics_.total_communication();
+  if (profiler_ != nullptr) {
+    if (const obs::ProfileRecord* rec = profiler_->last_record()) {
+      e.load_max = rec->load_max;
+      e.gini_ppm = rec->gini_ppm;
+    }
+  }
+  events_->emit(std::move(e));
+}
+
+void Cluster::emit_recovery_event(obs::EventType type, const std::string& label,
+                                  std::uint64_t round, std::int64_t value,
+                                  const std::string& detail) {
+  if (!obs::events_enabled(events_)) return;
+  obs::ProgressEvent e;
+  e.type = type;
+  e.label = label;
+  e.round = round;
+  e.comm_words = metrics_.total_communication();
+  e.value = value;
+  e.detail = detail;
+  events_->emit(std::move(e));
 }
 
 void Cluster::set_faults(FaultPlan plan, RecoveryOptions recovery) {
@@ -134,6 +201,7 @@ void Cluster::route_and_deliver(std::vector<std::vector<Message>>& outboxes,
     profiler_->commit(label, metrics_.rounds(), 1,
                       metrics_.total_communication());
   }
+  emit_round_completed(label, 1);
 }
 
 void Cluster::note_checkpoint(const std::string& label, std::uint64_t words) {
@@ -144,11 +212,17 @@ void Cluster::note_checkpoint(const std::string& label, std::uint64_t words) {
                     {obs::arg("label", label), obs::arg("words", words),
                      obs::arg("round", metrics_.rounds())});
   }
+  emit_recovery_event(obs::EventType::kCheckpointTaken, label,
+                      metrics_.rounds(), static_cast<std::int64_t>(words), "");
 }
 
 void Cluster::register_retry(const std::string& label, std::uint64_t round,
                              std::uint64_t cost, std::uint32_t attempt) {
   const std::uint32_t spent = attempt + 1;  // attempts consumed so far
+  // Emitted before the budget checks so a terminal FaultError still leaves
+  // the failing attempt visible in the event stream.
+  emit_recovery_event(obs::EventType::kRecoveryAttempt, label, round,
+                      static_cast<std::int64_t>(spent), "");
   if (recovery_.checkpoint == CheckpointMode::kOff) {
     throw FaultError(label, round, spent,
                      "checkpointing is off (checkpoint=off), no snapshot to "
@@ -180,6 +254,21 @@ void Cluster::register_retry(const std::string& label, std::uint64_t round,
 }
 
 void Cluster::mark_phase(const std::string& label, std::uint64_t state_words) {
+  // Phase events are model-section: they must flow on every plan, so they
+  // are emitted before the empty-plan early return below. The round/comm
+  // fields are fault-free by the Metrics contract.
+  close_open_phase();
+  if (obs::events_enabled(events_)) {
+    obs::ProgressEvent e;
+    e.type = obs::EventType::kPhaseStarted;
+    e.label = label;
+    e.round = metrics_.rounds();
+    e.comm_words = metrics_.total_communication();
+    e.value = static_cast<std::int64_t>(state_words);
+    events_->emit(std::move(e));
+  }
+  open_phase_ = label;
+  phase_open_ = true;
   if (fault_plan_.empty()) return;
   phase_round_ = metrics_.rounds();
   if (recovery_.checkpoint == CheckpointMode::kPhase) {
@@ -237,7 +326,13 @@ void Cluster::run_with_recovery(const std::string& label,
     // after a failed attempt models the lost work while producing the exact
     // fault-free result.
     body();
-    if (!failed) return;
+    if (!failed) {
+      if (attempt > 0) {
+        emit_recovery_event(obs::EventType::kRecovered, label, round,
+                            static_cast<std::int64_t>(attempt), "");
+      }
+      return;
+    }
     register_retry(label, round, cost, attempt);
     attempt += 1;
   }
@@ -251,6 +346,7 @@ void Cluster::charge_recoverable(std::uint64_t rounds, const std::string& label,
     profiler_->commit(label, metrics_.rounds(), rounds,
                       metrics_.total_communication());
   }
+  emit_round_completed(label, rounds);
 }
 
 void Cluster::step(const std::function<void(MachineContext&)>& compute,
@@ -329,6 +425,10 @@ void Cluster::step(const std::function<void(MachineContext&)>& compute,
     }
     if (!failed) {
       route_and_deliver(outboxes, label);
+      if (attempt > 0) {
+        emit_recovery_event(obs::EventType::kRecovered, label, round,
+                            static_cast<std::int64_t>(attempt), "");
+      }
       return;
     }
     register_retry(label, round, 1, attempt);

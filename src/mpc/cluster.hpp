@@ -34,6 +34,8 @@
 #include "support/check.hpp"
 
 namespace dmpc::obs {
+class EventBus;
+enum class EventType : std::uint8_t;
 class RoundProfiler;
 class TraceSession;
 }
@@ -101,6 +103,14 @@ class MachineContext {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+  /// Closes a still-open phase (emits its phase_finished) on teardown.
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  /// Move disarms the source's phase/event state so only the destination's
+  /// destructor closes an open phase (Solver::cluster returns by value).
+  Cluster(Cluster&& other) noexcept;
+  Cluster& operator=(Cluster&&) = delete;
 
   std::uint64_t space() const { return config_.machine_space; }
   std::uint64_t machines() const { return config_.num_machines; }
@@ -123,6 +133,18 @@ class Cluster {
   /// and admissible fault plans (same contract as kModel metrics).
   void set_profiler(obs::RoundProfiler* profiler) { profiler_ = profiler; }
   obs::RoundProfiler* profiler() const { return profiler_; }
+
+  /// Attach a progress-event bus (non-owning; null detaches). Every round
+  /// charge emits a model-section round_completed event (with per-window
+  /// load max / Gini when a profiler is also attached); phase marks emit
+  /// phase_started/phase_finished pairs; the recovery engine emits
+  /// checkpoint/retry/recovered events into the recovery section. All
+  /// emission happens on the orchestrating thread, after the corresponding
+  /// Metrics charge, so the model event stream inherits the kModel
+  /// determinism contract (byte-identical across thread counts, admissible
+  /// fault plans, and storage backends).
+  void set_events(obs::EventBus* events) { events_ = events; }
+  obs::EventBus* events() const { return events_; }
 
   /// Host executor for per-machine local computation (default: serial). The
   /// model is unchanged — the simulated machines are independent within a
@@ -248,10 +270,26 @@ class Cluster {
   /// Account one checkpoint of `words` words (optionally traced).
   void note_checkpoint(const std::string& label, std::uint64_t words);
 
+  /// Emit a round_completed event for the charge just committed (`rounds`
+  /// rounds under `label`), carrying the profiler's last window skew when
+  /// one is attached. No-op without an active bus.
+  void emit_round_completed(const std::string& label, std::uint64_t rounds);
+
+  /// Emit phase_finished for the currently open phase, if any.
+  void close_open_phase();
+
+  /// Emit a recovery-section event with the standard round/comm fields.
+  void emit_recovery_event(obs::EventType type, const std::string& label,
+                           std::uint64_t round, std::int64_t value,
+                           const std::string& detail);
+
   ClusterConfig config_;
   Metrics metrics_;
   obs::TraceSession* trace_ = nullptr;
   obs::RoundProfiler* profiler_ = nullptr;
+  obs::EventBus* events_ = nullptr;
+  std::string open_phase_;  ///< Label of the phase awaiting phase_finished.
+  bool phase_open_ = false;
   const Storage* storage_ = nullptr;
   exec::Executor executor_;
   std::vector<std::vector<Word>> locals_;

@@ -1,0 +1,102 @@
+// Periodic host-side gauge sampler.
+//
+// The metrics registry holds *current* values of kHost gauges (RSS, mapped
+// storage bytes, executor queue depth); a single end-of-solve snapshot loses
+// their trajectory. HostSampler runs a background thread that samples a
+// fixed set of host gauges every interval_ms into a fixed-size ring, which
+// the CLI exports as the report's "host_samples" block.
+//
+// Everything here is kHost-classified: wall-clock cadence, RSS, scheduling.
+// Nothing it produces is golden, and nothing it touches feeds the model or
+// recovery sections — attaching a sampler cannot perturb determinism.
+//
+// Like obs/alloc_hooks.cpp, the thread is compile-time gated: sanitizer and
+// fuzzer builds define no DMPC_HOST_SAMPLER, start() is then a no-op and
+// compiled_in() reports false (a background thread touching /proc and
+// registry atomics only adds noise under tsan/asan). sample_once() works in
+// every build so tests exercise the ring without the thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace dmpc::obs {
+
+class Gauge;
+
+/// One sampled tick. Integer-exact, host section only.
+struct HostSample {
+  std::uint64_t wall_ns = 0;       ///< obs::wall_time_ns() at the tick
+  std::int64_t rss_bytes = 0;      ///< current RSS (/proc/self/statm)
+  std::int64_t bytes_mapped = 0;   ///< storage/bytes_mapped gauge
+  std::int64_t resident_bytes = 0; ///< storage/resident_bytes gauge
+  std::int64_t queue_depth = 0;    ///< exec/queue_depth gauge
+};
+
+class HostSampler {
+ public:
+  struct Options {
+    std::uint64_t interval_ms = 100;  ///< tick cadence
+    std::size_t ring_capacity = 256;  ///< oldest samples overwritten past this
+  };
+
+  HostSampler();  ///< Default Options.
+  explicit HostSampler(Options options);
+  ~HostSampler();  ///< stops the thread if still running
+  HostSampler(const HostSampler&) = delete;
+  HostSampler& operator=(const HostSampler&) = delete;
+
+  /// True when this build carries the background thread (plain builds only;
+  /// mirrors the alloc_hooks gate).
+  static bool compiled_in();
+
+  /// Start the periodic thread. Returns false (and stays idle) when the
+  /// thread is compiled out or already running.
+  bool start();
+
+  /// Stop and join the thread. Idempotent; safe when never started.
+  void stop();
+  bool running() const { return running_; }
+
+  /// Take one sample synchronously (works in every build).
+  void sample_once();
+
+  /// Ring contents, oldest first.
+  std::vector<HostSample> samples() const;
+  std::uint64_t samples_taken() const;
+  /// Samples that overwrote an older ring slot.
+  std::uint64_t samples_dropped() const;
+
+  /// {"interval_ms","capacity","taken","dropped","samples":[...]}. Host
+  /// data — never embedded in golden report sections.
+  Json to_json() const;
+
+ private:
+  void loop();
+  void push(const HostSample& sample);
+
+  Options options_;
+  Gauge* bytes_mapped_ = nullptr;
+  Gauge* resident_bytes_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  std::vector<HostSample> ring_;
+  std::size_t next_ = 0;        ///< next ring slot to write
+  std::uint64_t taken_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+/// Current resident set size in bytes via /proc/self/statm; 0 when the
+/// proc file is unavailable (non-Linux hosts).
+std::int64_t current_rss_bytes();
+
+}  // namespace dmpc::obs

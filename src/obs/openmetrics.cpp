@@ -1,0 +1,133 @@
+#include "obs/openmetrics.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace dmpc::obs {
+
+namespace {
+
+bool valid_name_byte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string openmetrics_metric_name(const std::string& name) {
+  std::string out = "dmpc_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += valid_name_byte(c) ? c : '_';
+  return out;
+}
+
+std::string openmetrics_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string openmetrics_escape_help(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Disambiguate sanitization collisions ("a/b" vs "a_b") with a numeric
+  // suffix so every registry entry renders as exactly one family.
+  std::unordered_map<std::string, std::size_t> seen;
+  for (const MetricValue& m : snapshot.entries) {
+    std::string family = openmetrics_metric_name(m.name);
+    if (m.kind == MetricKind::kCounter && family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0) {
+      // The family name must not carry the sample suffix itself.
+      family.resize(family.size() - 6);
+    }
+    const auto [it, inserted] = seen.try_emplace(family, 0);
+    if (!inserted) {
+      ++it->second;
+      family += '_';
+      append_u64(family, it->second + 1);
+    }
+    const std::string section = metric_section_name(m.section);
+    const std::string labels = "{section=\"" + section + "\"}";
+
+    out += "# TYPE " + family + ' ';
+    switch (m.kind) {
+      case MetricKind::kCounter: out += "counter"; break;
+      case MetricKind::kGauge: out += "gauge"; break;
+      case MetricKind::kHistogram: out += "histogram"; break;
+    }
+    out += '\n';
+    out += "# HELP " + family + ' ' +
+           openmetrics_escape_help("dmpc registry metric " + m.name) + '\n';
+
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += family + "_total" + labels + ' ';
+        append_i64(out, m.value);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += family + labels + ' ';
+        append_i64(out, m.value);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.counts.size(); ++i) {
+          cumulative += m.counts[i];
+          out += family + "_bucket{section=\"" + section + "\",le=\"";
+          if (i < m.bounds.size()) {
+            append_u64(out, m.bounds[i]);
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} ";
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        if (m.counts.empty()) {
+          // A histogram always exposes at least the +Inf bucket.
+          out += family + "_bucket{section=\"" + section + "\",le=\"+Inf\"} 0\n";
+        }
+        out += family + "_count" + labels + ' ';
+        append_i64(out, m.value);
+        out += '\n';
+        out += family + "_sum" + labels + ' ';
+        append_i64(out, m.sum);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace dmpc::obs

@@ -1,0 +1,46 @@
+// OpenMetrics v1.0 text exposition over a MetricsSnapshot.
+//
+// Serves the future daemon's scrape endpoint for free: the same snapshot
+// that backs the report "registry" block renders as a standards-compliant
+// exposition (`# TYPE`/`# HELP` metadata, `_total` counter suffixes,
+// cumulative histogram buckets with an explicit `le="+Inf"`, a terminating
+// `# EOF`). Exemplar-free by design — everything the registry holds is
+// integer-exact, so no sample carries a timestamp or exemplar.
+//
+// Mapping from the registry's flat namespace:
+//  * Each registry entry becomes its own metric family. Names are prefixed
+//    "dmpc_" and sanitized to the OpenMetrics charset ('/' and any other
+//    invalid byte become '_'); sanitization collisions get a numeric suffix
+//    so every entry appears exactly once.
+//  * The registry section travels as a `section="model|recovery|host"`
+//    label, preserving the determinism classes through a scrape.
+//
+// Output order is snapshot order (= registration order), so the exposition
+// is byte-stable for a fixed program path, like every other serializer in
+// the repo.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace dmpc::obs {
+
+/// Render the full snapshot as an OpenMetrics v1.0 text exposition,
+/// terminated by "# EOF\n".
+std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+/// "dmpc_" + name with every byte outside [a-zA-Z0-9_:] replaced by '_'.
+/// A leading digit after the prefix is impossible (the prefix ends in '_'),
+/// so the result always matches the OpenMetrics name grammar.
+std::string openmetrics_metric_name(const std::string& name);
+
+/// Escape a label value for `label="..."`: backslash, double quote, and
+/// newline become \\, \", and \n. Other bytes (including UTF-8 sequences)
+/// pass through verbatim, as the spec requires.
+std::string openmetrics_escape_label(const std::string& value);
+
+/// Escape HELP text: backslash and newline (the only escapes HELP admits).
+std::string openmetrics_escape_help(const std::string& value);
+
+}  // namespace dmpc::obs

@@ -134,6 +134,13 @@ class RoundProfiler {
 
   std::uint64_t records_committed() const { return records_committed_; }
 
+  /// The most recently committed window, or nullptr before the first
+  /// commit. Model-deterministic like the rest of the ring; the cluster
+  /// reads it to attach per-window skew to round_completed events.
+  const ProfileRecord* last_record() const {
+    return ring_.empty() ? nullptr : &ring_.back();
+  }
+
   ProfileSnapshot snapshot() const;
   void reset();
 

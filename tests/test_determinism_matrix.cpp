@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -533,6 +534,128 @@ TEST(DeterminismMatrix, IoFaultAxis) {
           << "io_faults=" << axis.name << " threads=" << threads;
       EXPECT_EQ(run.matching, reference.matching)
           << "io_faults=" << axis.name << " threads=" << threads;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// ---- Events axis ----
+//
+// The progress-event stream (obs/events.hpp) extends the matrix: the model
+// projection — model-section events with host timestamps stripped — must be
+// byte-identical across thread counts × fault plans × storage backends, and
+// attaching a bus must not perturb the solution or the report beyond the
+// `events_summary` block (whose recovery/filtered counts are plan-scoped
+// and zeroed for comparison, like the recovery ledger).
+
+struct EventsRun {
+  std::vector<bool> in_set;
+  std::string model_projection;
+  std::string report_json;  ///< Recovery ledger + plan-scoped counts zeroed.
+  std::uint64_t model_events = 0;
+};
+
+EventsRun run_with_events(const Graph& g, std::uint32_t threads,
+                          const mpc::FaultPlan& plan,
+                          const mpc::Storage* storage = nullptr) {
+  obs::CollectorEventSink collector;
+  obs::EventBus bus;
+  EXPECT_TRUE(bus.subscribe(&collector));
+  SolveOptions options;
+  options.threads = threads;
+  options.faults = plan;
+  options.events = &bus;
+  const Solver solver(options);
+  const auto solution =
+      storage != nullptr ? solver.mis(*storage) : solver.mis(g);
+  EventsRun out;
+  out.in_set = solution.in_set;
+  out.model_projection = obs::model_projection(collector.events());
+  out.model_events = solution.report.events.model_events;
+  auto comparable = solution.report;
+  comparable.recovery = mpc::RecoveryStats{};
+  comparable.events.recovery_events = 0;
+  comparable.events.filtered_events = 0;
+  out.report_json = to_json(comparable).dump();
+  return out;
+}
+
+TEST(DeterminismMatrix, EventsAxisFaults) {
+  const Graph g = graph::gnm(400, 3200, 14);
+  mpc::FaultPlan crashes;
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/2, /*machine=*/0});
+  crashes.add({mpc::FaultKind::kCrash, /*round=*/7, /*machine=*/1});
+  mpc::FaultPlan drops;
+  drops.add({mpc::FaultKind::kDrop, /*round=*/3, /*machine=*/0,
+             /*message=*/0});
+
+  const auto reference = run_with_events(g, /*threads=*/1, mpc::FaultPlan{});
+  EXPECT_GT(reference.model_events, 0u);
+  EXPECT_FALSE(reference.model_projection.empty());
+  // Attaching a bus must not perturb the answer.
+  const auto unobserved = run_all(g, /*threads=*/1);
+  EXPECT_EQ(reference.in_set, unobserved.mis_in_set);
+
+  const struct {
+    const char* name;
+    const mpc::FaultPlan* plan;
+  } axes[] = {{"none", nullptr}, {"crashes", &crashes}, {"drops", &drops}};
+  for (const auto& axis : axes) {
+    for (std::uint32_t threads : kThreadCounts) {
+      const auto run = run_with_events(
+          g, threads, axis.plan != nullptr ? *axis.plan : mpc::FaultPlan{});
+      EXPECT_EQ(run.in_set, reference.in_set)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.model_projection, reference.model_projection)
+          << "faults=" << axis.name << " threads=" << threads;
+      EXPECT_EQ(run.report_json, reference.report_json)
+          << "faults=" << axis.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismMatrix, EventsAxisStorage) {
+  namespace fs = std::filesystem;
+  const Graph g = graph::gnm(600, 4800, 11);
+  const fs::path dir =
+      fs::temp_directory_path() / "dmpc_determinism_events_storage";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string edge_path = (dir / "g.txt").string();
+  graph::write_edge_list_file(g, edge_path);
+  mpc::ShardBuildOptions small;
+  small.shard_words = 2048;
+  const std::string shard_dir = (dir / "shards").string();
+  mpc::shard_build(edge_path, shard_dir, small);
+
+  // An io-fault plan whose events heal within budget: the storage rungs land
+  // in the recovery section, so the model projection must not move.
+  mpc::IoFaultPlan heal;
+  heal.add({mpc::IoFaultKind::kEio, /*shard=*/0, mpc::kAccessOpen,
+            /*delay=*/1, /*attempts=*/2});
+
+  mpc::InMemoryStorage memory(graph::read_edge_list_file(edge_path));
+  const auto reference = run_with_events(g, /*threads=*/1, mpc::FaultPlan{});
+  const struct {
+    const char* name;
+    bool io_faults;
+  } cells[] = {{"memory", false}, {"mmap", false}, {"mmap-io-fault", true}};
+  for (const auto& cell : cells) {
+    for (std::uint32_t threads : kThreadCounts) {
+      std::unique_ptr<const mpc::Storage> owned;
+      const mpc::Storage* storage = &memory;
+      if (std::string(cell.name) != "memory") {
+        owned = mpc::MmapShardStorage::open(
+            shard_dir, {}, mpc::VerifyMode::kOpen,
+            cell.io_faults ? heal : mpc::IoFaultPlan{});
+        storage = owned.get();
+      }
+      const auto run =
+          run_with_events(g, threads, mpc::FaultPlan{}, storage);
+      EXPECT_EQ(run.in_set, reference.in_set)
+          << cell.name << " threads=" << threads;
+      EXPECT_EQ(run.model_projection, reference.model_projection)
+          << cell.name << " threads=" << threads;
     }
   }
   fs::remove_all(dir);

@@ -1,0 +1,202 @@
+// OpenMetrics v1.0 text exposition (obs/openmetrics.hpp): golden round trip
+// of a fixed registry snapshot, escaping rules, and the every-entry-exactly-
+// once property over arbitrary snapshots.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/openmetrics.hpp"
+
+namespace dmpc {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricSection;
+using obs::MetricsSnapshot;
+using obs::MetricValue;
+
+MetricValue counter(const std::string& name, MetricSection section,
+                    std::int64_t value) {
+  MetricValue m;
+  m.name = name;
+  m.section = section;
+  m.kind = MetricKind::kCounter;
+  m.value = value;
+  return m;
+}
+
+MetricValue gauge(const std::string& name, MetricSection section,
+                  std::int64_t value) {
+  MetricValue m;
+  m.name = name;
+  m.section = section;
+  m.kind = MetricKind::kGauge;
+  m.value = value;
+  return m;
+}
+
+MetricValue histogram(const std::string& name, MetricSection section,
+                      std::vector<std::uint64_t> bounds,
+                      std::vector<std::uint64_t> counts, std::int64_t total,
+                      std::int64_t sum) {
+  MetricValue m;
+  m.name = name;
+  m.section = section;
+  m.kind = MetricKind::kHistogram;
+  m.bounds = std::move(bounds);
+  m.counts = std::move(counts);
+  m.value = total;
+  m.sum = sum;
+  return m;
+}
+
+TEST(OpenMetrics, GoldenFixedSnapshot) {
+  MetricsSnapshot snapshot;
+  snapshot.entries.push_back(
+      counter("mpc/rounds", MetricSection::kModel, 42));
+  snapshot.entries.push_back(
+      gauge("storage/bytes_mapped", MetricSection::kHost, 65536));
+  snapshot.entries.push_back(histogram(
+      "exec/batch", MetricSection::kHost, {1, 8}, {3, 2, 1}, 6, 19));
+  const std::string expected =
+      "# TYPE dmpc_mpc_rounds counter\n"
+      "# HELP dmpc_mpc_rounds dmpc registry metric mpc/rounds\n"
+      "dmpc_mpc_rounds_total{section=\"model\"} 42\n"
+      "# TYPE dmpc_storage_bytes_mapped gauge\n"
+      "# HELP dmpc_storage_bytes_mapped dmpc registry metric "
+      "storage/bytes_mapped\n"
+      "dmpc_storage_bytes_mapped{section=\"host\"} 65536\n"
+      "# TYPE dmpc_exec_batch histogram\n"
+      "# HELP dmpc_exec_batch dmpc registry metric exec/batch\n"
+      "dmpc_exec_batch_bucket{section=\"host\",le=\"1\"} 3\n"
+      "dmpc_exec_batch_bucket{section=\"host\",le=\"8\"} 5\n"
+      "dmpc_exec_batch_bucket{section=\"host\",le=\"+Inf\"} 6\n"
+      "dmpc_exec_batch_count{section=\"host\"} 6\n"
+      "dmpc_exec_batch_sum{section=\"host\"} 19\n"
+      "# EOF\n";
+  EXPECT_EQ(obs::to_openmetrics(snapshot), expected);
+}
+
+TEST(OpenMetrics, EmptySnapshotIsJustEof) {
+  EXPECT_EQ(obs::to_openmetrics(MetricsSnapshot{}), "# EOF\n");
+}
+
+TEST(OpenMetrics, CounterFamilyStripsPreexistingTotalSuffix) {
+  MetricsSnapshot snapshot;
+  snapshot.entries.push_back(
+      counter("exec/tasks_total", MetricSection::kHost, 7));
+  const std::string text = obs::to_openmetrics(snapshot);
+  // The family must not end in _total; the sample carries it exactly once.
+  EXPECT_NE(text.find("# TYPE dmpc_exec_tasks counter\n"), std::string::npos);
+  EXPECT_NE(text.find("dmpc_exec_tasks_total{section=\"host\"} 7\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("_total_total"), std::string::npos);
+}
+
+TEST(OpenMetrics, NameSanitizationAndCollisionSuffix) {
+  MetricsSnapshot snapshot;
+  snapshot.entries.push_back(gauge("a/b", MetricSection::kModel, 1));
+  snapshot.entries.push_back(gauge("a_b", MetricSection::kModel, 2));
+  snapshot.entries.push_back(gauge("a-b", MetricSection::kModel, 3));
+  const std::string text = obs::to_openmetrics(snapshot);
+  // All three sanitize to dmpc_a_b; later entries get numeric suffixes so
+  // every registry entry renders as its own family.
+  EXPECT_NE(text.find("dmpc_a_b{section=\"model\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dmpc_a_b_2{section=\"model\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("dmpc_a_b_3{section=\"model\"} 3\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, LabelEscaping) {
+  EXPECT_EQ(obs::openmetrics_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::openmetrics_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::openmetrics_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::openmetrics_escape_label("a\nb"), "a\\nb");
+  // UTF-8 passes through byte-exactly (values are UTF-8 per the spec).
+  EXPECT_EQ(obs::openmetrics_escape_label("r\xC3\xA9sum\xC3\xA9"),
+            "r\xC3\xA9sum\xC3\xA9");
+}
+
+TEST(OpenMetrics, HelpEscaping) {
+  // HELP escapes backslash and newline but NOT double quotes.
+  EXPECT_EQ(obs::openmetrics_escape_help("a\"b"), "a\"b");
+  EXPECT_EQ(obs::openmetrics_escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::openmetrics_escape_help("a\nb"), "a\\nb");
+}
+
+TEST(OpenMetrics, MetricNamePrefixAndCharset) {
+  EXPECT_EQ(obs::openmetrics_metric_name("mpc/rounds"), "dmpc_mpc_rounds");
+  EXPECT_EQ(obs::openmetrics_metric_name("weird name-1!"),
+            "dmpc_weird_name_1_");
+  const std::string name = obs::openmetrics_metric_name("\xFF\x01");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    EXPECT_TRUE(ok) << "invalid byte in metric name: " << int(c);
+  }
+}
+
+// Property: every registry entry appears exactly once as a family with a
+// valid name, in snapshot (registration) order, and the exposition ends
+// with the mandatory EOF marker.
+TEST(OpenMetrics, EveryEntryRendersExactlyOnce) {
+  const auto g = graph::gnm(200, 800, 3);
+  SolveOptions options;
+  options.profile = true;
+  const Solver solver(options);
+  (void)solver.mis(g);
+  const MetricsSnapshot snapshot = solver.metrics_snapshot();
+  ASSERT_FALSE(snapshot.entries.empty());
+  const std::string text = solver.metrics_openmetrics();
+
+  std::size_t type_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::string> families;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    ++type_lines;
+    const std::string rest = line.substr(7);
+    families.push_back(rest.substr(0, rest.find(' ')));
+  }
+  // One TYPE line per registry entry — nothing dropped, nothing doubled.
+  EXPECT_EQ(type_lines, snapshot.entries.size());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const std::string& family = families[i];
+    EXPECT_EQ(family.rfind("dmpc_", 0), 0u) << family;
+    for (char c : family) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "invalid byte in family " << family;
+    }
+    // Counters must not leak the sample suffix into the family name.
+    if (snapshot.entries[i].kind == MetricKind::kCounter) {
+      EXPECT_FALSE(family.size() >= 6 &&
+                   family.compare(family.size() - 6, 6, "_total") == 0)
+          << family;
+    }
+    for (std::size_t j = i + 1; j < families.size(); ++j) {
+      EXPECT_NE(family, families[j]) << "family rendered twice";
+    }
+  }
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, SolverExpositionCarriesModelCounters) {
+  const auto g = graph::gnm(200, 800, 4);
+  const Solver solver{SolveOptions{}};
+  (void)solver.mis(g);
+  const std::string text = solver.metrics_openmetrics();
+  EXPECT_NE(text.find("dmpc_mpc_rounds_total{section=\"model\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmpc

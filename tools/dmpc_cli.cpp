@@ -10,11 +10,16 @@
 //                 [--profile] [--storage=memory|mmap] [--shard-dir=dir]
 //                 [--storage-verify=off|open|paranoid]
 //                 [--storage-fallback=none|memory] [--io-fault-plan=plan.txt]
+//                 [--events=events.jsonl] [--events-filter=round,recovery,...]
+//                 [--progress] [--metrics-format=json|openmetrics]
+//                 [--host-sample-ms=100]
 //   dmpc matching --in=g.txt [--eps=0.5] [--threads=N] [--out=matching.txt]
 //                 [--trace=...] [--trace-format=...] [--fault-plan=...]
 //                 [--certify=...] [--metrics-out=...] [--profile]
 //                 [--storage=...] [--shard-dir=...] [--storage-verify=...]
 //                 [--storage-fallback=...] [--io-fault-plan=...]
+//                 [--events=...] [--events-filter=...] [--progress]
+//                 [--metrics-format=...] [--host-sample-ms=...]
 //   dmpc cover    --in=g.txt [--out=cover.txt]
 //   dmpc color    --in=g.txt [--out=colors.txt]
 //
@@ -37,6 +42,13 @@
 // under --storage-fallback=memory. --io-fault-plan injects a deterministic
 // host-I/O fault schedule into the storage layer (docs/FAULTS.md); solutions
 // are byte-identical to the fault-free run for any plan within budget.
+// --events streams typed JSONL progress events (docs/OBSERVABILITY.md,
+// "Live telemetry"); --events-filter narrows categories, --progress mirrors
+// lifecycle events as a throttled stderr line, and the report is stamped
+// with the events schema version. --metrics-format=openmetrics switches
+// --metrics-out to the OpenMetrics v1.0 text exposition; --host-sample-ms
+// runs a periodic host-gauge sampler whose ring rides along in the JSON
+// metrics document as `host_samples` (host section — never golden).
 // Invalid options (bad eps, unknown algorithm or trace format, a malformed
 // input file or fault plan, ...) are reported with their typed status code
 // and exit 2; internal check failures exit 1.
@@ -59,6 +71,8 @@
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
+#include "obs/events.hpp"
+#include "obs/host_sampler.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
@@ -78,6 +92,8 @@ int usage() {
                "solver commands accept --trace=<file> to record a span trace\n"
                "and --trace-format=jsonl|chrome to pick the encoding\n"
                "(chrome output loads in chrome://tracing or ui.perfetto.dev)\n"
+               "mis/matching also accept --events=<file> for a JSONL\n"
+               "progress-event stream and --progress for a live stderr line\n"
                "see the header of tools/dmpc_cli.cpp for details\n");
   return 2;
 }
@@ -165,18 +181,16 @@ dmpc::CliSolveOptions solve_options(const dmpc::ArgParser& args) {
 // --metrics-out: full registry snapshot delta for the solve, all three
 // sections grouped (docs/OBSERVABILITY.md). The model subtree is golden;
 // host/recovery are diagnostic. Under --profile the skew timeline rides
-// along as a `profile` block and the document is stamped with the profiled
-// schema version.
-void write_metrics(const std::string& path, const dmpc::Solver& solver,
-                   const dmpc::SolveReport& report) {
+// along as a `profile` block; with --events an `events_summary` block rides
+// along too, and the document is stamped with the highest enabled schema
+// tier. --metrics-format=openmetrics writes the OpenMetrics v1.0 text
+// exposition instead (host_samples stays JSON-only: OpenMetrics exposes the
+// registry's *current* state, not a timeline).
+void write_metrics(const dmpc::CliSolveOptions& cli, const dmpc::Solver& solver,
+                   const dmpc::SolveReport& report,
+                   const dmpc::obs::HostSampler* sampler) {
+  const std::string& path = cli.metrics_out_path;
   if (path.empty()) return;
-  const bool profiled = report.profile.enabled;
-  auto out = dmpc::Json::object()
-                 .set("schema_version", profiled
-                                            ? dmpc::kProfiledReportSchemaVersion
-                                            : dmpc::kReportSchemaVersion)
-                 .set("registry", dmpc::obs::to_json(solver.metrics_snapshot()));
-  if (profiled) out.set("profile", to_json(report.profile));
   errno = 0;
   auto f = std::ofstream(path);
   if (!f.good()) {
@@ -185,6 +199,24 @@ void write_metrics(const std::string& path, const dmpc::Solver& solver,
         "cannot open '" + path + "' for writing: " +
             (errno != 0 ? std::strerror(errno) : "unknown error")));
   }
+  if (cli.metrics_format == dmpc::MetricsFormat::kOpenMetrics) {
+    f << solver.metrics_openmetrics();
+    return;
+  }
+  const bool profiled = report.profile.enabled;
+  const std::uint32_t schema =
+      report.events.enabled
+          ? dmpc::kEventsReportSchemaVersion
+          : (profiled ? dmpc::kProfiledReportSchemaVersion
+                      : dmpc::kReportSchemaVersion);
+  auto out = dmpc::Json::object()
+                 .set("schema_version", schema)
+                 .set("registry", dmpc::obs::to_json(solver.metrics_snapshot()));
+  if (profiled) out.set("profile", to_json(report.profile));
+  if (report.events.enabled) {
+    out.set("events_summary", dmpc::to_json(report.events));
+  }
+  if (sampler != nullptr) out.set("host_samples", sampler->to_json());
   f << out.dump(2) << '\n';
 }
 
@@ -281,6 +313,60 @@ TraceSetup make_trace(const dmpc::ArgParser& args) {
   return t;
 }
 
+/// Owns the progress-event chain (--events / --events-filter / --progress).
+/// Members are heap-allocated so the sink's stream pointer stays stable.
+/// The Solver finishes the bus itself (including on unwind paths); finish()
+/// here is a belt-and-braces idempotent flush plus the file close.
+struct EventSetup {
+  std::unique_ptr<std::ofstream> out;
+  std::unique_ptr<dmpc::obs::JsonlEventSink> sink;
+  std::unique_ptr<dmpc::obs::ProgressLineSink> progress;
+  std::unique_ptr<dmpc::obs::EventBus> bus;
+
+  dmpc::obs::EventBus* bus_or_null() const { return bus.get(); }
+  void finish() {
+    if (bus) bus->finish();
+    if (out) out->close();
+  }
+};
+
+EventSetup make_events(const dmpc::CliSolveOptions& cli) {
+  EventSetup e;
+  if (cli.events_path.empty() && !cli.progress) return e;
+  e.bus = std::make_unique<dmpc::obs::EventBus>();
+  e.bus->set_filter(cli.events_filter);
+  if (!cli.events_path.empty()) {
+    errno = 0;
+    e.out = std::make_unique<std::ofstream>(cli.events_path);
+    if (!e.out->good()) {
+      throw dmpc::OptionsError(dmpc::Status::error(
+          dmpc::StatusCode::kIoError,
+          "cannot open '" + cli.events_path + "' for writing: " +
+              (errno != 0 ? std::strerror(errno) : "unknown error")));
+    }
+    e.sink = std::make_unique<dmpc::obs::JsonlEventSink>(e.out.get());
+    e.bus->subscribe(e.sink.get());
+  }
+  if (cli.progress) {
+    e.progress = std::make_unique<dmpc::obs::ProgressLineSink>(&std::cerr);
+    e.bus->subscribe(e.progress.get());
+  }
+  return e;
+}
+
+/// --host-sample-ms: periodic host-gauge sampler around the solve. In builds
+/// where the background thread is compiled out (sanitizers, fuzzing) the
+/// sampler still takes one synchronous sample so the ring is never empty.
+std::unique_ptr<dmpc::obs::HostSampler> make_sampler(
+    const dmpc::CliSolveOptions& cli) {
+  if (cli.host_sample_ms == 0) return nullptr;
+  dmpc::obs::HostSampler::Options options;
+  options.interval_ms = cli.host_sample_ms;
+  auto sampler = std::make_unique<dmpc::obs::HostSampler>(options);
+  if (!sampler->start()) sampler->sample_once();
+  return sampler;
+}
+
 int cmd_gen(const dmpc::ArgParser& args) {
   const auto g = generate(args);
   const std::string out = args.get("out", "");
@@ -318,16 +404,21 @@ int cmd_stats(const dmpc::ArgParser& args) {
 int cmd_mis(const dmpc::ArgParser& args) {
   auto trace = make_trace(args);
   auto cli = solve_options(args);
+  auto events = make_events(cli);
   cli.options.trace = trace.session_or_null();
+  cli.options.events = events.bus_or_null();
   const dmpc::Solver solver(cli.options);
   if (auto status = solver.validate(); !status.ok()) {
     throw dmpc::OptionsError(std::move(status));
   }
   const auto storage = solver.open_storage(args.get("in", "graph.txt"));
   const auto& g = storage->graph();
+  auto sampler = make_sampler(cli);
   const auto solution = solver.mis(*storage);
+  if (sampler) sampler->stop();
   trace.finish();
-  write_metrics(cli.metrics_out_path, solver, solution.report);
+  events.finish();
+  write_metrics(cli, solver, solution.report, sampler.get());
   std::size_t size = 0;
   for (bool b : solution.in_set) size += b;
   if (args.has("json")) {
@@ -352,16 +443,21 @@ int cmd_mis(const dmpc::ArgParser& args) {
 int cmd_matching(const dmpc::ArgParser& args) {
   auto trace = make_trace(args);
   auto cli = solve_options(args);
+  auto events = make_events(cli);
   cli.options.trace = trace.session_or_null();
+  cli.options.events = events.bus_or_null();
   const dmpc::Solver solver(cli.options);
   if (auto status = solver.validate(); !status.ok()) {
     throw dmpc::OptionsError(std::move(status));
   }
   const auto storage = solver.open_storage(args.get("in", "graph.txt"));
   const auto& g = storage->graph();
+  auto sampler = make_sampler(cli);
   const auto solution = solver.maximal_matching(*storage);
+  if (sampler) sampler->stop();
   trace.finish();
-  write_metrics(cli.metrics_out_path, solver, solution.report);
+  events.finish();
+  write_metrics(cli, solver, solution.report, sampler.get());
   if (args.has("json")) {
     auto j = dmpc::to_json(solution.report);
     j.set("matching_size",

@@ -10,6 +10,7 @@
 #include "mpc/faults.hpp"
 #include "mpc/io_faults.hpp"
 #include "mpc/shard_format.hpp"
+#include "obs/events.hpp"
 #include "support/options.hpp"
 #include "support/parse_error.hpp"
 
@@ -144,6 +145,25 @@ int drive_io_fault_plan(const std::uint8_t* data, std::size_t size) {
   // The non-throwing overload must agree with the throwing one.
   std::string error;
   (void)mpc::IoFaultPlan::parse(text, &error);
+  return 0;
+}
+
+int drive_event_filter(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const obs::EventFilter filter = obs::parse_event_filter(text);
+    // An accepted filter must be non-empty (the grammar rejects empty
+    // lists) and survive the canonical print/re-parse round trip — the
+    // contract event_filter_to_string documents.
+    if (filter.mask() == 0) __builtin_trap();
+    const std::string printed = obs::event_filter_to_string(filter);
+    const obs::EventFilter back = obs::parse_event_filter(printed);
+    if (back.mask() != filter.mask()) __builtin_trap();
+    if (obs::event_filter_to_string(back) != printed) __builtin_trap();
+  } catch (const OptionsError& e) {
+    // Typed rejection: must carry the matching status code.
+    if (e.status().code() != StatusCode::kInvalidEventFilter) __builtin_trap();
+  }
   return 0;
 }
 

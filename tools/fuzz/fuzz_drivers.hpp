@@ -36,4 +36,8 @@ int drive_shard_header(const std::uint8_t* data, std::size_t size);
 /// round trip on admissible plans.
 int drive_io_fault_plan(const std::uint8_t* data, std::size_t size);
 
+/// obs::parse_event_filter (the --events-filter grammar), with a
+/// to_string/re-parse round trip on accepted filters.
+int drive_event_filter(const std::uint8_t* data, std::size_t size);
+
 }  // namespace dmpc::fuzz

@@ -1,0 +1,10 @@
+// libFuzzer target: --events-filter grammar. Build with -DDMPC_FUZZ=ON.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_drivers.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dmpc::fuzz::drive_event_filter(data, size);
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Strict structural linter for OpenMetrics v1.0 text expositions.
+
+Usage: openmetrics_lint.py <exposition.txt>
+
+Checks the subset of the spec the dmpc exporter promises (stdlib only, so
+CI can run it without installing anything):
+
+  * every line is a `# TYPE`, `# HELP`, sample, or the final `# EOF`;
+  * `# EOF` is the last line and appears exactly once;
+  * metric family names match [a-zA-Z_:][a-zA-Z0-9_:]* and are unique;
+  * `# TYPE` precedes `# HELP` and the samples of its family;
+  * every sample belongs to the most recently declared family, with the
+    suffix its type admits (counter: `_total`; histogram: `_bucket`/
+    `_count`/`_sum`; gauge: bare name);
+  * every family declares at least one sample;
+  * histograms expose an `le="+Inf"` bucket whose value equals `_count`;
+  * label blocks are well-formed (`name="value"` pairs, escaped values);
+  * sample values are integers or `+Inf`/`-Inf`/`NaN`.
+
+Exit 0 when the file passes, 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+# label value: any escaped (\\, \", \n) or plain non-quote/backslash bytes
+LABELS_RE = re.compile(
+    r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\[\\\"n]|[^\"\\])*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\[\\\"n]|[^\"\\])*\")*\}\Z"
+)
+VALUE_RE = re.compile(r"-?[0-9]+\Z|[+-]Inf\Z|NaN\Z")
+TYPES = {"counter", "gauge", "histogram", "summary", "info", "stateset",
+         "gaugehistogram", "unknown"}
+
+
+def sample_family(name, kind):
+    """Map a sample name back to its family given the family's type."""
+    if kind == "counter" and name.endswith("_total"):
+        return name[: -len("_total")]
+    if kind == "histogram":
+        for suffix in ("_bucket", "_count", "_sum"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def lint(lines):
+    errors = []
+    families = {}  # family -> type
+    current = None  # (family, type)
+    sampled = set()
+    eof_index = None
+    hist_inf = {}  # family -> +Inf bucket value
+    hist_count = {}  # family -> _count value
+
+    def err(lineno, message):
+        errors.append(f"line {lineno}: {message}")
+
+    for lineno, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if eof_index is not None:
+                err(lineno, "duplicate # EOF")
+            eof_index = lineno
+            continue
+        if eof_index is not None:
+            err(lineno, "content after # EOF")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4:
+                err(lineno, "malformed # TYPE line")
+                continue
+            _, _, family, kind = parts
+            if not NAME_RE.match(family):
+                err(lineno, f"invalid family name {family!r}")
+            if kind not in TYPES:
+                err(lineno, f"unknown metric type {kind!r}")
+            if family in families:
+                err(lineno, f"family {family!r} declared twice")
+            families[family] = kind
+            current = (family, kind)
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                err(lineno, "malformed # HELP line")
+                continue
+            family = parts[2]
+            if current is None or family != current[0]:
+                err(lineno, f"# HELP for {family!r} outside its family block")
+            continue
+        if line.startswith("#"):
+            err(lineno, f"unrecognized comment line {line!r}")
+            continue
+        # Sample line: name[{labels}] value
+        m = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^ ]*\})? (.*)\Z", line)
+        if not m:
+            err(lineno, f"malformed sample line {line!r}")
+            continue
+        name, labels, value = m.groups()
+        if labels and not LABELS_RE.match(labels):
+            err(lineno, f"malformed label block {labels!r}")
+        if not VALUE_RE.match(value):
+            err(lineno, f"malformed sample value {value!r}")
+        if current is None:
+            err(lineno, f"sample {name!r} before any # TYPE declaration")
+            continue
+        family, kind = current
+        if sample_family(name, kind) != family:
+            err(lineno, f"sample {name!r} does not belong to family "
+                        f"{family!r} ({kind})")
+            continue
+        if kind == "counter" and not name.endswith("_total"):
+            err(lineno, f"counter sample {name!r} missing _total suffix")
+        sampled.add(family)
+        if kind == "histogram" and value.lstrip("-").isdigit():
+            if name.endswith("_bucket") and labels and 'le="+Inf"' in labels:
+                hist_inf[family] = int(value)
+            if name.endswith("_count"):
+                hist_count[family] = int(value)
+
+    if eof_index is None:
+        errors.append("missing # EOF terminator")
+    elif eof_index != len(lines):
+        errors.append("# EOF is not the final line")
+    for family, kind in families.items():
+        if family not in sampled:
+            errors.append(f"family {family!r} ({kind}) declares no samples")
+        if kind == "histogram":
+            if family not in hist_inf:
+                errors.append(f"histogram {family!r} missing le=\"+Inf\" bucket")
+            elif hist_inf[family] != hist_count.get(family):
+                errors.append(
+                    f"histogram {family!r} +Inf bucket {hist_inf[family]} != "
+                    f"_count {hist_count.get(family)}")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: openmetrics_lint.py <exposition.txt>", file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as f:
+        text = f.read()
+    if not text.endswith("\n"):
+        print("error: exposition does not end with a newline", file=sys.stderr)
+        return 1
+    errors = lint(text.splitlines())
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"openmetrics_lint: {argv[1]} ok "
+          f"({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

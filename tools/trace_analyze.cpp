@@ -11,13 +11,17 @@
 //
 // With --report it reads a report JSON (schema_version 5, `profile` block)
 // or a bench artifact (BENCH_*.json whose points embed `profile`) and prints
-// a skew report. --gate evaluates every profile block against a threshold
-// document (see obs/trace_analysis.hpp) and exits 1 naming the offending
-// labels and round ranges — the CI bench-smoke job runs this on uploaded
-// artifacts.
+// a skew report; when the document carries a `host_samples` block
+// (--host-sample-ms runs) the sampler's taken/dropped counts are surfaced
+// too. A report without any profile block — or with an empty one — is a
+// typed one-line `no_profile:` / `empty_profile:` error (exit 2), never a
+// crash or a silently empty report. --gate evaluates every profile block
+// against a threshold document (see obs/trace_analysis.hpp) and exits 1
+// naming the offending labels and round ranges — the CI bench-smoke job
+// runs this on uploaded artifacts.
 //
 // Exit codes: 0 analysis ok / gate passed; 1 gate violations; 2 usage,
-// unreadable input, or parse errors.
+// unreadable input, missing/empty profile, or parse errors.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -108,29 +112,51 @@ void print_hot_spans(const TraceAnalysis& analysis, std::uint64_t top) {
   }
 }
 
+/// Lenient field access for skew printing: a missing key prints as 0 instead
+/// of tripping the at() invariant check — the typed empty_profile error has
+/// already rejected blocks with no content at all.
+std::int64_t field_or_zero(const Json& object, const char* key) {
+  const Json* value = object.find(key);
+  return value != nullptr ? value->as_int64() : 0;
+}
+
 void print_skew_report(const std::string& context, const Json& profile) {
   std::printf("profile [%s]: records=%llu dropped=%llu load_max=%llu "
               "gini_max_ppm=%llu\n",
               context.c_str(),
               static_cast<unsigned long long>(
-                  profile.at("records_committed").as_int64()),
+                  field_or_zero(profile, "records_committed")),
               static_cast<unsigned long long>(
-                  profile.at("records_dropped").as_int64()),
+                  field_or_zero(profile, "records_dropped")),
               static_cast<unsigned long long>(
-                  profile.at("load_max").as_int64()),
+                  field_or_zero(profile, "load_max")),
               static_cast<unsigned long long>(
-                  profile.at("gini_max_ppm").as_int64()));
+                  field_or_zero(profile, "gini_max_ppm")));
   if (const Json* labels = profile.find("by_label"); labels != nullptr) {
     for (const auto& [label, s] : labels->fields()) {
       std::printf("  %-44s records=%lld rounds=%lld load_max=%lld "
                   "gini_max_ppm=%lld\n",
                   label.c_str(),
-                  static_cast<long long>(s.at("records").as_int64()),
-                  static_cast<long long>(s.at("rounds").as_int64()),
-                  static_cast<long long>(s.at("load_max").as_int64()),
-                  static_cast<long long>(s.at("gini_max_ppm").as_int64()));
+                  static_cast<long long>(field_or_zero(s, "records")),
+                  static_cast<long long>(field_or_zero(s, "rounds")),
+                  static_cast<long long>(field_or_zero(s, "load_max")),
+                  static_cast<long long>(field_or_zero(s, "gini_max_ppm")));
     }
   }
+}
+
+/// `host_samples` rides along in --metrics-out documents when the solve ran
+/// a host sampler; dropped = ring overwrites (docs/OBSERVABILITY.md).
+void print_host_samples(const Json& doc) {
+  const Json* samples = doc.find("host_samples");
+  if (samples == nullptr) return;
+  std::printf("host samples: taken=%llu samples_dropped=%llu "
+              "interval_ms=%llu\n",
+              static_cast<unsigned long long>(field_or_zero(*samples, "taken")),
+              static_cast<unsigned long long>(
+                  field_or_zero(*samples, "dropped")),
+              static_cast<unsigned long long>(
+                  field_or_zero(*samples, "interval_ms")));
 }
 
 /// A report JSON carries one top-level `profile`; a bench artifact embeds
@@ -205,13 +231,22 @@ int main(int argc, char** argv) {
       const Json doc = Json::parse_file(report_path);
       const auto profiles = find_profiles(doc);
       if (profiles.empty()) {
-        std::printf("note: %s carries no profile block (solve ran without "
-                    "--profile)\n",
-                    report_path.c_str());
+        std::fprintf(stderr,
+                     "error: no_profile: %s carries no profile block "
+                     "(run the solve with --profile)\n",
+                     report_path.c_str());
+        return 2;
       }
       Json thresholds = Json::object();
       if (!gate_path.empty()) thresholds = Json::parse_file(gate_path);
       for (const auto& [context, profile] : profiles) {
+        if (!profile->is_object() || profile->fields().empty()) {
+          std::fprintf(stderr,
+                       "error: empty_profile: %s [%s] profile block has no "
+                       "fields\n",
+                       report_path.c_str(), context.c_str());
+          return 2;
+        }
         print_skew_report(context, *profile);
         if (gate_path.empty()) continue;
         const auto violations =
@@ -222,6 +257,7 @@ int main(int argc, char** argv) {
         }
         gate_failures += static_cast<int>(violations.size());
       }
+      print_host_samples(doc);
     }
     if (gate_failures > 0) {
       std::fprintf(stderr, "trace_analyze: %d gate violations\n",
